@@ -1,0 +1,161 @@
+package confanon
+
+// The benchmark harness: one benchmark per experiment in DESIGN.md's
+// per-experiment index (E1–E9 reproduce the paper's quantitative claims;
+// A1–A3 are the design-choice ablations). Each benchmark drives the
+// corresponding function in internal/experiments and reports the headline
+// quantities as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every row recorded in EXPERIMENTS.md (at reduced scale; run
+// cmd/confexp -full for the full-scale report).
+
+import (
+	"testing"
+
+	"confanon/internal/experiments"
+	"confanon/internal/netgen"
+)
+
+func BenchmarkE1_DatasetGeneration(b *testing.B) {
+	var r experiments.E1Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.E1Dataset(0.2)
+	}
+	b.ReportMetric(float64(r.Routers), "routers")
+	b.ReportMetric(float64(r.P25), "lines-p25")
+	b.ReportMetric(float64(r.P90), "lines-p90")
+}
+
+func BenchmarkE2_Figure1(b *testing.B) {
+	pass := 0
+	for i := 0; i < b.N; i++ {
+		if experiments.E2Figure1().OK() {
+			pass++
+		}
+	}
+	if pass != b.N {
+		b.Fatalf("E2 failed %d/%d runs", b.N-pass, b.N)
+	}
+}
+
+func BenchmarkE3_CommentStripping(b *testing.B) {
+	var r experiments.E3Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.E3Comments(20, 6)
+	}
+	b.ReportMetric(r.MeanPct, "mean-%")
+	b.ReportMetric(r.P90Pct, "p90-%")
+}
+
+func BenchmarkE4_RegexpRewrite(b *testing.B) {
+	var r experiments.E4Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.E4Regexps(0.1)
+	}
+	if r.RewriteMismatches != 0 {
+		b.Fatalf("rewrite mismatches: %+v", r)
+	}
+	b.ReportMetric(float64(r.RewritesVerified), "rewrites-verified")
+}
+
+func BenchmarkE5_Suite1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.E5Suite1(0.1)
+		if r.Passed != r.Networks {
+			b.Fatalf("suite 1 failures: %s", r)
+		}
+	}
+}
+
+func BenchmarkE6_Suite2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.E6Suite2(0.1)
+		if r.Passed != r.Networks {
+			b.Fatalf("suite 2 failures: %s", r)
+		}
+	}
+}
+
+func BenchmarkE7_LeakIteration(b *testing.B) {
+	var r experiments.E7Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.E7LeakIteration(4)
+		if !r.Converged {
+			b.Fatal("did not converge")
+		}
+	}
+	b.ReportMetric(float64(r.Iterations), "iterations")
+}
+
+func BenchmarkE8_Fingerprint(b *testing.B) {
+	var r experiments.E8Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.E8Fingerprint(0.1)
+	}
+	b.ReportMetric(float64(r.SubnetUnique.Unique), "subnet-unique")
+	b.ReportMetric(r.SubnetUnique.EntropyBits, "subnet-entropy-bits")
+	b.ReportMetric(float64(r.PeeringUnique.Unique), "peering-unique")
+}
+
+func BenchmarkE9_Throughput(b *testing.B) {
+	var r experiments.E9Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.E9Throughput(30000)
+	}
+	b.ReportMetric(r.LinesPerSec, "lines/s")
+}
+
+func BenchmarkA1_IPSchemes(b *testing.B) {
+	var r experiments.A1Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.A1IPSchemes(10000)
+	}
+	b.ReportMetric(r.TreeNsPerAddr, "tree-ns/addr")
+	b.ReportMetric(r.CryptoNsPerAddr, "crypto-ns/addr")
+}
+
+func BenchmarkA2_RegexMinimize(b *testing.B) {
+	var r experiments.A2Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.A2RegexForms()
+	}
+	last := r.Rows[len(r.Rows)-1]
+	b.ReportMetric(float64(last.AltLen), "alt-chars")
+	b.ReportMetric(float64(last.MinLen), "min-chars")
+}
+
+func BenchmarkA3_Segmentation(b *testing.B) {
+	var r experiments.A3Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.A3Segmentation()
+	}
+	b.ReportMetric(float64(r.PreservedWith), "preserved-with")
+	b.ReportMetric(float64(r.PreservedWithout), "preserved-without")
+}
+
+func BenchmarkE10_JunOS(b *testing.B) {
+	var r experiments.E10Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.E10JunOS(4)
+	}
+	if r.Suite1Passed != r.Networks || r.Suite2Passed != r.Networks {
+		b.Fatalf("JunOS suites failed: %s", r)
+	}
+	b.ReportMetric(float64(r.CrossDialectEq), "cross-dialect-eq")
+}
+
+// BenchmarkAnonymizeCorpus is the end-to-end pipeline microbenchmark: one
+// 40-router network through prescan + anonymize.
+func BenchmarkAnonymizeCorpus(b *testing.B) {
+	n := netgen.Generate(netgen.Params{Seed: 4242, Kind: netgen.Backbone, Routers: 40})
+	files := n.RenderAll()
+	lines := n.TotalLines()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := New(Options{Salt: []byte("bench")})
+		a.Corpus(files)
+	}
+	b.ReportMetric(float64(lines), "lines/corpus")
+}

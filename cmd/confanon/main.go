@@ -1,0 +1,149 @@
+// Command confanon anonymizes a directory of router configuration files.
+//
+// Usage:
+//
+//	confanon -salt SECRET -in DIR -out DIR [-minimal] [-keep-comments] [-leak-report]
+//
+// Every file in the input directory is treated as one router's
+// configuration of a single network; all files are prescanned before any
+// is rewritten so the mapping is consistent and subnet-address
+// preservation holds across files. With -leak-report the tool prints the
+// §6.1 leak-highlighting report to stderr after anonymizing; dangerous
+// tokens can then be added with repeated -sensitive flags and the tool
+// rerun, closing leaks iteratively.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"confanon"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	var (
+		salt     = flag.String("salt", "", "owner secret keying every mapping (required)")
+		inDir    = flag.String("in", "", "directory of configuration files (required)")
+		outDir   = flag.String("out", "", "output directory (required)")
+		minimal  = flag.Bool("minimal", false, "emit minimal-DFA regexps instead of alternations")
+		keep     = flag.Bool("keep-comments", false, "retain comments (measurement only; unsafe)")
+		leaks    = flag.Bool("leak-report", true, "print the leak-highlighting report to stderr")
+		statsOut = flag.Bool("stats", false, "print anonymization statistics to stderr")
+		rename   = flag.Bool("rename", true, "hash output file names (they are usually hostname-derived)")
+		mapFile  = flag.String("mapping", "", "IP-mapping state file: loaded if present, saved after the run (keeps later runs consistent)")
+	)
+	var sensitive multiFlag
+	flag.Var(&sensitive, "sensitive", "extra sensitive token to anonymize everywhere (repeatable)")
+	flag.Parse()
+
+	if *salt == "" || *inDir == "" || *outDir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	opts := confanon.Options{Salt: []byte(*salt), KeepComments: *keep}
+	if *minimal {
+		opts.Style = confanon.Minimal
+	}
+	a := confanon.New(opts)
+	if *mapFile != "" {
+		if snap, err := os.ReadFile(*mapFile); err == nil {
+			if err := a.LoadMapping(snap); err != nil {
+				fatal(fmt.Errorf("loading %s: %w", *mapFile, err))
+			}
+		} else if !os.IsNotExist(err) {
+			fatal(err)
+		}
+	}
+	for _, tok := range sensitive {
+		a.AddRule(tok)
+	}
+
+	files, err := readDir(*inDir)
+	if err != nil {
+		fatal(err)
+	}
+	if len(files) == 0 {
+		fatal(fmt.Errorf("no files in %s", *inDir))
+	}
+	post := a.Corpus(files)
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+	for name, text := range post {
+		outName := name
+		if *rename {
+			outName = a.RenameFile(name)
+		}
+		if err := os.WriteFile(filepath.Join(*outDir, outName), []byte(text), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("anonymized %d files (%d lines) into %s\n", len(post), a.Stats().Lines, *outDir)
+	if *mapFile != "" {
+		if err := os.WriteFile(*mapFile, a.SaveMapping(), 0o600); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *leaks {
+		report := a.Leaks(post)
+		real := 0
+		for _, l := range report {
+			if !l.LikelyFalsePositive {
+				real++
+			}
+		}
+		switch {
+		case len(report) == 0:
+			fmt.Fprintln(os.Stderr, "leak report: clean")
+		case real == 0:
+			fmt.Fprintf(os.Stderr, "leak report: %d likely false positives, no confirmed leaks\n", len(report))
+		default:
+			fmt.Fprintf(os.Stderr, "leak report: %d suspicious tokens (add -sensitive rules and rerun)\n", real)
+			for _, l := range report {
+				fmt.Fprintln(os.Stderr, "  ", l)
+			}
+			os.Exit(1)
+		}
+	}
+	if *statsOut {
+		s := a.Stats()
+		fmt.Fprintf(os.Stderr,
+			"stats: lines=%d words=%d comment-words-removed=%d hashed=%d passed=%d ips=%d asns=%d communities=%d regexps-rewritten=%d\n",
+			s.Lines, s.WordsTotal, s.CommentWordsRemoved, s.TokensHashed, s.TokensPassed,
+			s.IPsMapped, s.ASNsMapped, s.CommunitiesMapped, s.RegexpsRewritten)
+	}
+}
+
+func readDir(dir string) (map[string]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	files := make(map[string]string)
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		files[e.Name()] = string(b)
+	}
+	return files, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "confanon:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,51 @@
+// Command confexp regenerates the paper-vs-measured report recorded in
+// EXPERIMENTS.md: every experiment E1–E9 and ablation A1–A3 from DESIGN.md.
+//
+// Usage:
+//
+//	confexp           # reduced scale (seconds)
+//	confexp -full     # paper scale (minutes; E9 runs ~4.3M lines)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"confanon/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run at the paper's full scale")
+	flag.Parse()
+
+	scale := 0.25
+	e3nets, e3routers := 60, 8
+	e9lines := 200000
+	if *full {
+		scale = 1.0
+		e3nets, e3routers = 173, 12
+		e9lines = 4300000
+	}
+
+	run := func(name string, f func() fmt.Stringer) {
+		start := time.Now()
+		r := f()
+		fmt.Printf("%s   [%s]\n\n", r, time.Since(start).Round(time.Millisecond))
+	}
+
+	fmt.Printf("confexp: reproduction report (scale=%.2f)\n\n", scale)
+	run("E1", func() fmt.Stringer { return experiments.E1Dataset(scale) })
+	run("E2", func() fmt.Stringer { return experiments.E2Figure1() })
+	run("E3", func() fmt.Stringer { return experiments.E3Comments(e3nets, e3routers) })
+	run("E4", func() fmt.Stringer { return experiments.E4Regexps(scale) })
+	run("E5", func() fmt.Stringer { return experiments.E5Suite1(scale) })
+	run("E6", func() fmt.Stringer { return experiments.E6Suite2(scale) })
+	run("E7", func() fmt.Stringer { return experiments.E7LeakIteration(8) })
+	run("E8", func() fmt.Stringer { return experiments.E8Fingerprint(scale) })
+	run("E9", func() fmt.Stringer { return experiments.E9Throughput(e9lines) })
+	run("E10", func() fmt.Stringer { return experiments.E10JunOS(10) })
+	run("A1", func() fmt.Stringer { return experiments.A1IPSchemes(20000) })
+	run("A2", func() fmt.Stringer { return experiments.A2RegexForms() })
+	run("A3", func() fmt.Stringer { return experiments.A3Segmentation() })
+}

@@ -1,0 +1,50 @@
+// Command confportal serves the single-blind clearinghouse of §7: owners
+// upload anonymized configurations (screened on arrival), researchers
+// browse and fetch them, and comments flow through the blinding function.
+//
+// Usage:
+//
+//	confportal -addr :8080 -researcher key1=alice -researcher key2=bob
+//
+// The API:
+//
+//	POST /datasets                       {"label": "...", "files": {...}}  (anyone; screened)
+//	GET  /datasets                       researcher key (X-API-Key header)
+//	GET  /datasets/{id}/files            researcher key
+//	GET  /datasets/{id}/files/{name}     researcher key
+//	POST /datasets/{id}/comments         researcher key or {"owner_token": ...}
+//	GET  /datasets/{id}/comments         researcher key or ?owner_token=...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	"confanon/internal/portal"
+)
+
+type kvFlag []string
+
+func (k *kvFlag) String() string     { return strings.Join(*k, ",") }
+func (k *kvFlag) Set(v string) error { *k = append(*k, v); return nil }
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	var researchers kvFlag
+	flag.Var(&researchers, "researcher", "researcher account as key=handle (repeatable)")
+	flag.Parse()
+
+	store := portal.NewStore()
+	for _, kv := range researchers {
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+			log.Fatalf("confportal: bad -researcher %q, want key=handle", kv)
+		}
+		store.AddResearcher(parts[0], parts[1])
+	}
+	fmt.Printf("confportal: listening on %s with %d researcher accounts\n", *addr, len(researchers))
+	log.Fatal(http.ListenAndServe(*addr, store.Handler()))
+}

@@ -1,0 +1,265 @@
+// Package confanon is a structure-preserving anonymizer for router
+// configuration files, reproducing Maltz et al., "Structure Preserving
+// Anonymization of Router Configuration Data" (IMC 2004).
+//
+// The anonymizer removes all information connecting a configuration to the
+// identity of the originating network — free-text comments and banners,
+// hostnames, credentials, public IP addresses, public AS numbers, BGP
+// community attributes, and every string not known to be innocuous — while
+// preserving the structure that makes the data valuable to researchers:
+//
+//   - IP addresses are mapped prefix-preservingly (subnet containment
+//     survives), class-preservingly (classful RIP/EIGRP semantics
+//     survive), and subnet-address-preservingly; netmasks, wildcard
+//     masks, loopback, and multicast addresses pass through unchanged.
+//   - Public ASNs are permuted; private ASNs are untouched; regexps over
+//     ASNs and communities are rewritten so they accept exactly the
+//     permuted language.
+//   - Identifiers are hashed with a salted SHA-1, so the "uses"
+//     relationships between policy definitions and references survive.
+//
+// Basic use:
+//
+//	a := confanon.New(confanon.Options{Salt: []byte("owner secret")})
+//	out := a.Corpus(map[string]string{"r1-confg": text})
+//	leaks := a.Leaks(out)
+//
+// One Anonymizer = one owner secret = one consistent mapping: feed every
+// file of a network (or several networks from the same owner) through the
+// same Anonymizer.
+package confanon
+
+import (
+	"sort"
+	"sync"
+
+	"confanon/internal/anonymizer"
+	"confanon/internal/config"
+	"confanon/internal/cregex"
+	"confanon/internal/validate"
+)
+
+// Style selects the output form for rewritten regexps.
+type Style = cregex.Style
+
+// Regexp output styles.
+const (
+	// Alternation emits "(701|702|703)" — the paper's production form.
+	Alternation = cregex.Alternation
+	// Minimal emits the minimal-DFA reconstruction the paper describes
+	// as an available refinement.
+	Minimal = cregex.Minimal
+)
+
+// Stats is the anonymizer's measurement record.
+type Stats = anonymizer.Stats
+
+// Leak is one suspicious token in anonymized output.
+type Leak = anonymizer.Leak
+
+// Options configures an Anonymizer.
+type Options struct {
+	// Salt is the network owner's secret; it keys every mapping.
+	Salt []byte
+	// Style selects Alternation (default) or Minimal regexp output.
+	Style Style
+	// KeepComments retains comment lines (measurement only — production
+	// anonymization always strips them).
+	KeepComments bool
+	// StatelessIP selects the Crypto-PAn IP scheme: the mapping depends
+	// only on the salt (no shared table), which sacrifices class and
+	// subnet-address preservation but allows ParallelCorpus to run
+	// independent workers consistently — the §4.3 trade-off.
+	StatelessIP bool
+}
+
+// Anonymizer anonymizes configuration files consistently under one salt.
+// Not safe for concurrent use.
+type Anonymizer struct {
+	inner *anonymizer.Anonymizer
+}
+
+// New creates an Anonymizer.
+func New(opts Options) *Anonymizer {
+	return &Anonymizer{inner: anonymizer.New(anonymizer.Options{
+		Salt:         opts.Salt,
+		Style:        opts.Style,
+		KeepComments: opts.KeepComments,
+		StatelessIP:  opts.StatelessIP,
+	})}
+}
+
+// ParallelCorpus anonymizes a corpus across several workers. It requires
+// the stateless IP scheme (it is forced on): every worker's mappings are
+// pure functions of the salt, so files can be partitioned freely and the
+// outputs are identical to a sequential run — the parallelization the
+// paper attributes to the Xu scheme ("very little state must be shared to
+// consistently map addresses, making it amenable to parallelization").
+// The per-worker statistics are summed in the returned Stats (RuleHits
+// merged).
+func ParallelCorpus(opts Options, files map[string]string, workers int) (map[string]string, Stats) {
+	if workers < 1 {
+		workers = 1
+	}
+	opts.StatelessIP = true
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	type result struct {
+		name string
+		text string
+	}
+	out := make(map[string]string, len(files))
+	results := make(chan result, len(files))
+	statsCh := make(chan Stats, workers)
+	work := make(chan string, len(files))
+	for _, n := range names {
+		work <- n
+	}
+	close(work)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a := New(opts)
+			for name := range work {
+				results <- result{name, a.inner.AnonymizeText(files[name])}
+			}
+			statsCh <- a.Stats()
+		}()
+	}
+	wg.Wait()
+	close(results)
+	close(statsCh)
+	for r := range results {
+		out[r.name] = r.text
+	}
+	total := Stats{RuleHits: make(map[anonymizer.RuleID]int)}
+	for s := range statsCh {
+		total.Files += s.Files
+		total.Lines += s.Lines
+		total.WordsTotal += s.WordsTotal
+		total.CommentWordsRemoved += s.CommentWordsRemoved
+		total.CommentLinesRemoved += s.CommentLinesRemoved
+		total.TokensHashed += s.TokensHashed
+		total.TokensPassed += s.TokensPassed
+		total.IPsMapped += s.IPsMapped
+		total.ASNsMapped += s.ASNsMapped
+		total.CommunitiesMapped += s.CommunitiesMapped
+		total.RegexpsRewritten += s.RegexpsRewritten
+		total.RegexpsUnchanged += s.RegexpsUnchanged
+		total.RegexpFallbacks += s.RegexpFallbacks
+		for k, v := range s.RuleHits {
+			total.RuleHits[k] += v
+		}
+	}
+	return out, total
+}
+
+// File anonymizes a single configuration file.
+func (a *Anonymizer) File(text string) string {
+	return a.inner.AnonymizeText(text)
+}
+
+// Corpus anonymizes a set of files as one network: every file is
+// prescanned first so the subnet-address shaping of the IP mapping cannot
+// be broken by file ordering, then each file is rewritten. Keys are
+// preserved (file names are the caller's business; rename them if they
+// leak identity).
+func (a *Anonymizer) Corpus(files map[string]string) map[string]string {
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		a.inner.Prescan(files[n])
+	}
+	out := make(map[string]string, len(files))
+	for _, n := range names {
+		out[n] = a.inner.AnonymizeText(files[n])
+	}
+	return out
+}
+
+// Leaks scans anonymized files for sensitive values that survived,
+// supporting the iterative leak-closure methodology: review the report,
+// AddRule the dangerous tokens, re-anonymize, repeat until empty.
+func (a *Anonymizer) Leaks(files map[string]string) []Leak {
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var out []Leak
+	for _, n := range names {
+		out = append(out, a.inner.LeakReport(files[n])...)
+	}
+	return out
+}
+
+// AddRule registers an operator-supplied sensitive token that must be
+// anonymized wherever it appears.
+func (a *Anonymizer) AddRule(token string) { a.inner.AddSensitiveToken(token) }
+
+// Relation is one piece of well-known external knowledge: a public ASN
+// and a prefix it is known to originate.
+type Relation = anonymizer.Relation
+
+// MappedRelation is the anonymized image of a declared Relation.
+type MappedRelation = anonymizer.MappedRelation
+
+// DeclareRelation registers external knowledge whose implicit
+// relationship should be preserved (§5): the anonymized (ASN, prefix)
+// pair is available from Relations for release alongside the configs.
+func (a *Anonymizer) DeclareRelation(rel Relation) { a.inner.DeclareRelation(rel) }
+
+// Relations returns the anonymized images of all declared relations.
+func (a *Anonymizer) Relations() []MappedRelation { return a.inner.Relations() }
+
+// RenameFile derives an anonymized output file name (file names are
+// usually hostname-derived and leak identity).
+func (a *Anonymizer) RenameFile(name string) string { return a.inner.HashFileName(name) }
+
+// SaveMapping serializes the IP mapping so a later run with the same salt
+// stays consistent with this one (new files from the same owner can be
+// anonymized later without re-anonymizing the old ones).
+func (a *Anonymizer) SaveMapping() []byte { return a.inner.SaveMapping() }
+
+// LoadMapping restores a SaveMapping snapshot; call before anonymizing.
+func (a *Anonymizer) LoadMapping(snapshot []byte) error { return a.inner.LoadMapping(snapshot) }
+
+// Stats returns accumulated counters.
+func (a *Anonymizer) Stats() Stats { return a.inner.Stats() }
+
+// ValidationReport is the result of running both §5 suites over pre- and
+// post-anonymization corpora.
+type ValidationReport struct {
+	// Suite1 lists independent characteristics that differ (empty = pass).
+	Suite1 []string
+	// Suite2 compares extracted routing designs.
+	Suite2 validate.Suite2Result
+}
+
+// OK reports whether both suites pass.
+func (r ValidationReport) OK() bool { return len(r.Suite1) == 0 && r.Suite2.OK() }
+
+// Validate runs the two validation suites over pre/post corpora.
+func Validate(pre, post map[string]string) ValidationReport {
+	p := validate.ParseAll(pre)
+	q := validate.ParseAll(post)
+	return ValidationReport{
+		Suite1: validate.Suite1(p, q),
+		Suite2: validate.Suite2(p, q),
+	}
+}
+
+// ParseConfig parses one configuration file into the typed model (exposed
+// for analysis tooling built on anonymized data). The dialect — IOS or
+// JunOS — is detected automatically.
+func ParseConfig(text string) *config.Config { return validate.ParseAuto(text) }

@@ -1,0 +1,77 @@
+// Attack: the §6 security evaluation. Over a population of networks,
+// measure (a) that the subnet-size and peering fingerprints survive
+// anonymization exactly (the attack premise), (b) how unique those
+// fingerprints are across the population (the open question the paper
+// leaves to experiment), and (c) how many networks carry internal
+// compartmentalization that would defeat insider probing.
+//
+//	go run ./examples/attack
+package main
+
+import (
+	"fmt"
+
+	"confanon"
+	"confanon/internal/config"
+	"confanon/internal/fingerprint"
+	"confanon/internal/netgen"
+)
+
+func main() {
+	const population = 31
+	var subnetKeys, peeringKeys []string
+	survived, compartmentalized := 0, 0
+
+	for i := 0; i < population; i++ {
+		kind := netgen.Backbone
+		if i%2 == 1 {
+			kind = netgen.Enterprise
+		}
+		n := netgen.Generate(netgen.Params{
+			Seed: int64(7000 + i), Kind: kind,
+			Compartmentalized: i%3 == 1, // ~10 of 31 per the paper
+		})
+		pre := n.RenderAll()
+		a := confanon.New(confanon.Options{Salt: []byte(n.Salt)})
+		post := a.Corpus(pre)
+
+		preCfg := parseAll(pre)
+		postCfg := parseAll(post)
+
+		// (a) The attacker sees the anonymized configs; the fingerprint
+		// he computes equals the one of the real network.
+		sPre, sPost := fingerprint.SubnetOf(preCfg).Key(), fingerprint.SubnetOf(postCfg).Key()
+		pPre, pPost := fingerprint.PeeringOf(preCfg).Key(), fingerprint.PeeringOf(postCfg).Key()
+		if sPre == sPost && pPre == pPost {
+			survived++
+		}
+		subnetKeys = append(subnetKeys, sPost)
+		peeringKeys = append(peeringKeys, pPost)
+		if fingerprint.Compartmentalized(postCfg) {
+			compartmentalized++
+		}
+	}
+
+	fmt.Printf("fingerprints preserved by anonymization: %d/%d networks\n\n", survived, population)
+	sa := fingerprint.Analyze(subnetKeys)
+	pa := fingerprint.Analyze(peeringKeys)
+	fmt.Println("subnet-size fingerprint uniqueness:")
+	fmt.Println("  ", sa)
+	fmt.Println("peering-structure fingerprint uniqueness:")
+	fmt.Println("  ", pa)
+	fmt.Printf("\ninterpretation: with %d/%d subnet fingerprints unique, an attacker who\n",
+		sa.Unique, population)
+	fmt.Println("could measure subnet structure externally would identify most networks —")
+	fmt.Println("the paper's conjectured risk. Peering fingerprints are coarser; edge")
+	fmt.Println("networks hide in larger anonymity sets.")
+	fmt.Printf("\ninsider-resistant (NAT/probe-filter compartmentalization): %d/%d networks\n",
+		compartmentalized, population)
+}
+
+func parseAll(files map[string]string) []*config.Config {
+	var out []*config.Config
+	for _, text := range files {
+		out = append(out, config.Parse(text))
+	}
+	return out
+}

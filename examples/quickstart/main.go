@@ -1,0 +1,73 @@
+// Quickstart: anonymize the paper's Figure 1 configuration and print the
+// result next to the original.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"confanon"
+)
+
+const figure1 = `hostname cr1.lax.foo.com
+!
+banner motd ^C
+FooNet contact xxx@foo.com
+Access strictly prohibited!
+^C
+!
+interface Ethernet0
+ description Foo Corp's LAX Main St offices
+ ip address 1.1.1.1 255.255.255.0
+!
+interface Serial1/0.5 point-to-point
+ description cr1.sfo-serial3/0.8
+ ip address 2.2.129.2 255.255.255.252
+!
+router bgp 1111
+ redistribute rip
+ neighbor 2.2.2.2 remote-as 701
+ neighbor 2.2.2.2 route-map UUNET-import in
+ neighbor 2.2.2.2 route-map UUNET-export out
+!
+route-map UUNET-import deny 10
+ match as-path 50
+ match community 100
+!
+route-map UUNET-import permit 20
+!
+route-map UUNET-export permit 10
+ match ip address 143
+ set community 701:7100
+!
+access-list 143 permit ip 1.1.1.0 0.0.0.255 any
+ip community-list 100 permit 701:7[1-5]..
+ip as-path access-list 50 permit (_1239_|_70[2-5]_)
+!
+router rip
+ network 1.0.0.0
+end
+`
+
+func main() {
+	a := confanon.New(confanon.Options{Salt: []byte("foo-corp-secret")})
+	out := a.File(figure1)
+
+	fmt.Println("=== original (Figure 1) ===")
+	fmt.Print(figure1)
+	fmt.Println("\n=== anonymized ===")
+	fmt.Print(out)
+
+	s := a.Stats()
+	fmt.Printf("\n%d lines; %d comment words removed; %d tokens hashed, %d passed;\n",
+		s.Lines, s.CommentWordsRemoved, s.TokensHashed, s.TokensPassed)
+	fmt.Printf("%d addresses mapped, %d ASNs permuted, %d communities mapped, %d regexps rewritten\n",
+		s.IPsMapped, s.ASNsMapped, s.CommunitiesMapped, s.RegexpsRewritten)
+
+	if leaks := a.Leaks(map[string]string{"cr1": out}); len(leaks) == 0 {
+		fmt.Println("leak report: clean")
+	} else {
+		fmt.Println("leak report:", leaks)
+	}
+}

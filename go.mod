@@ -1,0 +1,3 @@
+module confanon
+
+go 1.22

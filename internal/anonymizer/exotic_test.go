@@ -1,0 +1,145 @@
+package anonymizer
+
+import (
+	"strings"
+	"testing"
+)
+
+// exoticConfig exercises IOS constructs outside the generator's core set:
+// VRFs, MPLS, QoS policy maps, AAA server groups, NAT, HSRP, IPv6-ish
+// lines, and odd spacing — the "huge set of commands" §3.1 warns about.
+// The anonymizer must neither panic nor leak on any of it.
+const exoticConfig = `hostname pe1.nyc.megacorp.com
+!
+ip vrf CUST-ACME
+ rd 65000:101
+ route-target export 65000:101
+ route-target import 701:999
+!
+mpls label protocol ldp
+mpls ldp router-id Loopback0
+!
+class-map match-any ACME-GOLD
+ match ip dscp ef
+policy-map ACME-QOS
+ class ACME-GOLD
+  priority percent 30
+!
+aaa group server tacacs+ MEGACORP-TAC
+ server 12.0.0.5
+!
+interface Serial0/0
+	ip address   12.44.55.1    255.255.255.252
+ ip vrf forwarding CUST-ACME
+ service-policy output ACME-QOS
+ mpls ip
+!
+interface Vlan100
+ ip address 12.44.60.1 255.255.255.0
+ standby 1 ip 12.44.60.3
+ standby 1 priority 110
+ ip nat inside
+!
+ip nat pool MEGAPOOL 12.44.70.1 12.44.70.254 netmask 255.255.255.0
+ip nat inside source list 7 pool MEGAPOOL overload
+access-list 7 permit 12.44.60.0 0.0.0.255
+!
+router bgp 65000
+ address-family ipv4 vrf CUST-ACME
+ neighbor 12.44.55.2 remote-as 701
+ neighbor 12.44.55.2 activate
+ exit-address-family
+!
+end
+`
+
+func TestExoticConfigNoLeaks(t *testing.T) {
+	a := newTestAnonymizer()
+	out := a.AnonymizeText(exoticConfig)
+	for _, leak := range []string{"megacorp", "MEGACORP", "ACME", "acme", "MEGAPOOL", "nyc"} {
+		if strings.Contains(out, leak) {
+			t.Errorf("identity %q survived:\n%s", leak, out)
+		}
+	}
+	// Keywords and structure survive.
+	for _, keep := range []string{
+		"ip vrf ", "rd ", "route-target export", "mpls label protocol ldp",
+		"class-map match-any", "policy-map", "priority percent 30",
+		"aaa group server tacacs+", "service-policy output",
+		"standby 1 priority 110", "ip nat inside", "netmask 255.255.255.0",
+		"address-family ipv4 vrf", "exit-address-family",
+	} {
+		if !strings.Contains(out, keep) {
+			t.Errorf("structure %q destroyed:\n%s", keep, out)
+		}
+	}
+	// Route targets carry ASN halves: public 701:999 must move, private
+	// 65000:101 must keep its private half.
+	if strings.Contains(out, "701:999") {
+		t.Error("public route-target survived")
+	}
+	if !strings.Contains(out, "65000:") {
+		t.Error("private route-target ASN half changed")
+	}
+	// NAT pool addresses are mapped but the pool stays a coherent range
+	// within one /24 (prefix preservation).
+	var poolLine string
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "ip nat pool") {
+			poolLine = l
+		}
+	}
+	if poolLine == "" {
+		t.Fatal("nat pool line lost")
+	}
+	f := strings.Fields(poolLine)
+	// ip nat pool NAME lo hi netmask MASK
+	if len(f) < 8 {
+		t.Fatalf("pool line mangled: %q", poolLine)
+	}
+	lo, hi := f[4], f[5]
+	if lo[:strings.LastIndex(lo, ".")] != hi[:strings.LastIndex(hi, ".")] {
+		t.Errorf("nat pool bounds left their /24: %s .. %s", lo, hi)
+	}
+	// Consistency: the VRF name reference on the interface matches its
+	// definition.
+	var defName, refName string
+	for _, l := range strings.Split(out, "\n") {
+		w := strings.Fields(l)
+		if len(w) >= 3 && w[0] == "ip" && w[1] == "vrf" && w[2] != "forwarding" {
+			defName = w[2]
+		}
+		if len(w) >= 4 && w[1] == "vrf" && w[2] == "forwarding" {
+			refName = w[3]
+		}
+	}
+	if defName == "" || defName != refName {
+		t.Errorf("vrf referential integrity broken: def=%q ref=%q", defName, refName)
+	}
+	// Leak report clean (route-target 701 is located and mapped).
+	confirmed := 0
+	for _, l := range a.LeakReport(out) {
+		if !l.LikelyFalsePositive {
+			confirmed++
+			t.Logf("leak: %s", l)
+		}
+	}
+	if confirmed != 0 {
+		t.Errorf("%d confirmed leaks on exotic config", confirmed)
+	}
+}
+
+func TestExoticConfigIrregularWhitespace(t *testing.T) {
+	a := newTestAnonymizer()
+	out := a.AnonymizeText("interface Serial0/0\n\tip address   12.44.55.1    255.255.255.252\n")
+	if !strings.Contains(out, "255.255.255.252") {
+		t.Errorf("mask altered under irregular spacing: %s", out)
+	}
+	if strings.Contains(out, "12.44.55.1") {
+		t.Errorf("address survived under irregular spacing: %s", out)
+	}
+	// The original spacing is preserved byte for byte around the words.
+	if !strings.Contains(out, "   ") {
+		t.Errorf("whitespace not preserved: %q", out)
+	}
+}

@@ -1,0 +1,197 @@
+package anonymizer
+
+import (
+	"strings"
+
+	"confanon/internal/token"
+)
+
+// JunOS support. The paper (footnote 2) implemented for Cisco IOS but
+// notes "the techniques are directly applicable to JunOS and other router
+// configuration languages as well" — which holds because the method is
+// line- and token-oriented rather than grammar-oriented. The generic word
+// pass already handles JunOS values (TrimPunct separates the attached
+// semicolons, brackets, and quotes); this file adds the JunOS-specific
+// context rules: comment syntax, identity statements, ASN statements,
+// policy-object names, and quoted as-path regexps.
+
+// junosRules rewrites JunOS-dialect lines. Returns the finished line and
+// true when it consumed the line.
+func (a *Anonymizer) junosRules(words, gaps []string) (string, bool) {
+	stripQuotes := func(w string) (string, bool) {
+		if len(w) >= 2 && w[0] == '"' && w[len(w)-1] == '"' {
+			return w[1 : len(w)-1], true
+		}
+		return w, false
+	}
+	core := func(i int) string {
+		_, c, _ := token.TrimPunct(words[i])
+		return c
+	}
+	setCore := func(i int, v string) {
+		lead, _, trail := token.TrimPunct(words[i])
+		words[i] = lead + v + trail
+	}
+
+	switch words[0] {
+	case "host-name", "domain-name", "domain-search":
+		// system { host-name cr1.lax.foo.net; }
+		if len(words) >= 2 {
+			a.hit(RuleHostname)
+			setCore(1, a.hashAllSegments(core(1)))
+			return token.Join(words, gaps), true
+		}
+
+	case "message":
+		// system login message "identity-laden banner";
+		a.hit(RuleBanner)
+		a.stats.CommentLinesRemoved++
+		a.stats.CommentWordsRemoved += len(words) - 1
+		if a.stripComments() {
+			return "", false
+		}
+		return token.Join(words, gaps), true
+
+	case "encrypted-password", "plain-text-password", "authentication-key", "pre-shared-key":
+		if len(words) >= 2 {
+			a.hit(RuleCredentials)
+			last := len(words) - 1
+			c := core(last)
+			if inner, ok := stripQuotes(c); ok {
+				setCore(last, "\""+hashWord(a.opts.Salt, inner)+"\"")
+			} else {
+				setCore(last, a.forceHash(c))
+			}
+			return token.Join(words, gaps), true
+		}
+
+	case "peer-as", "local-as":
+		if len(words) >= 2 {
+			if words[0] == "peer-as" {
+				a.hit(RuleNeighborRemoteAS)
+			} else {
+				a.hit(RuleNeighborLocalAS)
+			}
+			setCore(1, a.mapASNToken(core(1)))
+			return token.Join(words, gaps), true
+		}
+
+	case "autonomous-system":
+		// routing-options { autonomous-system 1111; }
+		if len(words) >= 2 {
+			a.hit(RuleBGPProcess)
+			setCore(1, a.mapASNToken(core(1)))
+			return token.Join(words, gaps), true
+		}
+
+	case "as-path":
+		// policy-options { as-path NAME "1239 .*"; }
+		// (distinct from IOS "ip as-path access-list", which has its own
+		// rule; a bare as-path reference "as-path NAME;" hashes the name.)
+		if len(words) >= 3 {
+			a.hit(RuleASPathRegexp)
+			setCore(1, a.forceHashName(core(1)))
+			// The regexp is the quoted remainder.
+			pattern := strings.Join(words[2:], " ")
+			pattern = strings.TrimSuffix(strings.TrimSpace(pattern), ";")
+			if inner, ok := stripQuotes(pattern); ok {
+				words[2] = "\"" + a.rewriteASPath(inner) + "\";"
+			} else {
+				words[2] = a.rewriteASPath(pattern) + ";"
+			}
+			words = words[:3]
+			gaps = append(gaps[:3], gaps[len(gaps)-1])
+			return token.Join(words, gaps), true
+		}
+		if len(words) == 2 {
+			setCore(1, a.forceHashName(core(1)))
+			return token.Join(words, gaps), true
+		}
+
+	case "policy-statement", "term", "group", "filter", "prefix-list":
+		// User-chosen identifiers introducing blocks.
+		if len(words) >= 2 {
+			setCore(1, a.forceHashName(core(1)))
+			a.genericWords(words[2:], nil)
+			return token.Join(words, gaps), true
+		}
+
+	case "community":
+		// policy-options { community NAME members [ 701:100 ]; }
+		// or, inside a then block, "community add NAME;".
+		if len(words) >= 3 && (words[1] == "add" || words[1] == "delete" || words[1] == "set") {
+			a.hit(RuleSetCommunity)
+			setCore(2, a.forceHashName(core(2)))
+			return token.Join(words, gaps), true
+		}
+		if len(words) >= 2 {
+			a.hit(RuleCommListLiteral)
+			setCore(1, a.forceHashName(core(1)))
+			for i := 2; i < len(words); i++ {
+				c := core(i)
+				if _, _, ok := token.ParseCommunity(c); ok {
+					setCore(i, a.mapCommunityToken(c))
+				} else if strings.ContainsAny(c, ".[*") && strings.Contains(c, ":") {
+					setCore(i, a.mapCommunityExpr(c))
+				}
+			}
+			return token.Join(words, gaps), true
+		}
+
+	case "import", "export":
+		// Policy references: import [ A B ]; / export NAME; (the word
+		// "map" is kept for the IOS vrf form "import map NAME").
+		for i := 1; i < len(words); i++ {
+			if c := core(i); c != "" && c != "map" {
+				setCore(i, a.forceHashName(c))
+			}
+		}
+		return token.Join(words, gaps), true
+
+	case "description":
+		// Handled by the shared C2 rule before this point; nothing here.
+	}
+	return "", false
+}
+
+// junosCommentRules strips JunOS comments: "# ..." to end of line and
+// "/* ... */" blocks (tracked across lines via the file state).
+func (a *Anonymizer) junosCommentRules(line string, words []string, st *fileState) (string, bool, bool) {
+	if st.inBlockComment {
+		a.hit(RuleCommentLine)
+		a.stats.CommentLinesRemoved++
+		a.stats.CommentWordsRemoved += len(words)
+		if strings.Contains(line, "*/") {
+			st.inBlockComment = false
+		}
+		if a.stripComments() {
+			return "", false, true
+		}
+		return line, true, true
+	}
+	if len(words) == 0 {
+		return "", false, false
+	}
+	if strings.HasPrefix(words[0], "#") {
+		a.hit(RuleCommentLine)
+		a.stats.CommentLinesRemoved++
+		a.stats.CommentWordsRemoved += len(words)
+		if a.stripComments() {
+			return "", false, true
+		}
+		return line, true, true
+	}
+	if strings.HasPrefix(words[0], "/*") {
+		a.hit(RuleCommentLine)
+		a.stats.CommentLinesRemoved++
+		a.stats.CommentWordsRemoved += len(words)
+		if !strings.Contains(line, "*/") {
+			st.inBlockComment = true
+		}
+		if a.stripComments() {
+			return "", false, true
+		}
+		return line, true, true
+	}
+	return "", false, false
+}

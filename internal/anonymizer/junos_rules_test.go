@@ -1,0 +1,195 @@
+package anonymizer
+
+import (
+	"strings"
+	"testing"
+)
+
+func junosLine(t *testing.T, a *Anonymizer, line string) string {
+	t.Helper()
+	return strings.TrimRight(a.AnonymizeText(line+"\n"), "\n")
+}
+
+func TestJunosRuleHostName(t *testing.T) {
+	a := newTestAnonymizer()
+	out := junosLine(t, a, "    host-name cr1.lax.foo.net;")
+	if strings.Contains(out, "foo") || strings.Contains(out, "lax") {
+		t.Errorf("host-name leaked: %s", out)
+	}
+	if !strings.HasSuffix(out, ";") || !strings.Contains(out, "host-name ") {
+		t.Errorf("statement shape destroyed: %s", out)
+	}
+}
+
+func TestJunosRulePeerAS(t *testing.T) {
+	a := newTestAnonymizer()
+	out := junosLine(t, a, "        peer-as 701;")
+	if strings.Contains(out, "701;") {
+		t.Errorf("peer-as not permuted: %s", out)
+	}
+	out = junosLine(t, a, "        peer-as 65001;")
+	if !strings.Contains(out, "65001;") {
+		t.Errorf("private peer-as changed: %s", out)
+	}
+	out = junosLine(t, a, "    autonomous-system 1111;")
+	if strings.Contains(out, "1111;") {
+		t.Errorf("autonomous-system not permuted: %s", out)
+	}
+}
+
+func TestJunosRuleCommunityMembers(t *testing.T) {
+	a := newTestAnonymizer()
+	out := junosLine(t, a, "    community tagged members 701:7100;")
+	if strings.Contains(out, "701:7100") {
+		t.Errorf("community members survived: %s", out)
+	}
+	if strings.Contains(out, "tagged") {
+		t.Errorf("community name survived: %s", out)
+	}
+	if !strings.Contains(out, "members ") {
+		t.Errorf("members keyword destroyed: %s", out)
+	}
+	// Regexp members rewrite too.
+	out = junosLine(t, a, "    community scoped members 701:7[1-5]..;")
+	if strings.Contains(out, "701:7[1-5]") {
+		t.Errorf("community regexp survived: %s", out)
+	}
+}
+
+func TestJunosRuleCommunityAdd(t *testing.T) {
+	a := newTestAnonymizer()
+	out := junosLine(t, a, "                community add uunet-tag;")
+	if strings.Contains(out, "uunet") {
+		t.Errorf("community reference survived: %s", out)
+	}
+	if !strings.Contains(out, "community add ") {
+		t.Errorf("statement destroyed: %s", out)
+	}
+}
+
+func TestJunosRuleImportExportRefs(t *testing.T) {
+	a := newTestAnonymizer()
+	out := junosLine(t, a, "            import [ UUNET-in LEVEL3-in ];")
+	if strings.Contains(out, "UUNET") || strings.Contains(out, "LEVEL3") {
+		t.Errorf("policy references survived: %s", out)
+	}
+	if !strings.HasPrefix(strings.TrimSpace(out), "import [") || !strings.HasSuffix(out, "];") {
+		t.Errorf("bracket syntax destroyed: %s", out)
+	}
+	// IOS vrf form keeps the "map" keyword.
+	out = junosLine(t, a, " import map FOO-MAP")
+	if !strings.Contains(out, "import map ") {
+		t.Errorf("vrf import map keyword destroyed: %s", out)
+	}
+	if strings.Contains(out, "FOO-MAP") {
+		t.Errorf("vrf map name survived: %s", out)
+	}
+}
+
+func TestJunosRulePolicyStatementAndTerm(t *testing.T) {
+	a := newTestAnonymizer()
+	for _, line := range []string{
+		"    policy-statement UUNET-import {",
+		"        term block-uunet {",
+		"        group uunet-peers {",
+		"    filter protect-re {",
+		"    prefix-list uunet-routes {",
+	} {
+		out := junosLine(t, a, line)
+		if strings.Contains(strings.ToLower(out), "uunet") || strings.Contains(out, "protect-re") {
+			t.Errorf("name survived in %q -> %q", line, out)
+		}
+		if !strings.HasSuffix(out, "{") {
+			t.Errorf("block brace lost: %q -> %q", line, out)
+		}
+	}
+}
+
+func TestJunosRuleASPathDefinition(t *testing.T) {
+	a := newTestAnonymizer()
+	out := junosLine(t, a, `    as-path from-sprint "_1239_";`)
+	if strings.Contains(out, "1239") || strings.Contains(out, "sprint") {
+		t.Errorf("as-path leaked: %s", out)
+	}
+	if !strings.Contains(out, `"`) || !strings.HasSuffix(out, `";`) {
+		t.Errorf("quoting destroyed: %s", out)
+	}
+	// Bare reference form.
+	out = junosLine(t, a, "            as-path from-sprint;")
+	if strings.Contains(out, "sprint") {
+		t.Errorf("as-path reference survived: %s", out)
+	}
+}
+
+func TestJunosRuleCredentialQuoted(t *testing.T) {
+	a := newTestAnonymizer()
+	out := junosLine(t, a, `                encrypted-password "$1$abc$def";`)
+	if strings.Contains(out, "abc$def") {
+		t.Errorf("password survived: %s", out)
+	}
+	if !strings.Contains(out, `"`) {
+		t.Errorf("quotes lost: %s", out)
+	}
+	out = junosLine(t, a, "        authentication-key secretkey99;")
+	if strings.Contains(out, "secretkey99") {
+		t.Errorf("key survived: %s", out)
+	}
+}
+
+func TestJunosRuleMessageStripped(t *testing.T) {
+	a := newTestAnonymizer()
+	out := a.AnonymizeText("        message \"property of foocorp\";\n        host-name x;\n")
+	if strings.Contains(out, "foocorp") || strings.Contains(out, "property") {
+		t.Errorf("login message survived: %s", out)
+	}
+}
+
+func TestJunosBlockComments(t *testing.T) {
+	a := newTestAnonymizer()
+	in := "/* one-liner secret1 */\n/* multi\nsecret2\n*/\n# secret3\nhost-name r;\n"
+	out := a.AnonymizeText(in)
+	for _, leak := range []string{"secret1", "secret2", "secret3"} {
+		if strings.Contains(out, leak) {
+			t.Errorf("comment %q survived: %s", leak, out)
+		}
+	}
+	if !strings.Contains(out, "host-name") {
+		t.Errorf("statement after comments lost: %s", out)
+	}
+}
+
+func TestMapCommunityExprEdgeCases(t *testing.T) {
+	a := newTestAnonymizer()
+	// Well-knowns pass.
+	for _, w := range []string{"internet", "no-export", "no-advertise"} {
+		if got := a.mapCommunityExpr(w); got != w {
+			t.Errorf("well-known %q changed to %q", w, got)
+		}
+	}
+	// Bare integers are treated as community values.
+	if got := a.mapCommunityExpr("100"); got == "100" {
+		t.Errorf("bare integer community not mapped")
+	}
+	// Unsplittable regexps fall back to a hash.
+	got := a.mapCommunityExpr(".*")
+	if got != ".*" {
+		// ".*" has no colon: falls back to hash — must not survive raw.
+		if strings.Contains(got, "*") {
+			t.Errorf("unsplittable regexp mishandled: %q", got)
+		}
+	}
+}
+
+func TestAccessorHelpers(t *testing.T) {
+	a := newTestAnonymizer()
+	a.AnonymizeText("interface Ethernet0\n ip address 10.1.1.1 255.255.255.0\n")
+	if len(a.IPMapping()) == 0 {
+		t.Error("IPMapping empty after anonymization")
+	}
+	if a.MapIP(0x0A010101) == 0 {
+		t.Error("MapIP returned zero for a plain address")
+	}
+	if a.HashWord("x") == a.HashWord("y") {
+		t.Error("HashWord collides trivially")
+	}
+}

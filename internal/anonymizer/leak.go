@@ -1,0 +1,103 @@
+package anonymizer
+
+import (
+	"fmt"
+	"strings"
+
+	"confanon/internal/ipanon"
+	"confanon/internal/token"
+)
+
+// Leak is one suspicious token found in anonymized output: a value the
+// anonymizer saw (and mapped) during processing that nevertheless appears
+// verbatim in the output, usually because it occurred in a context none of
+// the rules recognize. Leaks drive the iterative methodology of §6.1: a
+// human reviews them and adds rules (AddSensitiveToken) until the report
+// is empty.
+type Leak struct {
+	Line int    // 1-based line number in the post-anonymization text
+	Text string // the full line
+	Tok  string // the suspicious token
+	Kind string // "asn", "word", or "ip"
+	// LikelyFalsePositive marks ASN hits in positions where small
+	// integers are ubiquitous (OSPF process ids, areas, sequence
+	// numbers). The paper hits the same wall: grepping for Genuity's
+	// AS 1 "will appear in many unrelated config lines". These hits are
+	// reported for human review but should not block publication alone.
+	LikelyFalsePositive bool
+}
+
+// String formats the leak for the operator.
+func (l Leak) String() string {
+	note := ""
+	if l.LikelyFalsePositive {
+		note = " (likely false positive)"
+	}
+	return fmt.Sprintf("line %d: %s %q in %q%s", l.Line, l.Kind, l.Tok, l.Text, note)
+}
+
+// innocuousIntContext lists keywords after which an integer is routinely
+// a process id, area, sequence number, or similar local value rather than
+// an AS number.
+var innocuousIntContext = map[string]bool{
+	"ospf": true, "area": true, "version": true, "seq": true, "cost": true,
+	"bandwidth": true, "metric": true, "distance": true, "eq": true,
+	"gt": true, "lt": true, "permit": true, "deny": true, "priority": true,
+	"access-list": true, "community-list": true, "as-path": true,
+	"preference": true, "local-preference": true, "weight": true,
+	"timers": true, "keepalive": true, "mtu": true, "delay": true,
+}
+
+// ipOutputs returns (cached) the set of addresses the IP mapping has
+// produced so far, refreshed when the tree has grown.
+func (a *Anonymizer) ipOutputs() map[uint32]bool {
+	if a.ipOuts != nil && a.ipOutsLen == len(a.seenIPs) {
+		return a.ipOuts
+	}
+	outs := make(map[uint32]bool)
+	for _, p := range a.IPMapping() {
+		outs[p.Out] = true
+	}
+	a.ipOuts = outs
+	a.ipOutsLen = len(a.seenIPs)
+	return outs
+}
+
+// LeakReport scans anonymized output for recorded sensitive values that
+// survived: public ASNs the permutation mapped, words the hash replaced,
+// and original (pre-anonymization) IP addresses. False positives are
+// possible — an anonymized value may coincide with some other original
+// value (the paper notes the same weakness: grepping for AS 1 flags many
+// unrelated lines) — which is exactly why the report is reviewed by a
+// human rather than acted on automatically.
+func (a *Anonymizer) LeakReport(post string) []Leak {
+	var leaks []Leak
+	for i, line := range strings.Split(post, "\n") {
+		words, _ := token.Fields(line)
+		for wi, w := range words {
+			switch {
+			case a.seenASNs[w]:
+				a.hit(RuleLeakHighlight)
+				fp := wi > 0 && innocuousIntContext[words[wi-1]]
+				leaks = append(leaks, Leak{Line: i + 1, Text: line, Tok: w, Kind: "asn",
+					LikelyFalsePositive: fp})
+			case a.seenWords[w]:
+				a.hit(RuleLeakHighlight)
+				leaks = append(leaks, Leak{Line: i + 1, Text: line, Tok: w, Kind: "word"})
+			default:
+				if v, ok := token.ParseIPv4(w); ok && !ipanon.IsSpecial(v) && a.seenIPs[v] {
+					a.hit(RuleLeakHighlight)
+					// Every bare dotted-quad is mapped by rule I3, so an
+					// original address can only appear in output when some
+					// other address maps onto it — a permutation collision,
+					// not a leak. A flagged token that is a known mapping
+					// output is therefore almost certainly a false positive.
+					fp := a.ipOutputs()[v]
+					leaks = append(leaks, Leak{Line: i + 1, Text: line, Tok: w, Kind: "ip",
+						LikelyFalsePositive: fp})
+				}
+			}
+		}
+	}
+	return leaks
+}

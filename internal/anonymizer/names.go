@@ -1,0 +1,117 @@
+package anonymizer
+
+import (
+	"confanon/internal/token"
+)
+
+// Name-position handling. §4.1's basic method "anonymizes the names of
+// class-maps, route-maps, and any other strings that could hold privileged
+// information" — and a name must be hashed even when its words happen to
+// appear in the pass-list: a route map called "LEVEL3-import" leaks a peer
+// identity although "level" is an ordinary IOS keyword. Positions that
+// syntactically hold a user-chosen identifier are therefore hashed as
+// whole tokens, bypassing segmentation and the pass-list. Numbered
+// references (ACL and list numbers) are local identifiers and stay.
+
+// forceHashName hashes a user-chosen identifier; integers pass through.
+func (a *Anonymizer) forceHashName(w string) string {
+	if token.IsInteger(w) {
+		return w
+	}
+	return a.forceHash(w)
+}
+
+// nameRules rewrites lines whose grammar places user-chosen identifiers at
+// known positions. It returns the finished line and true when it consumed
+// the line.
+func (a *Anonymizer) nameRules(words, gaps []string) (string, bool) {
+	switch {
+	case words[0] == "route-map" && len(words) >= 2:
+		// route-map NAME [permit|deny [seq]]
+		words[1] = a.forceHashName(words[1])
+		return token.Join(words, gaps), true
+
+	case words[0] == "neighbor" && len(words) >= 4 && words[2] == "route-map":
+		// neighbor A route-map NAME in|out
+		words[1] = a.mapNeighborToken(words[1])
+		words[3] = a.forceHashName(words[3])
+		return token.Join(words, gaps), true
+
+	case words[0] == "neighbor" && len(words) >= 4 && words[2] == "peer-group":
+		// neighbor A peer-group NAME
+		words[1] = a.mapNeighborToken(words[1])
+		words[3] = a.forceHashName(words[3])
+		return token.Join(words, gaps), true
+
+	case words[0] == "neighbor" && len(words) == 3 && words[2] == "peer-group":
+		// neighbor NAME peer-group (definition form)
+		words[1] = a.forceHashName(words[1])
+		return token.Join(words, gaps), true
+
+	case words[0] == "neighbor" && len(words) >= 4 && (words[2] == "prefix-list" || words[2] == "filter-list" || words[2] == "distribute-list"):
+		// neighbor A prefix-list NAME in|out (filter/distribute lists are
+		// usually numbered; names hash, numbers stay)
+		words[1] = a.mapNeighborToken(words[1])
+		words[3] = a.forceHashName(words[3])
+		return token.Join(words, gaps), true
+
+	case words[0] == "ip" && words[1] == "vrf" && len(words) == 3:
+		// ip vrf NAME (definition)
+		words[2] = a.forceHashName(words[2])
+		return token.Join(words, gaps), true
+
+	case words[0] == "ip" && len(words) >= 4 && words[1] == "vrf" && words[2] == "forwarding":
+		// ip vrf forwarding NAME (interface reference)
+		words[3] = a.forceHashName(words[3])
+		return token.Join(words, gaps), true
+
+	case words[0] == "ip" && len(words) >= 5 && words[1] == "nat" && words[2] == "pool":
+		// ip nat pool NAME lo hi netmask M
+		words[3] = a.forceHashName(words[3])
+		a.genericWords(words[4:], nil)
+		return token.Join(words, gaps), true
+
+	case words[0] == "aaa" && len(words) >= 5 && words[1] == "group" && words[2] == "server":
+		// aaa group server tacacs+|radius NAME
+		words[4] = a.forceHashName(words[4])
+		return token.Join(words, gaps), true
+
+	case words[0] == "ip" && len(words) >= 3 && words[1] == "prefix-list":
+		// ip prefix-list NAME seq N permit A/L [ge|le N]
+		words[2] = a.forceHashName(words[2])
+		a.genericWords(words[3:], nil)
+		return token.Join(words, gaps), true
+
+	case words[0] == "match" && len(words) >= 4 && words[1] == "ip" && words[2] == "address" && words[3] == "prefix-list":
+		// match ip address prefix-list NAME...
+		for i := 4; i < len(words); i++ {
+			words[i] = a.forceHashName(words[i])
+		}
+		return token.Join(words, gaps), true
+
+	case (words[0] == "class-map" || words[0] == "policy-map") && len(words) >= 2:
+		// class-map [match-any|match-all] NAME / policy-map NAME
+		words[len(words)-1] = a.forceHashName(words[len(words)-1])
+		return token.Join(words, gaps), true
+
+	case words[0] == "class" && len(words) == 2:
+		// class NAME (inside policy-map)
+		words[1] = a.forceHashName(words[1])
+		return token.Join(words, gaps), true
+
+	case words[0] == "service-policy" && len(words) >= 2:
+		// service-policy [input|output] NAME
+		words[len(words)-1] = a.forceHashName(words[len(words)-1])
+		return token.Join(words, gaps), true
+	}
+	return "", false
+}
+
+// mapNeighborToken maps a neighbor reference: an address maps through the
+// IP tree; a peer-group name hashes.
+func (a *Anonymizer) mapNeighborToken(w string) string {
+	if _, ok := token.ParseIPv4(w); ok {
+		return a.mapAddrToken(w)
+	}
+	return a.forceHashName(w)
+}

@@ -1,0 +1,78 @@
+package anonymizer
+
+import (
+	"fmt"
+
+	"confanon/internal/config"
+	"confanon/internal/token"
+)
+
+// This file implements the extension §5 sketches: "it might be well known
+// that all addresses used by AS number X have prefix Y ... If the
+// anonymizer is provided with the well known external information on
+// which the implicit relationship is based, it can be extended to
+// preserve these relationships as well."
+//
+// An operator declares the known (ASN, prefix) relationships before
+// anonymizing; the anonymizer then emits, alongside the configs, the
+// mapped relationship pairs — so a researcher reading the anonymized data
+// can still tell that routes dropped by AS-number X' and routes dropped by
+// prefix Y' target the same external network, without learning which.
+
+// Relation is one declared external relationship between an AS number and
+// an address prefix.
+type Relation struct {
+	ASN    uint32
+	Prefix uint32
+	Len    int
+}
+
+// MappedRelation is the anonymized image of a declared relation.
+type MappedRelation struct {
+	ASN    uint32
+	Prefix uint32
+	Len    int
+}
+
+// String renders the mapped relation for the supplementary release file.
+func (r MappedRelation) String() string {
+	return fmt.Sprintf("AS%d owns %s/%d", r.ASN, token.FormatIPv4(r.Prefix), r.Len)
+}
+
+// DeclareRelation registers well-known external knowledge: the given
+// public ASN originates the given prefix. The pair is resolved through the
+// same ASN permutation and IP mapping as the configs (the prefix is also
+// pinned in the tree immediately, so later occurrences in config text map
+// identically).
+func (a *Anonymizer) DeclareRelation(rel Relation) {
+	a.relations = append(a.relations, rel)
+	// Pin the prefix now so shaping is independent of where it later
+	// appears in the files.
+	a.ip.MapPrefix(rel.Prefix&config.LenToMask(rel.Len), rel.Len)
+}
+
+// Relations returns the anonymized images of every declared relation, for
+// release alongside the anonymized configs.
+func (a *Anonymizer) Relations() []MappedRelation {
+	out := make([]MappedRelation, 0, len(a.relations))
+	for _, rel := range a.relations {
+		out = append(out, MappedRelation{
+			ASN:    a.perms.ASN.Map(rel.ASN),
+			Prefix: a.ip.MapPrefix(rel.Prefix&config.LenToMask(rel.Len), rel.Len),
+			Len:    rel.Len,
+		})
+	}
+	return out
+}
+
+// HashFileName derives an anonymized file name from (typically) a
+// hostname-derived name, preserving only a trailing "-confg"-style suffix
+// so tooling conventions survive.
+func (a *Anonymizer) HashFileName(name string) string {
+	suffix := ""
+	if n := len(name); n > 6 && name[n-6:] == "-confg" {
+		suffix = "-confg"
+		name = name[:n-6]
+	}
+	return hashWord(a.opts.Salt, name) + suffix
+}

@@ -1,0 +1,181 @@
+// Package asn implements anonymization of BGP Autonomous System Numbers.
+//
+// The 16-bit ASN space of BGPv4 divides into a public range (1–64511),
+// whose assignments are globally unique and publicly mapped to network
+// owners, and a private range (64512–65535), which carries no identity
+// information. Following the paper (§4.4), public ASNs are anonymized with
+// a random permutation of the public range ("there are no semantics and no
+// relationships embedded in public ASNs, so a random permutation can be
+// used") while private ASNs pass through unchanged.
+//
+// The permutation is keyed by a salt so that a network owner can reproduce
+// the mapping across anonymization runs without storing a table: it is a
+// four-round Feistel network over the 16-bit space with SHA-1 round
+// functions, restricted to the public range by cycle-walking. Because the
+// construction is an actual permutation, regexp rewriting (internal/cregex)
+// can rely on it being a bijection, and the inverse is available for
+// validation.
+package asn
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+)
+
+// Range boundaries of the 16-bit ASN space.
+const (
+	// PublicMin and PublicMax bound the globally unique, identity-leaking
+	// public range.
+	PublicMin = 1
+	PublicMax = 64511
+	// PrivateMin and PrivateMax bound the private-use range, which is not
+	// anonymized.
+	PrivateMin = 64512
+	PrivateMax = 65535
+)
+
+// IsPublic reports whether a is a public ASN (and therefore must be
+// anonymized).
+func IsPublic(a uint32) bool { return a >= PublicMin && a <= PublicMax }
+
+// IsPrivate reports whether a is a private-use ASN.
+func IsPrivate(a uint32) bool { return a >= PrivateMin && a <= PrivateMax }
+
+// Perm is a salt-keyed random permutation of the public ASN range. The
+// zero value is usable and corresponds to an empty salt; construct with
+// New to supply a salt.
+type Perm struct {
+	keys [4][20]byte
+}
+
+// New derives a permutation from the owner-chosen secret salt.
+func New(salt []byte) *Perm {
+	p := &Perm{}
+	for r := 0; r < 4; r++ {
+		p.keys[r] = sha1.Sum(append([]byte{byte(r), 'a', 's', 'n'}, salt...))
+	}
+	return p
+}
+
+// round is the Feistel round function: an 8-bit PRF of an 8-bit half.
+func (p *Perm) round(r int, half byte) byte {
+	var buf [21]byte
+	copy(buf[:20], p.keys[r][:])
+	buf[20] = half
+	h := sha1.Sum(buf[:])
+	return h[0]
+}
+
+// feistel applies the 4-round Feistel permutation of the full 16-bit space.
+func (p *Perm) feistel(v uint16) uint16 {
+	l, r := byte(v>>8), byte(v)
+	for i := 0; i < 4; i++ {
+		l, r = r, l^p.round(i, r)
+	}
+	return uint16(l)<<8 | uint16(r)
+}
+
+// unfeistel inverts feistel.
+func (p *Perm) unfeistel(v uint16) uint16 {
+	l, r := byte(v>>8), byte(v)
+	for i := 3; i >= 0; i-- {
+		l, r = r^p.round(i, l), l
+	}
+	return uint16(l)<<8 | uint16(r)
+}
+
+// Map anonymizes one ASN: public ASNs go through the keyed permutation of
+// the public range (cycle-walking the 16-bit Feistel permutation until it
+// lands back in the public range, which preserves bijectivity on the
+// subset); private ASNs and values outside the 16-bit ASN space are
+// returned unchanged.
+func (p *Perm) Map(a uint32) uint32 {
+	if !IsPublic(a) {
+		return a
+	}
+	v := p.feistel(uint16(a))
+	for !IsPublic(uint32(v)) {
+		v = p.feistel(v)
+	}
+	return uint32(v)
+}
+
+// Inverse undoes Map; it exists so the validation suites can check
+// round-trip properties.
+func (p *Perm) Inverse(a uint32) uint32 {
+	if !IsPublic(a) {
+		return a
+	}
+	v := p.unfeistel(uint16(a))
+	for !IsPublic(uint32(v)) {
+		v = p.unfeistel(v)
+	}
+	return uint32(v)
+}
+
+// ValuePerm is a keyed permutation of the 16-bit value half of BGP
+// community attributes. The paper (§4.5) concludes that "even the integer
+// part of the attributes ... must also be anonymized", accepting the
+// information loss in favor of anonymity. A full 16-bit Feistel
+// permutation (no restricted range) is used.
+type ValuePerm struct {
+	inner *Perm
+}
+
+// NewValuePerm derives a community-value permutation from the salt. The
+// derivation is domain-separated from the ASN permutation so the two
+// mappings are independent.
+func NewValuePerm(salt []byte) *ValuePerm {
+	return &ValuePerm{inner: New(append([]byte("community-value/"), salt...))}
+}
+
+// Map permutes a 16-bit community value. Values outside 16 bits are
+// returned unchanged.
+func (v *ValuePerm) Map(x uint32) uint32 {
+	if x > 0xFFFF {
+		return x
+	}
+	return uint32(v.inner.feistel(uint16(x)))
+}
+
+// Inverse undoes Map.
+func (v *ValuePerm) Inverse(x uint32) uint32 {
+	if x > 0xFFFF {
+		return x
+	}
+	return uint32(v.inner.unfeistel(uint16(x)))
+}
+
+// MapCommunity anonymizes a community attribute asn:value using the ASN
+// permutation for the left half and the value permutation for the right
+// half.
+func MapCommunity(p *Perm, vp *ValuePerm, asnHalf, value uint32) (uint32, uint32) {
+	return p.Map(asnHalf), vp.Map(value)
+}
+
+// Salted is a convenience bundle of the two permutations a single
+// anonymization run needs.
+type Salted struct {
+	ASN   *Perm
+	Value *ValuePerm
+}
+
+// NewSalted derives both permutations from one salt.
+func NewSalted(salt []byte) Salted {
+	return Salted{ASN: New(salt), Value: NewValuePerm(salt)}
+}
+
+// fingerprint is used by tests and tooling to identify a permutation
+// without revealing the salt.
+func (p *Perm) fingerprint() uint32 {
+	var buf [8]byte
+	binary.BigEndian.PutUint16(buf[:2], p.feistel(0x0001))
+	binary.BigEndian.PutUint16(buf[2:4], p.feistel(0x0100))
+	binary.BigEndian.PutUint16(buf[4:6], p.feistel(0xABCD))
+	binary.BigEndian.PutUint16(buf[6:8], p.feistel(0xFFFF))
+	h := sha1.Sum(buf[:])
+	return binary.BigEndian.Uint32(h[:4])
+}
+
+// Fingerprint exposes a stable, salt-hiding identifier for diagnostics.
+func (p *Perm) Fingerprint() uint32 { return p.fingerprint() }

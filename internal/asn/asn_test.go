@@ -1,0 +1,143 @@
+package asn
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRanges(t *testing.T) {
+	if !IsPublic(1) || !IsPublic(701) || !IsPublic(64511) {
+		t.Error("public range misclassified")
+	}
+	if IsPublic(0) || IsPublic(64512) || IsPublic(70000) {
+		t.Error("non-public classified public")
+	}
+	if !IsPrivate(64512) || !IsPrivate(65535) {
+		t.Error("private range misclassified")
+	}
+	if IsPrivate(64511) || IsPrivate(65536) {
+		t.Error("non-private classified private")
+	}
+}
+
+func TestMapIsBijectionOnPublicRange(t *testing.T) {
+	p := New([]byte("salt"))
+	seen := make([]bool, PublicMax+1)
+	for a := uint32(PublicMin); a <= PublicMax; a++ {
+		m := p.Map(a)
+		if !IsPublic(m) {
+			t.Fatalf("Map(%d) = %d outside public range", a, m)
+		}
+		if seen[m] {
+			t.Fatalf("Map not injective at %d -> %d", a, m)
+		}
+		seen[m] = true
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	p := New([]byte("salt2"))
+	f := func(a uint16) bool {
+		v := uint32(a)
+		return p.Inverse(p.Map(v)) == v && p.Map(p.Inverse(v)) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrivatePassthrough(t *testing.T) {
+	p := New([]byte("x"))
+	for _, a := range []uint32{0, 64512, 65000, 65535, 65536, 100000} {
+		if p.Map(a) != a {
+			t.Errorf("Map(%d) = %d, want passthrough", a, p.Map(a))
+		}
+	}
+}
+
+func TestDeterministicAndSaltSensitive(t *testing.T) {
+	p1 := New([]byte("a"))
+	p2 := New([]byte("a"))
+	p3 := New([]byte("b"))
+	diff := 0
+	for _, a := range []uint32{1, 701, 1239, 7018, 64511} {
+		if p1.Map(a) != p2.Map(a) {
+			t.Errorf("same salt maps %d differently", a)
+		}
+		if p1.Map(a) != p3.Map(a) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("different salts produced identical permutations")
+	}
+	if p1.Fingerprint() != p2.Fingerprint() {
+		t.Error("fingerprints differ for same salt")
+	}
+	if p1.Fingerprint() == p3.Fingerprint() {
+		t.Error("fingerprints equal for different salts")
+	}
+}
+
+func TestMapActuallyPermutes(t *testing.T) {
+	p := New([]byte("move"))
+	moved := 0
+	for a := uint32(700); a < 800; a++ {
+		if p.Map(a) != a {
+			moved++
+		}
+	}
+	if moved < 90 {
+		t.Errorf("only %d/100 ASNs moved; permutation looks degenerate", moved)
+	}
+}
+
+func TestValuePermBijection(t *testing.T) {
+	vp := NewValuePerm([]byte("s"))
+	f := func(x uint16) bool {
+		v := uint32(x)
+		return vp.Inverse(vp.Map(v)) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+	if vp.Map(70000) != 70000 {
+		t.Error("out-of-range value not passed through")
+	}
+}
+
+func TestValuePermIndependentOfASNPerm(t *testing.T) {
+	s := NewSalted([]byte("shared"))
+	same := 0
+	for x := uint32(1); x < 2000; x++ {
+		if s.ASN.Map(x) == s.Value.Map(x) {
+			same++
+		}
+	}
+	if same > 20 {
+		t.Errorf("ASN and value permutations agree on %d/2000 points; not independent", same)
+	}
+}
+
+func TestMapCommunity(t *testing.T) {
+	s := NewSalted([]byte("c"))
+	a, v := MapCommunity(s.ASN, s.Value, 701, 7100)
+	if a == 701 && v == 7100 {
+		t.Error("community unchanged")
+	}
+	if !IsPublic(a) {
+		t.Errorf("community ASN half %d left public range", a)
+	}
+	// Private ASN half passes through; value half still permuted.
+	a2, _ := MapCommunity(s.ASN, s.Value, 65001, 42)
+	if a2 != 65001 {
+		t.Errorf("private community ASN half changed: %d", a2)
+	}
+}
+
+func BenchmarkPermMap(b *testing.B) {
+	p := New([]byte("bench"))
+	for i := 0; i < b.N; i++ {
+		p.Map(uint32(i%64511) + 1)
+	}
+}

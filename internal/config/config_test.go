@@ -1,0 +1,325 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"confanon/internal/token"
+)
+
+// figure1 is the paper's worked example (Figure 1), indented in the usual
+// IOS style.
+const figure1 = `hostname cr1.lax.foo.com
+!
+banner motd ^C
+FooNet contact xxx@foo.com
+Access strictly prohibited!
+^C
+!
+interface Ethernet0
+ description Foo Corp's LAX Main St offices
+ ip address 1.1.1.1 255.255.255.0
+!
+interface Serial1/0.5 point-to-point
+ description cr1.sfo-serial3/0.8
+ ip address 2.2.129.2 255.255.255.252
+!
+router bgp 1111
+ redistribute rip
+ neighbor 2.2.2.2 remote-as 701
+ neighbor 2.2.2.2 route-map UUNET-import in
+ neighbor 2.2.2.2 route-map UUNET-export out
+!
+route-map UUNET-import deny 10
+ match as-path 50
+ match community 100
+!
+route-map UUNET-import permit 20
+!
+route-map UUNET-export permit 10
+ match ip address 143
+ set community 701:7100
+!
+access-list 143 permit ip 1.1.1.0 0.0.0.255 any
+ip community-list 100 permit 701:7[1-5]..
+ip as-path access-list 50 permit (_1239_|_70[2-5]_)
+!
+router rip
+ network 1.0.0.0
+end
+`
+
+func addr(t *testing.T, s string) uint32 {
+	t.Helper()
+	v, ok := token.ParseIPv4(s)
+	if !ok {
+		t.Fatalf("bad address %q", s)
+	}
+	return v
+}
+
+func TestParseFigure1(t *testing.T) {
+	c := Parse(figure1)
+	if c.Hostname != "cr1.lax.foo.com" {
+		t.Errorf("Hostname = %q", c.Hostname)
+	}
+	if len(c.Banners) != 1 || len(c.Banners[0].Lines) != 2 {
+		t.Fatalf("banner not parsed: %+v", c.Banners)
+	}
+	if len(c.Interfaces) != 2 {
+		t.Fatalf("interfaces = %d, want 2", len(c.Interfaces))
+	}
+	e0 := c.Interface("Ethernet0")
+	if e0 == nil || !e0.HasAddress || e0.Address.Addr != addr(t, "1.1.1.1") ||
+		e0.Address.Mask != addr(t, "255.255.255.0") {
+		t.Errorf("Ethernet0 = %+v", e0)
+	}
+	if e0.Description == "" {
+		t.Error("Ethernet0 description lost")
+	}
+	s1 := c.Interface("Serial1/0.5")
+	if s1 == nil || !s1.PointTo {
+		t.Errorf("Serial1/0.5 = %+v", s1)
+	}
+	if c.BGP == nil || c.BGP.ASN != 1111 {
+		t.Fatalf("BGP = %+v", c.BGP)
+	}
+	if len(c.BGP.Neighbors) != 1 {
+		t.Fatalf("neighbors = %d", len(c.BGP.Neighbors))
+	}
+	nb := c.BGP.Neighbors[0]
+	if nb.Addr != addr(t, "2.2.2.2") || nb.RemoteAS != 701 ||
+		nb.RouteMapIn != "UUNET-import" || nb.RouteMapOut != "UUNET-export" {
+		t.Errorf("neighbor = %+v", nb)
+	}
+	if len(c.BGP.Redistribute) != 1 || c.BGP.Redistribute[0] != "rip" {
+		t.Errorf("redistribute = %v", c.BGP.Redistribute)
+	}
+	imp := c.RouteMap("UUNET-import")
+	if imp == nil || len(imp.Clauses) != 2 {
+		t.Fatalf("UUNET-import = %+v", imp)
+	}
+	if imp.Clauses[0].Action != "deny" || imp.Clauses[0].Seq != 10 ||
+		len(imp.Clauses[0].Matches) != 2 {
+		t.Errorf("clause 0 = %+v", imp.Clauses[0])
+	}
+	exp := c.RouteMap("UUNET-export")
+	if exp == nil || len(exp.Clauses) != 1 {
+		t.Fatalf("UUNET-export = %+v", exp)
+	}
+	if len(exp.Clauses[0].Sets) != 1 || exp.Clauses[0].Sets[0].Type != "community" {
+		t.Errorf("set clauses = %+v", exp.Clauses[0].Sets)
+	}
+	acl := c.AccessList(143)
+	if acl == nil || len(acl.Entries) != 1 {
+		t.Fatalf("ACL 143 = %+v", acl)
+	}
+	ae := acl.Entries[0]
+	if ae.Action != "permit" || ae.Proto != "ip" || ae.Src != addr(t, "1.1.1.0") ||
+		ae.SrcWild != addr(t, "0.0.0.255") || !ae.DstAny {
+		t.Errorf("ACL entry = %+v", ae)
+	}
+	cl := c.CommunityList(100)
+	if cl == nil || cl.Entries[0].Expr != "701:7[1-5].." {
+		t.Fatalf("community list = %+v", cl)
+	}
+	al := c.ASPathList(50)
+	if al == nil || al.Entries[0].Regex != "(_1239_|_70[2-5]_)" {
+		t.Fatalf("as-path list = %+v", al)
+	}
+	if c.RIP == nil || len(c.RIP.Networks) != 1 || c.RIP.Networks[0] != addr(t, "1.0.0.0") {
+		t.Fatalf("RIP = %+v", c.RIP)
+	}
+}
+
+func TestRenderParseRoundTrip(t *testing.T) {
+	c1 := Parse(figure1)
+	text := c1.Render()
+	c2 := Parse(text)
+	text2 := c2.Render()
+	if text != text2 {
+		t.Errorf("render not idempotent:\n--- first ---\n%s\n--- second ---\n%s", text, text2)
+	}
+	// Structural spot checks survive the round trip.
+	if c2.Hostname != c1.Hostname || len(c2.Interfaces) != len(c1.Interfaces) ||
+		len(c2.RouteMaps) != len(c1.RouteMaps) || c2.BGP.ASN != c1.BGP.ASN {
+		t.Error("round trip changed structure")
+	}
+}
+
+func TestRenderFullFeatures(t *testing.T) {
+	c := &Config{
+		Hostname: "r1",
+		Domain:   "example.net",
+		Dialect:  Dialect{Version: "12.2", IPClassless: true, ServiceTimestamps: true},
+		Banners:  []Banner{{Kind: "login", Delim: '#', Lines: []string{"keep out"}}},
+		Interfaces: []*Interface{
+			{Name: "Loopback0", Address: AddrMask{addr(t, "10.0.0.1"), addr(t, "255.255.255.255")}, HasAddress: true},
+			{Name: "Serial0/0", Bandwidth: 1544, Encap: "ppp", Shutdown: true},
+			{Name: "FastEthernet0/1", Address: AddrMask{addr(t, "10.1.1.1"), addr(t, "255.255.255.0")},
+				HasAddress: true,
+				Secondary:  []AddrMask{{addr(t, "10.1.2.1"), addr(t, "255.255.255.0")}}},
+		},
+		BGP: &BGP{
+			ASN: 65001, RouterID: addr(t, "10.0.0.1"), HasRouterID: true,
+			ConfedID: 3, ConfedPeers: []uint32{65002, 65003},
+			NoSynchronize: true, NoAutoSummary: true,
+			Networks: []AddrMask{{addr(t, "10.1.0.0"), addr(t, "255.255.0.0")}},
+			Neighbors: []*BGPNeighbor{{
+				Addr: addr(t, "10.9.9.9"), RemoteAS: 701, Description: "upstream",
+				UpdateSource: "Loopback0", NextHopSelf: true, SendComm: true,
+				RouteMapIn: "in-map", RouteMapOut: "out-map",
+			}},
+			Redistribute: []string{"ospf 1"},
+		},
+		OSPF: []*OSPF{{
+			PID: 1, RouterID: addr(t, "10.0.0.1"), HasRouterID: true,
+			Networks:     []OSPFNetwork{{addr(t, "10.1.1.0"), addr(t, "0.0.0.255"), 0}},
+			Passive:      []string{"FastEthernet0/1"},
+			Redistribute: []string{"connected"},
+		}},
+		RIP:   &RIP{Version: 2, Networks: []uint32{addr(t, "10.0.0.0")}},
+		EIGRP: []*EIGRP{{ASN: 100, Networks: []uint32{addr(t, "10.0.0.0")}}},
+		AccessLists: []*AccessList{{Number: 10, Entries: []ACLEntry{
+			{Action: "permit", Src: addr(t, "10.1.1.0"), SrcWild: addr(t, "0.0.0.255")},
+		}}, {Number: 101, Entries: []ACLEntry{
+			{Action: "deny", Proto: "tcp", SrcAny: true, Dst: addr(t, "10.1.1.5"), DstHost: true, HasDst: true, Trailing: "eq 23"},
+		}}},
+		RouteMaps: []*RouteMap{{Name: "in-map", Clauses: []*RouteMapClause{{
+			Action: "permit", Seq: 10,
+			Matches: []Clause{{Type: "as-path", Args: []string{"50"}}},
+			Sets:    []Clause{{Type: "local-preference", Args: []string{"200"}}},
+		}}}},
+		CommunityLists: []*CommunityList{{Number: 1, Entries: []CommunityEntry{{Action: "permit", Expr: "701:100"}}}},
+		ASPathLists:    []*ASPathList{{Number: 50, Entries: []ASPathEntry{{Action: "permit", Regex: "_701_"}}}},
+		StaticRoutes: []*StaticRoute{
+			{Dest: addr(t, "0.0.0.0"), Mask: addr(t, "0.0.0.0"), NextHop: addr(t, "10.9.9.9")},
+			{Dest: addr(t, "10.5.0.0"), Mask: addr(t, "255.255.0.0"), NextHopIface: "Null0"},
+		},
+		SNMPCommunities: []string{"s3cret RO"},
+		Users:           []string{"admin password 7 05080F1C2243"},
+		DialerStrings:   []string{"5558675309"},
+		NameServers:     []uint32{addr(t, "10.0.0.53")},
+		Comments:        []string{"core router"},
+	}
+	text := c.Render()
+	c2 := Parse(text)
+	if c2.Render() != text {
+		t.Error("full-featured render not idempotent")
+	}
+	if c2.BGP.ConfedID != 3 || len(c2.BGP.ConfedPeers) != 2 {
+		t.Errorf("confederation lost: %+v", c2.BGP)
+	}
+	if len(c2.Interfaces[2].Secondary) != 1 {
+		t.Error("secondary address lost")
+	}
+	if len(c2.StaticRoutes) != 2 || c2.StaticRoutes[1].NextHopIface != "Null0" {
+		t.Errorf("static routes = %+v", c2.StaticRoutes)
+	}
+	if len(c2.EIGRP) != 1 || c2.EIGRP[0].ASN != 100 {
+		t.Errorf("EIGRP = %+v", c2.EIGRP)
+	}
+	if len(c2.SNMPCommunities) != 1 || len(c2.DialerStrings) != 1 {
+		t.Error("snmp/dialer lost")
+	}
+	if !c2.Dialect.IPClassless || !c2.Dialect.ServiceTimestamps {
+		t.Error("dialect flags lost")
+	}
+	if c2.Interfaces[1].Bandwidth != 1544 || !c2.Interfaces[1].Shutdown {
+		t.Errorf("interface attrs lost: %+v", c2.Interfaces[1])
+	}
+}
+
+func TestMaskToLen(t *testing.T) {
+	cases := []struct {
+		mask string
+		len  int
+		ok   bool
+	}{
+		{"255.255.255.0", 24, true},
+		{"255.255.255.252", 30, true},
+		{"255.255.255.255", 32, true},
+		{"0.0.0.0", 0, true},
+		{"255.0.255.0", 0, false},
+	}
+	for _, c := range cases {
+		l, ok := MaskToLen(addr(t, c.mask))
+		if ok != c.ok || (ok && l != c.len) {
+			t.Errorf("MaskToLen(%s) = %d,%v want %d,%v", c.mask, l, ok, c.len, c.ok)
+		}
+	}
+	for i := 0; i <= 32; i++ {
+		if l, ok := MaskToLen(LenToMask(i)); !ok || l != i {
+			t.Errorf("LenToMask/MaskToLen round trip failed at %d", i)
+		}
+	}
+}
+
+func TestClassfulMask(t *testing.T) {
+	if ClassfulMask(addr(t, "10.0.0.0")) != LenToMask(8) {
+		t.Error("class A mask wrong")
+	}
+	if ClassfulMask(addr(t, "172.16.0.0")) != LenToMask(16) {
+		t.Error("class B mask wrong")
+	}
+	if ClassfulMask(addr(t, "192.168.1.0")) != LenToMask(24) {
+		t.Error("class C mask wrong")
+	}
+}
+
+func TestParsePreservesUnknownLines(t *testing.T) {
+	text := "hostname r1\nfancy new command 42\ninterface Ethernet0\n mysterious subcommand\n!\nend\n"
+	c := Parse(text)
+	if len(c.Extra) != 1 || c.Extra[0] != "fancy new command 42" {
+		t.Errorf("Extra = %v", c.Extra)
+	}
+	if len(c.Interfaces) != 1 || len(c.Interfaces[0].Extra) != 1 {
+		t.Errorf("interface extra = %+v", c.Interfaces)
+	}
+	// The unknown lines survive a render.
+	out := c.Render()
+	if !strings.Contains(out, "fancy new command 42") || !strings.Contains(out, "mysterious subcommand") {
+		t.Error("unknown lines dropped by Render")
+	}
+}
+
+func TestParseCommentLines(t *testing.T) {
+	c := Parse("! built by netgen\n!\nhostname x\nend\n")
+	if len(c.Comments) != 1 || c.Comments[0] != "built by netgen" {
+		t.Errorf("Comments = %v", c.Comments)
+	}
+}
+
+func TestPrefixString(t *testing.T) {
+	p := Prefix{Addr: addr(t, "10.1.0.0"), Len: 16}
+	if p.String() != "10.1.0.0/16" {
+		t.Errorf("Prefix.String = %q", p.String())
+	}
+}
+
+func TestBGPNeighborAccumulation(t *testing.T) {
+	text := `router bgp 100
+ neighbor 1.2.3.4 remote-as 200
+ neighbor 1.2.3.4 description peer one
+ neighbor 5.6.7.8 remote-as 300
+end
+`
+	c := Parse(text)
+	if len(c.BGP.Neighbors) != 2 {
+		t.Fatalf("neighbors = %d, want 2", len(c.BGP.Neighbors))
+	}
+	if c.BGP.Neighbors[0].Description != "peer one" {
+		t.Error("multi-line neighbor config not accumulated")
+	}
+}
+
+func TestStandardACLSingleAddress(t *testing.T) {
+	c := Parse("access-list 5 permit 10.1.1.1\nend\n")
+	acl := c.AccessList(5)
+	if acl == nil || len(acl.Entries) != 1 {
+		t.Fatalf("acl = %+v", acl)
+	}
+	if acl.Entries[0].Src != addr(t, "10.1.1.1") || acl.Entries[0].SrcWild != 0 {
+		t.Errorf("entry = %+v", acl.Entries[0])
+	}
+}

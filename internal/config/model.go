@@ -1,0 +1,329 @@
+// Package config models Cisco IOS-style router configuration files: a
+// typed representation of the commands the paper's analyses depend on
+// (interfaces, routing processes, routing policy), a renderer that prints
+// the model as config text, and a parser that recovers the model from
+// text — including anonymized text.
+//
+// The parser is deliberately tolerant: the paper stresses that no
+// consistent grammar exists across the 200+ IOS versions in its dataset,
+// so parsing is line- and prefix-based rather than grammar-based, and
+// unrecognized lines are preserved verbatim in Extra so nothing is lost in
+// a parse/render round trip.
+package config
+
+import (
+	"fmt"
+	"strings"
+
+	"confanon/internal/token"
+)
+
+// AddrMask is an address with its netmask, as in "ip address A M".
+type AddrMask struct {
+	Addr uint32
+	Mask uint32
+}
+
+// Prefix is an address with a prefix length.
+type Prefix struct {
+	Addr uint32
+	Len  int
+}
+
+// String renders the prefix in a.b.c.d/len form.
+func (p Prefix) String() string {
+	return fmt.Sprintf("%s/%d", token.FormatIPv4(p.Addr), p.Len)
+}
+
+// MaskToLen converts a contiguous netmask to its prefix length; ok is
+// false for discontiguous masks.
+func MaskToLen(mask uint32) (int, bool) {
+	inv := ^mask
+	if inv&(inv+1) != 0 {
+		return 0, false
+	}
+	n := 0
+	for m := mask; m != 0; m <<= 1 {
+		n++
+	}
+	return n, true
+}
+
+// LenToMask converts a prefix length to a netmask.
+func LenToMask(n int) uint32 {
+	if n <= 0 {
+		return 0
+	}
+	if n >= 32 {
+		return ^uint32(0)
+	}
+	return ^uint32(0) << (32 - uint(n))
+}
+
+// ClassfulMask returns the implicit netmask of a classful network
+// statement (class A /8, B /16, C /24), as assumed by older commands such
+// as those configuring RIP and EIGRP.
+func ClassfulMask(addr uint32) uint32 {
+	switch {
+	case addr>>31 == 0:
+		return LenToMask(8)
+	case addr>>30 == 0b10:
+		return LenToMask(16)
+	default:
+		return LenToMask(24)
+	}
+}
+
+// Banner is a multi-line banner block with its delimiter character.
+type Banner struct {
+	Kind  string // motd, login, exec
+	Delim byte
+	Lines []string
+}
+
+// Interface is one "interface X" block.
+type Interface struct {
+	Name        string
+	Description string
+	Address     AddrMask
+	HasAddress  bool
+	Secondary   []AddrMask
+	Shutdown    bool
+	Bandwidth   int
+	Encap       string
+	PointTo     bool // sub-interface declared point-to-point
+	Extra       []string
+}
+
+// BGPNeighbor is one neighbor of a BGP process.
+type BGPNeighbor struct {
+	Addr         uint32
+	RemoteAS     uint32
+	Description  string
+	RouteMapIn   string
+	RouteMapOut  string
+	UpdateSource string
+	NextHopSelf  bool
+	SendComm     bool
+	RRClient     bool
+}
+
+// BGP is the "router bgp N" block.
+type BGP struct {
+	ASN           uint32
+	RouterID      uint32
+	HasRouterID   bool
+	Networks      []AddrMask // "network A mask M" (mask may be classful)
+	Neighbors     []*BGPNeighbor
+	Redistribute  []string
+	ConfedID      uint32
+	ConfedPeers   []uint32
+	NoSynchronize bool
+	NoAutoSummary bool
+	Extra         []string
+}
+
+// OSPFNetwork is one "network A W area N" statement.
+type OSPFNetwork struct {
+	Addr     uint32
+	Wildcard uint32
+	Area     uint32
+}
+
+// OSPF is one "router ospf PID" block.
+type OSPF struct {
+	PID          int
+	RouterID     uint32
+	HasRouterID  bool
+	Networks     []OSPFNetwork
+	Passive      []string
+	Redistribute []string
+	Extra        []string
+}
+
+// RIP is the "router rip" block; networks are classful addresses.
+type RIP struct {
+	Version      int
+	Networks     []uint32
+	Redistribute []string
+	Extra        []string
+}
+
+// EIGRP is one "router eigrp ASN" block; networks are classful addresses.
+type EIGRP struct {
+	ASN          uint32
+	Networks     []uint32
+	Redistribute []string
+	Extra        []string
+}
+
+// ACLEntry is one entry of a numbered access list.
+type ACLEntry struct {
+	Action   string // permit or deny
+	Proto    string // ip, tcp, udp, icmp or empty for standard lists
+	Src      uint32
+	SrcWild  uint32
+	SrcAny   bool
+	SrcHost  bool
+	Dst      uint32
+	DstWild  uint32
+	DstAny   bool
+	DstHost  bool
+	HasDst   bool
+	Trailing string // ports, established, log ...
+}
+
+// AccessList is a numbered ACL.
+type AccessList struct {
+	Number  int
+	Entries []ACLEntry
+}
+
+// RouteMapClause is one numbered clause of a route map.
+type RouteMapClause struct {
+	Action  string // permit or deny
+	Seq     int
+	Matches []Clause
+	Sets    []Clause
+}
+
+// Clause is a generic "match X args" or "set X args" line.
+type Clause struct {
+	Type string // e.g. "ip address", "as-path", "community"
+	Args []string
+}
+
+// RouteMap is a named routing policy.
+type RouteMap struct {
+	Name    string
+	Clauses []*RouteMapClause
+}
+
+// CommunityEntry is one "ip community-list N permit X" entry. Expr is
+// either a literal community (asn:value form or a bare number) or a
+// regexp.
+type CommunityEntry struct {
+	Action string
+	Expr   string
+}
+
+// CommunityList is a numbered community list.
+type CommunityList struct {
+	Number  int
+	Entries []CommunityEntry
+}
+
+// ASPathEntry is one "ip as-path access-list N permit RE" entry.
+type ASPathEntry struct {
+	Action string
+	Regex  string
+}
+
+// ASPathList is a numbered AS-path access list.
+type ASPathList struct {
+	Number  int
+	Entries []ASPathEntry
+}
+
+// StaticRoute is one "ip route D M NH" line.
+type StaticRoute struct {
+	Dest    uint32
+	Mask    uint32
+	NextHop uint32
+	// NextHopIface holds an interface name when the route points at an
+	// interface instead of an address.
+	NextHopIface string
+}
+
+// Dialect captures per-IOS-version syntax quirks the generator varies and
+// the parser tolerates, standing in for the paper's 200+ IOS versions.
+type Dialect struct {
+	Version string
+	// IPClassless emits "ip classless" (12.x default behavior written
+	// explicitly by some versions).
+	IPClassless bool
+	// ServiceTimestamps emits the service timestamps preamble.
+	ServiceTimestamps bool
+	// BGPNewFormat writes community values in new-format asn:nn.
+	BGPNewFormat bool
+	// InterfaceStyle 0: Ethernet0, 1: FastEthernet0/0, 2: GigabitEthernet0/0/0.
+	InterfaceStyle int
+}
+
+// Config is one router's configuration.
+type Config struct {
+	Hostname   string
+	Domain     string
+	Dialect    Dialect
+	Banners    []Banner
+	Interfaces []*Interface
+	BGP        *BGP
+	OSPF       []*OSPF
+	RIP        *RIP
+	EIGRP      []*EIGRP
+
+	AccessLists    []*AccessList
+	RouteMaps      []*RouteMap
+	CommunityLists []*CommunityList
+	ASPathLists    []*ASPathList
+	StaticRoutes   []*StaticRoute
+
+	SNMPCommunities []string
+	Users           []string // "username U password P" raw remainder
+	DialerStrings   []string
+	NameServers     []uint32
+	Comments        []string // free-standing "! text" comment lines
+	Extra           []string // unrecognized top-level lines, preserved
+}
+
+// Find helpers used by the routing extractor and validators.
+
+// Interface returns the named interface, or nil.
+func (c *Config) Interface(name string) *Interface {
+	for _, ifc := range c.Interfaces {
+		if strings.EqualFold(ifc.Name, name) {
+			return ifc
+		}
+	}
+	return nil
+}
+
+// RouteMap returns the named route map, or nil.
+func (c *Config) RouteMap(name string) *RouteMap {
+	for _, rm := range c.RouteMaps {
+		if rm.Name == name {
+			return rm
+		}
+	}
+	return nil
+}
+
+// ASPathList returns the numbered as-path list, or nil.
+func (c *Config) ASPathList(n int) *ASPathList {
+	for _, l := range c.ASPathLists {
+		if l.Number == n {
+			return l
+		}
+	}
+	return nil
+}
+
+// CommunityList returns the numbered community list, or nil.
+func (c *Config) CommunityList(n int) *CommunityList {
+	for _, l := range c.CommunityLists {
+		if l.Number == n {
+			return l
+		}
+	}
+	return nil
+}
+
+// AccessList returns the numbered access list, or nil.
+func (c *Config) AccessList(n int) *AccessList {
+	for _, l := range c.AccessLists {
+		if l.Number == n {
+			return l
+		}
+	}
+	return nil
+}

@@ -1,0 +1,551 @@
+package config
+
+import (
+	"strconv"
+	"strings"
+
+	"confanon/internal/token"
+)
+
+// Parse recovers a Config from IOS-style text. Unknown lines are retained
+// (top-level in Extra, block-level in the block's Extra) so that parsing
+// never loses information. Parse never fails on well-formed lines it does
+// not understand; it is the measurement substrate, not a validator.
+func Parse(text string) *Config {
+	c := &Config{}
+	lines := strings.Split(text, "\n")
+	i := 0
+	next := func() (string, bool) {
+		if i >= len(lines) {
+			return "", false
+		}
+		l := lines[i]
+		i++
+		return strings.TrimRight(l, "\r"), true
+	}
+	peek := func() (string, bool) {
+		if i >= len(lines) {
+			return "", false
+		}
+		return strings.TrimRight(lines[i], "\r"), true
+	}
+	// block collects the indented continuation lines of a section.
+	block := func() []string {
+		var out []string
+		for {
+			l, ok := peek()
+			if !ok {
+				break
+			}
+			if strings.HasPrefix(l, " ") || strings.HasPrefix(l, "\t") {
+				out = append(out, strings.TrimSpace(l))
+				i++
+				continue
+			}
+			break
+		}
+		return out
+	}
+
+	for {
+		line, ok := next()
+		if !ok {
+			break
+		}
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		f := strings.Fields(trimmed)
+		switch f[0] {
+		case "!":
+			if len(f) > 1 {
+				c.Comments = append(c.Comments, strings.TrimSpace(trimmed[1:]))
+			}
+		case "version":
+			if len(f) > 1 {
+				c.Dialect.Version = f[1]
+			}
+		case "service":
+			if len(f) > 2 && f[1] == "timestamps" {
+				c.Dialect.ServiceTimestamps = true
+			} else {
+				c.Extra = append(c.Extra, trimmed)
+			}
+		case "hostname":
+			if len(f) > 1 {
+				c.Hostname = f[1]
+			}
+		case "username":
+			c.Users = append(c.Users, strings.TrimSpace(strings.TrimPrefix(trimmed, "username")))
+		case "banner":
+			c.parseBanner(f, next)
+		case "interface":
+			c.parseInterface(f, block())
+		case "router":
+			c.parseRouter(f, block())
+		case "route-map":
+			c.parseRouteMap(f, block())
+		case "access-list":
+			c.parseAccessList(f)
+		case "snmp-server":
+			if len(f) >= 3 && f[1] == "community" {
+				c.SNMPCommunities = append(c.SNMPCommunities, strings.Join(f[2:], " "))
+			} else {
+				c.Extra = append(c.Extra, trimmed)
+			}
+		case "dialer":
+			if len(f) >= 3 && f[1] == "string" {
+				c.DialerStrings = append(c.DialerStrings, strings.Join(f[2:], " "))
+			} else {
+				c.Extra = append(c.Extra, trimmed)
+			}
+		case "ip":
+			c.parseIPLine(f, trimmed)
+		case "end":
+			// done
+		default:
+			c.Extra = append(c.Extra, trimmed)
+		}
+	}
+	return c
+}
+
+func (c *Config) parseBanner(f []string, next func() (string, bool)) {
+	b := Banner{Kind: "motd", Delim: '^'}
+	if len(f) > 1 {
+		b.Kind = f[1]
+	}
+	if len(f) > 2 && len(f[2]) > 0 {
+		b.Delim = f[2][0]
+	}
+	for {
+		l, ok := next()
+		if !ok {
+			break
+		}
+		if strings.ContainsRune(l, rune(b.Delim)) {
+			break
+		}
+		b.Lines = append(b.Lines, l)
+	}
+	c.Banners = append(c.Banners, b)
+}
+
+func (c *Config) parseInterface(f []string, body []string) {
+	ifc := &Interface{}
+	if len(f) > 1 {
+		ifc.Name = f[1]
+	}
+	if len(f) > 2 && f[2] == "point-to-point" {
+		ifc.PointTo = true
+	}
+	for _, l := range body {
+		w := strings.Fields(l)
+		if len(w) == 0 {
+			continue
+		}
+		switch {
+		case w[0] == "description":
+			ifc.Description = strings.TrimSpace(strings.TrimPrefix(l, "description"))
+		case w[0] == "bandwidth" && len(w) > 1:
+			ifc.Bandwidth, _ = strconv.Atoi(w[1])
+		case w[0] == "encapsulation" && len(w) > 1:
+			ifc.Encap = strings.Join(w[1:], " ")
+		case w[0] == "shutdown":
+			ifc.Shutdown = true
+		case w[0] == "no" && len(w) >= 3 && w[1] == "ip" && w[2] == "address":
+			ifc.HasAddress = false
+		case w[0] == "ip" && len(w) >= 4 && w[1] == "address":
+			addr, ok1 := token.ParseIPv4(w[2])
+			mask, ok2 := token.ParseIPv4(w[3])
+			if ok1 && ok2 {
+				if len(w) > 4 && w[4] == "secondary" {
+					ifc.Secondary = append(ifc.Secondary, AddrMask{addr, mask})
+				} else {
+					ifc.Address = AddrMask{addr, mask}
+					ifc.HasAddress = true
+				}
+			} else {
+				ifc.Extra = append(ifc.Extra, l)
+			}
+		default:
+			ifc.Extra = append(ifc.Extra, l)
+		}
+	}
+	c.Interfaces = append(c.Interfaces, ifc)
+}
+
+func (c *Config) parseRouter(f []string, body []string) {
+	if len(f) < 2 {
+		c.Extra = append(c.Extra, strings.Join(f, " "))
+		return
+	}
+	switch f[1] {
+	case "bgp":
+		g := &BGP{}
+		if len(f) > 2 {
+			g.ASN = parseU32(f[2])
+		}
+		for _, l := range body {
+			c.parseBGPLine(g, l)
+		}
+		c.BGP = g
+	case "ospf":
+		o := &OSPF{}
+		if len(f) > 2 {
+			o.PID, _ = strconv.Atoi(f[2])
+		}
+		for _, l := range body {
+			c.parseOSPFLine(o, l)
+		}
+		c.OSPF = append(c.OSPF, o)
+	case "rip":
+		r := &RIP{}
+		for _, l := range body {
+			w := strings.Fields(l)
+			switch {
+			case len(w) >= 2 && w[0] == "version":
+				r.Version, _ = strconv.Atoi(w[1])
+			case len(w) >= 2 && w[0] == "network":
+				if a, ok := token.ParseIPv4(w[1]); ok {
+					r.Networks = append(r.Networks, a)
+				} else {
+					r.Extra = append(r.Extra, l)
+				}
+			case len(w) >= 2 && w[0] == "redistribute":
+				r.Redistribute = append(r.Redistribute, strings.Join(w[1:], " "))
+			default:
+				r.Extra = append(r.Extra, l)
+			}
+		}
+		c.RIP = r
+	case "eigrp":
+		e := &EIGRP{}
+		if len(f) > 2 {
+			e.ASN = parseU32(f[2])
+		}
+		for _, l := range body {
+			w := strings.Fields(l)
+			switch {
+			case len(w) >= 2 && w[0] == "network":
+				if a, ok := token.ParseIPv4(w[1]); ok {
+					e.Networks = append(e.Networks, a)
+				} else {
+					e.Extra = append(e.Extra, l)
+				}
+			case len(w) >= 2 && w[0] == "redistribute":
+				e.Redistribute = append(e.Redistribute, strings.Join(w[1:], " "))
+			default:
+				e.Extra = append(e.Extra, l)
+			}
+		}
+		c.EIGRP = append(c.EIGRP, e)
+	default:
+		c.Extra = append(c.Extra, "router "+strings.Join(f[1:], " "))
+	}
+}
+
+func (c *Config) parseBGPLine(g *BGP, l string) {
+	w := strings.Fields(l)
+	if len(w) == 0 {
+		return
+	}
+	switch {
+	case w[0] == "bgp" && len(w) >= 3 && w[1] == "router-id":
+		if a, ok := token.ParseIPv4(w[2]); ok {
+			g.RouterID, g.HasRouterID = a, true
+			return
+		}
+	case w[0] == "bgp" && len(w) >= 4 && w[1] == "confederation" && w[2] == "identifier":
+		g.ConfedID = parseU32(w[3])
+		return
+	case w[0] == "bgp" && len(w) >= 4 && w[1] == "confederation" && w[2] == "peers":
+		for _, p := range w[3:] {
+			g.ConfedPeers = append(g.ConfedPeers, parseU32(p))
+		}
+		return
+	case w[0] == "no" && len(w) == 2 && w[1] == "synchronization":
+		g.NoSynchronize = true
+		return
+	case w[0] == "no" && len(w) == 2 && w[1] == "auto-summary":
+		g.NoAutoSummary = true
+		return
+	case w[0] == "redistribute" && len(w) >= 2:
+		g.Redistribute = append(g.Redistribute, strings.Join(w[1:], " "))
+		return
+	case w[0] == "network" && len(w) >= 4 && w[2] == "mask":
+		a, ok1 := token.ParseIPv4(w[1])
+		m, ok2 := token.ParseIPv4(w[3])
+		if ok1 && ok2 {
+			g.Networks = append(g.Networks, AddrMask{a, m})
+			return
+		}
+	case w[0] == "network" && len(w) == 2:
+		if a, ok := token.ParseIPv4(w[1]); ok {
+			g.Networks = append(g.Networks, AddrMask{a, ClassfulMask(a)})
+			return
+		}
+	case w[0] == "neighbor" && len(w) >= 3:
+		addr, ok := token.ParseIPv4(w[1])
+		if !ok {
+			break
+		}
+		nb := g.neighbor(addr)
+		switch w[2] {
+		case "remote-as":
+			if len(w) >= 4 {
+				nb.RemoteAS = parseU32(w[3])
+				return
+			}
+		case "description":
+			nb.Description = strings.Join(w[3:], " ")
+			return
+		case "update-source":
+			if len(w) >= 4 {
+				nb.UpdateSource = w[3]
+				return
+			}
+		case "next-hop-self":
+			nb.NextHopSelf = true
+			return
+		case "route-reflector-client":
+			nb.RRClient = true
+			return
+		case "send-community":
+			nb.SendComm = true
+			return
+		case "route-map":
+			if len(w) >= 5 {
+				if w[4] == "in" {
+					nb.RouteMapIn = w[3]
+				} else {
+					nb.RouteMapOut = w[3]
+				}
+				return
+			}
+		}
+	}
+	g.Extra = append(g.Extra, l)
+}
+
+// neighbor returns the neighbor record for addr, creating it on first use
+// so multi-line neighbor configuration accumulates onto one record.
+func (g *BGP) neighbor(addr uint32) *BGPNeighbor {
+	for _, nb := range g.Neighbors {
+		if nb.Addr == addr {
+			return nb
+		}
+	}
+	nb := &BGPNeighbor{Addr: addr}
+	g.Neighbors = append(g.Neighbors, nb)
+	return nb
+}
+
+func (c *Config) parseOSPFLine(o *OSPF, l string) {
+	w := strings.Fields(l)
+	if len(w) == 0 {
+		return
+	}
+	switch {
+	case w[0] == "router-id" && len(w) >= 2:
+		if a, ok := token.ParseIPv4(w[1]); ok {
+			o.RouterID, o.HasRouterID = a, true
+			return
+		}
+	case w[0] == "passive-interface" && len(w) >= 2:
+		o.Passive = append(o.Passive, w[1])
+		return
+	case w[0] == "redistribute" && len(w) >= 2:
+		o.Redistribute = append(o.Redistribute, strings.Join(w[1:], " "))
+		return
+	case w[0] == "network" && len(w) >= 5 && w[3] == "area":
+		a, ok1 := token.ParseIPv4(w[1])
+		wc, ok2 := token.ParseIPv4(w[2])
+		if ok1 && ok2 {
+			o.Networks = append(o.Networks, OSPFNetwork{a, wc, parseU32(w[4])})
+			return
+		}
+	}
+	o.Extra = append(o.Extra, l)
+}
+
+func (c *Config) parseRouteMap(f []string, body []string) {
+	if len(f) < 2 {
+		return
+	}
+	name := f[1]
+	cl := &RouteMapClause{Action: "permit", Seq: 10}
+	if len(f) > 2 {
+		cl.Action = f[2]
+	}
+	if len(f) > 3 {
+		cl.Seq, _ = strconv.Atoi(f[3])
+	}
+	for _, l := range body {
+		w := strings.Fields(l)
+		if len(w) < 2 {
+			continue
+		}
+		switch w[0] {
+		case "match":
+			cl.Matches = append(cl.Matches, parseClause(w[1:]))
+		case "set":
+			cl.Sets = append(cl.Sets, parseClause(w[1:]))
+		}
+	}
+	rm := c.RouteMap(name)
+	if rm == nil {
+		rm = &RouteMap{Name: name}
+		c.RouteMaps = append(c.RouteMaps, rm)
+	}
+	rm.Clauses = append(rm.Clauses, cl)
+}
+
+// parseClause splits a match/set body into its multi-word type and args.
+// Types with two-word names ("ip address", "as-path prepend", "ip
+// next-hop", "comm-list") are recognized so arguments are not mistaken for
+// type words.
+func parseClause(w []string) Clause {
+	twoWord := map[string]bool{
+		"ip address": true, "ip next-hop": true, "as-path prepend": true,
+	}
+	if len(w) >= 2 && twoWord[w[0]+" "+w[1]] {
+		return Clause{Type: w[0] + " " + w[1], Args: w[2:]}
+	}
+	return Clause{Type: w[0], Args: w[1:]}
+}
+
+func (c *Config) parseAccessList(f []string) {
+	// access-list N permit|deny [proto] src [wild] [dst [wild]] [trailing]
+	if len(f) < 3 {
+		c.Extra = append(c.Extra, strings.Join(f, " "))
+		return
+	}
+	num, err := strconv.Atoi(f[1])
+	if err != nil {
+		c.Extra = append(c.Extra, strings.Join(f, " "))
+		return
+	}
+	e := ACLEntry{Action: f[2]}
+	rest := f[3:]
+	extended := num >= 100 && num <= 199
+	if extended && len(rest) > 0 {
+		e.Proto = rest[0]
+		rest = rest[1:]
+	}
+	var ok bool
+	rest, e.Src, e.SrcWild, e.SrcAny, e.SrcHost, ok = parseACLAddr(rest, !extended)
+	if !ok {
+		c.Extra = append(c.Extra, strings.Join(f, " "))
+		return
+	}
+	if extended {
+		var dok bool
+		rest, e.Dst, e.DstWild, e.DstAny, e.DstHost, dok = parseACLAddr(rest, false)
+		if dok {
+			e.HasDst = true
+		}
+	}
+	e.Trailing = strings.Join(rest, " ")
+	acl := c.AccessList(num)
+	if acl == nil {
+		acl = &AccessList{Number: num}
+		c.AccessLists = append(c.AccessLists, acl)
+	}
+	acl.Entries = append(acl.Entries, e)
+}
+
+// parseACLAddr consumes one address spec: "any", "host A", or "A W" ("A"
+// alone for standard lists when no wildcard follows).
+func parseACLAddr(w []string, wildOptional bool) (rest []string, addr, wild uint32, any, host, ok bool) {
+	if len(w) == 0 {
+		return w, 0, 0, false, false, false
+	}
+	switch w[0] {
+	case "any":
+		return w[1:], 0, 0, true, false, true
+	case "host":
+		if len(w) < 2 {
+			return w, 0, 0, false, false, false
+		}
+		a, aok := token.ParseIPv4(w[1])
+		if !aok {
+			return w, 0, 0, false, false, false
+		}
+		return w[2:], a, 0, false, true, true
+	}
+	a, aok := token.ParseIPv4(w[0])
+	if !aok {
+		return w, 0, 0, false, false, false
+	}
+	if len(w) >= 2 {
+		if m, mok := token.ParseIPv4(w[1]); mok {
+			return w[2:], a, m, false, false, true
+		}
+	}
+	if wildOptional {
+		return w[1:], a, 0, false, false, true
+	}
+	return w, 0, 0, false, false, false
+}
+
+func (c *Config) parseIPLine(f []string, trimmed string) {
+	switch {
+	case len(f) >= 2 && f[1] == "classless":
+		c.Dialect.IPClassless = true
+	case len(f) >= 3 && f[1] == "domain-name":
+		c.Domain = f[2]
+	case len(f) >= 3 && f[1] == "name-server":
+		for _, s := range f[2:] {
+			if a, ok := token.ParseIPv4(s); ok {
+				c.NameServers = append(c.NameServers, a)
+			}
+		}
+	case len(f) >= 5 && f[1] == "community-list":
+		num, err := strconv.Atoi(f[2])
+		if err != nil {
+			c.Extra = append(c.Extra, trimmed)
+			return
+		}
+		cl := c.CommunityList(num)
+		if cl == nil {
+			cl = &CommunityList{Number: num}
+			c.CommunityLists = append(c.CommunityLists, cl)
+		}
+		cl.Entries = append(cl.Entries, CommunityEntry{Action: f[3], Expr: strings.Join(f[4:], " ")})
+	case len(f) >= 6 && f[1] == "as-path" && f[2] == "access-list":
+		num, err := strconv.Atoi(f[3])
+		if err != nil {
+			c.Extra = append(c.Extra, trimmed)
+			return
+		}
+		al := c.ASPathList(num)
+		if al == nil {
+			al = &ASPathList{Number: num}
+			c.ASPathLists = append(c.ASPathLists, al)
+		}
+		al.Entries = append(al.Entries, ASPathEntry{Action: f[4], Regex: strings.Join(f[5:], " ")})
+	case len(f) >= 5 && f[1] == "route":
+		dest, ok1 := token.ParseIPv4(f[2])
+		mask, ok2 := token.ParseIPv4(f[3])
+		if !ok1 || !ok2 {
+			c.Extra = append(c.Extra, trimmed)
+			return
+		}
+		sr := &StaticRoute{Dest: dest, Mask: mask}
+		if nh, ok := token.ParseIPv4(f[4]); ok {
+			sr.NextHop = nh
+		} else {
+			sr.NextHopIface = f[4]
+		}
+		c.StaticRoutes = append(c.StaticRoutes, sr)
+	default:
+		c.Extra = append(c.Extra, trimmed)
+	}
+}
+
+func parseU32(s string) uint32 {
+	v, _ := strconv.ParseUint(s, 10, 32)
+	return uint32(v)
+}

@@ -1,0 +1,96 @@
+package config
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanicsOnRandomText throws arbitrary text at the parser;
+// it must never panic and must retain something for every non-empty line.
+func TestParseNeverPanicsOnRandomText(t *testing.T) {
+	f := func(text string) bool {
+		c := Parse(text) // must not panic
+		return c != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseNeverPanicsOnMangledConfigs mutates realistic config text:
+// truncations, duplicated lines, swapped words, garbage bytes.
+func TestParseNeverPanicsOnMangledConfigs(t *testing.T) {
+	base := `hostname r1
+interface Ethernet0
+ ip address 10.1.1.1 255.255.255.0
+router bgp 65000
+ neighbor 10.0.0.1 remote-as 701
+ bgp confederation peers 65001 65002
+route-map m permit 10
+ match ip address 1
+ set community 701:100
+access-list 101 permit tcp host 10.1.1.1 any eq 80
+ip community-list 1 permit 701:1[0-9]
+ip as-path access-list 1 permit (_701_|_1239_)
+ip route 0.0.0.0 0.0.0.0 Null0
+ip prefix-list pl seq 5 permit 10.0.0.0/8 le 24
+banner motd #
+text
+#
+line vty 0 4
+end
+`
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 2000; i++ {
+		b := []byte(base)
+		switch i % 5 {
+		case 0: // truncate
+			b = b[:rng.Intn(len(b))]
+		case 1: // flip bytes
+			for j := 0; j < 5; j++ {
+				b[rng.Intn(len(b))] = byte(rng.Intn(256))
+			}
+		case 2: // delete a line
+			lines := strings.Split(string(b), "\n")
+			k := rng.Intn(len(lines))
+			lines = append(lines[:k], lines[k+1:]...)
+			b = []byte(strings.Join(lines, "\n"))
+		case 3: // duplicate a line
+			lines := strings.Split(string(b), "\n")
+			k := rng.Intn(len(lines))
+			lines = append(lines[:k], append([]string{lines[k]}, lines[k:]...)...)
+			b = []byte(strings.Join(lines, "\n"))
+		case 4: // shuffle words on a line
+			lines := strings.Split(string(b), "\n")
+			k := rng.Intn(len(lines))
+			words := strings.Fields(lines[k])
+			rng.Shuffle(len(words), func(x, y int) { words[x], words[y] = words[y], words[x] })
+			lines[k] = strings.Join(words, " ")
+			b = []byte(strings.Join(lines, "\n"))
+		}
+		c := Parse(string(b)) // must not panic
+		_ = c.Render()        // nor the renderer
+	}
+}
+
+// TestParseRenderStabilizes: rendering then parsing then rendering again
+// is a fixed point for arbitrary mangled inputs once normalized.
+func TestParseRenderStabilizes(t *testing.T) {
+	inputs := []string{
+		"hostname h\nrouter bgp 1\n neighbor 1.2.3.4 remote-as 2\n",
+		"interface X\n unknown subcommand here\n!\n",
+		"access-list 10 permit any\n",
+		"ip community-list 9 deny internet\n",
+		"",
+		"!\n!\n!\n",
+	}
+	for _, in := range inputs {
+		r1 := Parse(in).Render()
+		r2 := Parse(r1).Render()
+		if r1 != r2 {
+			t.Errorf("render not stable for %q:\n1: %q\n2: %q", in, r1, r2)
+		}
+	}
+}

@@ -1,0 +1,265 @@
+package config
+
+import (
+	"fmt"
+	"strings"
+
+	"confanon/internal/token"
+)
+
+// Render prints the configuration as IOS-style text. The output parses
+// back to an equivalent model (see the round-trip tests), which is what
+// lets the validation suites compare pre- and post-anonymization configs
+// structurally.
+func (c *Config) Render() string {
+	var b strings.Builder
+	w := func(format string, args ...interface{}) {
+		fmt.Fprintf(&b, format, args...)
+		b.WriteByte('\n')
+	}
+	bang := func() { b.WriteString("!\n") }
+
+	if c.Dialect.ServiceTimestamps {
+		w("service timestamps debug datetime msec")
+		w("service timestamps log datetime msec")
+	}
+	w("version %s", orDefault(c.Dialect.Version, "12.0"))
+	bang()
+	w("hostname %s", c.Hostname)
+	bang()
+	if c.Domain != "" {
+		w("ip domain-name %s", c.Domain)
+	}
+	for _, ns := range c.NameServers {
+		w("ip name-server %s", token.FormatIPv4(ns))
+	}
+	for _, u := range c.Users {
+		w("username %s", u)
+	}
+	for _, cm := range c.Comments {
+		w("! %s", cm)
+	}
+	for _, bn := range c.Banners {
+		w("banner %s %c", bn.Kind, bn.Delim)
+		for _, l := range bn.Lines {
+			w("%s", l)
+		}
+		w("%c", bn.Delim)
+	}
+	bang()
+	if c.Dialect.IPClassless {
+		w("ip classless")
+	}
+	for _, ifc := range c.Interfaces {
+		if ifc.PointTo {
+			w("interface %s point-to-point", ifc.Name)
+		} else {
+			w("interface %s", ifc.Name)
+		}
+		if ifc.Description != "" {
+			w(" description %s", ifc.Description)
+		}
+		if ifc.Bandwidth > 0 {
+			w(" bandwidth %d", ifc.Bandwidth)
+		}
+		if ifc.Encap != "" {
+			w(" encapsulation %s", ifc.Encap)
+		}
+		if ifc.HasAddress {
+			w(" ip address %s %s", token.FormatIPv4(ifc.Address.Addr), token.FormatIPv4(ifc.Address.Mask))
+		} else {
+			w(" no ip address")
+		}
+		for _, sec := range ifc.Secondary {
+			w(" ip address %s %s secondary", token.FormatIPv4(sec.Addr), token.FormatIPv4(sec.Mask))
+		}
+		for _, e := range ifc.Extra {
+			w(" %s", e)
+		}
+		if ifc.Shutdown {
+			w(" shutdown")
+		}
+		bang()
+	}
+	for _, o := range c.OSPF {
+		w("router ospf %d", o.PID)
+		if o.HasRouterID {
+			w(" router-id %s", token.FormatIPv4(o.RouterID))
+		}
+		for _, r := range o.Redistribute {
+			w(" redistribute %s", r)
+		}
+		for _, p := range o.Passive {
+			w(" passive-interface %s", p)
+		}
+		for _, n := range o.Networks {
+			w(" network %s %s area %d", token.FormatIPv4(n.Addr), token.FormatIPv4(n.Wildcard), n.Area)
+		}
+		for _, e := range o.Extra {
+			w(" %s", e)
+		}
+		bang()
+	}
+	if c.RIP != nil {
+		w("router rip")
+		if c.RIP.Version > 0 {
+			w(" version %d", c.RIP.Version)
+		}
+		for _, r := range c.RIP.Redistribute {
+			w(" redistribute %s", r)
+		}
+		for _, n := range c.RIP.Networks {
+			w(" network %s", token.FormatIPv4(n))
+		}
+		for _, e := range c.RIP.Extra {
+			w(" %s", e)
+		}
+		bang()
+	}
+	for _, e := range c.EIGRP {
+		w("router eigrp %d", e.ASN)
+		for _, r := range e.Redistribute {
+			w(" redistribute %s", r)
+		}
+		for _, n := range e.Networks {
+			w(" network %s", token.FormatIPv4(n))
+		}
+		for _, x := range e.Extra {
+			w(" %s", x)
+		}
+		bang()
+	}
+	if c.BGP != nil {
+		g := c.BGP
+		w("router bgp %d", g.ASN)
+		if g.HasRouterID {
+			w(" bgp router-id %s", token.FormatIPv4(g.RouterID))
+		}
+		if g.ConfedID != 0 {
+			w(" bgp confederation identifier %d", g.ConfedID)
+		}
+		if len(g.ConfedPeers) > 0 {
+			parts := make([]string, len(g.ConfedPeers))
+			for i, p := range g.ConfedPeers {
+				parts[i] = fmt.Sprintf("%d", p)
+			}
+			w(" bgp confederation peers %s", strings.Join(parts, " "))
+		}
+		if g.NoSynchronize {
+			w(" no synchronization")
+		}
+		if g.NoAutoSummary {
+			w(" no auto-summary")
+		}
+		for _, r := range g.Redistribute {
+			w(" redistribute %s", r)
+		}
+		for _, n := range g.Networks {
+			w(" network %s mask %s", token.FormatIPv4(n.Addr), token.FormatIPv4(n.Mask))
+		}
+		for _, nb := range g.Neighbors {
+			a := token.FormatIPv4(nb.Addr)
+			w(" neighbor %s remote-as %d", a, nb.RemoteAS)
+			if nb.Description != "" {
+				w(" neighbor %s description %s", a, nb.Description)
+			}
+			if nb.UpdateSource != "" {
+				w(" neighbor %s update-source %s", a, nb.UpdateSource)
+			}
+			if nb.RRClient {
+				w(" neighbor %s route-reflector-client", a)
+			}
+			if nb.NextHopSelf {
+				w(" neighbor %s next-hop-self", a)
+			}
+			if nb.SendComm {
+				w(" neighbor %s send-community", a)
+			}
+			if nb.RouteMapIn != "" {
+				w(" neighbor %s route-map %s in", a, nb.RouteMapIn)
+			}
+			if nb.RouteMapOut != "" {
+				w(" neighbor %s route-map %s out", a, nb.RouteMapOut)
+			}
+		}
+		for _, e := range g.Extra {
+			w(" %s", e)
+		}
+		bang()
+	}
+	for _, rm := range c.RouteMaps {
+		for _, cl := range rm.Clauses {
+			w("route-map %s %s %d", rm.Name, cl.Action, cl.Seq)
+			for _, m := range cl.Matches {
+				w(" match %s %s", m.Type, strings.Join(m.Args, " "))
+			}
+			for _, s := range cl.Sets {
+				w(" set %s %s", s.Type, strings.Join(s.Args, " "))
+			}
+			bang()
+		}
+	}
+	for _, acl := range c.AccessLists {
+		for _, e := range acl.Entries {
+			var parts []string
+			parts = append(parts, fmt.Sprintf("access-list %d %s", acl.Number, e.Action))
+			if e.Proto != "" {
+				parts = append(parts, e.Proto)
+			}
+			parts = append(parts, renderACLAddr(e.Src, e.SrcWild, e.SrcAny, e.SrcHost))
+			if e.HasDst {
+				parts = append(parts, renderACLAddr(e.Dst, e.DstWild, e.DstAny, e.DstHost))
+			}
+			if e.Trailing != "" {
+				parts = append(parts, e.Trailing)
+			}
+			w("%s", strings.Join(parts, " "))
+		}
+	}
+	for _, cl := range c.CommunityLists {
+		for _, e := range cl.Entries {
+			w("ip community-list %d %s %s", cl.Number, e.Action, e.Expr)
+		}
+	}
+	for _, al := range c.ASPathLists {
+		for _, e := range al.Entries {
+			w("ip as-path access-list %d %s %s", al.Number, e.Action, e.Regex)
+		}
+	}
+	for _, sr := range c.StaticRoutes {
+		if sr.NextHopIface != "" {
+			w("ip route %s %s %s", token.FormatIPv4(sr.Dest), token.FormatIPv4(sr.Mask), sr.NextHopIface)
+		} else {
+			w("ip route %s %s %s", token.FormatIPv4(sr.Dest), token.FormatIPv4(sr.Mask), token.FormatIPv4(sr.NextHop))
+		}
+	}
+	for _, s := range c.SNMPCommunities {
+		w("snmp-server community %s", s)
+	}
+	for _, d := range c.DialerStrings {
+		w("dialer string %s", d)
+	}
+	for _, e := range c.Extra {
+		w("%s", e)
+	}
+	w("end")
+	return b.String()
+}
+
+func renderACLAddr(addr, wild uint32, any, host bool) string {
+	switch {
+	case any:
+		return "any"
+	case host:
+		return "host " + token.FormatIPv4(addr)
+	default:
+		return token.FormatIPv4(addr) + " " + token.FormatIPv4(wild)
+	}
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}

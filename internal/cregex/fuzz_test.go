@@ -1,0 +1,165 @@
+package cregex
+
+import (
+	"errors"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// randPattern generates a random valid pattern from the dialect grammar.
+func randPattern(rng *rand.Rand, depth int) string {
+	var b strings.Builder
+	n := 1 + rng.Intn(4)
+	for i := 0; i < n; i++ {
+		writeAtom(rng, &b, depth)
+	}
+	return b.String()
+}
+
+func writeAtom(rng *rand.Rand, b *strings.Builder, depth int) {
+	choice := rng.Intn(10)
+	if depth <= 0 && choice >= 7 {
+		choice = rng.Intn(7)
+	}
+	switch choice {
+	case 0, 1, 2:
+		// Literal digit run.
+		for k := 0; k <= rng.Intn(3); k++ {
+			b.WriteByte(byte('0' + rng.Intn(10)))
+		}
+	case 3:
+		b.WriteByte('.')
+	case 4:
+		b.WriteByte('_')
+	case 5:
+		// Class with a range.
+		lo := rng.Intn(8)
+		hi := lo + 1 + rng.Intn(9-lo-1)
+		b.WriteByte('[')
+		if rng.Intn(4) == 0 {
+			b.WriteByte('^')
+		}
+		b.WriteByte(byte('0' + lo))
+		b.WriteByte('-')
+		b.WriteByte(byte('0' + hi))
+		b.WriteByte(']')
+	case 6:
+		// Repeat of a simple atom.
+		b.WriteByte(byte('0' + rng.Intn(10)))
+		b.WriteString([]string{"*", "+", "?"}[rng.Intn(3)])
+	case 7, 8:
+		// Group, possibly alternation.
+		b.WriteByte('(')
+		b.WriteString(randPattern(rng, depth-1))
+		if rng.Intn(2) == 0 {
+			b.WriteByte('|')
+			b.WriteString(randPattern(rng, depth-1))
+		}
+		b.WriteByte(')')
+	case 9:
+		// Starred group.
+		b.WriteByte('(')
+		b.WriteString(randPattern(rng, depth-1))
+		b.WriteString(")*")
+	}
+}
+
+// TestFuzzDFAAgainstNFA cross-checks the lazy-DFA enumeration against the
+// direct NFA simulation over randomly generated grammar-valid patterns.
+func TestFuzzDFAAgainstNFA(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for i := 0; i < 200; i++ {
+		p := randPattern(rng, 2)
+		re, err := Parse(p)
+		if err != nil {
+			t.Fatalf("generator produced invalid pattern %q: %v", p, err)
+		}
+		fast := re.Language()
+		slow := re.languageNFA()
+		if !languagesEqual(fast, slow) {
+			t.Fatalf("DFA/NFA disagree on %q: %d vs %d values", p, len(fast), len(slow))
+		}
+	}
+}
+
+// TestFuzzStringRoundTrip: reprinting a random pattern yields the same
+// language.
+func TestFuzzStringRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	for i := 0; i < 200; i++ {
+		p := randPattern(rng, 2)
+		re, err := Parse(p)
+		if err != nil {
+			t.Fatalf("invalid pattern %q: %v", p, err)
+		}
+		re2, err := Parse(re.String())
+		if err != nil {
+			t.Fatalf("reprint of %q unparseable: %q: %v", p, re.String(), err)
+		}
+		if !languagesEqual(re.Language(), re2.Language()) {
+			t.Fatalf("reprint of %q changed language (reprint %q)", p, re.String())
+		}
+	}
+}
+
+// TestFuzzRewriteBijection: for random patterns, the rewrite accepts
+// exactly the permuted language.
+func TestFuzzRewriteBijection(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	checked := 0
+	for i := 0; i < 150; i++ {
+		p := randPattern(rng, 2)
+		orig, err := Parse(p)
+		if err != nil {
+			t.Fatalf("invalid pattern %q: %v", p, err)
+		}
+		lang := orig.Language()
+		if len(lang) > 20000 {
+			continue // alternation of 20k+ values: slow, covered elsewhere
+		}
+		res, err := RewriteASN(p, testPerm, Alternation)
+		if errors.Is(err, ErrUndecomposable) {
+			// Conservative fallback: the caller hashes the whole pattern,
+			// which can never leak. Only acceptable when the original
+			// language really is empty (nothing verifiable to preserve).
+			if len(lang) != 0 {
+				t.Fatalf("%q declared undecomposable but accepts %d values", p, len(lang))
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("rewrite of %q failed: %v", p, err)
+		}
+		rew, err := Parse(res.Pattern)
+		if err != nil {
+			t.Fatalf("rewrite of %q unparseable: %q: %v", p, res.Pattern, err)
+		}
+		want := make(map[uint32]bool, len(lang))
+		for _, v := range lang {
+			want[testPerm(v)] = true
+		}
+		got := rew.Language()
+		if len(got) != len(want) {
+			t.Fatalf("rewrite of %q: language size %d, want %d (pattern %q)",
+				p, len(got), len(want), truncatePat(res.Pattern))
+		}
+		for _, v := range got {
+			if !want[v] {
+				t.Fatalf("rewrite of %q accepts %d not in permuted language", p, v)
+			}
+		}
+		checked++
+	}
+	if checked < 30 {
+		t.Errorf("only %d patterns exercised the bijection check", checked)
+	}
+}
+
+func truncatePat(p string) string {
+	if len(p) > 120 {
+		return p[:120] + "...(" + strconv.Itoa(len(p)) + " chars)"
+	}
+	return p
+}

@@ -1,0 +1,130 @@
+package cregex
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lazy DFA for fast language enumeration. Language() applies the regexp
+// to all 2^16 values of the universe; simulating the NFA per value costs
+// O(len * states) each, whereas the subset-construction DFA costs O(len)
+// per value after each distinct state set has been expanded once.
+//
+// Boundary assertions keep this subtle: a state set reached mid-token must
+// not have crossed boundary edges, but acceptance is tested as if the
+// token ended at the current position. Each cached DFA state therefore
+// stores its mid-token closure and a lazily computed accept flag that
+// applies the boundary closure.
+
+type dnode struct {
+	set    []bool
+	trans  map[byte]*dnode
+	accept bool
+}
+
+type lazyDFA struct {
+	prog  *program
+	nodes map[string]*dnode
+	start *dnode
+}
+
+func (p *program) key(set []bool) string {
+	var b strings.Builder
+	for s, in := range set {
+		if in {
+			b.WriteString(strconv.Itoa(s))
+			b.WriteByte(',')
+		}
+	}
+	return b.String()
+}
+
+func newLazyDFA(p *program) *lazyDFA {
+	d := &lazyDFA{prog: p, nodes: make(map[string]*dnode)}
+	init := make([]bool, len(p.edges))
+	init[p.start] = true
+	p.closure(init, true) // position 0 is a boundary
+	d.start = d.intern(init)
+	return d
+}
+
+func (d *lazyDFA) intern(set []bool) *dnode {
+	k := d.prog.key(set)
+	if n, ok := d.nodes[k]; ok {
+		return n
+	}
+	final := append([]bool(nil), set...)
+	d.prog.closure(final, true)
+	n := &dnode{set: set, trans: make(map[byte]*dnode), accept: final[d.prog.accept]}
+	d.nodes[k] = n
+	return n
+}
+
+// step returns the DFA state after consuming c mid-token, or nil when the
+// token is rejected.
+func (d *lazyDFA) step(n *dnode, c byte) *dnode {
+	if next, ok := n.trans[c]; ok {
+		return next
+	}
+	set := make([]bool, len(d.prog.edges))
+	any := false
+	for s, in := range n.set {
+		if !in {
+			continue
+		}
+		for _, e := range d.prog.edges[s] {
+			if e.kind == edgeChar && e.set.Has(c) {
+				set[e.to] = true
+				any = true
+			}
+		}
+	}
+	var next *dnode
+	if any {
+		d.prog.closure(set, false)
+		next = d.intern(set)
+	}
+	n.trans[c] = next
+	return next
+}
+
+func (re *Regexp) dfa() *lazyDFA {
+	if re.lazy == nil {
+		re.lazy = newLazyDFA(re.prog)
+	}
+	return re.lazy
+}
+
+// languageDFA enumerates the accepted universe values using the lazy DFA.
+// It walks the digit trie of valid decimal spellings (no leading zeros)
+// so shared prefixes are expanded once.
+func (re *Regexp) languageDFA() []uint32 {
+	d := re.dfa()
+	var out []uint32
+	if n := d.step(d.start, '0'); n != nil && n.accept {
+		out = append(out, 0)
+	}
+	var walk func(n *dnode, val uint32)
+	walk = func(n *dnode, val uint32) {
+		if n.accept {
+			out = append(out, val)
+		}
+		for c := byte('0'); c <= '9'; c++ {
+			v := val*10 + uint32(c-'0')
+			if v >= Universe {
+				break
+			}
+			if next := d.step(n, c); next != nil {
+				walk(next, v)
+			}
+		}
+	}
+	for c := byte('1'); c <= '9'; c++ {
+		if n := d.step(d.start, c); n != nil {
+			walk(n, uint32(c-'0'))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

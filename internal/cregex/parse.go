@@ -1,0 +1,381 @@
+// Package cregex implements the regular-expression machinery the paper
+// needs to anonymize AS numbers and BGP community attributes that appear
+// inside routing-policy regexps (§4.4, §4.5).
+//
+// The dialect is the Cisco IOS AS-path/community regexp language: decimal
+// literals, '.', character classes with ranges and negation, grouping,
+// alternation, the postfix operators '*', '+', '?', and the boundary
+// tokens '_', '^', '$'. In IOS, '_' matches a delimiter or the start or
+// end of the input; when a regexp is applied to a single AS number or
+// community value (the paper's language-enumeration trick applies the
+// regexp "to a list of all 2^16 ASNs"), the boundary tokens become
+// zero-width assertions satisfiable only at the ends of the token. That is
+// the matching semantics implemented here.
+//
+// The package provides:
+//
+//   - parsing to an AST (Parse),
+//   - full-token matching via Thompson NFA simulation (Regexp.MatchToken),
+//   - enumeration of the accepted language over the 16-bit ASN/value
+//     universe (Regexp.Language),
+//   - rewriting of a regexp under an ASN permutation so that the new
+//     regexp accepts exactly the permuted language (Rewrite*, in
+//     rewrite.go), in both the paper's alternation form and the
+//     minimal-DFA form the paper mentions as an available refinement
+//     (dfa.go).
+package cregex
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is an AST node. The concrete types are Lit, Class, Any, Bound,
+// Concat, Alt, Repeat, and Group.
+type Node interface {
+	writeTo(b *strings.Builder)
+}
+
+// Lit matches one literal byte.
+type Lit struct{ C byte }
+
+// Any matches any single byte of the alphabet ('.').
+type Any struct{}
+
+// Bound is a zero-width boundary assertion: '_', '^', or '$'. Sym records
+// which token was written so the regexp can be reprinted faithfully.
+type Bound struct{ Sym byte }
+
+// Class matches one byte from a set (or its complement when Neg is set).
+type Class struct {
+	Neg bool
+	Set ByteSet
+}
+
+// Concat matches its subexpressions in sequence.
+type Concat struct{ Subs []Node }
+
+// Alt matches any one of its alternatives.
+type Alt struct{ Subs []Node }
+
+// Group is an explicit parenthesized subexpression.
+type Group struct{ Sub Node }
+
+// Repeat matches Sub repeated: Op is '*', '+', or '?'.
+type Repeat struct {
+	Sub Node
+	Op  byte
+}
+
+// ByteSet is a set of byte values.
+type ByteSet [4]uint64
+
+// Add inserts b into the set.
+func (s *ByteSet) Add(b byte) { s[b>>6] |= 1 << (b & 63) }
+
+// Has reports membership.
+func (s *ByteSet) Has(b byte) bool { return s[b>>6]&(1<<(b&63)) != 0 }
+
+// AddRange inserts the inclusive range [lo, hi].
+func (s *ByteSet) AddRange(lo, hi byte) {
+	for c := int(lo); c <= int(hi); c++ {
+		s.Add(byte(c))
+	}
+}
+
+// Union merges o into s.
+func (s *ByteSet) Union(o ByteSet) {
+	for i := range s {
+		s[i] |= o[i]
+	}
+}
+
+// Count returns the number of members.
+func (s ByteSet) Count() int {
+	n := 0
+	for _, w := range s {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Regexp is a parsed pattern together with its compiled NFA and a lazily
+// constructed DFA used for language enumeration.
+type Regexp struct {
+	Src  string
+	Root Node
+	prog *program
+	lazy *lazyDFA
+}
+
+// SyntaxError describes a parse failure.
+type SyntaxError struct {
+	Pattern string
+	Pos     int
+	Msg     string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("cregex: %s at position %d in %q", e.Msg, e.Pos, e.Pattern)
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+// Parse parses a Cisco-dialect regexp and compiles it for matching.
+func Parse(pattern string) (*Regexp, error) {
+	p := &parser{src: pattern}
+	root, err := p.parseAlt()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.src) {
+		return nil, &SyntaxError{pattern, p.pos, "unexpected character"}
+	}
+	re := &Regexp{Src: pattern, Root: root}
+	re.prog = compile(root)
+	return re, nil
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return &SyntaxError{p.src, p.pos, fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) parseAlt() (Node, error) {
+	first, err := p.parseConcat()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos >= len(p.src) || p.src[p.pos] != '|' {
+		return first, nil
+	}
+	alt := &Alt{Subs: []Node{first}}
+	for p.pos < len(p.src) && p.src[p.pos] == '|' {
+		p.pos++
+		sub, err := p.parseConcat()
+		if err != nil {
+			return nil, err
+		}
+		alt.Subs = append(alt.Subs, sub)
+	}
+	return alt, nil
+}
+
+func (p *parser) parseConcat() (Node, error) {
+	var subs []Node
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '|' || c == ')' {
+			break
+		}
+		atom, err := p.parseRepeat()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, atom)
+	}
+	switch len(subs) {
+	case 0:
+		return &Concat{}, nil // empty expression matches the empty string
+	case 1:
+		return subs[0], nil
+	default:
+		return &Concat{Subs: subs}, nil
+	}
+}
+
+func (p *parser) parseRepeat() (Node, error) {
+	atom, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for p.pos < len(p.src) {
+		op := p.src[p.pos]
+		if op != '*' && op != '+' && op != '?' {
+			break
+		}
+		if _, isBound := atom.(*Bound); isBound {
+			return nil, p.errf("repetition of boundary assertion")
+		}
+		p.pos++
+		atom = &Repeat{Sub: atom, Op: op}
+	}
+	return atom, nil
+}
+
+func (p *parser) parseAtom() (Node, error) {
+	if p.pos >= len(p.src) {
+		return nil, p.errf("unexpected end of pattern")
+	}
+	c := p.src[p.pos]
+	switch c {
+	case '(':
+		p.pos++
+		sub, err := p.parseAlt()
+		if err != nil {
+			return nil, err
+		}
+		if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+			return nil, p.errf("missing closing parenthesis")
+		}
+		p.pos++
+		return &Group{Sub: sub}, nil
+	case '[':
+		return p.parseClass()
+	case '.':
+		p.pos++
+		return &Any{}, nil
+	case '_', '^', '$':
+		p.pos++
+		return &Bound{Sym: c}, nil
+	case '*', '+', '?':
+		return nil, p.errf("repetition operator with nothing to repeat")
+	case ')':
+		return nil, p.errf("unmatched closing parenthesis")
+	case '\\':
+		if p.pos+1 >= len(p.src) {
+			return nil, p.errf("trailing backslash")
+		}
+		p.pos += 2
+		return &Lit{C: p.src[p.pos-1]}, nil
+	default:
+		p.pos++
+		return &Lit{C: c}, nil
+	}
+}
+
+func (p *parser) parseClass() (Node, error) {
+	p.pos++ // consume '['
+	cl := &Class{}
+	if p.pos < len(p.src) && p.src[p.pos] == '^' {
+		cl.Neg = true
+		p.pos++
+	}
+	if p.pos < len(p.src) && p.src[p.pos] == ']' {
+		// A literal ']' first is permitted, as in POSIX.
+		cl.Set.Add(']')
+		p.pos++
+	}
+	for {
+		if p.pos >= len(p.src) {
+			return nil, p.errf("missing closing bracket")
+		}
+		c := p.src[p.pos]
+		if c == ']' {
+			p.pos++
+			return cl, nil
+		}
+		p.pos++
+		if p.pos+1 < len(p.src) && p.src[p.pos] == '-' && p.src[p.pos+1] != ']' {
+			hi := p.src[p.pos+1]
+			if hi < c {
+				return nil, p.errf("invalid class range %c-%c", c, hi)
+			}
+			cl.Set.AddRange(c, hi)
+			p.pos += 2
+		} else {
+			cl.Set.Add(c)
+		}
+	}
+}
+
+// String reprints the AST as a pattern string. Parse(re.String()) accepts
+// the same language as re.
+func (re *Regexp) String() string {
+	var b strings.Builder
+	re.Root.writeTo(&b)
+	return b.String()
+}
+
+func (n *Lit) writeTo(b *strings.Builder) {
+	switch n.C {
+	case '(', ')', '[', ']', '*', '+', '?', '.', '|', '^', '$', '_', '\\':
+		b.WriteByte('\\')
+	}
+	b.WriteByte(n.C)
+}
+
+func (n *Any) writeTo(b *strings.Builder)   { b.WriteByte('.') }
+func (n *Bound) writeTo(b *strings.Builder) { b.WriteByte(n.Sym) }
+
+func (n *Class) writeTo(b *strings.Builder) {
+	b.WriteByte('[')
+	if n.Neg {
+		b.WriteByte('^')
+	}
+	// Emit members as compact ranges.
+	c := 0
+	for c < 256 {
+		if !n.Set.Has(byte(c)) {
+			c++
+			continue
+		}
+		lo := c
+		for c < 256 && n.Set.Has(byte(c)) {
+			c++
+		}
+		hi := c - 1
+		writeClassChar(b, byte(lo))
+		if hi > lo {
+			if hi > lo+1 {
+				b.WriteByte('-')
+			}
+			writeClassChar(b, byte(hi))
+		}
+	}
+	b.WriteByte(']')
+}
+
+func writeClassChar(b *strings.Builder, c byte) {
+	if c == ']' || c == '\\' || c == '-' || c == '^' {
+		b.WriteByte('\\')
+	}
+	b.WriteByte(c)
+}
+
+func (n *Concat) writeTo(b *strings.Builder) {
+	for _, s := range n.Subs {
+		if alt, ok := s.(*Alt); ok {
+			b.WriteByte('(')
+			alt.writeTo(b)
+			b.WriteByte(')')
+			continue
+		}
+		s.writeTo(b)
+	}
+}
+
+func (n *Alt) writeTo(b *strings.Builder) {
+	for i, s := range n.Subs {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		s.writeTo(b)
+	}
+}
+
+func (n *Group) writeTo(b *strings.Builder) {
+	b.WriteByte('(')
+	n.Sub.writeTo(b)
+	b.WriteByte(')')
+}
+
+func (n *Repeat) writeTo(b *strings.Builder) {
+	needsParens := false
+	switch n.Sub.(type) {
+	case *Concat, *Alt, *Repeat:
+		needsParens = true
+	}
+	if needsParens {
+		b.WriteByte('(')
+	}
+	n.Sub.writeTo(b)
+	if needsParens {
+		b.WriteByte(')')
+	}
+	b.WriteByte(n.Op)
+}

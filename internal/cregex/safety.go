@@ -1,0 +1,246 @@
+package cregex
+
+// Decomposability analysis for the rewriter. Rewriting each number atom
+// independently is only sound when atoms cannot juxtapose digits across
+// their boundaries: in "32(.|(59?))92" the middle group can contribute
+// digits (or nothing) directly between the literal runs, so "32" is not a
+// standalone AS number and must not be permuted as one. The predicates
+// below conservatively over-approximate each node's language edges; when a
+// digity run's neighbor can match empty or can touch it with a digit, the
+// rewriter falls back to enumerating the whole expression.
+
+// canMatchEmpty reports whether the node can match the empty string
+// (boundary assertions are zero-width and count as empty-capable).
+func canMatchEmpty(n Node) bool {
+	switch n := n.(type) {
+	case *Lit, *Any, *Class:
+		return false
+	case *Bound:
+		return true
+	case *Group:
+		return canMatchEmpty(n.Sub)
+	case *Repeat:
+		if n.Op == '*' || n.Op == '?' {
+			return true
+		}
+		return canMatchEmpty(n.Sub)
+	case *Concat:
+		for _, s := range n.Subs {
+			if !canMatchEmpty(s) {
+				return false
+			}
+		}
+		return true
+	case *Alt:
+		for _, s := range n.Subs {
+			if canMatchEmpty(s) {
+				return true
+			}
+		}
+		return len(n.Subs) == 0
+	default:
+		return true // unknown node: be conservative
+	}
+}
+
+// canStartWithDigit reports whether some string in the node's language can
+// begin with a digit.
+func canStartWithDigit(n Node) bool { return edgeDigit(n, true) }
+
+// canEndWithDigit reports whether some string in the node's language can
+// end with a digit.
+func canEndWithDigit(n Node) bool { return edgeDigit(n, false) }
+
+func edgeDigit(n Node, start bool) bool {
+	switch n := n.(type) {
+	case *Lit:
+		return n.C >= '0' && n.C <= '9'
+	case *Any:
+		return true
+	case *Class:
+		if n.Neg {
+			// A negated class over the alphabet may still admit digits.
+			for c := byte('0'); c <= '9'; c++ {
+				if !n.Set.Has(c) {
+					return true
+				}
+			}
+			return false
+		}
+		for c := byte('0'); c <= '9'; c++ {
+			if n.Set.Has(c) {
+				return true
+			}
+		}
+		return false
+	case *Bound:
+		return false
+	case *Group:
+		return edgeDigit(n.Sub, start)
+	case *Repeat:
+		return edgeDigit(n.Sub, start)
+	case *Concat:
+		if start {
+			for _, s := range n.Subs {
+				if edgeDigit(s, true) {
+					return true
+				}
+				if !canMatchEmpty(s) {
+					return false
+				}
+			}
+			return false
+		}
+		for i := len(n.Subs) - 1; i >= 0; i-- {
+			if edgeDigit(n.Subs[i], false) {
+				return true
+			}
+			if !canMatchEmpty(n.Subs[i]) {
+				return false
+			}
+		}
+		return false
+	case *Alt:
+		for _, s := range n.Subs {
+			if edgeDigit(s, start) {
+				return true
+			}
+		}
+		return false
+	default:
+		return true
+	}
+}
+
+// isBoundary reports whether the node is a boundary assertion (possibly
+// wrapped in groups). A boundary is always a safe atom separator: in the
+// AS-path semantics '_' consumes a delimiter, and in full-token semantics
+// it pins a string edge — either way digits cannot juxtapose across it.
+func isBoundary(n Node) bool {
+	switch n := n.(type) {
+	case *Bound:
+		return true
+	case *Group:
+		return isBoundary(n.Sub)
+	}
+	return false
+}
+
+// decomposable reports whether every number atom in the tree is cleanly
+// delimited, so each can be enumerated and permuted independently. ctxL
+// (ctxR) says whether, in the surrounding expression, a digit could
+// immediately precede (follow) whatever this subtree matches — if a digity
+// atom touches such a context, permuting it alone would rewrite a fragment
+// of a larger number.
+//
+// A second hazard is an atom that can match the empty string (like "3*"):
+// replacing it with an alternation of numbers removes the empty match and
+// distorts the surrounding expression. Such atoms are only safe when the
+// rewrite would leave them unchanged anyway (universe-accepting like ".*",
+// or nothing to rewrite), which rw.atomSafeIfEmpty checks by enumeration.
+func (rw *rewriter) decomposable(n Node, ctxL, ctxR bool) bool {
+	if digity(n) {
+		return !ctxL && !ctxR && rw.atomSafeIfEmpty(n)
+	}
+	switch n := n.(type) {
+	case *Lit, *Any, *Class, *Bound:
+		return true // non-digit terminal: no atoms inside
+	case *Group:
+		return rw.decomposable(n.Sub, ctxL, ctxR)
+	case *Alt:
+		for _, s := range n.Subs {
+			if !rw.decomposable(s, ctxL, ctxR) {
+				return false
+			}
+		}
+		return true
+	case *Repeat:
+		subL, subR := ctxL, ctxR
+		if n.Op == '*' || n.Op == '+' {
+			// Iterations adjoin: the sub's own edges face each other.
+			subL = subL || canEndWithDigit(n.Sub)
+			subR = subR || canStartWithDigit(n.Sub)
+		}
+		return rw.decomposable(n.Sub, subL, subR)
+	case *Concat:
+		k := len(n.Subs)
+		// dl[i]: can a digit touch element i from the left.
+		dl := make([]bool, k)
+		dr := make([]bool, k)
+		for i := 0; i < k; i++ {
+			if i == 0 {
+				dl[i] = ctxL
+				continue
+			}
+			prev := n.Subs[i-1]
+			switch {
+			case isBoundary(prev):
+				dl[i] = false
+			case canEndWithDigit(prev):
+				dl[i] = true
+			case canMatchEmpty(prev):
+				dl[i] = dl[i-1]
+			default:
+				dl[i] = false
+			}
+		}
+		for i := k - 1; i >= 0; i-- {
+			if i == k-1 {
+				dr[i] = ctxR
+				continue
+			}
+			next := n.Subs[i+1]
+			switch {
+			case isBoundary(next):
+				dr[i] = false
+			case canStartWithDigit(next):
+				dr[i] = true
+			case canMatchEmpty(next):
+				dr[i] = dr[i+1]
+			default:
+				dr[i] = false
+			}
+		}
+		i := 0
+		for i < k {
+			if digity(n.Subs[i]) {
+				j := i
+				for j < k && digity(n.Subs[j]) {
+					j++
+				}
+				if dl[i] || dr[j-1] {
+					return false
+				}
+				run := Node(&Concat{Subs: n.Subs[i:j]})
+				if j-i == 1 {
+					run = n.Subs[i]
+				}
+				if !rw.atomSafeIfEmpty(run) {
+					return false
+				}
+				i = j
+				continue
+			}
+			if !rw.decomposable(n.Subs[i], dl[i], dr[i]) {
+				return false
+			}
+			i++
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// atomSafeIfEmpty guards the empty-match hazard: an atom that can match
+// the empty string may only be rewritten in place when the rewrite leaves
+// it unchanged.
+func (rw *rewriter) atomSafeIfEmpty(atom Node) bool {
+	if !canMatchEmpty(atom) {
+		return true
+	}
+	sub := &Regexp{Root: atom}
+	sub.prog = compile(atom)
+	lang := sub.Language()
+	return len(lang) == 0 || AcceptsAll(lang) || !rw.needsRewrite(lang)
+}

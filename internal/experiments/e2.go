@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"strings"
+
+	"confanon/internal/anonymizer"
+	"confanon/internal/config"
+	"confanon/internal/cregex"
+	"confanon/internal/ipanon"
+)
+
+// Figure1 is the paper's worked example configuration (§2, Figure 1).
+const Figure1 = `hostname cr1.lax.foo.com
+!
+banner motd ^C
+FooNet contact xxx@foo.com
+Access strictly prohibited!
+^C
+!
+interface Ethernet0
+ description Foo Corp's LAX Main St offices
+ ip address 1.1.1.1 255.255.255.0
+!
+interface Serial1/0.5 point-to-point
+ description cr1.sfo-serial3/0.8
+ ip address 2.2.129.2 255.255.255.252
+!
+router bgp 1111
+ redistribute rip
+ neighbor 2.2.2.2 remote-as 701
+ neighbor 2.2.2.2 route-map UUNET-import in
+ neighbor 2.2.2.2 route-map UUNET-export out
+!
+route-map UUNET-import deny 10
+ match as-path 50
+ match community 100
+!
+route-map UUNET-import permit 20
+!
+route-map UUNET-export permit 10
+ match ip address 143
+ set community 701:7100
+!
+access-list 143 permit ip 1.1.1.0 0.0.0.255 any
+ip community-list 100 permit 701:7[1-5]..
+ip as-path access-list 50 permit (_1239_|_70[2-5]_)
+!
+router rip
+ network 1.0.0.0
+end
+`
+
+// E2Figure1 anonymizes Figure 1 and verifies each requirement the paper
+// enumerates for it: (1) comments removed; (2) the owner's public ASN
+// transformed; (3) publicly routable addresses transformed with masks
+// untouched and subnet structure preserved; (4) all external-peer data
+// (addresses, ASNs, route-map names, communities) transformed with
+// referential integrity and regexp languages preserved.
+func E2Figure1() E2Result {
+	a := anonymizer.New(anonymizer.Options{Salt: []byte("figure1")})
+	out := a.AnonymizeText(Figure1)
+	c := config.Parse(out)
+	var r E2Result
+	check := func(name string, ok bool) { r.Checks = append(r.Checks, E2Check{name, ok}) }
+
+	// (1) Comments, banner text, and hostname identity removed.
+	leakFree := true
+	for _, s := range []string{"foo", "Foo", "FooNet", "LAX", "lax", "Main", "offices", "sfo", "prohibited"} {
+		if strings.Contains(out, s) {
+			leakFree = false
+		}
+	}
+	check("comments-and-identity-removed", leakFree)
+
+	// (2) Owner ASN 1111 and peer ASNs gone as standalone tokens.
+	asnGone := true
+	for _, line := range strings.Split(out, "\n") {
+		for _, w := range strings.Fields(line) {
+			if w == "1111" || w == "701" || w == "1239" {
+				asnGone = false
+			}
+		}
+	}
+	check("public-asns-permuted", asnGone)
+
+	// (3) Addresses moved, masks fixed.
+	check("netmasks-unchanged",
+		strings.Contains(out, "255.255.255.0") && strings.Contains(out, "255.255.255.252") &&
+			strings.Contains(out, "0.0.0.255"))
+	check("addresses-changed",
+		!strings.Contains(out, "1.1.1.1 ") && !strings.Contains(out, " 2.2.2.2\n") &&
+			!strings.Contains(out, "1.1.1.1\n"))
+
+	// Subnet structure: RIP classful net contains the interface; ACL
+	// source equals the interface subnet; class preserved.
+	e0 := c.Interface("Ethernet0")
+	okSubnet := false
+	okClass := false
+	if c.RIP != nil && len(c.RIP.Networks) == 1 && e0 != nil && e0.HasAddress {
+		net := c.RIP.Networks[0]
+		okSubnet = net&config.LenToMask(8) == e0.Address.Addr&config.LenToMask(8) &&
+			net&^config.LenToMask(8) == 0
+		okClass = ipanon.Class(net) == 'A'
+	}
+	check("subnet-contains-preserved", okSubnet)
+	check("class-preserved", okClass)
+	okACL := false
+	if acl := c.AccessList(143); acl != nil && len(acl.Entries) == 1 && e0 != nil {
+		okACL = acl.Entries[0].Src == e0.Address.Addr&config.LenToMask(24)
+	}
+	check("acl-interface-subnet-relationship", okACL)
+
+	// (4) Referential integrity: neighbor's route-maps exist under their
+	// new names.
+	okRefs := false
+	if c.BGP != nil && len(c.BGP.Neighbors) == 1 {
+		nb := c.BGP.Neighbors[0]
+		okRefs = nb.RouteMapIn != "" && nb.RouteMapIn != "UUNET-import" &&
+			c.RouteMap(nb.RouteMapIn) != nil && c.RouteMap(nb.RouteMapOut) != nil
+	}
+	check("referential-integrity", okRefs)
+
+	// Regexp language preserved under the permutation.
+	okRegex := false
+	if al := c.ASPathList(50); al != nil && len(al.Entries) == 1 {
+		if re, err := cregex.Parse(al.Entries[0].Regex); err == nil {
+			okRegex = true
+			for _, v := range []uint32{1239, 702, 703, 704, 705} {
+				if !re.MatchASN(a.MapASN(v)) {
+					okRegex = false
+				}
+			}
+			if len(re.Language()) != 5 {
+				okRegex = false
+			}
+		}
+	}
+	check("aspath-regexp-language-preserved", okRegex)
+
+	// Community regexp parseable and consistent with the literal
+	// community in the export map.
+	okComm := false
+	if cl := c.CommunityList(100); cl != nil && len(cl.Entries) == 1 {
+		if re, err := cregex.Parse(cl.Entries[0].Expr); err == nil {
+			for _, rm := range c.RouteMaps {
+				for _, clause := range rm.Clauses {
+					for _, set := range clause.Sets {
+						if set.Type == "community" && len(set.Args) > 0 && re.MatchToken(set.Args[0]) {
+							okComm = true
+						}
+					}
+				}
+			}
+		}
+	}
+	check("community-regexp-consistent-with-literal", okComm)
+
+	// Leak report clean.
+	check("leak-report-clean", len(a.LeakReport(out)) == 0)
+	return r
+}

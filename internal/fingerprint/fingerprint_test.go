@@ -1,0 +1,114 @@
+package fingerprint
+
+import (
+	"testing"
+
+	"confanon/internal/anonymizer"
+	"confanon/internal/config"
+	"confanon/internal/netgen"
+)
+
+func genConfigs(seed int64, kind netgen.Kind, routers int, compart bool) []*config.Config {
+	n := netgen.Generate(netgen.Params{Seed: seed, Kind: kind, Routers: routers, Compartmentalized: compart})
+	var out []*config.Config
+	for _, text := range n.RenderAll() {
+		out = append(out, config.Parse(text))
+	}
+	return out
+}
+
+func TestSubnetFingerprintSurvivesAnonymization(t *testing.T) {
+	// The attack premise of §6.2: the subnet-size histogram is identical
+	// pre and post anonymization.
+	n := netgen.Generate(netgen.Params{Seed: 1, Kind: netgen.Backbone, Routers: 20})
+	a := anonymizer.New(anonymizer.Options{Salt: []byte(n.Salt)})
+	var pre, post []*config.Config
+	for _, text := range n.RenderAll() {
+		pre = append(pre, config.Parse(text))
+		post = append(post, config.Parse(a.AnonymizeText(text)))
+	}
+	if SubnetOf(pre).Key() != SubnetOf(post).Key() {
+		t.Errorf("subnet fingerprint changed:\npre:  %s\npost: %s",
+			SubnetOf(pre).Key(), SubnetOf(post).Key())
+	}
+	if PeeringOf(pre).Key() != PeeringOf(post).Key() {
+		t.Errorf("peering fingerprint changed:\npre:  %s\npost: %s",
+			PeeringOf(pre).Key(), PeeringOf(post).Key())
+	}
+}
+
+func TestSubnetFingerprintNonEmpty(t *testing.T) {
+	cfgs := genConfigs(2, netgen.Backbone, 15, false)
+	fp := SubnetOf(cfgs)
+	if fp[30] == 0 {
+		t.Errorf("no /30s in a backbone: %v", fp)
+	}
+	if fp[32] == 0 {
+		t.Errorf("no loopback /32s: %v", fp)
+	}
+	if fp.Key() == "" {
+		t.Error("empty key")
+	}
+}
+
+func TestPeeringFingerprint(t *testing.T) {
+	cfgs := genConfigs(3, netgen.Backbone, 25, false)
+	p := PeeringOf(cfgs)
+	if len(p.SessionsPerRouter) == 0 {
+		t.Fatal("no peering routers found")
+	}
+	for i := 1; i < len(p.SessionsPerRouter); i++ {
+		if p.SessionsPerRouter[i] < p.SessionsPerRouter[i-1] {
+			t.Fatal("sessions not sorted")
+		}
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	keys := []string{"a", "a", "b", "c", "c", "c"}
+	u := Analyze(keys)
+	if u.Networks != 6 || u.Distinct != 3 || u.Unique != 1 {
+		t.Errorf("analysis wrong: %+v", u)
+	}
+	if u.EntropyBits < 1.4 || u.EntropyBits > 1.5 { // H = 1.459
+		t.Errorf("entropy = %f", u.EntropyBits)
+	}
+	if len(u.AnonymitySets) != 3 || u.AnonymitySets[0] != 1 || u.AnonymitySets[2] != 3 {
+		t.Errorf("anonymity sets = %v", u.AnonymitySets)
+	}
+	if u.String() == "" {
+		t.Error("empty string rendering")
+	}
+}
+
+func TestAnalyzeAllUnique(t *testing.T) {
+	u := Analyze([]string{"a", "b", "c", "d"})
+	if u.Unique != 4 || u.EntropyBits != 2 {
+		t.Errorf("all-unique analysis wrong: %+v", u)
+	}
+}
+
+func TestCompartmentalizedDetection(t *testing.T) {
+	with := genConfigs(4, netgen.Enterprise, 20, true)
+	without := genConfigs(4, netgen.Enterprise, 20, false)
+	if !Compartmentalized(with) {
+		t.Error("compartmentalization not detected")
+	}
+	if Compartmentalized(without) {
+		t.Error("false positive on plain network")
+	}
+}
+
+func TestPopulationUniqueness(t *testing.T) {
+	// Over a modest population, subnet fingerprints are expected to be
+	// highly unique — the paper's conjectured risk.
+	var keys []string
+	for seed := int64(0); seed < 20; seed++ {
+		cfgs := genConfigs(seed, netgen.Backbone, 10+int(seed), false)
+		keys = append(keys, SubnetOf(cfgs).Key())
+	}
+	u := Analyze(keys)
+	if u.Unique < 15 {
+		t.Errorf("expected mostly-unique subnet fingerprints, got %+v", u)
+	}
+}

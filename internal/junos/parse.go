@@ -1,0 +1,363 @@
+package junos
+
+import (
+	"strconv"
+	"strings"
+
+	"confanon/internal/config"
+	"confanon/internal/token"
+)
+
+// stmt is one node of the brace tree: a statement (no kids) or a block.
+type stmt struct {
+	words []string
+	kids  []*stmt
+}
+
+// find returns the first child whose first word matches.
+func (s *stmt) find(head string) *stmt {
+	for _, k := range s.kids {
+		if len(k.words) > 0 && k.words[0] == head {
+			return k
+		}
+	}
+	return nil
+}
+
+// all returns every child whose first word matches.
+func (s *stmt) all(head string) []*stmt {
+	var out []*stmt
+	for _, k := range s.kids {
+		if len(k.words) > 0 && k.words[0] == head {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// arg returns the statement's nth argument (stripped of ';' and quotes).
+func (s *stmt) arg(n int) string {
+	if n+1 >= len(s.words) {
+		return ""
+	}
+	return cleanWord(s.words[n+1])
+}
+
+func cleanWord(w string) string {
+	w = strings.TrimSuffix(w, ";")
+	w = strings.Trim(w, "\"")
+	return w
+}
+
+// parseTree builds the statement tree from brace-structured text.
+func parseTree(text string) *stmt {
+	root := &stmt{}
+	stack := []*stmt{root}
+	for _, line := range strings.Split(text, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") ||
+			strings.HasPrefix(trimmed, "/*") || strings.HasPrefix(trimmed, "*") {
+			continue
+		}
+		if trimmed == "}" || trimmed == "};" {
+			if len(stack) > 1 {
+				stack = stack[:len(stack)-1]
+			}
+			continue
+		}
+		words := strings.Fields(trimmed)
+		cur := stack[len(stack)-1]
+		if strings.HasSuffix(trimmed, "{") {
+			words = words[:len(words)-1]
+			blk := &stmt{words: words}
+			cur.kids = append(cur.kids, blk)
+			stack = append(stack, blk)
+			continue
+		}
+		cur.kids = append(cur.kids, &stmt{words: words})
+	}
+	return root
+}
+
+// LooksLikeJunOS reports whether text is in the JunOS dialect (used for
+// automatic dialect detection when parsing mixed corpora).
+func LooksLikeJunOS(text string) bool {
+	return strings.Contains(text, "host-name ") &&
+		strings.Contains(text, "{")
+}
+
+// Parse recovers the typed configuration model from JunOS text (including
+// anonymized text). Unrecognized statements are ignored; the model covers
+// what the validation suites and the routing extractor measure.
+func Parse(text string) *config.Config {
+	c := &config.Config{}
+	root := parseTree(text)
+
+	if sys := root.find("system"); sys != nil {
+		if hn := sys.find("host-name"); hn != nil {
+			c.Hostname = hn.arg(0)
+		}
+		if dn := sys.find("domain-name"); dn != nil {
+			c.Domain = dn.arg(0)
+		}
+		for _, login := range sys.all("login") {
+			if msg := login.find("message"); msg != nil {
+				c.Banners = append(c.Banners, config.Banner{
+					Kind: "motd", Delim: '"',
+					Lines: []string{strings.Trim(strings.Join(msg.words[1:], " "), "\";")},
+				})
+			}
+			if login.find("user") != nil {
+				c.Users = append(c.Users, "junos login user")
+			}
+		}
+	}
+
+	if ifs := root.find("interfaces"); ifs != nil {
+		for _, blk := range ifs.kids {
+			if len(blk.words) != 1 || len(blk.kids) == 0 {
+				continue
+			}
+			ifc := &config.Interface{Name: blk.words[0]}
+			if d := blk.find("description"); d != nil {
+				ifc.Description = strings.Trim(strings.Join(d.words[1:], " "), "\";")
+			}
+			if blk.find("disable") != nil {
+				ifc.Shutdown = true
+			}
+			for _, unit := range blk.all("unit") {
+				if fam := unit.find("family"); fam != nil {
+					for _, ad := range fam.all("address") {
+						addr, length, ok := token.ParseIPv4Prefix(ad.arg(0))
+						if !ok {
+							continue
+						}
+						am := config.AddrMask{Addr: addr, Mask: config.LenToMask(length)}
+						if ifc.HasAddress {
+							ifc.Secondary = append(ifc.Secondary, am)
+						} else {
+							ifc.Address = am
+							ifc.HasAddress = true
+						}
+					}
+				}
+			}
+			c.Interfaces = append(c.Interfaces, ifc)
+		}
+	}
+
+	var asnum uint32
+	var routerID uint32
+	var hasRouterID bool
+	if ro := root.find("routing-options"); ro != nil {
+		if as := ro.find("autonomous-system"); as != nil {
+			asnum = parseU32(as.arg(0))
+		}
+		if rid := ro.find("router-id"); rid != nil {
+			if v, ok := token.ParseIPv4(rid.arg(0)); ok {
+				routerID, hasRouterID = v, true
+			}
+		}
+		if st := ro.find("static"); st != nil {
+			for _, rt := range st.all("route") {
+				dest, length, ok := token.ParseIPv4Prefix(rt.arg(0))
+				if !ok {
+					continue
+				}
+				sr := &config.StaticRoute{Dest: dest, Mask: config.LenToMask(length)}
+				for i, w := range rt.words {
+					if w == "next-hop" && i+1 < len(rt.words) {
+						if nh, ok := token.ParseIPv4(cleanWord(rt.words[i+1])); ok {
+							sr.NextHop = nh
+						}
+					}
+					if cleanWord(w) == "discard" {
+						sr.NextHopIface = "Null0"
+					}
+				}
+				c.StaticRoutes = append(c.StaticRoutes, sr)
+			}
+		}
+	}
+
+	if protos := root.find("protocols"); protos != nil {
+		if bgp := protos.find("bgp"); bgp != nil {
+			g := &config.BGP{ASN: asnum, RouterID: routerID, HasRouterID: hasRouterID}
+			for _, grp := range bgp.all("group") {
+				external := false
+				if ty := grp.find("type"); ty != nil && ty.arg(0) == "external" {
+					external = true
+				}
+				peerAS := asnum
+				if pa := grp.find("peer-as"); pa != nil {
+					peerAS = parseU32(pa.arg(0))
+				}
+				if !external {
+					peerAS = asnum
+				}
+				for _, nb := range grp.all("neighbor") {
+					addr, ok := token.ParseIPv4(cleanWord(nb.words[1]))
+					if !ok {
+						continue
+					}
+					n := &config.BGPNeighbor{Addr: addr, RemoteAS: peerAS}
+					if imp := nb.find("import"); imp != nil {
+						n.RouteMapIn = imp.arg(0)
+					}
+					if exp := nb.find("export"); exp != nil {
+						n.RouteMapOut = exp.arg(0)
+					}
+					g.Neighbors = append(g.Neighbors, n)
+				}
+			}
+			c.BGP = g
+		}
+		if ospf := protos.find("ospf"); ospf != nil {
+			o := &config.OSPF{PID: 1, RouterID: routerID, HasRouterID: hasRouterID}
+			for _, area := range ospf.all("area") {
+				areaID := parseU32(area.arg(0))
+				for _, iface := range area.all("interface") {
+					name := iface.arg(0)
+					ifc := c.Interface(name)
+					if ifc == nil || !ifc.HasAddress {
+						continue
+					}
+					length, ok := config.MaskToLen(ifc.Address.Mask)
+					if !ok {
+						continue
+					}
+					net := ifc.Address.Addr & config.LenToMask(length)
+					o.Networks = append(o.Networks, config.OSPFNetwork{
+						Addr: net, Wildcard: ^config.LenToMask(length), Area: areaID,
+					})
+				}
+			}
+			c.OSPF = append(c.OSPF, o)
+		}
+		if rip := protos.find("rip"); rip != nil {
+			r := &config.RIP{Version: 2}
+			seen := make(map[uint32]bool)
+			for _, grp := range rip.all("group") {
+				for _, nb := range grp.all("neighbor") {
+					ifc := c.Interface(nb.arg(0))
+					if ifc == nil || !ifc.HasAddress {
+						continue
+					}
+					net := ifc.Address.Addr & config.ClassfulMask(ifc.Address.Addr)
+					if !seen[net] {
+						seen[net] = true
+						r.Networks = append(r.Networks, net)
+					}
+				}
+			}
+			c.RIP = r
+		}
+	}
+
+	if po := root.find("policy-options"); po != nil {
+		commNum, aspathNum, pfxNum := 0, 0, 0
+		nameToNum := make(map[string]string)
+		for _, k := range po.kids {
+			if len(k.words) == 0 {
+				continue
+			}
+			switch k.words[0] {
+			case "policy-statement":
+				rm := &config.RouteMap{Name: cleanWord(k.words[1])}
+				for _, term := range k.all("term") {
+					cl := &config.RouteMapClause{Action: "permit", Seq: len(rm.Clauses)*10 + 10}
+					if from := term.find("from"); from != nil {
+						for _, m := range from.kids {
+							if len(m.words) < 2 {
+								continue
+							}
+							typ := m.words[0]
+							if typ == "prefix-list" {
+								typ = "ip address"
+							}
+							cl.Matches = append(cl.Matches, config.Clause{
+								Type: typ, Args: []string{cleanWord(m.words[1])},
+							})
+						}
+					}
+					if then := term.find("then"); then != nil {
+						for _, st := range then.kids {
+							if len(st.words) == 0 {
+								continue
+							}
+							switch st.words[0] {
+							case "reject":
+								cl.Action = "deny"
+							case "accept":
+								cl.Action = "permit"
+							case "local-preference":
+								cl.Sets = append(cl.Sets, config.Clause{
+									Type: "local-preference", Args: []string{cleanWord(st.words[1])},
+								})
+							case "community":
+								if len(st.words) >= 3 {
+									cl.Sets = append(cl.Sets, config.Clause{
+										Type: "community", Args: []string{cleanWord(st.words[2])},
+									})
+								}
+							}
+						}
+					}
+					rm.Clauses = append(rm.Clauses, cl)
+				}
+				c.RouteMaps = append(c.RouteMaps, rm)
+			case "community":
+				// community NAME members EXPR;
+				if len(k.words) >= 4 && k.words[2] == "members" {
+					name := cleanWord(k.words[1])
+					if _, ok := nameToNum[name]; !ok {
+						commNum++
+						nameToNum[name] = strconv.Itoa(commNum)
+					}
+					c.CommunityLists = append(c.CommunityLists, &config.CommunityList{
+						Number: commNum,
+						Entries: []config.CommunityEntry{{
+							Action: "permit",
+							Expr:   cleanWord(strings.Join(k.words[3:], " ")),
+						}},
+					})
+				}
+			case "as-path":
+				if len(k.words) >= 3 {
+					aspathNum++
+					c.ASPathLists = append(c.ASPathLists, &config.ASPathList{
+						Number: aspathNum,
+						Entries: []config.ASPathEntry{{
+							Action: "permit",
+							Regex:  cleanWord(strings.Join(k.words[2:], " ")),
+						}},
+					})
+				}
+			case "prefix-list":
+				pfxNum++
+				acl := &config.AccessList{Number: 1000 + pfxNum}
+				for _, e := range k.kids {
+					if len(e.words) == 0 {
+						continue
+					}
+					addr, length, ok := token.ParseIPv4Prefix(cleanWord(e.words[0]))
+					if !ok {
+						continue
+					}
+					acl.Entries = append(acl.Entries, config.ACLEntry{
+						Action: "permit", Proto: "ip",
+						Src: addr, SrcWild: ^config.LenToMask(length),
+						DstAny: true, HasDst: true,
+					})
+				}
+				c.AccessLists = append(c.AccessLists, acl)
+			}
+		}
+	}
+	return c
+}
+
+func parseU32(s string) uint32 {
+	v, _ := strconv.ParseUint(s, 10, 32)
+	return uint32(v)
+}

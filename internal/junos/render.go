@@ -1,0 +1,374 @@
+// Package junos renders and parses JunOS-style configurations for the
+// same typed model as internal/config. The paper implemented its
+// anonymizer for Cisco IOS but notes the techniques "are directly
+// applicable to JunOS and other router configuration languages"; this
+// package provides the JunOS dialect so the claim is exercised end to
+// end: generate, anonymize, parse back, validate.
+//
+// The dialect is the hierarchical curly-brace configuration of JunOS:
+// statements end in semicolons, blocks nest in braces, policies live
+// under policy-options, and AS-path regexps are quoted strings.
+package junos
+
+import (
+	"fmt"
+	"strings"
+
+	"confanon/internal/config"
+	"confanon/internal/token"
+)
+
+// IfaceName translates an IOS-style interface name to a JunOS-style one
+// deterministically (so cross-references stay consistent).
+func IfaceName(ios string) string {
+	lower := strings.ToLower(ios)
+	num := strings.IndexFunc(ios, func(r rune) bool { return r >= '0' && r <= '9' })
+	suffix := "0/0/0"
+	if num >= 0 {
+		suffix = strings.ReplaceAll(ios[num:], ".", ".") // unit handled separately
+	}
+	switch {
+	case strings.HasPrefix(lower, "loopback"):
+		return "lo0"
+	case strings.HasPrefix(lower, "gigabitethernet"):
+		return "ge-" + normalizeSuffix(suffix)
+	case strings.HasPrefix(lower, "fastethernet"):
+		return "fe-" + normalizeSuffix(suffix)
+	case strings.HasPrefix(lower, "ethernet"):
+		return "fe-" + normalizeSuffix(suffix)
+	case strings.HasPrefix(lower, "pos"):
+		return "so-" + normalizeSuffix(suffix)
+	case strings.HasPrefix(lower, "serial"):
+		return "so-" + normalizeSuffix(suffix)
+	default:
+		return "ge-" + normalizeSuffix(suffix)
+	}
+}
+
+// normalizeSuffix coerces an IOS position ("0", "0/1", "0/0/3", "1/0.5")
+// to a JunOS fpc/pic/port triple (dropping any unit part).
+func normalizeSuffix(s string) string {
+	if dot := strings.IndexByte(s, '.'); dot >= 0 {
+		s = s[:dot]
+	}
+	parts := strings.Split(s, "/")
+	for len(parts) < 3 {
+		parts = append([]string{"0"}, parts...)
+	}
+	return strings.Join(parts[:3], "/")
+}
+
+// Render prints the configuration in JunOS syntax.
+func Render(c *config.Config) string {
+	var b strings.Builder
+	w := func(depth int, format string, args ...interface{}) {
+		b.WriteString(strings.Repeat("    ", depth))
+		fmt.Fprintf(&b, format, args...)
+		b.WriteByte('\n')
+	}
+
+	// system block.
+	w(0, "system {")
+	w(1, "host-name %s;", c.Hostname)
+	if c.Domain != "" {
+		w(1, "domain-name %s;", c.Domain)
+	}
+	for _, ns := range c.NameServers {
+		w(1, "name-server {")
+		w(2, "%s;", token.FormatIPv4(ns))
+		w(1, "}")
+	}
+	if len(c.Banners) > 0 {
+		w(1, "login {")
+		w(2, "message \"%s\";", strings.Join(c.Banners[0].Lines, " "))
+		w(1, "}")
+	}
+	for range c.Users {
+		w(1, "login {")
+		w(2, "user admin {")
+		w(3, "authentication {")
+		w(4, "encrypted-password \"$1$05080F1C2243$abcdef\";")
+		w(3, "}")
+		w(2, "}")
+		w(1, "}")
+	}
+	w(0, "}")
+
+	// interfaces block.
+	w(0, "interfaces {")
+	for _, ifc := range c.Interfaces {
+		name := IfaceName(ifc.Name)
+		w(1, "%s {", name)
+		if ifc.Description != "" {
+			w(2, "description \"%s\";", ifc.Description)
+		}
+		if ifc.Shutdown {
+			w(2, "disable;")
+		}
+		w(2, "unit 0 {")
+		if ifc.HasAddress {
+			length, ok := config.MaskToLen(ifc.Address.Mask)
+			if ok {
+				w(3, "family inet {")
+				w(4, "address %s/%d;", token.FormatIPv4(ifc.Address.Addr), length)
+				for _, sec := range ifc.Secondary {
+					if l2, ok2 := config.MaskToLen(sec.Mask); ok2 {
+						w(4, "address %s/%d;", token.FormatIPv4(sec.Addr), l2)
+					}
+				}
+				w(3, "}")
+			}
+		}
+		w(2, "}")
+		w(1, "}")
+	}
+	w(0, "}")
+
+	// routing-options.
+	w(0, "routing-options {")
+	if len(c.StaticRoutes) > 0 {
+		w(1, "static {")
+		for _, sr := range c.StaticRoutes {
+			length, _ := config.MaskToLen(sr.Mask)
+			if sr.NextHopIface != "" {
+				w(2, "route %s/%d discard;", token.FormatIPv4(sr.Dest), length)
+			} else {
+				w(2, "route %s/%d next-hop %s;", token.FormatIPv4(sr.Dest), length, token.FormatIPv4(sr.NextHop))
+			}
+		}
+		w(1, "}")
+	}
+	if c.BGP != nil {
+		if c.BGP.HasRouterID {
+			w(1, "router-id %s;", token.FormatIPv4(c.BGP.RouterID))
+		}
+		w(1, "autonomous-system %d;", c.BGP.ASN)
+	}
+	w(0, "}")
+
+	// protocols.
+	w(0, "protocols {")
+	if c.BGP != nil {
+		w(1, "bgp {")
+		// Internal group.
+		var internals, externals []*config.BGPNeighbor
+		for _, nb := range c.BGP.Neighbors {
+			if nb.RemoteAS == c.BGP.ASN {
+				internals = append(internals, nb)
+			} else {
+				externals = append(externals, nb)
+			}
+		}
+		if len(internals) > 0 {
+			w(2, "group ibgp {")
+			w(3, "type internal;")
+			for _, nb := range internals {
+				w(3, "neighbor %s;", token.FormatIPv4(nb.Addr))
+			}
+			w(2, "}")
+		}
+		for i, nb := range externals {
+			w(2, "group ebgp-%d {", i)
+			w(3, "type external;")
+			w(3, "peer-as %d;", nb.RemoteAS)
+			if nb.RouteMapIn != "" || nb.RouteMapOut != "" {
+				w(3, "neighbor %s {", token.FormatIPv4(nb.Addr))
+				if nb.RouteMapIn != "" {
+					w(4, "import %s;", nb.RouteMapIn)
+				}
+				if nb.RouteMapOut != "" {
+					w(4, "export %s;", nb.RouteMapOut)
+				}
+				w(3, "}")
+			} else {
+				w(3, "neighbor %s;", token.FormatIPv4(nb.Addr))
+			}
+			w(2, "}")
+		}
+		w(1, "}")
+	}
+	for _, o := range c.OSPF {
+		w(1, "ospf {")
+		areas := make(map[uint32][]string)
+		for _, ifc := range c.Interfaces {
+			if !ifc.HasAddress {
+				continue
+			}
+			length, _ := config.MaskToLen(ifc.Address.Mask)
+			net := ifc.Address.Addr & config.LenToMask(length)
+			for _, n := range o.Networks {
+				if n.Addr&^n.Wildcard == net&^n.Wildcard {
+					areas[n.Area] = append(areas[n.Area], IfaceName(ifc.Name))
+					break
+				}
+			}
+		}
+		var keys []uint32
+		for a := range areas {
+			keys = append(keys, a)
+		}
+		sortU32(keys)
+		for _, area := range keys {
+			w(2, "area %d {", area)
+			for _, name := range areas[area] {
+				w(3, "interface %s;", name)
+			}
+			w(2, "}")
+		}
+		w(1, "}")
+	}
+	if c.RIP != nil {
+		w(1, "rip {")
+		w(2, "group rip-group {")
+		for _, ifc := range c.Interfaces {
+			if ifc.HasAddress {
+				w(3, "neighbor %s;", IfaceName(ifc.Name))
+			}
+		}
+		w(2, "}")
+		w(1, "}")
+	}
+	w(0, "}")
+
+	// policy-options. Policy references in JunOS are names of defined
+	// objects, so set-community values become community definitions and the
+	// numbered IOS lists become named objects with one name per entry.
+	hasPolicy := len(c.RouteMaps)+len(c.CommunityLists)+len(c.ASPathLists) > 0
+	if hasPolicy {
+		w(0, "policy-options {")
+		// Prefix lists derived from the ACLs the policies reference.
+		referenced := make(map[int]bool)
+		for _, rm := range c.RouteMaps {
+			for _, cl := range rm.Clauses {
+				for _, m := range cl.Matches {
+					if m.Type == "ip address" {
+						for _, arg := range m.Args {
+							referenced[atoiSafe(arg)] = true
+						}
+					}
+				}
+			}
+		}
+		for _, acl := range c.AccessLists {
+			if !referenced[acl.Number] {
+				continue
+			}
+			w(1, "prefix-list pfx-%d {", acl.Number)
+			for _, e := range acl.Entries {
+				if e.SrcAny {
+					continue
+				}
+				length, okl := config.MaskToLen(^e.SrcWild)
+				if e.SrcHost {
+					length, okl = 32, true
+				}
+				if okl {
+					w(2, "%s/%d;", token.FormatIPv4(e.Src), length)
+				}
+			}
+			w(1, "}")
+		}
+
+		setTag := 0
+		type commDef struct {
+			name    string
+			members string
+		}
+		var setDefs []commDef
+		for _, rm := range c.RouteMaps {
+			w(1, "policy-statement %s {", rm.Name)
+			for _, cl := range rm.Clauses {
+				w(2, "term t%d {", cl.Seq)
+				if len(cl.Matches) > 0 {
+					w(3, "from {")
+					for _, m := range cl.Matches {
+						switch m.Type {
+						case "as-path":
+							for _, arg := range m.Args {
+								if al := c.ASPathList(atoiSafe(arg)); al != nil {
+									for i := range al.Entries {
+										w(4, "as-path aspath-%s-%d;", arg, i)
+									}
+								}
+							}
+						case "community":
+							for _, arg := range m.Args {
+								if cl2 := c.CommunityList(atoiSafe(arg)); cl2 != nil {
+									for i := range cl2.Entries {
+										w(4, "community comm-%s-%d;", arg, i)
+									}
+								}
+							}
+						case "ip address":
+							for _, arg := range m.Args {
+								w(4, "prefix-list pfx-%s;", arg)
+							}
+						}
+					}
+					w(3, "}")
+				}
+				w(3, "then {")
+				for _, set := range cl.Sets {
+					switch set.Type {
+					case "local-preference":
+						if len(set.Args) > 0 {
+							w(4, "local-preference %s;", set.Args[0])
+						}
+					case "community":
+						for _, arg := range set.Args {
+							if arg == "additive" {
+								continue
+							}
+							name := fmt.Sprintf("set-%d", setTag)
+							setTag++
+							setDefs = append(setDefs, commDef{name, arg})
+							w(4, "community add %s;", name)
+						}
+					}
+				}
+				if cl.Action == "deny" {
+					w(4, "reject;")
+				} else {
+					w(4, "accept;")
+				}
+				w(3, "}")
+				w(2, "}")
+			}
+			w(1, "}")
+		}
+		for _, d := range setDefs {
+			w(1, "community %s members %s;", d.name, d.members)
+		}
+		for _, cl := range c.CommunityLists {
+			for i, e := range cl.Entries {
+				w(1, "community comm-%d-%d members %s;", cl.Number, i, e.Expr)
+			}
+		}
+		for _, al := range c.ASPathLists {
+			for i, e := range al.Entries {
+				w(1, "as-path aspath-%d-%d \"%s\";", al.Number, i, e.Regex)
+			}
+		}
+		w(0, "}")
+	}
+	return b.String()
+}
+
+func atoiSafe(s string) int {
+	n := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return -1
+		}
+		n = n*10 + int(s[i]-'0')
+	}
+	return n
+}
+
+func sortU32(s []uint32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,262 @@
+package netgen
+
+import (
+	"strings"
+	"testing"
+
+	"confanon/internal/config"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	n1 := Generate(Params{Seed: 42, Kind: Backbone})
+	n2 := Generate(Params{Seed: 42, Kind: Backbone})
+	r1, r2 := n1.RenderAll(), n2.RenderAll()
+	if len(r1) != len(r2) {
+		t.Fatalf("router counts differ: %d vs %d", len(r1), len(r2))
+	}
+	for name, text := range r1 {
+		if r2[name] != text {
+			t.Fatalf("config %s differs between same-seed runs", name)
+		}
+	}
+	n3 := Generate(Params{Seed: 43, Kind: Backbone})
+	if n3.Params.Name == n1.Params.Name && n3.ASN == n1.ASN {
+		t.Error("different seeds produced identical identity")
+	}
+}
+
+func TestGeneratedConfigsParse(t *testing.T) {
+	n := Generate(Params{Seed: 7, Kind: Backbone, Routers: 24})
+	if len(n.Routers) != 24 {
+		t.Fatalf("routers = %d, want 24", len(n.Routers))
+	}
+	for _, r := range n.Routers {
+		text := r.Config.Render()
+		c := config.Parse(text)
+		if c.Hostname != r.Config.Hostname {
+			t.Errorf("round trip lost hostname %q", r.Config.Hostname)
+		}
+		if len(c.Interfaces) != len(r.Config.Interfaces) {
+			t.Errorf("%s: interfaces %d -> %d", c.Hostname, len(r.Config.Interfaces), len(c.Interfaces))
+		}
+		if (c.BGP == nil) != (r.Config.BGP == nil) {
+			t.Errorf("%s: BGP presence changed", c.Hostname)
+		}
+	}
+}
+
+func TestBackboneStructure(t *testing.T) {
+	n := Generate(Params{Seed: 11, Kind: Backbone, Routers: 40})
+	roles := map[string]int{}
+	for _, r := range n.Routers {
+		roles[r.Role]++
+	}
+	for _, role := range []string{"core", "agg", "edge", "border"} {
+		if roles[role] == 0 {
+			t.Errorf("no %s routers generated: %v", role, roles)
+		}
+	}
+	if len(n.Links) < 40 {
+		t.Errorf("suspiciously few links: %d", len(n.Links))
+	}
+	if len(n.Peers) == 0 {
+		t.Error("no external peerings")
+	}
+	// Every peer ASN is a well-known public ASN, not our own.
+	for _, p := range n.Peers {
+		if p.PeerASN == n.ASN {
+			t.Error("network peers with itself")
+		}
+	}
+	// BGP speakers have iBGP neighbors.
+	for _, r := range n.Routers {
+		if r.Role == "core" && r.Config.BGP != nil && len(r.Config.BGP.Neighbors) == 0 {
+			t.Errorf("core router %s has no iBGP neighbors", r.Config.Hostname)
+		}
+	}
+	// OSPF everywhere on a backbone.
+	for _, r := range n.Routers {
+		if len(r.Config.OSPF) == 0 {
+			t.Errorf("router %s has no OSPF", r.Config.Hostname)
+		}
+	}
+}
+
+func TestEnterpriseUsesClassfulIGP(t *testing.T) {
+	foundRIP, foundEIGRP := false, false
+	for seed := int64(0); seed < 8; seed++ {
+		n := Generate(Params{Seed: seed, Kind: Enterprise, Routers: 12})
+		for _, r := range n.Routers {
+			if r.Config.RIP != nil {
+				foundRIP = true
+				for _, net := range r.Config.RIP.Networks {
+					if net&^config.ClassfulMask(net) != 0 {
+						t.Errorf("RIP network %x not classful", net)
+					}
+				}
+			}
+			if len(r.Config.EIGRP) > 0 {
+				foundEIGRP = true
+			}
+		}
+	}
+	if !foundRIP || !foundEIGRP {
+		t.Errorf("IGP variety missing: rip=%v eigrp=%v", foundRIP, foundEIGRP)
+	}
+}
+
+func TestIdentityContentPresent(t *testing.T) {
+	n := Generate(Params{Seed: 3, Kind: Backbone, Routers: 20, CommentDensity: 0.02})
+	all := strings.Builder{}
+	for _, text := range n.RenderAll() {
+		all.WriteString(text)
+	}
+	s := all.String()
+	if !strings.Contains(s, n.Params.Name) {
+		t.Error("company name absent from configs (nothing to anonymize)")
+	}
+	if !strings.Contains(s, "noc@") {
+		t.Error("no contact emails generated")
+	}
+	if !strings.Contains(s, "banner motd") {
+		t.Error("no banners generated")
+	}
+	found := false
+	for _, isp := range isp2004 {
+		if strings.Contains(s, isp.Name) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no ISP names in descriptions")
+	}
+}
+
+func TestRegexpKnobs(t *testing.T) {
+	// Each knob on its own network: with several knobs set, the range
+	// latches may consume every policy of a small network.
+	nAlt := Generate(Params{Seed: 5, Kind: Backbone, Routers: 30, UseASPathAlternation: true})
+	nRange := Generate(Params{Seed: 5, Kind: Backbone, Routers: 30, UsePublicASNRanges: true})
+	nComm := Generate(Params{Seed: 5, Kind: Backbone, Routers: 30,
+		UseCommunityRegexps: true, UseCommunityRanges: true})
+	hasAlt, hasRange, hasCommRegex := false, false, false
+	for _, r := range nAlt.Routers {
+		for _, al := range r.Config.ASPathLists {
+			for _, e := range al.Entries {
+				if strings.Contains(e.Regex, "|") {
+					hasAlt = true
+				}
+			}
+		}
+	}
+	for _, r := range nRange.Routers {
+		for _, al := range r.Config.ASPathLists {
+			for _, e := range al.Entries {
+				if strings.Contains(e.Regex, "[") {
+					hasRange = true
+				}
+			}
+		}
+	}
+	for _, r := range nComm.Routers {
+		for _, cl := range r.Config.CommunityLists {
+			for _, e := range cl.Entries {
+				if strings.Contains(e.Expr, ".") || strings.Contains(e.Expr, "[") {
+					hasCommRegex = true
+				}
+			}
+		}
+	}
+	if !hasAlt || !hasRange || !hasCommRegex {
+		t.Errorf("knobs not honored: alt=%v range=%v comm=%v", hasAlt, hasRange, hasCommRegex)
+	}
+	// And with the knobs off, no ranges appear.
+	n2 := Generate(Params{Seed: 5, Kind: Backbone, Routers: 30})
+	for _, r := range n2.Routers {
+		for _, al := range r.Config.ASPathLists {
+			for _, e := range al.Entries {
+				if strings.Contains(e.Regex, "[") {
+					t.Errorf("range regexp %q without knob", e.Regex)
+				}
+			}
+		}
+	}
+}
+
+func TestCompartmentalization(t *testing.T) {
+	n := Generate(Params{Seed: 9, Kind: Enterprise, Routers: 24, Compartmentalized: true})
+	found := false
+	for _, text := range n.RenderAll() {
+		if strings.Contains(text, "ip nat inside") || strings.Contains(text, "deny icmp any any echo") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("compartmentalization markers absent")
+	}
+}
+
+func TestLinkAddressesConsistent(t *testing.T) {
+	n := Generate(Params{Seed: 13, Kind: Backbone, Routers: 20})
+	for _, l := range n.Links {
+		if l.AddrA&config.LenToMask(30) != l.Subnet.Addr || l.AddrB&config.LenToMask(30) != l.Subnet.Addr {
+			t.Errorf("link addresses outside subnet: %+v", l)
+		}
+		if l.AddrA == l.AddrB {
+			t.Errorf("duplicate link addresses: %+v", l)
+		}
+	}
+	// Subnets must not overlap loopbacks.
+	loopbacks := map[uint32]bool{}
+	for _, r := range n.Routers {
+		lo := r.Config.Interface("Loopback0")
+		if lo == nil {
+			t.Fatalf("%s has no loopback", r.Config.Hostname)
+		}
+		if loopbacks[lo.Address.Addr] {
+			t.Fatalf("duplicate loopback %x", lo.Address.Addr)
+		}
+		loopbacks[lo.Address.Addr] = true
+	}
+}
+
+func TestCommentDensityApproximation(t *testing.T) {
+	n := Generate(Params{Seed: 21, Kind: Backbone, Routers: 15, CommentDensity: 0.05})
+	words, commentWords := 0, 0
+	for _, r := range n.Routers {
+		for _, line := range strings.Split(r.Config.Render(), "\n") {
+			f := strings.Fields(line)
+			words += len(f)
+			if len(f) > 1 && f[0] == "!" {
+				commentWords += len(f) - 1
+			}
+		}
+	}
+	frac := float64(commentWords) / float64(words)
+	if frac < 0.02 || frac > 0.10 {
+		t.Errorf("comment fraction %.3f far from requested 0.05", frac)
+	}
+}
+
+func TestTotalLines(t *testing.T) {
+	n := Generate(Params{Seed: 1, Kind: Backbone, Routers: 10})
+	if n.TotalLines() < 100 {
+		t.Errorf("TotalLines = %d, implausibly small", n.TotalLines())
+	}
+}
+
+func TestJunOSRendering(t *testing.T) {
+	n := Generate(Params{Seed: 55, Kind: Backbone, Routers: 10, JunOS: true})
+	files := n.RenderAll()
+	for name, text := range files {
+		if !strings.HasSuffix(name, "-junos") {
+			t.Errorf("JunOS network rendered IOS-style file name %q", name)
+		}
+		if !strings.Contains(text, "host-name") || !strings.Contains(text, "family inet") {
+			t.Errorf("file %s does not look like JunOS", name)
+		}
+		if strings.Contains(text, "hostname ") {
+			t.Errorf("file %s contains IOS syntax", name)
+		}
+	}
+}

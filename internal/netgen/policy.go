@@ -1,0 +1,209 @@
+package netgen
+
+import (
+	"fmt"
+	"strings"
+
+	"confanon/internal/config"
+)
+
+// buildPolicy creates the routing-policy objects referenced by the eBGP
+// sessions: per-peer import/export route maps, community lists, AS-path
+// access lists (with regexps per the network's knobs), and prefix ACLs.
+func (g *generator) buildPolicy() {
+	for _, r := range g.net.Routers {
+		if r.Config.BGP == nil {
+			continue
+		}
+		listNum := 50
+		commNum := 100
+		aclNum := 140
+		for _, nb := range r.Config.BGP.Neighbors {
+			if nb.RouteMapIn == "" {
+				continue
+			}
+			peerASN := nb.RemoteAS
+			peerName := strings.TrimSuffix(nb.RouteMapIn, "-import")
+
+			// AS-path access list guarding the import.
+			al := &config.ASPathList{Number: listNum}
+			al.Entries = append(al.Entries, config.ASPathEntry{
+				Action: "deny", Regex: g.asPathRegex(peerASN),
+			})
+			al.Entries = append(al.Entries, config.ASPathEntry{
+				Action: "permit", Regex: ".*",
+			})
+			r.Config.ASPathLists = append(r.Config.ASPathLists, al)
+
+			// Community list classifying the peer's route tags.
+			cl := &config.CommunityList{Number: commNum}
+			cl.Entries = append(cl.Entries, config.CommunityEntry{
+				Action: "permit", Expr: g.communityExpr(peerASN),
+			})
+			r.Config.CommunityLists = append(r.Config.CommunityLists, cl)
+
+			// Prefix ACL for the export filter: our own blocks.
+			acl := &config.AccessList{Number: aclNum}
+			for _, blk := range g.net.Blocks {
+				acl.Entries = append(acl.Entries, config.ACLEntry{
+					Action: "permit", Proto: "ip",
+					Src: blk.Addr, SrcWild: ^config.LenToMask(blk.Len),
+					DstAny: true, HasDst: true,
+				})
+			}
+			r.Config.AccessLists = append(r.Config.AccessLists, acl)
+
+			// Import map: drop bogus paths and tagged routes, prefer the rest.
+			imp := &config.RouteMap{Name: nb.RouteMapIn}
+			imp.Clauses = append(imp.Clauses, &config.RouteMapClause{
+				Action: "deny", Seq: 10,
+				Matches: []config.Clause{
+					{Type: "as-path", Args: []string{fmt.Sprint(listNum)}},
+					{Type: "community", Args: []string{fmt.Sprint(commNum)}},
+				},
+			})
+			imp.Clauses = append(imp.Clauses, &config.RouteMapClause{
+				Action: "permit", Seq: 20,
+				Sets: []config.Clause{
+					{Type: "local-preference", Args: []string{fmt.Sprint(80 + g.rng.Intn(40))}},
+					{Type: "community", Args: []string{
+						fmt.Sprintf("%d:%d", g.net.ASN, 1000+g.rng.Intn(9000)), "additive"}},
+				},
+			})
+			r.Config.RouteMaps = append(r.Config.RouteMaps, imp)
+
+			// Export map: only our blocks, tagged for the peer.
+			exp := &config.RouteMap{Name: fmt.Sprintf("%s-export", peerName)}
+			exp.Clauses = append(exp.Clauses, &config.RouteMapClause{
+				Action: "permit", Seq: 10,
+				Matches: []config.Clause{{Type: "ip address", Args: []string{fmt.Sprint(aclNum)}}},
+				Sets: []config.Clause{{Type: "community", Args: []string{
+					fmt.Sprintf("%d:%d", peerASN, 100+g.rng.Intn(900))}}},
+			})
+			r.Config.RouteMaps = append(r.Config.RouteMaps, exp)
+
+			listNum++
+			commNum++
+			aclNum++
+		}
+	}
+	if g.p.Compartmentalized {
+		g.addCompartmentalization()
+	}
+}
+
+// asPathRegex builds the AS-path regexp for a peer, exercising the
+// network's regexp knobs: plain literal, alternation of literals, or a
+// digit range over public or private ASNs.
+func (g *generator) asPathRegex(peerASN uint32) string {
+	switch {
+	case g.p.UsePublicASNRanges && (!g.usedPubRange || g.rng.Float64() < 0.3):
+		// A range over a contiguous block of public ASNs, like UUNET's
+		// 702-705 ("the use of digit wildcards and ranges ... is quite
+		// rare, appearing in two of 31 networks").
+		g.usedPubRange = true
+		base := peerASN - peerASN%10
+		lo, hi := base+1, base+1+uint32(g.rng.Intn(4)+1)
+		return fmt.Sprintf("_%d[%d-%d]_", base/10, lo%10, hi%10)
+	case g.p.UsePrivateASNRanges && (!g.usedPrivRange || g.rng.Float64() < 0.3):
+		// Structure imposed on private ASNs: 645[2-7][0-9].
+		g.usedPrivRange = true
+		return fmt.Sprintf("_645[2-%d][0-9]_", 2+g.rng.Intn(7))
+	case g.p.UseASPathAlternation:
+		// Alternation of literal ASNs (common: 10 of 31 networks).
+		others := []uint32{1239, 701, 7018, 3356, 2914, 209}
+		o1 := others[g.rng.Intn(len(others))]
+		o2 := others[g.rng.Intn(len(others))]
+		return fmt.Sprintf("(_%d_|_%d_|_%d_)", peerASN, o1, o2)
+	default:
+		return fmt.Sprintf("_%d_", peerASN)
+	}
+}
+
+// communityExpr builds a community-list entry: a literal community, a
+// regexp with wildcards, or a regexp with a digit range, per the knobs.
+func (g *generator) communityExpr(peerASN uint32) string {
+	switch {
+	case g.p.UseCommunityRanges && (!g.usedCommRange || g.rng.Float64() < 0.4):
+		// "701:7[1-5].." — a range plus wildcards (2 of 31 networks).
+		g.usedCommRange = true
+		return fmt.Sprintf("%d:%d[1-%d]..", peerASN, 5+g.rng.Intn(4), 2+g.rng.Intn(4))
+	case g.p.UseCommunityRegexps:
+		// Wildcards only (5 of 31 networks use community regexps).
+		return fmt.Sprintf("%d:%d...", peerASN, 1+g.rng.Intn(8))
+	default:
+		return fmt.Sprintf("%d:%d", peerASN, 100+g.rng.Intn(9899))
+	}
+}
+
+// addCompartmentalization adds the internal-compartmentalization markers
+// §6.3 reports in 10 of 31 networks: NAT boundaries and probe-dropping
+// ACLs that would defeat insider fingerprinting.
+func (g *generator) addCompartmentalization() {
+	for _, r := range g.net.Routers {
+		if r.Role != "edge" && r.Role != "agg" {
+			continue
+		}
+		if g.rng.Float64() < 0.5 {
+			continue
+		}
+		// Probe-dropping ACL.
+		acl := &config.AccessList{Number: 199}
+		acl.Entries = append(acl.Entries,
+			config.ACLEntry{Action: "deny", Proto: "icmp", SrcAny: true, DstAny: true, HasDst: true, Trailing: "echo"},
+			config.ACLEntry{Action: "deny", Proto: "udp", SrcAny: true, DstAny: true, HasDst: true, Trailing: "range 33434 33523"},
+			config.ACLEntry{Action: "permit", Proto: "ip", SrcAny: true, DstAny: true, HasDst: true},
+		)
+		r.Config.AccessLists = append(r.Config.AccessLists, acl)
+		// NAT boundary markers on a LAN interface.
+		for _, ifc := range r.Config.Interfaces {
+			if isLANName(ifc.Name) {
+				ifc.Extra = append(ifc.Extra, "ip nat inside", "ip access-group 199 in")
+				break
+			}
+		}
+	}
+}
+
+// sprinkleComments adds free-text comments until the word fraction reaches
+// the network's comment density. Comments carry exactly the identity
+// content the anonymizer must strip: company, cities, ISP names, emails,
+// phone numbers.
+func (g *generator) sprinkleComments() {
+	if g.p.CommentDensity <= 0 {
+		return
+	}
+	templates := []string{
+		"%s backbone managed by %s engineering",
+		"contact noc@%s.net or call 1-800-555-0%d",
+		"%s circuit to %s scheduled for upgrade",
+		"temporary config for %s migration ticket %d",
+		"%s peering with %s see wiki for details",
+	}
+	// Budget is network-wide so small routers are not forced to carry a
+	// whole comment line each; lines land on random routers.
+	totalWords := 0
+	for _, r := range g.net.Routers {
+		totalWords += len(strings.Fields(r.Config.Render()))
+	}
+	budget := int(g.p.CommentDensity * float64(totalWords))
+	for budget >= 4 {
+		t := templates[g.rng.Intn(len(templates))]
+		city := cityPool[g.rng.Intn(len(cityPool))]
+		isp := isp2004[g.rng.Intn(len(isp2004))].Name
+		var line string
+		switch strings.Count(t, "%") {
+		case 2:
+			if strings.Contains(t, "%d") {
+				line = fmt.Sprintf(t, g.company, 100+g.rng.Intn(900))
+			} else {
+				line = fmt.Sprintf(t, g.company, isp)
+			}
+		default:
+			line = fmt.Sprintf(t, g.company, city)
+		}
+		r := g.net.Routers[g.rng.Intn(len(g.net.Routers))]
+		r.Config.Comments = append(r.Config.Comments, line)
+		budget -= len(strings.Fields(line))
+	}
+}

@@ -1,0 +1,226 @@
+package netgen
+
+import (
+	"fmt"
+	"strings"
+
+	"confanon/internal/config"
+)
+
+// isLANName reports whether an interface name denotes a LAN port in the
+// generator's dialect styles (Ethernet variants and VLANs).
+func isLANName(name string) bool {
+	return strings.HasPrefix(name, "Ethernet") || strings.HasPrefix(name, "FastEthernet") ||
+		strings.HasPrefix(name, "GigabitEthernet") || strings.HasPrefix(name, "Vlan")
+}
+
+// buildRouting configures the interior routing protocols and the BGP mesh.
+func (g *generator) buildRouting() {
+	switch g.p.Kind {
+	case Backbone:
+		g.buildOSPF()
+	case Enterprise:
+		if g.rng.Intn(2) == 0 {
+			g.buildEIGRP()
+		} else {
+			g.buildRIP()
+		}
+	}
+	g.buildBGP()
+	g.buildStatics()
+}
+
+// buildOSPF runs OSPF on every router: area 0 on core/border/agg uplinks,
+// per-aggregation areas toward the edge.
+func (g *generator) buildOSPF() {
+	for _, r := range g.net.Routers {
+		o := &config.OSPF{PID: 1}
+		if lo := r.Config.Interface("Loopback0"); lo != nil {
+			o.RouterID = lo.Address.Addr
+			o.HasRouterID = true
+		}
+		area := uint32(0)
+		if r.Role == "edge" {
+			area = uint32(1 + r.Index%8)
+		}
+		for _, ifc := range r.Config.Interfaces {
+			if !ifc.HasAddress {
+				continue
+			}
+			length, _ := config.MaskToLen(ifc.Address.Mask)
+			wild := ^config.LenToMask(length)
+			net := ifc.Address.Addr & config.LenToMask(length)
+			a := area
+			if ifc.Name == "Loopback0" || r.Role != "edge" {
+				a = 0
+			}
+			o.Networks = append(o.Networks, config.OSPFNetwork{Addr: net, Wildcard: wild, Area: a})
+			if isLANName(ifc.Name) {
+				o.Passive = append(o.Passive, ifc.Name)
+			}
+		}
+		r.Config.OSPF = append(r.Config.OSPF, o)
+	}
+}
+
+// buildEIGRP runs EIGRP with classful network statements.
+func (g *generator) buildEIGRP() {
+	asn := uint32(100 + g.rng.Intn(900)) // interior EIGRP AS number, local significance
+	for _, r := range g.net.Routers {
+		e := &config.EIGRP{ASN: asn}
+		e.Networks = g.classfulNetworks(r)
+		if r.Role == "border" {
+			e.Redistribute = append(e.Redistribute, "static")
+		}
+		r.Config.EIGRP = append(r.Config.EIGRP, e)
+	}
+}
+
+// buildRIP runs RIP v2 with classful network statements.
+func (g *generator) buildRIP() {
+	for _, r := range g.net.Routers {
+		rip := &config.RIP{Version: 2}
+		rip.Networks = g.classfulNetworks(r)
+		if r.Role == "border" {
+			rip.Redistribute = append(rip.Redistribute, "static")
+		}
+		r.Config.RIP = rip
+	}
+}
+
+// classfulNetworks returns the distinct classful networks covering the
+// router's interfaces — the implicit-classful behavior the paper calls out
+// as the reason the IP mapping must be class preserving.
+func (g *generator) classfulNetworks(r *Router) []uint32 {
+	seen := make(map[uint32]bool)
+	var nets []uint32
+	for _, ifc := range r.Config.Interfaces {
+		if !ifc.HasAddress {
+			continue
+		}
+		net := ifc.Address.Addr & config.ClassfulMask(ifc.Address.Addr)
+		if !seen[net] {
+			seen[net] = true
+			nets = append(nets, net)
+		}
+	}
+	return nets
+}
+
+// buildBGP configures iBGP on core/border/agg routers (full mesh over
+// loopbacks) and the eBGP peerings on the borders with per-peer policy
+// references. The policy objects themselves are created in buildPolicy.
+func (g *generator) buildBGP() {
+	var speakers []*Router
+	for _, r := range g.net.Routers {
+		if r.Role == "core" || r.Role == "border" || (r.Role == "agg" && g.p.Kind == Backbone) {
+			speakers = append(speakers, r)
+		}
+	}
+	if g.p.Kind == Enterprise && len(speakers) == 0 {
+		// Small enterprises: BGP only on the border.
+		for _, r := range g.net.Routers {
+			if r.Role == "border" {
+				speakers = append(speakers, r)
+			}
+		}
+	}
+	// Large meshes use route reflection, as production networks do: a few
+	// core routers reflect for every other speaker. This also gives the
+	// dataset its big-config tail — a reflector's configuration carries a
+	// neighbor block for every client.
+	var reflectors []*Router
+	if len(speakers) > 40 {
+		for _, r := range speakers {
+			if r.Role == "core" {
+				reflectors = append(reflectors, r)
+			}
+			if len(reflectors) == 4 {
+				break
+			}
+		}
+	}
+	isReflector := func(r *Router) bool {
+		for _, rr := range reflectors {
+			if rr == r {
+				return true
+			}
+		}
+		return false
+	}
+	for _, r := range speakers {
+		b := &config.BGP{ASN: g.net.ASN, NoSynchronize: true, NoAutoSummary: true}
+		if lo := r.Config.Interface("Loopback0"); lo != nil {
+			b.RouterID = lo.Address.Addr
+			b.HasRouterID = true
+		}
+		// Advertise the network's blocks from the borders.
+		if r.Role == "border" {
+			for _, blk := range g.net.Blocks {
+				if blk.Addr>>24 == 10 {
+					continue // private space is not advertised
+				}
+				b.Networks = append(b.Networks, config.AddrMask{
+					Addr: blk.Addr, Mask: config.LenToMask(blk.Len),
+				})
+			}
+			b.Redistribute = append(b.Redistribute, "static")
+		}
+		// iBGP over loopbacks: full mesh for small networks, reflector
+		// hub-and-spoke for large ones.
+		for _, other := range speakers {
+			if other == r {
+				continue
+			}
+			if len(reflectors) > 0 && !isReflector(r) && !isReflector(other) {
+				continue
+			}
+			lo := other.Config.Interface("Loopback0")
+			if lo == nil {
+				continue
+			}
+			b.Neighbors = append(b.Neighbors, &config.BGPNeighbor{
+				Addr: lo.Address.Addr, RemoteAS: g.net.ASN,
+				UpdateSource: "Loopback0", NextHopSelf: r.Role == "border",
+				SendComm: true,
+				RRClient: isReflector(r) && !isReflector(other),
+			})
+		}
+		r.Config.BGP = b
+	}
+	// eBGP sessions with policy references.
+	for _, peer := range g.net.Peers {
+		r := g.net.Routers[peer.Router]
+		if r.Config.BGP == nil {
+			continue
+		}
+		name := g.peerNames[peer.PeerASN]
+		r.Config.BGP.Neighbors = append(r.Config.BGP.Neighbors, &config.BGPNeighbor{
+			Addr: peer.PeerIP, RemoteAS: peer.PeerASN,
+			Description: fmt.Sprintf("%s transit", name),
+			SendComm:    true,
+			RouteMapIn:  fmt.Sprintf("%s-import", strings.ToUpper(name)),
+			RouteMapOut: fmt.Sprintf("%s-export", strings.ToUpper(name)),
+		})
+	}
+}
+
+// buildStatics adds a handful of static routes (dest within own blocks,
+// next hop an infrastructure address) plus defaults on enterprise borders.
+func (g *generator) buildStatics() {
+	for _, r := range g.net.Routers {
+		if r.Role != "border" {
+			continue
+		}
+		for _, blk := range g.net.Blocks {
+			r.Config.StaticRoutes = append(r.Config.StaticRoutes, &config.StaticRoute{
+				Dest: blk.Addr, Mask: config.LenToMask(blk.Len), NextHopIface: "Null0",
+			})
+		}
+		if g.p.Kind == Enterprise && len(g.net.Peers) > 0 {
+			r.Config.StaticRoutes = append(r.Config.StaticRoutes, &config.StaticRoute{
+				Dest: 0, Mask: 0, NextHop: g.net.Peers[0].PeerIP,
+			})
+		}
+	}
+}

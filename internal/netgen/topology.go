@@ -1,0 +1,405 @@
+package netgen
+
+import (
+	"fmt"
+
+	"confanon/internal/config"
+)
+
+// buildTopology creates the routers and physical links.
+//
+// Backbone: a core ring with chords, aggregation routers dual-homed to the
+// core, edge routers homed to aggregation, and border routers (on the
+// core) carrying the external peerings.
+//
+// Enterprise: a small HQ core, branch routers star-homed to it, and one or
+// two border routers to upstream ISPs.
+func (g *generator) buildTopology() {
+	n := g.p.Routers
+	var nCore, nAgg, nBorder int
+	switch g.p.Kind {
+	case Backbone:
+		nCore = max(3, n/8)
+		nAgg = max(2, n/4)
+		nBorder = max(2, n/16)
+	case Enterprise:
+		nCore = max(2, n/12)
+		nAgg = max(1, n/8)
+		nBorder = 1
+		if n > 20 {
+			nBorder = 2
+		}
+	}
+	if nCore+nAgg+nBorder > n {
+		nCore, nAgg, nBorder = 2, 1, 1
+	}
+	nEdge := n - nCore - nAgg - nBorder
+
+	mk := func(role string, i int) *Router {
+		r := &Router{Index: len(g.net.Routers), Role: role}
+		r.Config = g.baseConfig(role, i)
+		g.net.Routers = append(g.net.Routers, r)
+		return r
+	}
+	var cores, aggs, borders, edges []*Router
+	for i := 0; i < nCore; i++ {
+		cores = append(cores, mk("core", i))
+	}
+	for i := 0; i < nBorder; i++ {
+		borders = append(borders, mk("border", i))
+	}
+	for i := 0; i < nAgg; i++ {
+		aggs = append(aggs, mk("agg", i))
+	}
+	for i := 0; i < nEdge; i++ {
+		edges = append(edges, mk("edge", i))
+	}
+
+	// Core ring plus chords.
+	for i := range cores {
+		g.link(cores[i], cores[(i+1)%len(cores)])
+	}
+	for i := 0; i+2 < len(cores); i += 3 {
+		g.link(cores[i], cores[i+2])
+	}
+	// Borders homed to two cores.
+	for i, b := range borders {
+		g.link(b, cores[i%len(cores)])
+		g.link(b, cores[(i+1)%len(cores)])
+	}
+	// Aggregation dual-homed.
+	for i, a := range aggs {
+		g.link(a, cores[i%len(cores)])
+		if len(cores) > 1 {
+			g.link(a, cores[(i+len(cores)/2)%len(cores)])
+		}
+	}
+	// Edges homed to aggregation (or to core when no aggregation).
+	up := aggs
+	if len(up) == 0 {
+		up = cores
+	}
+	for i, e := range edges {
+		g.link(e, up[i%len(up)])
+		if i%2 == 0 && len(up) > 1 {
+			g.link(e, up[(i+1)%len(up)])
+		}
+		// Edge routers are where customer and office networks attach.
+		nLAN := 2 + g.rng.Intn(5)
+		for k := 0; k < nLAN; k++ {
+			g.addLAN(e, k)
+		}
+		nCust := 4 + g.rng.Intn(16)
+		// A few edges are big aggregation POPs terminating hundreds of
+		// customer tails — the heavy upper tail of config sizes (the
+		// paper's dataset runs to 10,000-line configs).
+		if g.p.Routers > 25 && g.rng.Float64() < 0.18 {
+			nCust += 120 + g.rng.Intn(350)
+		}
+		for k := 0; k < nCust; k++ {
+			g.addCustomer(e)
+		}
+	}
+	// Aggregation routers host a few LANs too.
+	for _, a := range aggs {
+		if g.rng.Intn(2) == 0 {
+			g.addLAN(a, 0)
+		}
+	}
+	// External peerings on the borders.
+	g.addPeerings(borders)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// baseConfig creates the skeleton config for one router: hostname, dialect
+// quirks, banner, loopback, management boilerplate.
+func (g *generator) baseConfig(role string, i int) *config.Config {
+	city := cityPool[g.rng.Intn(len(cityPool))]
+	c := &config.Config{
+		Hostname: fmt.Sprintf("%s%d.%s.%s.net", roleAbbrev(role), i+1, city, g.company),
+		Domain:   g.company + ".net",
+		Dialect:  g.randomDialect(),
+	}
+	// Identity-laden banner on some routers (kept short: banners are a
+	// small fraction of the words of a production config).
+	if g.rng.Float64() < 0.3 {
+		c.Banners = append(c.Banners, config.Banner{
+			Kind:  "motd",
+			Delim: '^',
+			Lines: []string{
+				fmt.Sprintf("%s network - noc@%s.net - no unauthorized access", g.company, g.company),
+			},
+		})
+	}
+	// Loopback0.
+	lo := g.nextLoopback()
+	c.Interfaces = append(c.Interfaces, &config.Interface{
+		Name:       "Loopback0",
+		Address:    config.AddrMask{Addr: lo, Mask: config.LenToMask(32)},
+		HasAddress: true,
+	})
+	// Management boilerplate with credentials (M-rule bait).
+	c.SNMPCommunities = append(c.SNMPCommunities,
+		fmt.Sprintf("%s-ro RO", g.company))
+	c.Users = append(c.Users, "admin password 7 05080F1C22431F5B4A")
+	if g.rng.Float64() < 0.2 {
+		c.DialerStrings = append(c.DialerStrings, fmt.Sprintf("1%03d555%04d",
+			200+g.rng.Intn(700), g.rng.Intn(10000)))
+	}
+	c.Extra = append(c.Extra, g.boilerplate()...)
+	return c
+}
+
+// boilerplate emits the management bulk that fills real configurations —
+// AAA, logging, NTP, vty lines, small services — sized so per-config line
+// counts and comment fractions land near the paper's dataset statistics.
+func (g *generator) boilerplate() []string {
+	lines := []string{
+		"service password-encryption",
+		"no service tcp-small-servers",
+		"no service udp-small-servers",
+		"no ip bootp server",
+		"no ip source-route",
+		"ip subnet-zero",
+		"aaa new-model",
+		"aaa authentication login default local",
+		"aaa authorization exec default local",
+		"logging buffered 16384",
+		"logging console critical",
+		"logging trap informational",
+		"no logging monitor",
+		"clock timezone UTC 0",
+		"ntp update-calendar",
+		"scheduler allocate 4000 1000",
+		"line con 0",
+		" exec-timeout 5 0",
+		" transport input none",
+		"line aux 0",
+		" no exec",
+		"line vty 0 4",
+		" exec-timeout 15 0",
+		" transport input telnet",
+		" access-class 99 in",
+		"line vty 5 15",
+		" transport input none",
+	}
+	// A standard management ACL plus variable extras per router.
+	extras := [][]string{
+		{"access-list 99 permit " + ipString(g.infra.Addr) + " 0.0.255.255", "access-list 99 deny any log"},
+		{"ip tcp synwait-time 10", "ip tcp path-mtu-discovery"},
+		{"snmp-server location datacenter", "snmp-server enable traps snmp"},
+		{"cdp run"},
+		{"no cdp run"},
+		{"ip cef"},
+		{"memory-size iomem 10"},
+	}
+	n := 3 + g.rng.Intn(4)
+	perm := g.rng.Perm(len(extras))
+	for i := 0; i < n; i++ {
+		lines = append(lines, extras[perm[i]]...)
+	}
+	return lines
+}
+
+func ipString(v uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", v>>24, v>>16&0xFF, v>>8&0xFF, v&0xFF)
+}
+
+func roleAbbrev(role string) string {
+	switch role {
+	case "core":
+		return "cr"
+	case "agg":
+		return "ar"
+	case "edge":
+		return "er"
+	case "border":
+		return "br"
+	}
+	return "r"
+}
+
+// randomDialect varies syntax per router, standing in for the 200+ IOS
+// versions of the paper's dataset.
+func (g *generator) randomDialect() config.Dialect {
+	versions := []string{"11.1", "11.2", "11.3", "12.0", "12.0S", "12.1", "12.1E", "12.2", "12.2T", "12.3"}
+	return config.Dialect{
+		Version:           versions[g.rng.Intn(len(versions))],
+		IPClassless:       g.rng.Intn(2) == 0,
+		ServiceTimestamps: g.rng.Intn(2) == 0,
+		BGPNewFormat:      g.rng.Intn(2) == 0,
+		InterfaceStyle:    g.rng.Intn(3),
+	}
+}
+
+// ifaceName generates the next physical interface name for a router in
+// its dialect's style.
+func (g *generator) ifaceName(c *config.Config, kind string) string {
+	n := 0
+	for _, ifc := range c.Interfaces {
+		if ifc.Name != "Loopback0" {
+			n++
+		}
+	}
+	switch c.Dialect.InterfaceStyle {
+	case 0:
+		if kind == "lan" {
+			return fmt.Sprintf("Ethernet%d", n)
+		}
+		return fmt.Sprintf("Serial%d", n)
+	case 1:
+		if kind == "lan" {
+			return fmt.Sprintf("FastEthernet0/%d", n)
+		}
+		return fmt.Sprintf("Serial0/%d", n)
+	default:
+		if kind == "lan" {
+			return fmt.Sprintf("GigabitEthernet0/0/%d", n)
+		}
+		return fmt.Sprintf("POS0/%d/0.%d", n, 1+g.rng.Intn(9))
+	}
+}
+
+// link connects two routers with a /30.
+func (g *generator) link(a, b *Router) {
+	subnet, addrA, addrB := g.nextP2P()
+	ifA := g.ifaceName(a.Config, "p2p")
+	ifB := g.ifaceName(b.Config, "p2p")
+	// Like production configs, only some links carry free-text
+	// descriptions.
+	var descA, descB string
+	if g.rng.Float64() < 0.25 {
+		descA = fmt.Sprintf("to %s %s", b.Config.Hostname, ifB)
+		descB = fmt.Sprintf("to %s %s", a.Config.Hostname, ifA)
+	}
+	ia := &config.Interface{
+		Name: ifA, Description: descA, Bandwidth: 1544 * (1 + g.rng.Intn(4)),
+		Encap:      "ppp",
+		Address:    config.AddrMask{Addr: addrA, Mask: config.LenToMask(30)},
+		HasAddress: true,
+	}
+	ia.Extra = append(ia.Extra, g.ifaceOptions()...)
+	a.Config.Interfaces = append(a.Config.Interfaces, ia)
+	ib := &config.Interface{
+		Name: ifB, Description: descB, Bandwidth: 1544 * (1 + g.rng.Intn(4)),
+		Encap:      "ppp",
+		Address:    config.AddrMask{Addr: addrB, Mask: config.LenToMask(30)},
+		HasAddress: true,
+	}
+	ib.Extra = append(ib.Extra, g.ifaceOptions()...)
+	b.Config.Interfaces = append(b.Config.Interfaces, ib)
+	g.net.Links = append(g.net.Links, Link{
+		A: a.Index, B: b.Index, Subnet: subnet, AddrA: addrA, AddrB: addrB,
+	})
+}
+
+// addLAN attaches a LAN subnet to a router.
+func (g *generator) addLAN(r *Router, k int) {
+	length := g.lanLength()
+	p := g.nextLAN(length)
+	name := g.ifaceName(r.Config, "lan")
+	desc := ""
+	if g.rng.Float64() < 0.3 {
+		city := cityPool[g.rng.Intn(len(cityPool))]
+		desc = fmt.Sprintf("%s %s lan %d", g.company, city, k)
+	}
+	ifc := &config.Interface{
+		Name:        name,
+		Description: desc,
+		Address:     config.AddrMask{Addr: p.Addr + 1, Mask: config.LenToMask(p.Len)},
+		HasAddress:  true,
+	}
+	// Some LANs carry a secondary subnet; many carry the usual
+	// per-interface hardening options.
+	if g.rng.Float64() < 0.15 {
+		sec := g.nextLAN(g.lanLength())
+		ifc.Secondary = append(ifc.Secondary, config.AddrMask{
+			Addr: sec.Addr + 1, Mask: config.LenToMask(sec.Len),
+		})
+	}
+	ifc.Extra = append(ifc.Extra, g.ifaceOptions()...)
+	r.Config.Interfaces = append(r.Config.Interfaces, ifc)
+}
+
+// ifaceOptions returns the per-interface option lines production configs
+// accumulate.
+func (g *generator) ifaceOptions() []string {
+	pool := []string{
+		"no ip directed-broadcast",
+		"no ip redirects",
+		"no ip unreachables",
+		"no ip proxy-arp",
+		"ip route-cache",
+		"no cdp enable",
+		"keepalive 10",
+		"load-interval 30",
+		"ntp disable",
+		"arp timeout 14400",
+	}
+	n := g.rng.Intn(5)
+	out := make([]string, 0, n)
+	perm := g.rng.Perm(len(pool))
+	for i := 0; i < n; i++ {
+		out = append(out, pool[perm[i]])
+	}
+	return out
+}
+
+// addCustomer attaches one customer tail circuit to an edge router: a /30
+// toward the customer plus a static route for the prefix delegated to it.
+func (g *generator) addCustomer(r *Router) {
+	_, mine, theirs := g.nextP2P()
+	name := g.ifaceName(r.Config, "p2p")
+	ifc := &config.Interface{
+		Name:       name,
+		Encap:      "ppp",
+		Address:    config.AddrMask{Addr: mine, Mask: config.LenToMask(30)},
+		HasAddress: true,
+	}
+	if g.rng.Float64() < 0.2 {
+		ifc.Description = fmt.Sprintf("customer circuit %d", 1000+g.rng.Intn(9000))
+	}
+	ifc.Extra = append(ifc.Extra, g.ifaceOptions()...)
+	r.Config.Interfaces = append(r.Config.Interfaces, ifc)
+	// The customer's delegated prefix, routed at the tail.
+	cp := g.nextLAN(24 + g.rng.Intn(6))
+	r.Config.StaticRoutes = append(r.Config.StaticRoutes, &config.StaticRoute{
+		Dest: cp.Addr, Mask: config.LenToMask(cp.Len), NextHop: theirs,
+	})
+}
+
+// addPeerings creates the external eBGP sessions on border routers.
+func (g *generator) addPeerings(borders []*Router) {
+	nPeers := 1 + g.rng.Intn(3)
+	if g.p.Kind == Backbone {
+		nPeers = 2 + g.rng.Intn(4)
+	}
+	perm := g.rng.Perm(len(isp2004))
+	for pi := 0; pi < nPeers && pi < len(isp2004); pi++ {
+		isp := isp2004[perm[pi]]
+		// Each ISP peers at one or more borders.
+		sessions := 1 + g.rng.Intn(2)
+		for s := 0; s < sessions; s++ {
+			b := borders[g.rng.Intn(len(borders))]
+			subnet, mine, theirs := g.nextP2P()
+			_ = subnet
+			name := g.ifaceName(b.Config, "p2p")
+			b.Config.Interfaces = append(b.Config.Interfaces, &config.Interface{
+				Name:        name,
+				Description: fmt.Sprintf("peering %s AS%d", isp.Name, isp.ASN),
+				Encap:       "hdlc",
+				Address:     config.AddrMask{Addr: mine, Mask: config.LenToMask(30)},
+				HasAddress:  true,
+			})
+			g.net.Peers = append(g.net.Peers, EBGPPeer{
+				Router: b.Index, PeerASN: isp.ASN, PeerIP: theirs,
+			})
+		}
+	}
+}

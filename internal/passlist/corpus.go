@@ -1,0 +1,189 @@
+package passlist
+
+// iosKeywords is the embedded keyword corpus: command words, parameter
+// keywords, interface types, and protocol names as they appear in IOS
+// configuration files and the command reference guides. The list stands in
+// for the paper's web-walker scrape and deliberately errs toward
+// inclusion: a keyword wrongly hashed destroys information, while the
+// basic method already guarantees that any word NOT on this list is
+// hashed, so omissions are safe.
+var iosKeywords = []string{
+	// Global configuration and services.
+	"aaa", "authentication", "authorization", "accounting", "login",
+	"enable", "secret", "password", "service", "timestamps", "debug",
+	"datetime", "msec", "localtime", "uptime", "encryption", "compress",
+	"config", "configuration", "boot", "system", "flash", "slot",
+	"version", "hostname", "domain", "name", "server", "lookup",
+	"subnet", "zero", "classless", "cef", "switching", "route", "routing",
+	"source", "finger", "tcp", "udp", "icmp", "small", "servers",
+	"http", "https", "ftp", "tftp", "ntp", "clock", "timezone", "summer",
+	"time", "calendar", "update", "logging", "buffered", "console",
+	"monitor", "trap", "facility", "history", "snmp", "community",
+	"contact", "location", "chassis", "ro", "rw", "view", "username",
+	"user", "privilege", "level", "line", "vty", "aux", "con", "tty",
+	"exec", "timeout", "transport", "input", "output", "preferred",
+	"telnet", "ssh", "pad", "rlogin", "access", "class", "motd", "banner",
+	"incoming", "exec-banner", "vacant", "message", "end", "exit", "no",
+	"shutdown", "description", "alias", "key", "chain", "string",
+	"memory", "cpu", "processor", "scheduler", "allocate", "interval",
+	"redundancy", "mode", "main", "standby", "priority", "preempt",
+	"track", "decrement", "virtual", "address", "addresses",
+
+	// Interfaces and link types.
+	"interface", "ethernet", "fastethernet", "gigabitethernet",
+	"tengigabitethernet", "serial", "loopback", "null", "tunnel", "vlan",
+	"port-channel", "pos", "atm", "hssi", "fddi", "tokenring", "bri",
+	"dialer", "async", "group-async", "multilink", "bundle", "subif",
+	"point-to-point", "multipoint", "bandwidth", "delay", "mtu",
+	"encapsulation", "hdlc", "ppp", "frame-relay", "dot1q", "isl", "sdlc",
+	"x25", "lapb", "dlci", "pvc", "vbr", "cbr", "ubr", "ilmi", "oam",
+	"keepalive", "carrier", "clock", "rate", "dce", "dte", "invert",
+	"txclock", "duplex", "speed", "auto", "full", "half", "negotiation",
+	"media-type", "flowcontrol", "cdp", "lldp", "arp", "timeout",
+	"proxy-arp", "directed-broadcast", "unreachables", "redirects",
+	"mask-reply", "mroute-cache", "route-cache", "load-interval",
+	"hold-queue", "in", "out", "tx-ring-limit", "fair-queue",
+	"random-detect", "shape", "police", "average", "peak", "burst",
+	"percent", "priority-queue", "bandwidth-remaining", "queue-limit",
+	"ef", "cs1", "cs2", "cs3", "cs4", "cs5", "cs6", "cs7",
+	"af11", "af12", "af13", "af21", "af22", "af23", "af31", "af32",
+	"af33", "af41", "af42", "af43", "tacacs", "radius", "kerberos",
+	"channel-group", "lacp", "pagp", "on", "active", "passive",
+	"switchport", "trunk", "allowed", "native", "pruning", "nonegotiate",
+	"spanning-tree", "portfast", "bpduguard", "cost", "dampening",
+
+	// IP and addressing.
+	"ip", "ipv4", "ipv6", "address", "secondary", "unnumbered", "negotiated",
+	"dhcp", "pool", "excluded-address", "helper-address", "broadcast",
+	"netmask", "wildcard", "prefix", "prefix-list", "seq", "le", "ge",
+	"host", "any", "log", "log-input", "established", "fragments",
+	"precedence", "tos", "dscp", "eq", "neq", "gt", "lt", "range",
+	"permit", "deny", "remark", "access-list", "access-group", "extended",
+	"standard", "dynamic", "reflect", "evaluate", "nat", "inside",
+	"outside", "overload", "static", "translation", "mls", "qos",
+
+	// Routing: generic.
+	"router", "network", "area", "neighbor", "redistribute", "metric",
+	"metric-type", "distance", "default", "default-metric", "originate",
+	"default-information", "passive-interface", "distribute-list",
+	"offset-list", "administrative", "summary", "summary-address",
+	"auto-summary", "synchronization", "maximum-paths", "timers", "basic",
+	"spf", "holdtime", "invalid", "flush", "sleeptime", "traffic-share",
+	"balanced", "min", "max", "variance", "null0",
+
+	// RIP / IGRP / EIGRP.
+	"rip", "igrp", "eigrp", "version", "split-horizon", "poison-reverse",
+	"triggered", "validate-update-source", "flash-update-threshold",
+	"stub", "receive-only", "connected", "leak-map", "bandwidth-percent",
+	"hello-interval", "hold-time", "nsf",
+
+	// OSPF / IS-IS.
+	"ospf", "router-id", "nssa", "no-summary", "default-cost",
+	"authentication-key", "message-digest", "message-digest-key", "md5",
+	"dead-interval", "retransmit-interval", "transmit-delay",
+	"hello-interval", "virtual-link", "stub", "backbone", "lsa",
+	"throttle", "pacing", "flood", "ispf", "isis", "is-is", "net",
+	"level-1", "level-2", "level-1-2", "circuit-type", "metric-style",
+	"wide", "narrow", "lsp", "psnp", "csnp", "adjacency",
+
+	// BGP.
+	"bgp", "remote-as", "local-as", "ebgp-multihop", "ttl-security",
+	"update-source", "next-hop-self", "send-community", "both",
+	"soft-reconfiguration", "inbound", "outbound", "route-map",
+	"route-reflector-client", "cluster-id", "confederation", "identifier",
+	"peers", "peer-group", "aggregate-address", "as-set", "summary-only",
+	"suppress-map", "advertise-map", "unsuppress-map", "attribute-map",
+	"weight", "maximum-prefix", "restart", "warning-only", "dampening",
+	"as-path", "prepend", "regexp", "filter-list", "community-list",
+	"comm-list", "delete", "additive", "internet", "local-as", "no-export",
+	"no-advertise", "local-preference", "med", "origin", "igp", "egp",
+	"incomplete", "atomic-aggregate", "aggregator", "bestpath", "compare",
+	"ignore", "multipath", "relax", "deterministic", "always-compare-med",
+	"scan-time", "keepalive", "advertisement-interval", "fall-over",
+	"bfd", "multihop", "disable", "shutdown", "graceful",
+	"address-family", "unicast", "multicast", "vpnv4", "activate",
+	"exit-address-family", "remove-private-as", "allowas-in", "maas",
+
+	// Policy: route maps and lists.
+	"match", "set", "tag", "next-hop", "interface", "type", "external",
+	"internal", "local", "nssa-external", "continue", "sequence",
+	"ip-address", "length", "automatic-tag", "goto",
+
+	// Multicast and misc protocols.
+	"pim", "sparse-mode", "dense-mode", "sparse-dense-mode", "rp-address",
+	"rp-candidate", "bsr-candidate", "igmp", "join-group", "querier",
+	"msdp", "sa-filter", "mbgp", "dvmrp", "mospf", "vrrp", "hsrp", "glbp",
+	"standby",
+
+	// Legacy protocols that appear in old configs.
+	"ipx", "appletalk", "decnet", "clns", "vines", "xns", "bridge",
+	"bridge-group", "spanning", "ieee", "dec",
+
+	// MPLS / VPN era keywords (later IOS versions in the dataset).
+	"mpls", "label", "protocol", "ldp", "tdp", "traffic-eng", "tunnels",
+	"vrf", "forwarding", "rd", "route-target", "import", "export",
+	"exp", "experimental",
+
+	// Common operational words in configs.
+	"primary", "backup", "up", "down", "enable", "disable", "on", "off",
+	"true", "false", "all", "none", "strict", "loose", "include",
+	"exclude", "detail", "brief",
+
+	// Bare words that occur as segments of compound keywords
+	// ("route-map" -> "route", "map"); listing them keeps segmentation
+	// from hashing halves of well-known keywords.
+	"list", "map", "maps", "path", "group", "client", "reflector",
+	"hop", "self", "send", "receive", "soft", "hard", "re", "sub",
+	"point", "to", "multi", "fast", "giga", "ten", "ether", "channel",
+	"port", "loop", "back", "dial", "peer", "as", "id", "pre", "post",
+
+	// JunOS structural and statement keywords (the paper notes the
+	// techniques apply to JunOS directly; its keywords would appear in
+	// the Juniper reference guides just as IOS keywords appear in
+	// Cisco's).
+	"system", "interfaces", "unit", "family", "inet", "inet6", "iso",
+	"protocols", "policy-options", "routing-options", "firewall",
+	"options", "apply-groups", "groups", "then", "from", "term",
+	"members", "accept", "reject", "discard", "damping", "policer",
+	"policy-statement", "host-name", "domain-name", "name-server",
+	"autonomous-system", "peer-as", "local-address", "traceoptions",
+	"syslog", "archival", "commit", "rollback", "lo", "ge", "fe", "so",
+	"xe", "ae", "em", "fxp", "gr", "lt", "vt", "irb", "me",
+
+	// Management-plane keywords common in the boilerplate sections of
+	// production configs.
+	"utc", "gmt", "est", "pst", "cst", "mst", "bootp", "synwait",
+	"synwait-time", "iomem", "memory-size", "path-mtu-discovery",
+	"new-model", "update-calendar", "password-encryption",
+	"tcp-small-servers", "udp-small-servers", "source-route",
+	"subnet-zero", "exec-timeout", "access-class", "informational",
+	"critical", "warnings", "notifications", "emergencies", "datacenter",
+}
+
+// guideVocabulary is the common-English side of the scrape: words so
+// ordinary in the command reference guides that they cannot leak identity
+// information. The paper's example: "global" and "crossing" are each in
+// the pass-list even though the phrase "global crossing" in a comment
+// must still be stripped — which is why comments are removed wholesale.
+var guideVocabulary = []string{
+	"the", "a", "an", "and", "or", "not", "of", "to", "for", "with",
+	"from", "into", "over", "under", "between", "through", "per", "via",
+	"this", "that", "these", "those", "is", "are", "was", "were", "be",
+	"been", "has", "have", "had", "can", "may", "must", "will", "shall",
+	"use", "uses", "used", "using", "specify", "specifies", "specified",
+	"configure", "configures", "configured", "command", "commands",
+	"example", "examples", "parameter", "parameters", "value", "values",
+	"number", "numbers", "packet", "packets", "traffic", "session",
+	"sessions", "connection", "connections", "link", "links", "path",
+	"paths", "router", "routers", "switch", "switches", "gateway",
+	"office", "offices", "building", "floor", "campus", "site", "sites",
+	"core", "edge", "border", "distribution", "aggregation", "customer",
+	"provider", "transit", "peer", "peering", "upstream", "downstream",
+	"global", "crossing", "main", "street", "north", "south", "east",
+	"west", "mgmt", "management", "test", "lab", "production", "backbone",
+	"region", "regional", "metro", "pop", "hub", "spoke", "branch",
+	"wan", "lan", "man", "voice", "data", "video", "backup", "primary",
+	"old", "new", "temp", "temporary", "reserved", "spare", "unused",
+	"free", "circuit", "circuits", "uplink", "downlink", "crosslink",
+	"contact", "support", "noc", "engineering", "operations",
+}

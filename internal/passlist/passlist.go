@@ -1,0 +1,105 @@
+// Package passlist implements the pass-list of unprivileged tokens
+// (§4.1): the set of words that are known not to leak identity
+// information and therefore survive anonymization unhashed.
+//
+// The paper builds its pass-list with "a web-walker that string scraped
+// the Cisco IOS command reference guides. In theory, most Cisco keywords
+// will appear somewhere in the guides, and non-keywords used in the guides
+// are so common they cannot leak information." This package plays both
+// roles: Builtin returns a pass-list seeded with an embedded corpus of IOS
+// keywords and guide vocabulary (standing in for the shipped scrape
+// result), and Scrape extends a list by string-scraping any local document
+// corpus, exactly as the walker did over the reference guides.
+//
+// Lookups are case-insensitive: configuration files freely mix
+// "Ethernet", "ethernet", and "ETHERNET".
+package passlist
+
+import (
+	"sort"
+	"strings"
+)
+
+// List is a set of unprivileged words. The zero value is an empty list.
+type List struct {
+	words map[string]bool
+}
+
+// New returns an empty pass-list.
+func New() *List {
+	return &List{words: make(map[string]bool)}
+}
+
+// Add inserts one word (lower-cased).
+func (l *List) Add(w string) {
+	if l.words == nil {
+		l.words = make(map[string]bool)
+	}
+	l.words[strings.ToLower(w)] = true
+}
+
+// AddAll inserts every word of ws.
+func (l *List) AddAll(ws ...string) {
+	for _, w := range ws {
+		l.Add(w)
+	}
+}
+
+// Contains reports whether w is unprivileged (case-insensitive).
+func (l *List) Contains(w string) bool {
+	return l.words[strings.ToLower(w)]
+}
+
+// Len reports the number of distinct words.
+func (l *List) Len() int { return len(l.words) }
+
+// Words returns the sorted contents, for persistence and diffing.
+func (l *List) Words() []string {
+	out := make([]string, 0, len(l.words))
+	for w := range l.words {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Scrape string-scrapes a document (any text: a command reference page, a
+// manual chapter) and adds every purely alphabetic word of at least two
+// characters to the list. This is the local equivalent of the paper's
+// web-walker pass over the IOS command reference guides.
+func (l *List) Scrape(doc string) int {
+	added := 0
+	start := -1
+	flush := func(end int) {
+		if start >= 0 && end-start >= 2 {
+			w := strings.ToLower(doc[start:end])
+			if !l.words[w] {
+				l.Add(w)
+				added++
+			}
+		}
+		start = -1
+	}
+	for i := 0; i < len(doc); i++ {
+		c := doc[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		flush(i)
+	}
+	flush(len(doc))
+	return added
+}
+
+// Builtin returns a pass-list pre-loaded with the embedded corpus: IOS
+// configuration keywords, interface type names, protocol names, and the
+// common English vocabulary of the reference guides.
+func Builtin() *List {
+	l := New()
+	l.AddAll(iosKeywords...)
+	l.AddAll(guideVocabulary...)
+	return l
+}

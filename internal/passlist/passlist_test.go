@@ -1,0 +1,116 @@
+package passlist
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuiltinContainsCoreKeywords(t *testing.T) {
+	l := Builtin()
+	for _, w := range []string{
+		"interface", "ethernet", "serial", "router", "bgp", "ospf", "rip",
+		"eigrp", "neighbor", "remote-as", "route-map", "permit", "deny",
+		"access-list", "community", "hostname", "description", "network",
+	} {
+		if !l.Contains(w) {
+			t.Errorf("builtin pass-list missing %q", w)
+		}
+	}
+}
+
+func TestCaseInsensitive(t *testing.T) {
+	l := Builtin()
+	if !l.Contains("Ethernet") || !l.Contains("ETHERNET") || !l.Contains("ethernet") {
+		t.Error("lookup not case-insensitive")
+	}
+	l2 := New()
+	l2.Add("UUNET")
+	if !l2.Contains("uunet") {
+		t.Error("Add did not lower-case")
+	}
+}
+
+func TestDoesNotContainPrivateNames(t *testing.T) {
+	l := Builtin()
+	for _, w := range []string{"foonet", "uunet", "sprintlink", "acmecorp", "xyzzy"} {
+		if l.Contains(w) {
+			t.Errorf("pass-list wrongly contains private name %q", w)
+		}
+	}
+}
+
+func TestScrape(t *testing.T) {
+	l := New()
+	added := l.Scrape("The neighbor command configures a BGP peer. Use remote-as to set the AS.")
+	if added == 0 {
+		t.Fatal("Scrape added nothing")
+	}
+	for _, w := range []string{"neighbor", "command", "configures", "peer", "remote", "as"} {
+		if w == "as" {
+			continue // single/double letters: "as" has 2 chars, should be present
+		}
+		if !l.Contains(w) {
+			t.Errorf("scraped list missing %q", w)
+		}
+	}
+	if l.Contains("a") {
+		t.Error("single-letter word scraped")
+	}
+	// Scraping the same document again adds nothing.
+	if again := l.Scrape("The neighbor command"); again != 0 {
+		t.Errorf("re-scrape added %d words", again)
+	}
+}
+
+func TestScrapeSplitsOnPunctuation(t *testing.T) {
+	l := New()
+	l.Scrape("route-map:community/list")
+	for _, w := range []string{"route", "map", "community", "list"} {
+		if !l.Contains(w) {
+			t.Errorf("missing %q after punctuated scrape", w)
+		}
+	}
+}
+
+func TestWordsSortedAndComplete(t *testing.T) {
+	l := New()
+	l.AddAll("zebra", "alpha", "mike")
+	ws := l.Words()
+	if len(ws) != 3 || ws[0] != "alpha" || ws[1] != "mike" || ws[2] != "zebra" {
+		t.Errorf("Words() = %v", ws)
+	}
+	if l.Len() != 3 {
+		t.Errorf("Len() = %d", l.Len())
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var l List
+	if l.Contains("anything") {
+		t.Error("zero list contains words")
+	}
+	l.Add("word")
+	if !l.Contains("word") {
+		t.Error("Add on zero value failed")
+	}
+}
+
+func TestBuiltinSize(t *testing.T) {
+	l := Builtin()
+	if l.Len() < 300 {
+		t.Errorf("builtin corpus suspiciously small: %d words", l.Len())
+	}
+}
+
+func TestScrapeLongDocument(t *testing.T) {
+	// A large synthetic "command reference guide" page.
+	var b strings.Builder
+	for i := 0; i < 1000; i++ {
+		b.WriteString("To configure the interface bandwidth use the bandwidth command. ")
+	}
+	l := New()
+	l.Scrape(b.String())
+	if !l.Contains("bandwidth") || !l.Contains("configure") {
+		t.Error("long-document scrape failed")
+	}
+}

@@ -1,0 +1,353 @@
+// Package portal implements the clearinghouse the paper's §7 sets as the
+// goal of the work: a single-blind portal through which network owners
+// publish anonymized configurations and researchers access them, with a
+// blinding function relaying comments between researchers and the
+// anonymous owners.
+//
+// The flow:
+//
+//   - An owner uploads a dataset of anonymized configs (POST /datasets).
+//     The portal screens the upload for signs of un-anonymized data
+//     (surviving comments, banner text, well-known ISP names) and rejects
+//     suspicious uploads — the owner stays anonymous; the response carries
+//     an owner token for later blind correspondence.
+//   - Researchers (authenticated by API key) list datasets
+//     (GET /datasets), fetch files (GET /datasets/{id}/files/{name}), and
+//     post comments (POST /datasets/{id}/comments).
+//   - The owner polls the comment thread with the owner token and replies
+//     through the same blinding endpoint; neither side learns the other's
+//     identity.
+package portal
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Dataset is one uploaded corpus of anonymized configurations.
+type Dataset struct {
+	ID       string            `json:"id"`
+	Label    string            `json:"label"` // owner-chosen, e.g. "backbone, 40 routers"
+	Uploaded time.Time         `json:"uploaded"`
+	Files    map[string]string `json:"-"`
+	// ownerToken authenticates the anonymous owner for the blind
+	// comment thread; never serialized to researchers.
+	ownerToken string
+}
+
+// Comment is one message in a dataset's blind thread.
+type Comment struct {
+	From string    `json:"from"` // "researcher" or "owner" — identities are blinded
+	Text string    `json:"text"`
+	At   time.Time `json:"at"`
+}
+
+// Screen checks a file set for signs that anonymization was skipped or
+// incomplete; it returns the list of problems (empty = acceptable). The
+// portal cannot verify a cryptographic property without the owner's salt,
+// so this is a heuristic gatekeeper: surviving free-text comments,
+// banner bodies, description lines, or well-known ISP names indicate raw
+// configs.
+func Screen(files map[string]string) []string {
+	var problems []string
+	add := func(name, format string, args ...interface{}) {
+		problems = append(problems, fmt.Sprintf("%s: %s", name, fmt.Sprintf(format, args...)))
+	}
+	ispNames := []string{"uunet", "sprintlink", "globalcrossing", "level3", "genuity"}
+	for name, text := range files {
+		inBanner := false
+		var delim byte
+		for i, line := range strings.Split(text, "\n") {
+			trimmed := strings.TrimSpace(line)
+			if inBanner {
+				if delim != 0 && strings.IndexByte(line, delim) >= 0 {
+					inBanner = false
+					continue
+				}
+				if trimmed != "" {
+					add(name, "line %d: banner body survives anonymization", i+1)
+					inBanner = false
+				}
+				continue
+			}
+			f := strings.Fields(trimmed)
+			if len(f) == 0 {
+				continue
+			}
+			switch {
+			case f[0] == "banner":
+				inBanner = true
+				delim = 0
+				if len(f) >= 3 && len(f[2]) > 0 {
+					delim = f[2][0]
+				}
+			case strings.HasPrefix(trimmed, "! ") && len(f) > 1:
+				add(name, "line %d: free-text comment survives", i+1)
+			case f[0] == "description" || (len(f) > 2 && f[0] == "neighbor" && f[2] == "description"):
+				add(name, "line %d: description line survives", i+1)
+			default:
+				lower := strings.ToLower(trimmed)
+				for _, isp := range ispNames {
+					if strings.Contains(lower, isp) {
+						add(name, "line %d: well-known network name %q survives", i+1, isp)
+					}
+				}
+			}
+			if len(problems) > 20 {
+				return problems // enough evidence
+			}
+		}
+	}
+	return problems
+}
+
+// Store holds the portal state. Safe for concurrent use.
+type Store struct {
+	mu       sync.RWMutex
+	datasets map[string]*Dataset
+	comments map[string][]Comment
+	// apiKeys maps researcher API keys to display handles (handles are
+	// internal; the blind thread never shows them to owners).
+	apiKeys map[string]string
+}
+
+// NewStore creates an empty portal store.
+func NewStore() *Store {
+	return &Store{
+		datasets: make(map[string]*Dataset),
+		comments: make(map[string][]Comment),
+		apiKeys:  make(map[string]string),
+	}
+}
+
+// AddResearcher registers an API key for a researcher account.
+func (s *Store) AddResearcher(key, handle string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.apiKeys[key] = handle
+}
+
+func randomID() string {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("portal: no entropy: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Upload screens and stores a dataset, returning its public id and the
+// owner's secret token.
+func (s *Store) Upload(label string, files map[string]string) (id, ownerToken string, problems []string) {
+	problems = Screen(files)
+	if len(problems) > 0 {
+		return "", "", problems
+	}
+	d := &Dataset{
+		ID:         randomID(),
+		Label:      label,
+		Uploaded:   time.Now().UTC(),
+		Files:      files,
+		ownerToken: randomID(),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.datasets[d.ID] = d
+	return d.ID, d.ownerToken, nil
+}
+
+// Datasets lists stored datasets, newest first.
+func (s *Store) Datasets() []*Dataset {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Dataset, 0, len(s.datasets))
+	for _, d := range s.datasets {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Uploaded.After(out[j].Uploaded) })
+	return out
+}
+
+// Dataset fetches one dataset by id.
+func (s *Store) Dataset(id string) (*Dataset, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.datasets[id]
+	return d, ok
+}
+
+// AddComment appends a blinded message to a dataset's thread.
+func (s *Store) AddComment(id, from, text string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.comments[id] = append(s.comments[id], Comment{From: from, Text: text, At: time.Now().UTC()})
+}
+
+// Comments returns a dataset's thread.
+func (s *Store) Comments(id string) []Comment {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]Comment(nil), s.comments[id]...)
+}
+
+// Handler builds the HTTP API.
+func (s *Store) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /datasets", s.handleUpload)
+	mux.HandleFunc("GET /datasets", s.requireResearcher(s.handleList))
+	mux.HandleFunc("GET /datasets/{id}/files", s.requireResearcher(s.handleFiles))
+	mux.HandleFunc("GET /datasets/{id}/files/{name}", s.requireResearcher(s.handleFile))
+	mux.HandleFunc("POST /datasets/{id}/comments", s.handlePostComment)
+	mux.HandleFunc("GET /datasets/{id}/comments", s.handleGetComments)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// researcher resolves the API key of a request; empty if absent/invalid.
+func (s *Store) researcher(r *http.Request) string {
+	key := r.Header.Get("X-API-Key")
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.apiKeys[key]
+}
+
+func (s *Store) requireResearcher(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.researcher(r) == "" {
+			writeJSON(w, http.StatusUnauthorized, map[string]string{"error": "researcher API key required"})
+			return
+		}
+		h(w, r)
+	}
+}
+
+type uploadRequest struct {
+	Label string            `json:"label"`
+	Files map[string]string `json:"files"`
+}
+
+type uploadResponse struct {
+	ID         string   `json:"id,omitempty"`
+	OwnerToken string   `json:"owner_token,omitempty"`
+	Problems   []string `json:"problems,omitempty"`
+}
+
+func (s *Store) handleUpload(w http.ResponseWriter, r *http.Request) {
+	var req uploadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "malformed JSON: " + err.Error()})
+		return
+	}
+	if len(req.Files) == 0 {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "no files"})
+		return
+	}
+	id, tok, problems := s.Upload(req.Label, req.Files)
+	if len(problems) > 0 {
+		writeJSON(w, http.StatusUnprocessableEntity, uploadResponse{Problems: problems})
+		return
+	}
+	writeJSON(w, http.StatusCreated, uploadResponse{ID: id, OwnerToken: tok})
+}
+
+type datasetInfo struct {
+	ID       string    `json:"id"`
+	Label    string    `json:"label"`
+	Uploaded time.Time `json:"uploaded"`
+	Files    int       `json:"files"`
+}
+
+func (s *Store) handleList(w http.ResponseWriter, r *http.Request) {
+	var out []datasetInfo
+	for _, d := range s.Datasets() {
+		out = append(out, datasetInfo{ID: d.ID, Label: d.Label, Uploaded: d.Uploaded, Files: len(d.Files)})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Store) handleFiles(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.Dataset(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no such dataset"})
+		return
+	}
+	names := make([]string, 0, len(d.Files))
+	for n := range d.Files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	writeJSON(w, http.StatusOK, names)
+}
+
+func (s *Store) handleFile(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.Dataset(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no such dataset"})
+		return
+	}
+	text, ok := d.Files[r.PathValue("name")]
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no such file"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte(text))
+}
+
+type commentRequest struct {
+	Text       string `json:"text"`
+	OwnerToken string `json:"owner_token,omitempty"`
+}
+
+// handlePostComment accepts a message from either side of the blind: a
+// researcher (API key) or the dataset owner (owner token). The stored
+// attribution is only the role, never an identity.
+func (s *Store) handlePostComment(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.Dataset(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no such dataset"})
+		return
+	}
+	var req commentRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || strings.TrimSpace(req.Text) == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "comment text required"})
+		return
+	}
+	var from string
+	switch {
+	case req.OwnerToken != "" && req.OwnerToken == d.ownerToken:
+		from = "owner"
+	case s.researcher(r) != "":
+		from = "researcher"
+	default:
+		writeJSON(w, http.StatusUnauthorized, map[string]string{"error": "researcher key or owner token required"})
+		return
+	}
+	s.AddComment(d.ID, from, req.Text)
+	writeJSON(w, http.StatusCreated, map[string]string{"status": "posted", "as": from})
+}
+
+// handleGetComments returns the thread to either side of the blind.
+func (s *Store) handleGetComments(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.Dataset(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no such dataset"})
+		return
+	}
+	if s.researcher(r) == "" && r.URL.Query().Get("owner_token") != d.ownerToken {
+		writeJSON(w, http.StatusUnauthorized, map[string]string{"error": "researcher key or owner token required"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Comments(d.ID))
+}

@@ -1,0 +1,363 @@
+// Package routing reverse-engineers the routing design of a network from
+// its parsed configurations, in the manner of the paper's companion work
+// ("Routing design in operational networks: A look from the inside",
+// SIGCOMM 2004) that the anonymization paper uses as its end-to-end
+// validation workload (§5): extracting the design "depends on many aspects
+// of the configuration files being consistent inside each file and across
+// all the files in the network, including physical topology, routing
+// protocol configuration, routing process adjacencies, routing policies,
+// and address space utilization".
+//
+// The extracted Design is summarized by a canonical Signature that is
+// invariant under exactly the renamings a correct anonymization performs
+// (hostnames hashed, addresses prefix-preservingly mapped, ASNs permuted)
+// but sensitive to any structural damage — which is what makes comparing
+// pre- and post-anonymization signatures a sharp validation test.
+package routing
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"confanon/internal/config"
+)
+
+// ProtoKind is the routing protocol family of a process.
+type ProtoKind string
+
+// Protocol kinds.
+const (
+	OSPF   ProtoKind = "ospf"
+	RIP    ProtoKind = "rip"
+	EIGRP  ProtoKind = "eigrp"
+	BGP    ProtoKind = "bgp"
+	Static ProtoKind = "static"
+)
+
+// Process is one routing process instance on one router.
+type Process struct {
+	Router string // hostname
+	Kind   ProtoKind
+	// Subnets covered by this process (prefix of each interface the
+	// process runs over). BGP processes list session subnets instead.
+	Subnets []config.Prefix
+	// Redistributes lists the protocol kinds this process imports.
+	Redistributes []ProtoKind
+	// neighbors, filled during adjacency computation.
+	adj map[int]bool
+}
+
+// Design is the extracted routing design of one network.
+type Design struct {
+	Processes []*Process
+	// Adjacencies are process-index pairs that speak to each other.
+	Adjacencies [][2]int
+	// Instances are connected components of same-kind adjacency: the
+	// "routing instances" of the SIGCOMM'04 model.
+	Instances [][]int
+	// EBGPSessions counts BGP sessions whose remote AS differs from the
+	// local AS, per router (the peering structure of §6.3).
+	EBGPSessions map[string]int
+}
+
+// Extract builds the design from parsed configurations.
+func Extract(configs []*config.Config) *Design {
+	d := &Design{EBGPSessions: make(map[string]int)}
+
+	// Ownership maps for adjacency resolution.
+	addrOwner := make(map[uint32]int) // interface address -> router index
+	type subnetKey struct {
+		addr uint32
+		len  int
+	}
+	// Build processes.
+	routerBGP := make(map[int]int) // router index -> BGP process index
+	subnetMembers := make(map[subnetKey][]int)
+
+	for ri, c := range configs {
+		for _, ifc := range c.Interfaces {
+			if ifc.HasAddress {
+				addrOwner[ifc.Address.Addr] = ri
+			}
+			for _, sec := range ifc.Secondary {
+				addrOwner[sec.Addr] = ri
+			}
+		}
+	}
+
+	addProcess := func(p *Process) int {
+		p.adj = make(map[int]bool)
+		d.Processes = append(d.Processes, p)
+		return len(d.Processes) - 1
+	}
+
+	for ri, c := range configs {
+		for _, o := range c.OSPF {
+			p := &Process{Router: c.Hostname, Kind: OSPF}
+			for _, ifc := range interfacesCoveredOSPF(c, o) {
+				length, ok := config.MaskToLen(ifc.Address.Mask)
+				if !ok {
+					continue
+				}
+				net := ifc.Address.Addr & config.LenToMask(length)
+				p.Subnets = append(p.Subnets, config.Prefix{Addr: net, Len: length})
+				subnetMembers[subnetKey{net, length}] = append(subnetMembers[subnetKey{net, length}], len(d.Processes))
+			}
+			p.Redistributes = redistKinds(o.Redistribute)
+			addProcess(p)
+		}
+		if c.RIP != nil {
+			p := &Process{Router: c.Hostname, Kind: RIP}
+			for _, ifc := range interfacesCoveredClassful(c, c.RIP.Networks) {
+				length, ok := config.MaskToLen(ifc.Address.Mask)
+				if !ok {
+					continue
+				}
+				net := ifc.Address.Addr & config.LenToMask(length)
+				p.Subnets = append(p.Subnets, config.Prefix{Addr: net, Len: length})
+				subnetMembers[subnetKey{net, length}] = append(subnetMembers[subnetKey{net, length}], len(d.Processes))
+			}
+			p.Redistributes = redistKinds(c.RIP.Redistribute)
+			addProcess(p)
+		}
+		for _, e := range c.EIGRP {
+			p := &Process{Router: c.Hostname, Kind: EIGRP}
+			for _, ifc := range interfacesCoveredClassful(c, e.Networks) {
+				length, ok := config.MaskToLen(ifc.Address.Mask)
+				if !ok {
+					continue
+				}
+				net := ifc.Address.Addr & config.LenToMask(length)
+				p.Subnets = append(p.Subnets, config.Prefix{Addr: net, Len: length})
+				subnetMembers[subnetKey{net, length}] = append(subnetMembers[subnetKey{net, length}], len(d.Processes))
+			}
+			p.Redistributes = redistKinds(e.Redistribute)
+			addProcess(p)
+		}
+		if c.BGP != nil {
+			p := &Process{Router: c.Hostname, Kind: BGP}
+			p.Redistributes = redistKinds(c.BGP.Redistribute)
+			idx := addProcess(p)
+			routerBGP[ri] = idx
+			for _, nb := range c.BGP.Neighbors {
+				if nb.RemoteAS != c.BGP.ASN {
+					d.EBGPSessions[c.Hostname]++
+				}
+			}
+		}
+	}
+
+	// IGP adjacency: two same-kind processes sharing a subnet.
+	for _, members := range subnetMembers {
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				a, b := members[i], members[j]
+				if a == b {
+					continue
+				}
+				if d.Processes[a].Kind == d.Processes[b].Kind {
+					d.addAdjacency(a, b)
+				}
+			}
+		}
+	}
+
+	// BGP adjacency: a neighbor address owned by another router that
+	// also runs BGP.
+	for ri, c := range configs {
+		if c.BGP == nil {
+			continue
+		}
+		self := routerBGP[ri]
+		for _, nb := range c.BGP.Neighbors {
+			other, ok := addrOwner[nb.Addr]
+			if !ok || other == ri {
+				continue
+			}
+			peer, ok := routerBGP[other]
+			if !ok {
+				continue
+			}
+			d.addAdjacency(self, peer)
+		}
+	}
+
+	d.computeInstances()
+	return d
+}
+
+func (d *Design) addAdjacency(a, b int) {
+	if a > b {
+		a, b = b, a
+	}
+	if d.Processes[a].adj[b] {
+		return
+	}
+	d.Processes[a].adj[b] = true
+	d.Processes[b].adj[a] = true
+	d.Adjacencies = append(d.Adjacencies, [2]int{a, b})
+}
+
+// interfacesCoveredOSPF returns the interfaces whose address matches one
+// of the OSPF network statements (address/wildcard match).
+func interfacesCoveredOSPF(c *config.Config, o *config.OSPF) []*config.Interface {
+	var out []*config.Interface
+	for _, ifc := range c.Interfaces {
+		if !ifc.HasAddress {
+			continue
+		}
+		for _, n := range o.Networks {
+			if ifc.Address.Addr&^n.Wildcard == n.Addr&^n.Wildcard {
+				out = append(out, ifc)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// interfacesCoveredClassful returns interfaces covered by classful network
+// statements (RIP/EIGRP semantics — the reason anonymization must be
+// class preserving).
+func interfacesCoveredClassful(c *config.Config, nets []uint32) []*config.Interface {
+	var out []*config.Interface
+	for _, ifc := range c.Interfaces {
+		if !ifc.HasAddress {
+			continue
+		}
+		mask := config.ClassfulMask(ifc.Address.Addr)
+		for _, n := range nets {
+			if ifc.Address.Addr&mask == n&mask {
+				out = append(out, ifc)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func redistKinds(specs []string) []ProtoKind {
+	var out []ProtoKind
+	for _, s := range specs {
+		w := strings.Fields(s)
+		if len(w) == 0 {
+			continue
+		}
+		switch w[0] {
+		case "ospf":
+			out = append(out, OSPF)
+		case "rip":
+			out = append(out, RIP)
+		case "eigrp":
+			out = append(out, EIGRP)
+		case "bgp":
+			out = append(out, BGP)
+		case "static", "connected":
+			out = append(out, Static)
+		}
+	}
+	return out
+}
+
+// computeInstances finds connected components of same-kind adjacency.
+func (d *Design) computeInstances() {
+	parent := make([]int, len(d.Processes))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, e := range d.Adjacencies {
+		if d.Processes[e[0]].Kind == d.Processes[e[1]].Kind {
+			union(e[0], e[1])
+		}
+	}
+	groups := make(map[int][]int)
+	for i := range d.Processes {
+		groups[find(i)] = append(groups[find(i)], i)
+	}
+	keys := make([]int, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		d.Instances = append(d.Instances, groups[k])
+	}
+}
+
+// Signature canonically summarizes the design so that two designs related
+// by a structure-preserving renaming produce equal signatures: per
+// instance, the protocol kind, size, sorted degree sequence, and
+// subnet-prefix-length histogram; plus the redistribution kind-pairs and
+// the sorted eBGP per-router session counts.
+func (d *Design) Signature() string {
+	var parts []string
+	for _, inst := range d.Instances {
+		kind := d.Processes[inst[0]].Kind
+		var degrees []int
+		lenHist := make(map[int]int)
+		for _, pi := range inst {
+			degrees = append(degrees, len(d.Processes[pi].adj))
+			for _, s := range d.Processes[pi].Subnets {
+				lenHist[s.Len]++
+			}
+		}
+		sort.Ints(degrees)
+		var hist []string
+		for l := 0; l <= 32; l++ {
+			if lenHist[l] > 0 {
+				hist = append(hist, fmt.Sprintf("/%d:%d", l, lenHist[l]))
+			}
+		}
+		parts = append(parts, fmt.Sprintf("%s n=%d deg=%v subnets=%s",
+			kind, len(inst), degrees, strings.Join(hist, ",")))
+	}
+	sort.Strings(parts)
+
+	// Redistribution edges as kind pairs.
+	redistCount := make(map[string]int)
+	for _, p := range d.Processes {
+		for _, from := range p.Redistributes {
+			redistCount[string(from)+">"+string(p.Kind)]++
+		}
+	}
+	var redist []string
+	for k, v := range redistCount {
+		redist = append(redist, fmt.Sprintf("%s:%d", k, v))
+	}
+	sort.Strings(redist)
+
+	var ebgp []int
+	for _, n := range d.EBGPSessions {
+		ebgp = append(ebgp, n)
+	}
+	sort.Ints(ebgp)
+
+	return strings.Join(parts, "\n") +
+		"\nredist: " + strings.Join(redist, " ") +
+		fmt.Sprintf("\nebgp: %v", ebgp)
+}
+
+// Summary reports headline counts for human inspection.
+func (d *Design) Summary() string {
+	kinds := make(map[ProtoKind]int)
+	for _, p := range d.Processes {
+		kinds[p.Kind]++
+	}
+	return fmt.Sprintf("processes=%d instances=%d adjacencies=%d kinds=%v",
+		len(d.Processes), len(d.Instances), len(d.Adjacencies), kinds)
+}

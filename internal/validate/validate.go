@@ -1,0 +1,199 @@
+// Package validate implements the paper's two end-to-end validation
+// suites (§5), run over pre- and post-anonymization configurations:
+//
+// Suite 1 compares independent characteristics — the number of BGP
+// speakers, the number of interfaces, the structure of the address space
+// (number of subnets of each size), and related counts that anonymization
+// must not disturb.
+//
+// Suite 2 extracts the routing design from both versions (internal/routing)
+// and compares the canonical signatures; the extraction "depends on many
+// aspects of the configuration files being consistent inside each file and
+// across all the files in the network", making it the sharpest available
+// structural test.
+package validate
+
+import (
+	"fmt"
+	"sort"
+
+	"confanon/internal/config"
+	"confanon/internal/junos"
+	"confanon/internal/routing"
+)
+
+// Characteristics are the independent properties suite 1 compares.
+type Characteristics struct {
+	Routers         int
+	BGPSpeakers     int
+	Interfaces      int
+	InterfacesUp    int
+	SubnetHist      map[int]int // prefix length -> number of distinct subnets
+	RouteMaps       int
+	RouteMapClauses int
+	ACLs            int
+	ACLEntries      int
+	CommunityLists  int
+	ASPathLists     int
+	StaticRoutes    int
+	EBGPSessions    int
+	IBGPSessions    int
+	OSPFProcesses   int
+	RIPProcesses    int
+	EIGRPProcesses  int
+	Banners         int
+}
+
+// Measure computes the characteristics of a network's configurations.
+func Measure(configs []*config.Config) Characteristics {
+	ch := Characteristics{SubnetHist: make(map[int]int)}
+	subnets := make(map[config.Prefix]bool)
+	for _, c := range configs {
+		ch.Routers++
+		ch.Banners += len(c.Banners)
+		for _, ifc := range c.Interfaces {
+			ch.Interfaces++
+			if !ifc.Shutdown {
+				ch.InterfacesUp++
+			}
+			if ifc.HasAddress {
+				if l, ok := config.MaskToLen(ifc.Address.Mask); ok {
+					subnets[config.Prefix{Addr: ifc.Address.Addr & config.LenToMask(l), Len: l}] = true
+				}
+			}
+			for _, sec := range ifc.Secondary {
+				if l, ok := config.MaskToLen(sec.Mask); ok {
+					subnets[config.Prefix{Addr: sec.Addr & config.LenToMask(l), Len: l}] = true
+				}
+			}
+		}
+		if c.BGP != nil {
+			ch.BGPSpeakers++
+			for _, nb := range c.BGP.Neighbors {
+				if nb.RemoteAS == c.BGP.ASN {
+					ch.IBGPSessions++
+				} else {
+					ch.EBGPSessions++
+				}
+			}
+		}
+		ch.OSPFProcesses += len(c.OSPF)
+		if c.RIP != nil {
+			ch.RIPProcesses++
+		}
+		ch.EIGRPProcesses += len(c.EIGRP)
+		ch.RouteMaps += len(c.RouteMaps)
+		for _, rm := range c.RouteMaps {
+			ch.RouteMapClauses += len(rm.Clauses)
+		}
+		ch.ACLs += len(c.AccessLists)
+		for _, acl := range c.AccessLists {
+			ch.ACLEntries += len(acl.Entries)
+		}
+		ch.CommunityLists += len(c.CommunityLists)
+		ch.ASPathLists += len(c.ASPathLists)
+		ch.StaticRoutes += len(c.StaticRoutes)
+	}
+	for p := range subnets {
+		ch.SubnetHist[p.Len]++
+	}
+	return ch
+}
+
+// Diff lists the characteristics that differ, one human-readable line per
+// mismatch; an empty slice means the suite passes.
+func (c Characteristics) Diff(o Characteristics) []string {
+	var out []string
+	cmp := func(name string, a, b int) {
+		if a != b {
+			out = append(out, fmt.Sprintf("%s: pre=%d post=%d", name, a, b))
+		}
+	}
+	cmp("routers", c.Routers, o.Routers)
+	cmp("bgp-speakers", c.BGPSpeakers, o.BGPSpeakers)
+	cmp("interfaces", c.Interfaces, o.Interfaces)
+	cmp("interfaces-up", c.InterfacesUp, o.InterfacesUp)
+	cmp("route-maps", c.RouteMaps, o.RouteMaps)
+	cmp("route-map-clauses", c.RouteMapClauses, o.RouteMapClauses)
+	cmp("acls", c.ACLs, o.ACLs)
+	cmp("acl-entries", c.ACLEntries, o.ACLEntries)
+	cmp("community-lists", c.CommunityLists, o.CommunityLists)
+	cmp("as-path-lists", c.ASPathLists, o.ASPathLists)
+	cmp("static-routes", c.StaticRoutes, o.StaticRoutes)
+	cmp("ebgp-sessions", c.EBGPSessions, o.EBGPSessions)
+	cmp("ibgp-sessions", c.IBGPSessions, o.IBGPSessions)
+	cmp("ospf-processes", c.OSPFProcesses, o.OSPFProcesses)
+	cmp("rip-processes", c.RIPProcesses, o.RIPProcesses)
+	cmp("eigrp-processes", c.EIGRPProcesses, o.EIGRPProcesses)
+	cmp("banners", c.Banners, o.Banners)
+
+	lens := make(map[int]bool)
+	for l := range c.SubnetHist {
+		lens[l] = true
+	}
+	for l := range o.SubnetHist {
+		lens[l] = true
+	}
+	var sorted []int
+	for l := range lens {
+		sorted = append(sorted, l)
+	}
+	sort.Ints(sorted)
+	for _, l := range sorted {
+		if c.SubnetHist[l] != o.SubnetHist[l] {
+			out = append(out, fmt.Sprintf("subnets/%d: pre=%d post=%d", l, c.SubnetHist[l], o.SubnetHist[l]))
+		}
+	}
+	return out
+}
+
+// Suite1 runs the independent-characteristics comparison.
+func Suite1(pre, post []*config.Config) []string {
+	return Measure(pre).Diff(Measure(post))
+}
+
+// Suite2Result reports the routing-design comparison.
+type Suite2Result struct {
+	PreSignature  string
+	PostSignature string
+	PreSummary    string
+	PostSummary   string
+}
+
+// OK reports whether the designs match.
+func (r Suite2Result) OK() bool { return r.PreSignature == r.PostSignature }
+
+// Suite2 extracts and compares the routing designs.
+func Suite2(pre, post []*config.Config) Suite2Result {
+	dp := routing.Extract(pre)
+	da := routing.Extract(post)
+	return Suite2Result{
+		PreSignature:  dp.Signature(),
+		PostSignature: da.Signature(),
+		PreSummary:    dp.Summary(),
+		PostSummary:   da.Summary(),
+	}
+}
+
+// ParseAll parses a set of rendered configurations, detecting the dialect
+// (IOS or JunOS) per file.
+func ParseAll(texts map[string]string) []*config.Config {
+	names := make([]string, 0, len(texts))
+	for n := range texts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*config.Config, 0, len(texts))
+	for _, n := range names {
+		out = append(out, ParseAuto(texts[n]))
+	}
+	return out
+}
+
+// ParseAuto parses one configuration in whichever dialect it is written.
+func ParseAuto(text string) *config.Config {
+	if junos.LooksLikeJunOS(text) {
+		return junos.Parse(text)
+	}
+	return config.Parse(text)
+}
