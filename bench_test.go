@@ -12,6 +12,8 @@ package confanon
 // cmd/confexp -full for the full-scale report).
 
 import (
+	"io"
+	"strings"
 	"testing"
 
 	"confanon/internal/experiments"
@@ -158,4 +160,34 @@ func BenchmarkAnonymizeCorpus(b *testing.B) {
 		a.Corpus(files)
 	}
 	b.ReportMetric(float64(lines), "lines/corpus")
+}
+
+// BenchmarkStream measures the reader-to-writer path: the same 40-router
+// corpus concatenated into one input, streamed in both IP schemes. The
+// stateless variant is the constant-memory single-pass path; the tree
+// variant buffers the input for its prescan, so the gap between the two
+// is the cost of shaping.
+func BenchmarkStream(b *testing.B) {
+	n := netgen.Generate(netgen.Params{Seed: 4242, Kind: netgen.Backbone, Routers: 40})
+	var sb strings.Builder
+	for _, text := range n.RenderAll() {
+		sb.WriteString(text)
+	}
+	input := sb.String()
+	lines := strings.Count(input, "\n")
+	for _, cfg := range []struct {
+		name      string
+		stateless bool
+	}{{"stateless", true}, {"tree", false}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.SetBytes(int64(len(input)))
+			for i := 0; i < b.N; i++ {
+				a := New(Options{Salt: []byte("bench"), StatelessIP: cfg.stateless})
+				if err := a.Stream(strings.NewReader(input), io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(lines)*float64(b.N)/b.Elapsed().Seconds(), "lines/s")
+		})
+	}
 }

@@ -1,0 +1,22 @@
+#!/bin/sh
+# The repository's check gauntlet. Run before every push:
+#
+#   ./ci.sh          # build, vet, race-enabled tests
+#   ./ci.sh -short   # same, but tests run with -short
+#
+# The golden corpus under testdata/golden/ makes the test step a
+# byte-level regression check on the anonymizer's (salt, input) → output
+# contract, so a green run also means no mapping drift.
+set -eu
+cd "$(dirname "$0")"
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race ./... $*"
+go test -race "$@" ./...
+
+echo "== ok"

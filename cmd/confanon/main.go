@@ -3,6 +3,7 @@
 // Usage:
 //
 //	confanon -salt SECRET -in DIR -out DIR [-minimal] [-keep-comments] [-leak-report]
+//	cat r1-confg | confanon -salt SECRET - > r1-anon
 //
 // Every file in the input directory is treated as one router's
 // configuration of a single network; all files are prescanned before any
@@ -11,6 +12,12 @@
 // §6.1 leak-highlighting report to stderr after anonymizing; dangerous
 // tokens can then be added with repeated -sensitive flags and the tool
 // rerun, closing leaks iteratively.
+//
+// With "-" as the sole argument the tool streams one configuration from
+// stdin to stdout instead; add -stateless for constant-memory streaming
+// (the Crypto-PAn IP scheme needs no prescan, so nothing is buffered).
+// -rule-stats prints the engine's per-rule hit and wall-time table in
+// either mode.
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"confanon"
 )
@@ -36,19 +44,22 @@ func main() {
 		minimal  = flag.Bool("minimal", false, "emit minimal-DFA regexps instead of alternations")
 		keep     = flag.Bool("keep-comments", false, "retain comments (measurement only; unsafe)")
 		leaks    = flag.Bool("leak-report", true, "print the leak-highlighting report to stderr")
-		statsOut = flag.Bool("stats", false, "print anonymization statistics to stderr")
-		rename   = flag.Bool("rename", true, "hash output file names (they are usually hostname-derived)")
-		mapFile  = flag.String("mapping", "", "IP-mapping state file: loaded if present, saved after the run (keeps later runs consistent)")
+		statsOut  = flag.Bool("stats", false, "print anonymization statistics to stderr")
+		ruleStats = flag.Bool("rule-stats", false, "print the per-rule hit count and wall-time table to stderr")
+		stateless = flag.Bool("stateless", false, "use the Crypto-PAn IP scheme: no shared mapping state, constant-memory streaming")
+		rename    = flag.Bool("rename", true, "hash output file names (they are usually hostname-derived)")
+		mapFile   = flag.String("mapping", "", "IP-mapping state file: loaded if present, saved after the run (keeps later runs consistent)")
 	)
 	var sensitive multiFlag
 	flag.Var(&sensitive, "sensitive", "extra sensitive token to anonymize everywhere (repeatable)")
 	flag.Parse()
 
-	if *salt == "" || *inDir == "" || *outDir == "" {
+	streamMode := flag.NArg() == 1 && flag.Arg(0) == "-"
+	if *salt == "" || (!streamMode && (*inDir == "" || *outDir == "")) {
 		flag.Usage()
 		os.Exit(2)
 	}
-	opts := confanon.Options{Salt: []byte(*salt), KeepComments: *keep}
+	opts := confanon.Options{Salt: []byte(*salt), KeepComments: *keep, StatelessIP: *stateless}
 	if *minimal {
 		opts.Style = confanon.Minimal
 	}
@@ -64,6 +75,19 @@ func main() {
 	}
 	for _, tok := range sensitive {
 		a.AddRule(tok)
+	}
+
+	if streamMode {
+		if err := a.Stream(os.Stdin, os.Stdout); err != nil {
+			fatal(err)
+		}
+		if *mapFile != "" {
+			if err := os.WriteFile(*mapFile, a.SaveMapping(), 0o600); err != nil {
+				fatal(err)
+			}
+		}
+		printStats(a.Stats(), *statsOut, *ruleStats)
+		return
 	}
 
 	files, err := readDir(*inDir)
@@ -115,12 +139,30 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if *statsOut {
-		s := a.Stats()
+	printStats(a.Stats(), *statsOut, *ruleStats)
+}
+
+func printStats(s confanon.Stats, aggregate, perRule bool) {
+	if aggregate {
 		fmt.Fprintf(os.Stderr,
 			"stats: lines=%d words=%d comment-words-removed=%d hashed=%d passed=%d ips=%d asns=%d communities=%d regexps-rewritten=%d\n",
 			s.Lines, s.WordsTotal, s.CommentWordsRemoved, s.TokensHashed, s.TokensPassed,
 			s.IPsMapped, s.ASNsMapped, s.CommunitiesMapped, s.RegexpsRewritten)
+	}
+	if perRule {
+		fmt.Fprintf(os.Stderr, "%-34s %8s %12s\n", "rule", "hits", "time")
+		var hits int
+		var total time.Duration
+		for _, info := range confanon.Rules() {
+			h, d := s.RuleHits[info.ID], s.RuleTime[info.ID]
+			if h == 0 && d == 0 {
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "%-34s %8d %12s\n", info.ID, h, d.Round(time.Microsecond))
+			hits += h
+			total += d
+		}
+		fmt.Fprintf(os.Stderr, "%-34s %8d %12s\n", "total", hits, total.Round(time.Microsecond))
 	}
 }
 

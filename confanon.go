@@ -30,6 +30,7 @@
 package confanon
 
 import (
+	"io"
 	"sort"
 	"sync"
 
@@ -51,8 +52,22 @@ const (
 	Minimal = cregex.Minimal
 )
 
-// Stats is the anonymizer's measurement record.
+// Stats is the anonymizer's measurement record. It carries per-rule hit
+// counts and cumulative per-rule wall time alongside the aggregate
+// counters; Stats.Add merges two records (used by ParallelCorpus).
 type Stats = anonymizer.Stats
+
+// RuleID names one rule in the engine's registry.
+type RuleID = anonymizer.RuleID
+
+// RuleInfo describes one registry rule: its ID, class, scope, and a
+// one-line account of what it recognizes.
+type RuleInfo = anonymizer.RuleInfo
+
+// Rules returns the engine's rule inventory — the paper's 28 context
+// rules plus documented extensions — in canonical order. Pair it with
+// Stats.RuleHits and Stats.RuleTime to report per-rule activity.
+func Rules() []RuleInfo { return anonymizer.Rules() }
 
 // Leak is one suspicious token in anonymized output.
 type Leak = anonymizer.Leak
@@ -139,24 +154,9 @@ func ParallelCorpus(opts Options, files map[string]string, workers int) (map[str
 	for r := range results {
 		out[r.name] = r.text
 	}
-	total := Stats{RuleHits: make(map[anonymizer.RuleID]int)}
+	var total Stats
 	for s := range statsCh {
-		total.Files += s.Files
-		total.Lines += s.Lines
-		total.WordsTotal += s.WordsTotal
-		total.CommentWordsRemoved += s.CommentWordsRemoved
-		total.CommentLinesRemoved += s.CommentLinesRemoved
-		total.TokensHashed += s.TokensHashed
-		total.TokensPassed += s.TokensPassed
-		total.IPsMapped += s.IPsMapped
-		total.ASNsMapped += s.ASNsMapped
-		total.CommunitiesMapped += s.CommunitiesMapped
-		total.RegexpsRewritten += s.RegexpsRewritten
-		total.RegexpsUnchanged += s.RegexpsUnchanged
-		total.RegexpFallbacks += s.RegexpFallbacks
-		for k, v := range s.RuleHits {
-			total.RuleHits[k] += v
-		}
+		total.Add(s)
 	}
 	return out, total
 }
@@ -164,6 +164,52 @@ func ParallelCorpus(opts Options, files map[string]string, workers int) (map[str
 // File anonymizes a single configuration file.
 func (a *Anonymizer) File(text string) string {
 	return a.inner.AnonymizeText(text)
+}
+
+// Stream anonymizes one configuration file from r to w. Under the
+// StatelessIP scheme the engine rewrites each line as it is read —
+// constant memory in the input size, byte-identical to File on the same
+// text. Under the default shaped-tree scheme the subnet-shaping prescan
+// must see the whole file before the first line can be rewritten, so the
+// file (one file, never a corpus) is buffered internally.
+func (a *Anonymizer) Stream(r io.Reader, w io.Writer) error {
+	return a.inner.StreamText(r, w)
+}
+
+// StreamCorpus anonymizes a sequence of files without ever holding the
+// corpus in memory. next is called repeatedly and returns the name and
+// content reader of each file in turn, or io.EOF when the corpus is
+// exhausted; sink maps each file name to its output writer (closed by
+// StreamCorpus after the file is written). Files are processed in
+// arrival order with Stream's memory behavior per file. Note that under
+// the shaped tree each file is prescanned individually — exactly File's
+// semantics; use Corpus when cross-file subnet shaping must be immune to
+// file ordering.
+func (a *Anonymizer) StreamCorpus(
+	next func() (name string, r io.Reader, err error),
+	sink func(name string) (io.WriteCloser, error),
+) error {
+	for {
+		name, r, err := next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		w, err := sink(name)
+		if err != nil {
+			return err
+		}
+		serr := a.inner.StreamText(r, w)
+		cerr := w.Close()
+		if serr != nil {
+			return serr
+		}
+		if cerr != nil {
+			return cerr
+		}
+	}
 }
 
 // Corpus anonymizes a set of files as one network: every file is

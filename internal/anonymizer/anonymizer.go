@@ -1,15 +1,12 @@
 package anonymizer
 
 import (
-	"strconv"
 	"strings"
 
 	"confanon/internal/asn"
-	"confanon/internal/config"
 	"confanon/internal/cregex"
 	"confanon/internal/ipanon"
 	"confanon/internal/passlist"
-	"confanon/internal/token"
 )
 
 // Options configures an Anonymizer.
@@ -31,26 +28,8 @@ type Options struct {
 	// preservation in exchange for a mapping that depends only on the
 	// salt — the §4.3 trade-off — which is what makes independent
 	// anonymizer instances consistent with each other and therefore
-	// parallelizable.
+	// parallelizable (and single-pass streamable: see StreamText).
 	StatelessIP bool
-}
-
-// Stats accumulates the measurements the experiments report.
-type Stats struct {
-	Files               int
-	Lines               int
-	WordsTotal          int
-	CommentWordsRemoved int
-	CommentLinesRemoved int
-	TokensHashed        int
-	TokensPassed        int
-	IPsMapped           int
-	ASNsMapped          int
-	CommunitiesMapped   int
-	RegexpsRewritten    int
-	RegexpsUnchanged    int
-	RegexpFallbacks     int
-	RuleHits            map[RuleID]int
 }
 
 // Anonymizer rewrites configuration text. It is stateful: the IP mapping
@@ -63,6 +42,11 @@ type Anonymizer struct {
 	ip    ipanon.Mapper
 	perms asn.Salted
 	stats Stats
+
+	// Engine scratch: the per-line rule-hit record (for wall-time
+	// attribution) and the reusable dispatch context.
+	lineHits []RuleID
+	ctx      lineCtx
 
 	// Leak recorder (§6.1): every public ASN, hashed word, and mapped
 	// original address is remembered so LeakReport can grep the output
@@ -102,7 +86,7 @@ func New(opts Options) *Anonymizer {
 		pass:            pl,
 		ip:              mapper,
 		perms:           asn.NewSalted(opts.Salt),
-		stats:           Stats{RuleHits: make(map[RuleID]int)},
+		stats:           newStats(),
 		seenASNs:        make(map[string]bool),
 		seenWords:       make(map[string]bool),
 		seenIPs:         make(map[uint32]bool),
@@ -159,128 +143,35 @@ func (a *Anonymizer) AddSensitiveToken(tok string) {
 	a.sensitiveTokens[tok] = true
 }
 
-func (a *Anonymizer) hit(r RuleID) { a.stats.RuleHits[r]++ }
+// hit records one firing of a rule: the hit counter and the per-line
+// scratch the engine uses for wall-time attribution.
+func (a *Anonymizer) hit(r RuleID) {
+	a.stats.RuleHits[r]++
+	a.lineHits = append(a.lineHits, r)
+}
 
 // AnonymizeText anonymizes one configuration file. The input is prescanned
 // first so subnet addresses resolve shortest-prefix-first (see Prescan).
 func (a *Anonymizer) AnonymizeText(text string) string {
 	a.Prescan(text)
-	a.stats.Files++
 	lines := strings.Split(text, "\n")
+	if n := len(lines); n > 0 && lines[n-1] == "" {
+		lines = lines[:n-1] // trailing newline artifact
+	}
 	out := make([]string, 0, len(lines))
-	st := &fileState{}
-	for i, line := range lines {
-		if i == len(lines)-1 && line == "" {
-			break // trailing newline artifact
-		}
-		a.stats.Lines++
-		res, keep := a.anonymizeLine(line, st)
-		if keep {
-			out = append(out, res)
-		}
-	}
-	return strings.Join(out, "\n") + "\n"
-}
-
-// fileState carries cross-line context through one file.
-type fileState struct {
-	inBanner       bool
-	bannerDelim    byte
-	inBlockComment bool   // inside a JunOS /* ... */ block
-	block          string // current top-level block: "interface", "router bgp", ...
-}
-
-func (a *Anonymizer) anonymizeLine(line string, st *fileState) (string, bool) {
-	// C1: banner bodies are comments; strip every content line.
-	if st.inBanner {
-		if strings.IndexByte(line, st.bannerDelim) >= 0 {
-			st.inBanner = false
-			return string(st.bannerDelim), true
-		}
-		a.hit(RuleBanner)
-		a.stats.CommentLinesRemoved++
-		a.stats.CommentWordsRemoved += len(strings.Fields(line))
-		a.countWords(line)
-		if a.stripComments() {
-			return "", false
-		}
-		return line, true
-	}
-
-	words, gaps := token.Fields(line)
-	a.stats.WordsTotal += len(words)
-
-	// JunOS comment syntax ("# ...", "/* ... */") is stripped like IOS
-	// comments; block comments span lines.
-	if res, keep, handled := a.junosCommentRules(line, words, st); handled || st.inBlockComment {
-		return res, keep
-	}
-	if len(words) == 0 {
-		return line, true
-	}
-
-	// Track the current block for context-dependent rules.
-	indented := gaps[0] != ""
-	if !indented {
-		st.block = blockOf(words)
-	}
-
-	// C3: free-text comment lines ("! text"). A bare "!" is a section
-	// separator and is kept.
-	if words[0] == "!" || strings.HasPrefix(words[0], "!") {
-		if len(words) > 1 || len(words[0]) > 1 {
-			a.hit(RuleCommentLine)
-			a.stats.CommentLinesRemoved++
-			a.stats.CommentWordsRemoved += commentWordCount(words)
-			if a.stripComments() {
+	i := 0
+	a.runFile(
+		func() (string, bool) {
+			if i >= len(lines) {
 				return "", false
 			}
+			line := lines[i]
+			i++
 			return line, true
-		}
-		return line, true
-	}
-
-	// C1: banner header. Keep the skeleton, strip the body that follows.
-	if words[0] == "banner" {
-		a.hit(RuleBanner)
-		st.inBanner = true
-		st.bannerDelim = '^'
-		if len(words) >= 3 && len(words[2]) > 0 {
-			st.bannerDelim = words[2][0]
-		}
-		return line, true
-	}
-
-	// C2: description / remark free text.
-	if isDescriptionLine(words) {
-		a.hit(RuleDescription)
-		a.stats.CommentLinesRemoved++
-		a.stats.CommentWordsRemoved += commentWordCount(words)
-		if a.stripComments() {
-			return "", false
-		}
-		return line, true
-	}
-
-	// Line-level context rules. Each returns true when it fully handled
-	// the line.
-	if res, ok := a.miscRules(words, gaps); ok {
-		return res, true
-	}
-	if res, ok := a.nameRules(words, gaps); ok {
-		return res, true
-	}
-	if res, ok := a.junosRules(words, gaps); ok {
-		return res, true
-	}
-	if res, ok := a.asnRules(words, gaps, st); ok {
-		return res, true
-	}
-
-	// Generic word-level pass (IP addresses, prefixes, communities,
-	// pass-list hashing).
-	a.genericWords(words, st)
-	return token.Join(words, gaps), true
+		},
+		func(res string) { out = append(out, res) },
+	)
+	return strings.Join(out, "\n") + "\n"
 }
 
 func (a *Anonymizer) stripComments() bool { return !a.opts.KeepComments }
@@ -289,529 +180,4 @@ func (a *Anonymizer) stripComments() bool { return !a.opts.KeepComments }
 // which bypass the normal Fields accounting).
 func (a *Anonymizer) countWords(line string) {
 	a.stats.WordsTotal += len(strings.Fields(line))
-}
-
-func commentWordCount(words []string) int {
-	n := len(words)
-	if words[0] == "!" || words[0] == "description" || words[0] == "remark" {
-		n--
-	}
-	return n
-}
-
-func blockOf(words []string) string {
-	if len(words) >= 2 && words[0] == "router" {
-		return "router " + words[1]
-	}
-	if len(words) >= 1 {
-		return words[0]
-	}
-	return ""
-}
-
-func isDescriptionLine(words []string) bool {
-	if words[0] == "description" || words[0] == "remark" {
-		return true
-	}
-	// "neighbor A description ..." inside router bgp.
-	if words[0] == "neighbor" && len(words) >= 3 && words[2] == "description" {
-		return true
-	}
-	// "access-list N remark ..."
-	if words[0] == "access-list" && len(words) >= 3 && words[2] == "remark" {
-		return true
-	}
-	return false
-}
-
-// miscRules implements M1–M4. The secrets on these lines are anonymized
-// even when their words would pass the pass-list, because the values are
-// identity-bearing by position.
-func (a *Anonymizer) miscRules(words, gaps []string) (string, bool) {
-	switch {
-	case words[0] == "dialer" && len(words) >= 3 && words[1] == "string":
-		// M1: everything after "dialer string" is a phone number.
-		a.hit(RuleDialerString)
-		for i := 2; i < len(words); i++ {
-			if token.IsPhoneDigits(words[i]) || token.IsPhone(words[i]) {
-				words[i] = hashDigits(a.opts.Salt, words[i])
-			} else {
-				words[i] = a.forceHash(words[i])
-			}
-		}
-		return token.Join(words, gaps), true
-
-	case words[0] == "snmp-server" && len(words) >= 3 && words[1] == "community":
-		// M2: the community string is a credential; the trailing words
-		// (RO/RW, ACL number) are keywords.
-		a.hit(RuleSNMPCommunity)
-		words[2] = a.forceHash(words[2])
-		return token.Join(words, gaps), true
-
-	case words[0] == "hostname" && len(words) >= 2:
-		// M3: the hostname names the owner; hash each alphabetic
-		// segment even if pass-listed, preserving the dotted shape.
-		a.hit(RuleHostname)
-		words[1] = a.hashAllSegments(words[1])
-		return token.Join(words, gaps), true
-
-	case words[0] == "ip" && len(words) >= 3 && words[1] == "domain-name",
-		words[0] == "ip" && len(words) >= 4 && words[1] == "domain" && words[2] == "name":
-		a.hit(RuleHostname)
-		words[len(words)-1] = a.hashAllSegments(words[len(words)-1])
-		return token.Join(words, gaps), true
-
-	case words[0] == "username" && len(words) >= 2:
-		// M4: the username and any password/secret/key material.
-		a.hit(RuleCredentials)
-		words[1] = a.forceHash(words[1])
-		for i := 2; i < len(words)-1; i++ {
-			if words[i] == "password" || words[i] == "secret" || words[i] == "key" {
-				last := len(words) - 1
-				words[last] = a.forceHash(words[last])
-				break
-			}
-		}
-		return token.Join(words, gaps), true
-
-	case (words[0] == "enable" || words[0] == "tacacs-server" || words[0] == "radius-server") &&
-		containsAny(words, "password", "secret", "key"):
-		a.hit(RuleCredentials)
-		words[len(words)-1] = a.forceHash(words[len(words)-1])
-		return token.Join(words, gaps), true
-	}
-	return "", false
-}
-
-func containsAny(words []string, keys ...string) bool {
-	for _, w := range words {
-		for _, k := range keys {
-			if w == k {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-// asnRules implements A1–A12.
-func (a *Anonymizer) asnRules(words, gaps []string, st *fileState) (string, bool) {
-	switch {
-	case words[0] == "router" && len(words) >= 3 && words[1] == "bgp":
-		a.hit(RuleBGPProcess)
-		words[2] = a.mapASNToken(words[2])
-		return token.Join(words, gaps), true
-
-	case words[0] == "redistribute" && len(words) >= 3 && words[1] == "bgp":
-		a.hit(RuleRedistributeBGP)
-		words[2] = a.mapASNToken(words[2])
-		a.genericWords(words[3:], st)
-		return token.Join(words, gaps), true
-
-	case words[0] == "neighbor" && len(words) >= 4 && words[2] == "remote-as":
-		a.hit(RuleNeighborRemoteAS)
-		words[1] = a.mapNeighborToken(words[1])
-		words[3] = a.mapASNToken(words[3])
-		return token.Join(words, gaps), true
-
-	case words[0] == "neighbor" && len(words) >= 4 && words[2] == "local-as":
-		a.hit(RuleNeighborLocalAS)
-		words[1] = a.mapNeighborToken(words[1])
-		words[3] = a.mapASNToken(words[3])
-		return token.Join(words, gaps), true
-
-	case words[0] == "bgp" && len(words) >= 4 && words[1] == "confederation" && words[2] == "identifier":
-		a.hit(RuleConfedID)
-		words[3] = a.mapASNToken(words[3])
-		return token.Join(words, gaps), true
-
-	case words[0] == "bgp" && len(words) >= 4 && words[1] == "confederation" && words[2] == "peers":
-		a.hit(RuleConfedPeers)
-		for i := 3; i < len(words); i++ {
-			words[i] = a.mapASNToken(words[i])
-		}
-		return token.Join(words, gaps), true
-
-	case words[0] == "set" && len(words) >= 3 && words[1] == "community":
-		a.hit(RuleSetCommunity)
-		for i := 2; i < len(words); i++ {
-			words[i] = a.mapCommunityToken(words[i])
-		}
-		return token.Join(words, gaps), true
-
-	case words[0] == "set" && len(words) >= 4 && words[1] == "extcommunity":
-		a.hit(RuleSetExtCommunity)
-		for i := 3; i < len(words); i++ {
-			words[i] = a.mapCommunityToken(words[i])
-		}
-		return token.Join(words, gaps), true
-
-	case words[0] == "ip" && len(words) >= 5 && words[1] == "community-list":
-		// Numeric form: ip community-list N permit <expr...>
-		// Named form:   ip community-list standard|expanded NAME permit <expr...>
-		start := 4
-		if words[2] == "standard" || words[2] == "expanded" {
-			if len(words) < 6 {
-				return token.Join(words, gaps), true
-			}
-			words[3] = a.forceHashName(words[3])
-			start = 5
-		}
-		for i := start; i < len(words); i++ {
-			words[i] = a.mapCommunityExpr(words[i])
-		}
-		return token.Join(words, gaps), true
-
-	case words[0] == "set" && len(words) >= 4 && words[1] == "as-path" && words[2] == "prepend":
-		a.hit(RuleASPathPrepend)
-		for i := 3; i < len(words); i++ {
-			words[i] = a.mapASNToken(words[i])
-		}
-		return token.Join(words, gaps), true
-
-	case words[0] == "ip" && len(words) >= 6 && words[1] == "as-path" && words[2] == "access-list":
-		a.hit(RuleASPathRegexp)
-		// The regexp is everything after the action word; it may contain
-		// spaces (alternation of path expressions), so rewrite the join.
-		pattern := strings.Join(words[5:], " ")
-		rewritten := a.rewriteASPath(pattern)
-		words[5] = rewritten
-		words = words[:6]
-		gaps = append(gaps[:6], gaps[len(gaps)-1])
-		return token.Join(words, gaps), true
-	}
-	return "", false
-}
-
-// rewriteASPath rewrites an AS-path regexp, falling back to hashing when
-// the pattern does not parse (conservatism over information preservation).
-func (a *Anonymizer) rewriteASPath(pattern string) string {
-	res, err := cregex.RewriteASN(pattern, a.recordingASNPerm(), a.opts.Style)
-	if err != nil {
-		a.stats.RegexpFallbacks++
-		return a.forceHash(pattern)
-	}
-	if res.Changed {
-		a.stats.RegexpsRewritten++
-	} else {
-		a.stats.RegexpsUnchanged++
-	}
-	return res.Pattern
-}
-
-// recordingASNPerm wraps the ASN permutation so every public ASN that the
-// regexp machinery maps is also recorded for the leak report.
-func (a *Anonymizer) recordingASNPerm() func(uint32) uint32 {
-	return func(v uint32) uint32 {
-		out := a.perms.ASN.Map(v)
-		if out != v {
-			a.recordASN(v)
-		}
-		return out
-	}
-}
-
-// mapCommunityExpr handles one community-list entry token: a literal
-// community (A9), a well-known value, or a regexp (A10).
-func (a *Anonymizer) mapCommunityExpr(w string) string {
-	if isWellKnownCommunity(w) {
-		return w
-	}
-	if _, _, ok := token.ParseCommunity(w); ok {
-		a.hit(RuleCommListLiteral)
-		return a.mapCommunityToken(w)
-	}
-	if token.IsInteger(w) {
-		a.hit(RuleCommListLiteral)
-		return a.mapCommunityToken(w)
-	}
-	a.hit(RuleCommListRegexp)
-	res, err := cregex.RewriteCommunity(w, a.recordingASNPerm(), a.perms.Value.Map, a.opts.Style)
-	if err != nil {
-		a.stats.RegexpFallbacks++
-		return a.forceHash(w)
-	}
-	if res.Changed {
-		a.stats.RegexpsRewritten++
-	} else {
-		a.stats.RegexpsUnchanged++
-	}
-	return res.Pattern
-}
-
-func isWellKnownCommunity(w string) bool {
-	switch w {
-	case "internet", "no-export", "no-advertise", "local-as", "additive", "none":
-		return true
-	}
-	return false
-}
-
-// mapCommunityToken maps "asn:value" (both halves), an old-format 32-bit
-// community (split into halves), or passes through keywords.
-func (a *Anonymizer) mapCommunityToken(w string) string {
-	if isWellKnownCommunity(w) {
-		return w
-	}
-	if asnHalf, val, ok := token.ParseCommunity(w); ok {
-		a.stats.CommunitiesMapped++
-		if asn.IsPublic(asnHalf) {
-			a.recordASN(asnHalf)
-		}
-		ma, mv := asn.MapCommunity(a.perms.ASN, a.perms.Value, asnHalf, val)
-		return strconv.FormatUint(uint64(ma), 10) + ":" + strconv.FormatUint(uint64(mv), 10)
-	}
-	if token.IsInteger(w) {
-		v, err := strconv.ParseUint(w, 10, 64)
-		if err == nil && v > 0xFFFF && v <= 0xFFFFFFFF {
-			// Old-format community: high half is the ASN.
-			a.stats.CommunitiesMapped++
-			hi, lo := uint32(v>>16), uint32(v&0xFFFF)
-			if asn.IsPublic(hi) {
-				a.recordASN(hi)
-			}
-			ma, mv := asn.MapCommunity(a.perms.ASN, a.perms.Value, hi, lo)
-			return strconv.FormatUint(uint64(ma)<<16|uint64(mv), 10)
-		}
-		if err == nil && v <= 0xFFFF {
-			a.stats.CommunitiesMapped++
-			return strconv.FormatUint(uint64(a.perms.Value.Map(uint32(v))), 10)
-		}
-	}
-	return a.forceHash(w)
-}
-
-// mapASNToken permutes a decimal ASN token; non-numeric tokens are hashed.
-func (a *Anonymizer) mapASNToken(w string) string {
-	if !token.IsInteger(w) {
-		return a.forceHash(w)
-	}
-	v, err := strconv.ParseUint(w, 10, 32)
-	if err != nil {
-		return a.forceHash(w)
-	}
-	out := a.perms.ASN.Map(uint32(v))
-	if out != uint32(v) {
-		a.stats.ASNsMapped++
-		a.recordASN(uint32(v))
-	}
-	return strconv.FormatUint(uint64(out), 10)
-}
-
-// mapAddrToken maps a dotted-quad token, preserving non-addresses.
-func (a *Anonymizer) mapAddrToken(w string) string {
-	v, ok := token.ParseIPv4(w)
-	if !ok {
-		return a.forceHash(w)
-	}
-	a.hit(RuleBareAddr)
-	a.stats.IPsMapped++
-	out := a.ip.MapV4(v)
-	if out != v {
-		a.seenIPs[v] = true
-	}
-	return token.FormatIPv4(out)
-}
-
-func (a *Anonymizer) recordASN(v uint32) {
-	a.seenASNs[strconv.FormatUint(uint64(v), 10)] = true
-}
-
-// genericWords is the fallback pass applying the IP rules (I1–I5), the
-// bare-community rule (K1), and the basic method (segmentation S1/S2 +
-// pass-list + hash) to every word of a line not consumed by a line rule.
-//
-// Words are stripped of structural punctuation first (JunOS attaches
-// semicolons, brackets, and quotes to values: "address 12.0.0.1/30;"),
-// processed on their cores, and reassembled.
-func (a *Anonymizer) genericWords(words []string, st *fileState) {
-	leads := make([]string, len(words))
-	trails := make([]string, len(words))
-	cores := make([]string, len(words))
-	for i, w := range words {
-		leads[i], cores[i], trails[i] = token.TrimPunct(w)
-	}
-	a.genericCores(cores, st)
-	for i := range words {
-		words[i] = leads[i] + cores[i] + trails[i]
-	}
-}
-
-// genericCores runs the word-level rules over punctuation-stripped cores.
-func (a *Anonymizer) genericCores(words []string, st *fileState) {
-	for i := 0; i < len(words); i++ {
-		w := words[i]
-		if w == "" {
-			continue
-		}
-		if a.sensitiveTokens[w] {
-			// Operator-added rule: treat a numeric token as an ASN,
-			// anything else as a hashable word.
-			if token.IsInteger(w) {
-				words[i] = a.mapASNToken(w)
-			} else {
-				words[i] = a.forceHash(w)
-			}
-			continue
-		}
-		if addr, ok := token.ParseIPv4(w); ok {
-			// I1 variant: "network A mask M" (BGP network statements).
-			if i+2 < len(words) && words[i+1] == "mask" {
-				if m, mok := token.ParseIPv4(words[i+2]); mok {
-					if length, isMask := config.MaskToLen(m); isMask {
-						a.hit(RuleAddrNetmask)
-						words[i] = a.mapWithPrefix(addr, length)
-						i += 2 // "mask" keyword and the mask itself pass through
-						continue
-					}
-				}
-			}
-			// Pair rules I1/I2 first: address followed by a netmask or
-			// wildcard.
-			if i+1 < len(words) {
-				if second, ok2 := token.ParseIPv4(words[i+1]); ok2 {
-					if length, isMask := config.MaskToLen(second); isMask && second != 0 {
-						a.hit(RuleAddrNetmask)
-						words[i] = a.mapWithPrefix(addr, length)
-						i++ // mask itself passes through unchanged
-						continue
-					}
-					if length, isWild := config.MaskToLen(^second); isWild {
-						a.hit(RuleAddrWildcard)
-						words[i] = a.mapWithPrefix(addr, length)
-						i++ // wildcard passes through unchanged
-						continue
-					}
-				}
-			}
-			// I5: classful network statements under RIP/EIGRP/IGRP.
-			if st != nil && (st.block == "router rip" || st.block == "router eigrp" || st.block == "router igrp") &&
-				i > 0 && words[i-1] == "network" {
-				a.hit(RuleClassfulNet)
-				length, _ := config.MaskToLen(config.ClassfulMask(addr))
-				words[i] = a.mapWithPrefix(addr, length)
-				continue
-			}
-			// I3: bare address.
-			words[i] = a.mapAddrToken(w)
-			continue
-		}
-		if addr, length, ok := token.ParseIPv4Prefix(w); ok {
-			a.hit(RuleSlashPrefix)
-			a.stats.IPsMapped++
-			mapped := a.ip.MapPrefix(addr, length)
-			net := addr & config.LenToMask(length)
-			if mapped != net {
-				a.seenIPs[net] = true
-			}
-			words[i] = token.FormatIPv4(mapped) + "/" + strconv.Itoa(length)
-			continue
-		}
-		if _, _, ok := token.ParseCommunity(w); ok {
-			a.hit(RuleBareCommunity)
-			words[i] = a.mapCommunityToken(w)
-			continue
-		}
-		if token.IsInteger(w) {
-			// "Simple integers are generally not anonymized."
-			continue
-		}
-		words[i] = a.hashIfPrivileged(w)
-	}
-}
-
-// mapWithPrefix pins the subnet address first (so subnet-address
-// preservation holds regardless of the order hosts appear in the file),
-// then maps the full address.
-func (a *Anonymizer) mapWithPrefix(addr uint32, length int) string {
-	a.stats.IPsMapped++
-	net := addr & config.LenToMask(length)
-	mappedNet := a.ip.MapPrefix(net, length)
-	if mappedNet != net {
-		a.seenIPs[net] = true
-	}
-	if addr == net {
-		return token.FormatIPv4(mappedNet)
-	}
-	out := a.ip.MapV4(addr)
-	if out != addr {
-		a.seenIPs[addr] = true
-	}
-	return token.FormatIPv4(out)
-}
-
-// hashIfPrivileged applies the basic method to one word: segment (S1/S2),
-// consult the pass-list, and hash what is not known innocuous.
-func (a *Anonymizer) hashIfPrivileged(w string) string {
-	switch token.Classify(w) {
-	case token.Email, token.Phone, token.HexString:
-		return a.forceHash(w)
-	case token.Punct:
-		return w
-	}
-	// Whole-word pass-list hit first: hyphenated keywords such as
-	// "route-map" and "access-list" are listed as units.
-	if a.pass.Contains(w) {
-		a.stats.TokensPassed++
-		return w
-	}
-	segs := token.SplitWord(w)
-	if len(segs) > 1 {
-		a.hit(RuleSegmentAlpha)
-		hasWords := 0
-		for _, s := range segs {
-			if s.Kind == token.Word {
-				hasWords++
-			}
-		}
-		if hasWords > 1 {
-			a.hit(RuleSegmentWords)
-		}
-	}
-	var b strings.Builder
-	changed := false
-	for _, s := range segs {
-		if s.Kind != token.Word {
-			b.WriteString(s.Text)
-			continue
-		}
-		if a.pass.Contains(s.Text) {
-			a.stats.TokensPassed++
-			b.WriteString(s.Text)
-			continue
-		}
-		a.stats.TokensHashed++
-		a.seenWords[s.Text] = true
-		b.WriteString(hashWord(a.opts.Salt, s.Text))
-		changed = true
-	}
-	if !changed {
-		return w
-	}
-	return b.String()
-}
-
-// forceHash hashes a whole token regardless of the pass-list; used where
-// position marks the value as identity-bearing (credentials, hostnames,
-// fallbacks).
-func (a *Anonymizer) forceHash(w string) string {
-	a.stats.TokensHashed++
-	a.seenWords[w] = true
-	return hashWord(a.opts.Salt, w)
-}
-
-// hashAllSegments hashes every alphabetic segment of a word, keeping the
-// punctuation skeleton (dots of a hostname), ignoring the pass-list.
-func (a *Anonymizer) hashAllSegments(w string) string {
-	var b strings.Builder
-	for _, s := range token.SplitWord(w) {
-		if s.Kind == token.Word {
-			a.stats.TokensHashed++
-			a.seenWords[s.Text] = true
-			b.WriteString(hashWord(a.opts.Salt, s.Text))
-		} else {
-			b.WriteString(s.Text)
-		}
-	}
-	return b.String()
 }

@@ -1,0 +1,129 @@
+package anonymizer
+
+import (
+	"strings"
+	"time"
+
+	"confanon/internal/token"
+)
+
+// The engine owns line iteration, token segmentation, and per-rule
+// instrumentation. One file flows through runFile; each line flows
+// through runLine, which times the line and attributes the elapsed wall
+// time to the rules that fired on it (proportionally to their hits on
+// the line, so the per-rule times in Stats sum to the total rewriting
+// time). The line itself passes through three phases:
+//
+//  1. structural rules — banner bodies and JunOS comment state, which
+//     span lines and run before (or instead of) tokenized dispatch;
+//  2. the keyed line-rule dispatch table (rule.go), in registry order;
+//  3. the generic word pass (rules_generic.go), where the token-scoped
+//     rules (segmentation, IP pairs, bare communities) fire.
+
+// fileState carries cross-line context through one file.
+type fileState struct {
+	inBanner       bool
+	bannerDelim    byte
+	inBlockComment bool   // inside a JunOS /* ... */ block
+	block          string // current top-level block: "interface", "router bgp", ...
+}
+
+// runFile drives every line of one file through the pipeline, handing
+// kept output lines to emit. next returns the file's lines in order
+// (without terminators) and reports false when the file is exhausted.
+func (a *Anonymizer) runFile(next func() (string, bool), emit func(string)) {
+	a.stats.Files++
+	st := &fileState{}
+	for {
+		line, ok := next()
+		if !ok {
+			return
+		}
+		res, keep := a.runLine(line, st)
+		if keep {
+			emit(res)
+		}
+	}
+}
+
+// runLine processes one line under the per-rule timer.
+func (a *Anonymizer) runLine(line string, st *fileState) (string, bool) {
+	a.stats.Lines++
+	start := time.Now()
+	res, keep := a.processLine(line, st)
+	a.attribute(time.Since(start))
+	return res, keep
+}
+
+// attribute splits an elapsed duration across the rules recorded in the
+// lineHits scratch (one share per hit) and clears the scratch.
+func (a *Anonymizer) attribute(d time.Duration) {
+	n := len(a.lineHits)
+	if n == 0 {
+		return
+	}
+	share := d / time.Duration(n)
+	for _, r := range a.lineHits {
+		a.stats.RuleTime[r] += share
+	}
+	a.lineHits = a.lineHits[:0]
+}
+
+// processLine is the per-line pipeline: structural rules, keyed dispatch,
+// then the generic word pass.
+func (a *Anonymizer) processLine(line string, st *fileState) (string, bool) {
+	// C1: banner bodies are comments; strip every content line.
+	if st.inBanner {
+		if strings.IndexByte(line, st.bannerDelim) >= 0 {
+			st.inBanner = false
+			return string(st.bannerDelim), true
+		}
+		a.hit(RuleBanner)
+		a.stats.CommentLinesRemoved++
+		a.stats.CommentWordsRemoved += len(strings.Fields(line))
+		a.countWords(line)
+		if a.stripComments() {
+			return "", false
+		}
+		return line, true
+	}
+
+	words, gaps := token.Fields(line)
+	a.stats.WordsTotal += len(words)
+
+	// JunOS comment syntax ("# ...", "/* ... */") is stripped like IOS
+	// comments; block comments span lines.
+	if res, keep, handled := a.junosCommentRules(line, words, st); handled || st.inBlockComment {
+		return res, keep
+	}
+	if len(words) == 0 {
+		return line, true
+	}
+
+	// Track the current block for context-dependent rules.
+	indented := gaps[0] != ""
+	if !indented {
+		st.block = blockOf(words)
+	}
+
+	c := &a.ctx
+	c.raw, c.words, c.gaps, c.st = line, words, gaps, st
+	if out, keep, consumed := a.dispatchLine(c); consumed {
+		return out, keep
+	}
+
+	// Generic word-level pass (IP addresses, prefixes, communities,
+	// pass-list hashing) over whatever no line rule consumed.
+	a.genericWords(words, st)
+	return token.Join(words, gaps), true
+}
+
+func blockOf(words []string) string {
+	if len(words) >= 2 && words[0] == "router" {
+		return "router " + words[1]
+	}
+	if len(words) >= 1 {
+		return words[0]
+	}
+	return ""
+}

@@ -1,0 +1,191 @@
+package anonymizer
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRegistryCoversInventory: every one of the paper's 28 rules is a
+// described registry entry, and every dispatch-table entry carries an ID
+// that the registry describes.
+func TestRegistryCoversInventory(t *testing.T) {
+	described := map[RuleID]RuleInfo{}
+	for _, info := range Rules() {
+		if info.Doc == "" || info.Class == "" || info.Scope == "" {
+			t.Errorf("rule %s is not self-describing: %+v", info.ID, info)
+		}
+		if _, dup := described[info.ID]; dup {
+			t.Errorf("rule %s described twice", info.ID)
+		}
+		described[info.ID] = info
+	}
+	for _, id := range AllRules {
+		if _, ok := described[id]; !ok {
+			t.Errorf("paper rule %s missing from registry inventory", id)
+		}
+	}
+	for _, r := range lineRules {
+		if _, ok := described[r.id]; !ok {
+			t.Errorf("dispatch entry %s carries undescribed rule %s", r.name, r.id)
+		}
+	}
+}
+
+// TestDispatchOrderPreserved: the dispatch table preserves the engine's
+// contract — comment entries before misc, misc before name, name before
+// JunOS, JunOS before ASN — and key-indexed candidate lists are ordered
+// by global sequence.
+func TestDispatchOrderPreserved(t *testing.T) {
+	want := 0
+	for _, group := range [][]*lineRule{commentLineRules, miscLineRules, nameLineRules, junosLineRules, asnLineRules} {
+		for _, r := range group {
+			if r.seq != want || lineRules[r.seq] != r {
+				t.Fatalf("entry %s has seq %d, want %d", r.name, r.seq, want)
+			}
+			want++
+		}
+	}
+	if want != len(lineRules) {
+		t.Fatalf("lineRules has %d entries, class groups have %d", len(lineRules), want)
+	}
+	for key, candidates := range keyedRules {
+		for i := 1; i < len(candidates); i++ {
+			if candidates[i-1].seq >= candidates[i].seq {
+				t.Errorf("key %q candidates out of order: %s then %s",
+					key, candidates[i-1].name, candidates[i].name)
+			}
+		}
+	}
+}
+
+// TestDegenerateLinesDoNotPanic: the monolithic dispatcher indexed
+// words[1] before checking the length on "ip" lines and crashed on a
+// bare "ip"; the registry entries guard length first.
+func TestDegenerateLinesDoNotPanic(t *testing.T) {
+	a := New(Options{Salt: []byte("s")})
+	for _, line := range []string{
+		"ip", "neighbor", "set", "bgp", "router", "banner", "as-path",
+		"community", "import", "export", "dialer", "username", "match",
+		"class-map", "aaa", "snmp-server", "redistribute", "service-policy",
+		"hostname", "ip vrf", "set community", "bgp confederation",
+	} {
+		out := a.AnonymizeText(line + "\n")
+		if out == "" {
+			t.Errorf("line %q produced empty output", line)
+		}
+	}
+}
+
+// TestPerRuleInstrumentation: hits and wall time both accumulate per
+// rule, and time goes only to rules that fired.
+func TestPerRuleInstrumentation(t *testing.T) {
+	a := New(Options{Salt: []byte("s")})
+	a.AnonymizeText("router bgp 1111\n neighbor 12.0.0.1 remote-as 701\n")
+	s := a.Stats()
+	for _, r := range []RuleID{RuleBGPProcess, RuleNeighborRemoteAS, RuleBareAddr} {
+		if s.RuleHits[r] == 0 {
+			t.Errorf("rule %s did not hit: %+v", r, s.RuleHits)
+		}
+		if s.RuleTime[r] <= 0 {
+			t.Errorf("rule %s has no wall time: %v", r, s.RuleTime)
+		}
+	}
+	if s.RuleHits[RuleDialerString] != 0 || s.RuleTime[RuleDialerString] != 0 {
+		t.Errorf("rule that never fired was instrumented: hits=%d time=%v",
+			s.RuleHits[RuleDialerString], s.RuleTime[RuleDialerString])
+	}
+	if len(a.lineHits) != 0 {
+		t.Errorf("per-line hit scratch not cleared: %v", a.lineHits)
+	}
+}
+
+// TestNamePositionInstrumented: the extension name rules are now counted.
+func TestNamePositionInstrumented(t *testing.T) {
+	a := New(Options{Salt: []byte("s")})
+	a.AnonymizeText("route-map FOO permit 10\n")
+	if a.Stats().RuleHits[RuleNamePosition] != 1 {
+		t.Errorf("name position not counted: %+v", a.Stats().RuleHits)
+	}
+}
+
+// TestStatsAdd: every counter merges; maps merge key-wise.
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Files: 1, Lines: 10, TokensHashed: 3,
+		RuleHits: map[RuleID]int{RuleBanner: 2},
+		RuleTime: map[RuleID]time.Duration{RuleBanner: time.Millisecond}}
+	b := Stats{Files: 2, Lines: 5, TokensHashed: 4,
+		RuleHits: map[RuleID]int{RuleBanner: 1, RuleHostname: 7},
+		RuleTime: map[RuleID]time.Duration{RuleHostname: time.Second}}
+	a.Add(b)
+	if a.Files != 3 || a.Lines != 15 || a.TokensHashed != 7 {
+		t.Errorf("counters wrong after Add: %+v", a)
+	}
+	if a.RuleHits[RuleBanner] != 3 || a.RuleHits[RuleHostname] != 7 {
+		t.Errorf("RuleHits wrong after Add: %+v", a.RuleHits)
+	}
+	if a.RuleTime[RuleBanner] != time.Millisecond || a.RuleTime[RuleHostname] != time.Second {
+		t.Errorf("RuleTime wrong after Add: %+v", a.RuleTime)
+	}
+}
+
+// TestStatsAddIntoZero: Add into a zero-valued Stats allocates the maps.
+func TestStatsAddIntoZero(t *testing.T) {
+	var total Stats
+	total.Add(Stats{Files: 1, RuleHits: map[RuleID]int{RuleBanner: 1}})
+	if total.Files != 1 || total.RuleHits[RuleBanner] != 1 {
+		t.Errorf("zero-value Add wrong: %+v", total)
+	}
+}
+
+// TestStatsAddMatchesAnonymization: merging two runs' stats equals one
+// run over both inputs (for the counters that are run-order independent).
+func TestStatsAddMatchesAnonymization(t *testing.T) {
+	text1 := "hostname r1.foo.com\nrouter bgp 1111\n neighbor 12.0.0.1 remote-as 701\n"
+	text2 := "banner motd ^C\nsecret stuff\n^C\naccess-list 10 permit 12.0.0.0 0.0.0.255\n"
+
+	one := New(Options{Salt: []byte("s")})
+	one.AnonymizeText(text1)
+	one.AnonymizeText(text2)
+	want := one.Stats()
+
+	x := New(Options{Salt: []byte("s")})
+	x.AnonymizeText(text1)
+	y := New(Options{Salt: []byte("s")})
+	y.AnonymizeText(text2)
+	var got Stats
+	got.Add(x.Stats())
+	got.Add(y.Stats())
+
+	if got.Files != want.Files || got.Lines != want.Lines ||
+		got.WordsTotal != want.WordsTotal || got.TokensHashed != want.TokensHashed ||
+		got.IPsMapped != want.IPsMapped || got.ASNsMapped != want.ASNsMapped {
+		t.Errorf("merged stats differ from combined run:\n got %+v\nwant %+v", got, want)
+	}
+	for r, n := range want.RuleHits {
+		if got.RuleHits[r] != n {
+			t.Errorf("rule %s hits: got %d want %d", r, got.RuleHits[r], n)
+		}
+	}
+}
+
+// TestJunosMessageQuirkPreserved documents the seed behavior the golden
+// corpus pins: in stripping mode a JunOS "message" line is counted as a
+// removed comment line but then falls through to the generic pass and is
+// hashed in place, not dropped.
+func TestJunosMessageQuirkPreserved(t *testing.T) {
+	a := New(Options{Salt: []byte("s")})
+	out := a.AnonymizeText("    message \"FooNet property keep out\";\n")
+	if !strings.Contains(out, "message ") {
+		t.Fatalf("message line was dropped: %q", out)
+	}
+	if strings.Contains(out, "FooNet") {
+		t.Errorf("identity survived in message line: %q", out)
+	}
+	if a.Stats().CommentLinesRemoved != 1 {
+		t.Errorf("message line not counted as comment: %+v", a.Stats())
+	}
+	if a.Stats().RuleHits[RuleBanner] != 1 {
+		t.Errorf("banner rule not hit: %+v", a.Stats().RuleHits)
+	}
+}

@@ -11,151 +11,185 @@ import (
 // configuration languages as well" — which holds because the method is
 // line- and token-oriented rather than grammar-oriented. The generic word
 // pass already handles JunOS values (TrimPunct separates the attached
-// semicolons, brackets, and quotes); this file adds the JunOS-specific
-// context rules: comment syntax, identity statements, ASN statements,
-// policy-object names, and quoted as-path regexps.
+// semicolons, brackets, and quotes); the entries here add the
+// JunOS-specific context rules: comment syntax, identity statements, ASN
+// statements, policy-object names, and quoted as-path regexps.
 
-// junosRules rewrites JunOS-dialect lines. Returns the finished line and
-// true when it consumed the line.
-func (a *Anonymizer) junosRules(words, gaps []string) (string, bool) {
-	stripQuotes := func(w string) (string, bool) {
-		if len(w) >= 2 && w[0] == '"' && w[len(w)-1] == '"' {
-			return w[1 : len(w)-1], true
-		}
-		return w, false
+// jwStripQuotes removes a surrounding double-quote pair.
+func jwStripQuotes(w string) (string, bool) {
+	if len(w) >= 2 && w[0] == '"' && w[len(w)-1] == '"' {
+		return w[1 : len(w)-1], true
 	}
-	core := func(i int) string {
-		_, c, _ := token.TrimPunct(words[i])
-		return c
-	}
-	setCore := func(i int, v string) {
-		lead, _, trail := token.TrimPunct(words[i])
-		words[i] = lead + v + trail
-	}
+	return w, false
+}
 
-	switch words[0] {
-	case "host-name", "domain-name", "domain-search":
-		// system { host-name cr1.lax.foo.net; }
-		if len(words) >= 2 {
-			a.hit(RuleHostname)
-			setCore(1, a.hashAllSegments(core(1)))
-			return token.Join(words, gaps), true
-		}
+// jwCore returns the punctuation-stripped core of words[i].
+func jwCore(words []string, i int) string {
+	_, c, _ := token.TrimPunct(words[i])
+	return c
+}
 
-	case "message":
-		// system login message "identity-laden banner";
-		a.hit(RuleBanner)
-		a.stats.CommentLinesRemoved++
-		a.stats.CommentWordsRemoved += len(words) - 1
-		if a.stripComments() {
-			return "", false
-		}
-		return token.Join(words, gaps), true
+// jwSetCore replaces the core of words[i], keeping attached punctuation.
+func jwSetCore(words []string, i int, v string) {
+	lead, _, trail := token.TrimPunct(words[i])
+	words[i] = lead + v + trail
+}
 
-	case "encrypted-password", "plain-text-password", "authentication-key", "pre-shared-key":
-		if len(words) >= 2 {
-			a.hit(RuleCredentials)
-			last := len(words) - 1
-			c := core(last)
-			if inner, ok := stripQuotes(c); ok {
-				setCore(last, "\""+hashWord(a.opts.Salt, inner)+"\"")
-			} else {
-				setCore(last, a.forceHash(c))
+var junosLineRules = []*lineRule{
+	// system { host-name cr1.lax.foo.net; }
+	{id: RuleHostname, name: "junos-host-name",
+		keys: []string{"host-name", "domain-name", "domain-search"},
+		apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
+			if len(c.words) < 2 {
+				return "", false, false
 			}
-			return token.Join(words, gaps), true
-		}
+			a.hit(RuleHostname)
+			jwSetCore(c.words, 1, a.hashAllSegments(jwCore(c.words, 1)))
+			return token.Join(c.words, c.gaps), true, true
+		}},
 
-	case "peer-as", "local-as":
-		if len(words) >= 2 {
-			if words[0] == "peer-as" {
+	// system login message "identity-laden banner";
+	//
+	// Seed-behavior quirk, preserved for output compatibility: in
+	// comment-stripping mode this entry records the banner hit and the
+	// comment counters but then DECLINES the line, so it falls through to
+	// the generic pass and is hashed word-by-word instead of stripped.
+	{id: RuleBanner, name: "junos-message", keys: []string{"message"},
+		apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
+			a.hit(RuleBanner)
+			a.stats.CommentLinesRemoved++
+			a.stats.CommentWordsRemoved += len(c.words) - 1
+			if a.stripComments() {
+				return "", false, false
+			}
+			return token.Join(c.words, c.gaps), true, true
+		}},
+
+	// Credential statements; quoted values are hashed inside the quotes.
+	{id: RuleCredentials, name: "junos-credentials",
+		keys: []string{"encrypted-password", "plain-text-password", "authentication-key", "pre-shared-key"},
+		apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
+			if len(c.words) < 2 {
+				return "", false, false
+			}
+			a.hit(RuleCredentials)
+			last := len(c.words) - 1
+			cv := jwCore(c.words, last)
+			if inner, ok := jwStripQuotes(cv); ok {
+				jwSetCore(c.words, last, "\""+hashWord(a.opts.Salt, inner)+"\"")
+			} else {
+				jwSetCore(c.words, last, a.forceHash(cv))
+			}
+			return token.Join(c.words, c.gaps), true, true
+		}},
+
+	// peer-as / local-as ASN statements.
+	{id: RuleNeighborRemoteAS, name: "junos-peer-as", keys: []string{"peer-as", "local-as"},
+		apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
+			if len(c.words) < 2 {
+				return "", false, false
+			}
+			if c.words[0] == "peer-as" {
 				a.hit(RuleNeighborRemoteAS)
 			} else {
 				a.hit(RuleNeighborLocalAS)
 			}
-			setCore(1, a.mapASNToken(core(1)))
-			return token.Join(words, gaps), true
-		}
+			jwSetCore(c.words, 1, a.mapASNToken(jwCore(c.words, 1)))
+			return token.Join(c.words, c.gaps), true, true
+		}},
 
-	case "autonomous-system":
-		// routing-options { autonomous-system 1111; }
-		if len(words) >= 2 {
-			a.hit(RuleBGPProcess)
-			setCore(1, a.mapASNToken(core(1)))
-			return token.Join(words, gaps), true
-		}
-
-	case "as-path":
-		// policy-options { as-path NAME "1239 .*"; }
-		// (distinct from IOS "ip as-path access-list", which has its own
-		// rule; a bare as-path reference "as-path NAME;" hashes the name.)
-		if len(words) >= 3 {
-			a.hit(RuleASPathRegexp)
-			setCore(1, a.forceHashName(core(1)))
-			// The regexp is the quoted remainder.
-			pattern := strings.Join(words[2:], " ")
-			pattern = strings.TrimSuffix(strings.TrimSpace(pattern), ";")
-			if inner, ok := stripQuotes(pattern); ok {
-				words[2] = "\"" + a.rewriteASPath(inner) + "\";"
-			} else {
-				words[2] = a.rewriteASPath(pattern) + ";"
+	// routing-options { autonomous-system 1111; }
+	{id: RuleBGPProcess, name: "junos-autonomous-system", keys: []string{"autonomous-system"},
+		apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
+			if len(c.words) < 2 {
+				return "", false, false
 			}
-			words = words[:3]
-			gaps = append(gaps[:3], gaps[len(gaps)-1])
-			return token.Join(words, gaps), true
-		}
-		if len(words) == 2 {
-			setCore(1, a.forceHashName(core(1)))
-			return token.Join(words, gaps), true
-		}
+			a.hit(RuleBGPProcess)
+			jwSetCore(c.words, 1, a.mapASNToken(jwCore(c.words, 1)))
+			return token.Join(c.words, c.gaps), true, true
+		}},
 
-	case "policy-statement", "term", "group", "filter", "prefix-list":
-		// User-chosen identifiers introducing blocks.
-		if len(words) >= 2 {
-			setCore(1, a.forceHashName(core(1)))
-			a.genericWords(words[2:], nil)
-			return token.Join(words, gaps), true
-		}
+	// policy-options { as-path NAME "1239 .*"; }
+	// (distinct from IOS "ip as-path access-list", which has its own
+	// entry; a bare as-path reference "as-path NAME;" hashes the name.)
+	{id: RuleASPathRegexp, name: "junos-as-path", keys: []string{"as-path"},
+		apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
+			if len(c.words) >= 3 {
+				a.hit(RuleASPathRegexp)
+				jwSetCore(c.words, 1, a.forceHashName(jwCore(c.words, 1)))
+				// The regexp is the quoted remainder.
+				pattern := strings.Join(c.words[2:], " ")
+				pattern = strings.TrimSuffix(strings.TrimSpace(pattern), ";")
+				if inner, ok := jwStripQuotes(pattern); ok {
+					c.words[2] = "\"" + a.rewriteASPath(inner) + "\";"
+				} else {
+					c.words[2] = a.rewriteASPath(pattern) + ";"
+				}
+				c.words = c.words[:3]
+				c.gaps = append(c.gaps[:3], c.gaps[len(c.gaps)-1])
+				return token.Join(c.words, c.gaps), true, true
+			}
+			if len(c.words) == 2 {
+				jwSetCore(c.words, 1, a.forceHashName(jwCore(c.words, 1)))
+				return token.Join(c.words, c.gaps), true, true
+			}
+			return "", false, false
+		}},
 
-	case "community":
-		// policy-options { community NAME members [ 701:100 ]; }
-		// or, inside a then block, "community add NAME;".
-		if len(words) >= 3 && (words[1] == "add" || words[1] == "delete" || words[1] == "set") {
-			a.hit(RuleSetCommunity)
-			setCore(2, a.forceHashName(core(2)))
-			return token.Join(words, gaps), true
-		}
-		if len(words) >= 2 {
+	// User-chosen identifiers introducing blocks.
+	{id: RuleNamePosition, name: "junos-block-name",
+		keys: []string{"policy-statement", "term", "group", "filter", "prefix-list"},
+		apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
+			if len(c.words) < 2 {
+				return "", false, false
+			}
+			jwSetCore(c.words, 1, a.forceHashName(jwCore(c.words, 1)))
+			a.genericWords(c.words[2:], nil)
+			return token.Join(c.words, c.gaps), true, true
+		}},
+
+	// policy-options { community NAME members [ 701:100 ]; }
+	// or, inside a then block, "community add NAME;".
+	{id: RuleCommListLiteral, name: "junos-community", keys: []string{"community"},
+		apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
+			if len(c.words) >= 3 && (c.words[1] == "add" || c.words[1] == "delete" || c.words[1] == "set") {
+				a.hit(RuleSetCommunity)
+				jwSetCore(c.words, 2, a.forceHashName(jwCore(c.words, 2)))
+				return token.Join(c.words, c.gaps), true, true
+			}
+			if len(c.words) < 2 {
+				return "", false, false
+			}
 			a.hit(RuleCommListLiteral)
-			setCore(1, a.forceHashName(core(1)))
-			for i := 2; i < len(words); i++ {
-				c := core(i)
-				if _, _, ok := token.ParseCommunity(c); ok {
-					setCore(i, a.mapCommunityToken(c))
-				} else if strings.ContainsAny(c, ".[*") && strings.Contains(c, ":") {
-					setCore(i, a.mapCommunityExpr(c))
+			jwSetCore(c.words, 1, a.forceHashName(jwCore(c.words, 1)))
+			for i := 2; i < len(c.words); i++ {
+				cv := jwCore(c.words, i)
+				if _, _, ok := token.ParseCommunity(cv); ok {
+					jwSetCore(c.words, i, a.mapCommunityToken(cv))
+				} else if strings.ContainsAny(cv, ".[*") && strings.Contains(cv, ":") {
+					jwSetCore(c.words, i, a.mapCommunityExpr(cv))
 				}
 			}
-			return token.Join(words, gaps), true
-		}
+			return token.Join(c.words, c.gaps), true, true
+		}},
 
-	case "import", "export":
-		// Policy references: import [ A B ]; / export NAME; (the word
-		// "map" is kept for the IOS vrf form "import map NAME").
-		for i := 1; i < len(words); i++ {
-			if c := core(i); c != "" && c != "map" {
-				setCore(i, a.forceHashName(c))
+	// Policy references: import [ A B ]; / export NAME; (the word
+	// "map" is kept for the IOS vrf form "import map NAME").
+	{id: RuleNamePosition, name: "junos-policy-ref", keys: []string{"import", "export"},
+		apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
+			for i := 1; i < len(c.words); i++ {
+				if cv := jwCore(c.words, i); cv != "" && cv != "map" {
+					jwSetCore(c.words, i, a.forceHashName(cv))
+				}
 			}
-		}
-		return token.Join(words, gaps), true
-
-	case "description":
-		// Handled by the shared C2 rule before this point; nothing here.
-	}
-	return "", false
+			return token.Join(c.words, c.gaps), true, true
+		}},
 }
 
 // junosCommentRules strips JunOS comments: "# ..." to end of line and
-// "/* ... */" blocks (tracked across lines via the file state).
+// "/* ... */" blocks (tracked across lines via the file state). These are
+// structural (the block state spans lines), so the engine runs them ahead
+// of the keyed dispatch.
 func (a *Anonymizer) junosCommentRules(line string, words []string, st *fileState) (string, bool, bool) {
 	if st.inBlockComment {
 		a.hit(RuleCommentLine)

@@ -3,6 +3,7 @@ package anonymizer
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"confanon/internal/ipanon"
 	"confanon/internal/token"
@@ -73,6 +74,7 @@ func (a *Anonymizer) ipOutputs() map[uint32]bool {
 func (a *Anonymizer) LeakReport(post string) []Leak {
 	var leaks []Leak
 	for i, line := range strings.Split(post, "\n") {
+		start := time.Now()
 		words, _ := token.Fields(line)
 		for wi, w := range words {
 			switch {
@@ -98,6 +100,9 @@ func (a *Anonymizer) LeakReport(post string) []Leak {
 				}
 			}
 		}
+		// Attribute the scan time of this line to the leak rule (and
+		// clear the engine's per-line hit scratch).
+		a.attribute(time.Since(start))
 	}
 	return leaks
 }

@@ -4,7 +4,7 @@ import (
 	"confanon/internal/token"
 )
 
-// Name-position handling. §4.1's basic method "anonymizes the names of
+// Name-position entries. §4.1's basic method "anonymizes the names of
 // class-maps, route-maps, and any other strings that could hold privileged
 // information" — and a name must be hashed even when its words happen to
 // appear in the pass-list: a route map called "LEVEL3-import" leaks a peer
@@ -12,6 +12,10 @@ import (
 // syntactically hold a user-chosen identifier are therefore hashed as
 // whole tokens, bypassing segmentation and the pass-list. Numbered
 // references (ACL and list numbers) are local identifiers and stay.
+//
+// These entries share the extension RuleID RuleNamePosition — they are
+// not one of the paper's 28 numbered rules, but the registry instruments
+// them identically.
 
 // forceHashName hashes a user-chosen identifier; integers pass through.
 func (a *Anonymizer) forceHashName(w string) string {
@@ -21,90 +25,114 @@ func (a *Anonymizer) forceHashName(w string) string {
 	return a.forceHash(w)
 }
 
-// nameRules rewrites lines whose grammar places user-chosen identifiers at
-// known positions. It returns the finished line and true when it consumed
-// the line.
-func (a *Anonymizer) nameRules(words, gaps []string) (string, bool) {
-	switch {
-	case words[0] == "route-map" && len(words) >= 2:
-		// route-map NAME [permit|deny [seq]]
-		words[1] = a.forceHashName(words[1])
-		return token.Join(words, gaps), true
+// nameEntry builds a name-position entry: match decides, rewrite edits
+// the words in place; the entry then hits RuleNamePosition and rejoins.
+func nameEntry(name string, keys []string, match func(words []string) bool, rewrite func(a *Anonymizer, words []string)) *lineRule {
+	return &lineRule{id: RuleNamePosition, name: name, keys: keys,
+		apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
+			if !match(c.words) {
+				return "", false, false
+			}
+			a.hit(RuleNamePosition)
+			rewrite(a, c.words)
+			return token.Join(c.words, c.gaps), true, true
+		}}
+}
 
-	case words[0] == "neighbor" && len(words) >= 4 && words[2] == "route-map":
-		// neighbor A route-map NAME in|out
-		words[1] = a.mapNeighborToken(words[1])
-		words[3] = a.forceHashName(words[3])
-		return token.Join(words, gaps), true
+var nameLineRules = []*lineRule{
+	// route-map NAME [permit|deny [seq]]
+	nameEntry("route-map-def", []string{"route-map"},
+		func(w []string) bool { return len(w) >= 2 },
+		func(a *Anonymizer, w []string) { w[1] = a.forceHashName(w[1]) }),
 
-	case words[0] == "neighbor" && len(words) >= 4 && words[2] == "peer-group":
-		// neighbor A peer-group NAME
-		words[1] = a.mapNeighborToken(words[1])
-		words[3] = a.forceHashName(words[3])
-		return token.Join(words, gaps), true
+	// neighbor A route-map NAME in|out
+	nameEntry("neighbor-route-map", []string{"neighbor"},
+		func(w []string) bool { return len(w) >= 4 && w[2] == "route-map" },
+		func(a *Anonymizer, w []string) {
+			w[1] = a.mapNeighborToken(w[1])
+			w[3] = a.forceHashName(w[3])
+		}),
 
-	case words[0] == "neighbor" && len(words) == 3 && words[2] == "peer-group":
-		// neighbor NAME peer-group (definition form)
-		words[1] = a.forceHashName(words[1])
-		return token.Join(words, gaps), true
+	// neighbor A peer-group NAME
+	nameEntry("neighbor-peer-group-ref", []string{"neighbor"},
+		func(w []string) bool { return len(w) >= 4 && w[2] == "peer-group" },
+		func(a *Anonymizer, w []string) {
+			w[1] = a.mapNeighborToken(w[1])
+			w[3] = a.forceHashName(w[3])
+		}),
 
-	case words[0] == "neighbor" && len(words) >= 4 && (words[2] == "prefix-list" || words[2] == "filter-list" || words[2] == "distribute-list"):
-		// neighbor A prefix-list NAME in|out (filter/distribute lists are
-		// usually numbered; names hash, numbers stay)
-		words[1] = a.mapNeighborToken(words[1])
-		words[3] = a.forceHashName(words[3])
-		return token.Join(words, gaps), true
+	// neighbor NAME peer-group (definition form)
+	nameEntry("neighbor-peer-group-def", []string{"neighbor"},
+		func(w []string) bool { return len(w) == 3 && w[2] == "peer-group" },
+		func(a *Anonymizer, w []string) { w[1] = a.forceHashName(w[1]) }),
 
-	case words[0] == "ip" && words[1] == "vrf" && len(words) == 3:
-		// ip vrf NAME (definition)
-		words[2] = a.forceHashName(words[2])
-		return token.Join(words, gaps), true
+	// neighbor A prefix-list NAME in|out (filter/distribute lists are
+	// usually numbered; names hash, numbers stay)
+	nameEntry("neighbor-filter-ref", []string{"neighbor"},
+		func(w []string) bool {
+			return len(w) >= 4 && (w[2] == "prefix-list" || w[2] == "filter-list" || w[2] == "distribute-list")
+		},
+		func(a *Anonymizer, w []string) {
+			w[1] = a.mapNeighborToken(w[1])
+			w[3] = a.forceHashName(w[3])
+		}),
 
-	case words[0] == "ip" && len(words) >= 4 && words[1] == "vrf" && words[2] == "forwarding":
-		// ip vrf forwarding NAME (interface reference)
-		words[3] = a.forceHashName(words[3])
-		return token.Join(words, gaps), true
+	// ip vrf NAME (definition)
+	nameEntry("vrf-def", []string{"ip"},
+		func(w []string) bool { return len(w) == 3 && w[1] == "vrf" },
+		func(a *Anonymizer, w []string) { w[2] = a.forceHashName(w[2]) }),
 
-	case words[0] == "ip" && len(words) >= 5 && words[1] == "nat" && words[2] == "pool":
-		// ip nat pool NAME lo hi netmask M
-		words[3] = a.forceHashName(words[3])
-		a.genericWords(words[4:], nil)
-		return token.Join(words, gaps), true
+	// ip vrf forwarding NAME (interface reference)
+	nameEntry("vrf-forwarding", []string{"ip"},
+		func(w []string) bool { return len(w) >= 4 && w[1] == "vrf" && w[2] == "forwarding" },
+		func(a *Anonymizer, w []string) { w[3] = a.forceHashName(w[3]) }),
 
-	case words[0] == "aaa" && len(words) >= 5 && words[1] == "group" && words[2] == "server":
-		// aaa group server tacacs+|radius NAME
-		words[4] = a.forceHashName(words[4])
-		return token.Join(words, gaps), true
+	// ip nat pool NAME lo hi netmask M
+	nameEntry("nat-pool", []string{"ip"},
+		func(w []string) bool { return len(w) >= 5 && w[1] == "nat" && w[2] == "pool" },
+		func(a *Anonymizer, w []string) {
+			w[3] = a.forceHashName(w[3])
+			a.genericWords(w[4:], nil)
+		}),
 
-	case words[0] == "ip" && len(words) >= 3 && words[1] == "prefix-list":
-		// ip prefix-list NAME seq N permit A/L [ge|le N]
-		words[2] = a.forceHashName(words[2])
-		a.genericWords(words[3:], nil)
-		return token.Join(words, gaps), true
+	// aaa group server tacacs+|radius NAME
+	nameEntry("aaa-group-server", []string{"aaa"},
+		func(w []string) bool { return len(w) >= 5 && w[1] == "group" && w[2] == "server" },
+		func(a *Anonymizer, w []string) { w[4] = a.forceHashName(w[4]) }),
 
-	case words[0] == "match" && len(words) >= 4 && words[1] == "ip" && words[2] == "address" && words[3] == "prefix-list":
-		// match ip address prefix-list NAME...
-		for i := 4; i < len(words); i++ {
-			words[i] = a.forceHashName(words[i])
-		}
-		return token.Join(words, gaps), true
+	// ip prefix-list NAME seq N permit A/L [ge|le N]
+	nameEntry("prefix-list-def", []string{"ip"},
+		func(w []string) bool { return len(w) >= 3 && w[1] == "prefix-list" },
+		func(a *Anonymizer, w []string) {
+			w[2] = a.forceHashName(w[2])
+			a.genericWords(w[3:], nil)
+		}),
 
-	case (words[0] == "class-map" || words[0] == "policy-map") && len(words) >= 2:
-		// class-map [match-any|match-all] NAME / policy-map NAME
-		words[len(words)-1] = a.forceHashName(words[len(words)-1])
-		return token.Join(words, gaps), true
+	// match ip address prefix-list NAME...
+	nameEntry("match-prefix-list", []string{"match"},
+		func(w []string) bool {
+			return len(w) >= 4 && w[1] == "ip" && w[2] == "address" && w[3] == "prefix-list"
+		},
+		func(a *Anonymizer, w []string) {
+			for i := 4; i < len(w); i++ {
+				w[i] = a.forceHashName(w[i])
+			}
+		}),
 
-	case words[0] == "class" && len(words) == 2:
-		// class NAME (inside policy-map)
-		words[1] = a.forceHashName(words[1])
-		return token.Join(words, gaps), true
+	// class-map [match-any|match-all] NAME / policy-map NAME
+	nameEntry("class-policy-map", []string{"class-map", "policy-map"},
+		func(w []string) bool { return len(w) >= 2 },
+		func(a *Anonymizer, w []string) { w[len(w)-1] = a.forceHashName(w[len(w)-1]) }),
 
-	case words[0] == "service-policy" && len(words) >= 2:
-		// service-policy [input|output] NAME
-		words[len(words)-1] = a.forceHashName(words[len(words)-1])
-		return token.Join(words, gaps), true
-	}
-	return "", false
+	// class NAME (inside policy-map)
+	nameEntry("class-ref", []string{"class"},
+		func(w []string) bool { return len(w) == 2 },
+		func(a *Anonymizer, w []string) { w[1] = a.forceHashName(w[1]) }),
+
+	// service-policy [input|output] NAME
+	nameEntry("service-policy", []string{"service-policy"},
+		func(w []string) bool { return len(w) >= 2 },
+		func(a *Anonymizer, w []string) { w[len(w)-1] = a.forceHashName(w[len(w)-1]) }),
 }
 
 // mapNeighborToken maps a neighbor reference: an address maps through the

@@ -1,0 +1,172 @@
+package anonymizer
+
+// The rule registry. Every context rule is a named, self-describing
+// entry: RuleInfo carries the identity and taxonomy of one RuleID, and
+// lineRule carries the dispatchable implementation of one line-scoped
+// rule. The engine (engine.go) owns line iteration and consults the
+// ordered dispatch table built here; token-scoped rules fire inside the
+// engine's generic word pass, and report-scoped rules fire in LeakReport.
+
+// Class groups rules by the paper's §4.2 taxonomy.
+type Class string
+
+// Rule classes.
+const (
+	ClassSegmentation Class = "segmentation"
+	ClassComment      Class = "comment"
+	ClassMisc         Class = "misc"
+	ClassName         Class = "name"
+	ClassASN          Class = "asn"
+	ClassIP           Class = "ip"
+	ClassCommunity    Class = "community"
+	ClassLeak         Class = "leak"
+)
+
+// Scope says where in the pipeline a rule runs.
+type Scope string
+
+// Rule scopes.
+const (
+	// ScopeLine rules consume whole lines via the keyed dispatch table.
+	ScopeLine Scope = "line"
+	// ScopeStructural rules manage cross-line state (banner bodies,
+	// JunOS block comments) and run before tokenized dispatch.
+	ScopeStructural Scope = "structural"
+	// ScopeToken rules fire per word inside the generic pass.
+	ScopeToken Scope = "token"
+	// ScopeReport rules fire during the post-anonymization leak scan.
+	ScopeReport Scope = "report"
+)
+
+// RuleInfo is the self-describing registry entry for one RuleID.
+type RuleInfo struct {
+	ID    RuleID
+	Class Class
+	Scope Scope
+	Doc   string
+}
+
+// ruleInfos describes the full inventory — the paper's 28 rules plus the
+// extension rules this reproduction adds (name positions, §4.1).
+var ruleInfos = []RuleInfo{
+	{RuleSegmentAlpha, ClassSegmentation, ScopeToken, "split words into alphabetic / non-alphabetic runs before the pass-list"},
+	{RuleSegmentWords, ClassSegmentation, ScopeToken, "split compound identifiers joined by dots and dashes"},
+	{RuleBanner, ClassComment, ScopeStructural, "strip banner bodies between the delimiter lines"},
+	{RuleDescription, ClassComment, ScopeLine, "strip description / remark free text"},
+	{RuleCommentLine, ClassComment, ScopeLine, "strip ! and # comment lines and /* */ blocks"},
+	{RuleDialerString, ClassMisc, ScopeLine, "phone numbers after \"dialer string\""},
+	{RuleSNMPCommunity, ClassMisc, ScopeLine, "snmp-server community credential"},
+	{RuleHostname, ClassMisc, ScopeLine, "hostname and domain-name segments"},
+	{RuleCredentials, ClassMisc, ScopeLine, "usernames, passwords, secrets, keys"},
+	{RuleBGPProcess, ClassASN, ScopeLine, "router bgp ASN / JunOS autonomous-system"},
+	{RuleRedistributeBGP, ClassASN, ScopeLine, "redistribute bgp ASN"},
+	{RuleNeighborRemoteAS, ClassASN, ScopeLine, "neighbor remote-as / JunOS peer-as"},
+	{RuleNeighborLocalAS, ClassASN, ScopeLine, "neighbor local-as"},
+	{RuleConfedID, ClassASN, ScopeLine, "bgp confederation identifier"},
+	{RuleConfedPeers, ClassASN, ScopeLine, "bgp confederation peers list"},
+	{RuleSetCommunity, ClassASN, ScopeLine, "set community values"},
+	{RuleSetExtCommunity, ClassASN, ScopeLine, "set extcommunity values"},
+	{RuleCommListLiteral, ClassASN, ScopeLine, "community-list literal entries"},
+	{RuleCommListRegexp, ClassASN, ScopeLine, "community-list regexp entries (language rewrite)"},
+	{RuleASPathPrepend, ClassASN, ScopeLine, "set as-path prepend ASNs"},
+	{RuleASPathRegexp, ClassASN, ScopeLine, "as-path access-list regexps (language rewrite)"},
+	{RuleAddrNetmask, ClassIP, ScopeToken, "address + netmask pair (prefix-length context)"},
+	{RuleAddrWildcard, ClassIP, ScopeToken, "address + wildcard-mask pair"},
+	{RuleBareAddr, ClassIP, ScopeToken, "bare dotted-quad address"},
+	{RuleSlashPrefix, ClassIP, ScopeToken, "a.b.c.d/len prefix"},
+	{RuleClassfulNet, ClassIP, ScopeToken, "classful network statements under RIP/EIGRP/IGRP"},
+	{RuleBareCommunity, ClassCommunity, ScopeToken, "bare asn:value community token"},
+	{RuleLeakHighlight, ClassLeak, ScopeReport, "highlight recorded sensitive values surviving in output"},
+	{RuleNamePosition, ClassName, ScopeLine, "user-chosen identifiers at known grammar positions (extension)"},
+}
+
+// Rules returns the registry inventory in canonical order: the paper's 28
+// rules first (AllRules order), then the extension rules.
+func Rules() []RuleInfo {
+	out := make([]RuleInfo, len(ruleInfos))
+	copy(out, ruleInfos)
+	return out
+}
+
+// lineCtx carries one tokenized line through the dispatch table.
+type lineCtx struct {
+	raw   string
+	words []string
+	gaps  []string
+	st    *fileState
+}
+
+// applyFn rewrites one line. out and keep are meaningful only when
+// consumed is true; keep=false drops the line from the output.
+// consumed=false means the rule declined the line — possibly after
+// recording stats (see the JunOS message rule, which preserves the
+// seed behavior of falling through to the generic pass) — and dispatch
+// continues with the next rule in registry order.
+type applyFn func(a *Anonymizer, c *lineCtx) (out string, keep, consumed bool)
+
+// lineRule is one dispatchable entry of the line-scoped rule pipeline.
+type lineRule struct {
+	id    RuleID   // primary rule this entry implements
+	name  string   // entry name, unique within the dispatch table
+	keys  []string // words[0] literals that can trigger it; empty = any
+	apply applyFn
+	seq   int // position in registry order, assigned at assembly
+}
+
+// The dispatch table, assembled in registry order. Order is the contract:
+// comment rules run before misc, misc before name, name before JunOS,
+// JunOS before ASN — the same precedence the monolithic dispatcher had —
+// and within a group, entries run in declaration order.
+var (
+	lineRules    []*lineRule
+	keyedRules   map[string][]*lineRule
+	unkeyedRules []*lineRule
+)
+
+func init() {
+	lineRules = lineRules[:0]
+	for _, group := range [][]*lineRule{
+		commentLineRules, miscLineRules, nameLineRules, junosLineRules, asnLineRules,
+	} {
+		lineRules = append(lineRules, group...)
+	}
+	keyedRules = make(map[string][]*lineRule)
+	unkeyedRules = nil
+	names := make(map[string]bool, len(lineRules))
+	for i, r := range lineRules {
+		r.seq = i
+		if r.apply == nil || r.name == "" || names[r.name] {
+			panic("anonymizer: malformed rule entry " + r.name)
+		}
+		names[r.name] = true
+		if len(r.keys) == 0 {
+			unkeyedRules = append(unkeyedRules, r)
+			continue
+		}
+		for _, k := range r.keys {
+			keyedRules[k] = append(keyedRules[k], r)
+		}
+	}
+}
+
+// dispatchLine runs the line through the rule pipeline in registry order:
+// the entries keyed on words[0] merged with the key-less entries by
+// sequence number. The first rule that consumes the line wins.
+func (a *Anonymizer) dispatchLine(c *lineCtx) (string, bool, bool) {
+	keyed := keyedRules[c.words[0]]
+	ki, ui := 0, 0
+	for ki < len(keyed) || ui < len(unkeyedRules) {
+		var r *lineRule
+		if ui >= len(unkeyedRules) || (ki < len(keyed) && keyed[ki].seq < unkeyedRules[ui].seq) {
+			r = keyed[ki]
+			ki++
+		} else {
+			r = unkeyedRules[ui]
+			ui++
+		}
+		if out, keep, consumed := r.apply(a, c); consumed {
+			return out, keep, true
+		}
+	}
+	return "", false, false
+}

@@ -62,6 +62,12 @@ const (
 
 	// Leak highlighting (1) — the iterative methodology of §6.1.
 	RuleLeakHighlight RuleID = "L1-leak-highlight"
+
+	// Extension rules beyond the paper's 28 (see DESIGN.md §6). Name
+	// positions implement §4.1's "anonymizes the names of class-maps,
+	// route-maps, and any other strings that could hold privileged
+	// information" as explicit registry entries.
+	RuleNamePosition RuleID = "N1-name-position"
 )
 
 // AllRules lists the full inventory in canonical order.

@@ -1,0 +1,286 @@
+package anonymizer
+
+import (
+	"strconv"
+	"strings"
+
+	"confanon/internal/asn"
+	"confanon/internal/cregex"
+	"confanon/internal/token"
+)
+
+// ASN-location entries (A1–A12) and the ASN/community token mappers they
+// share with the generic pass.
+
+var asnLineRules = []*lineRule{
+	// A1: router bgp ASN.
+	{id: RuleBGPProcess, name: "router-bgp", keys: []string{"router"}, apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
+		if len(c.words) < 3 || c.words[1] != "bgp" {
+			return "", false, false
+		}
+		a.hit(RuleBGPProcess)
+		c.words[2] = a.mapASNToken(c.words[2])
+		return token.Join(c.words, c.gaps), true, true
+	}},
+
+	// A2: redistribute bgp ASN [route-map NAME ...].
+	{id: RuleRedistributeBGP, name: "redistribute-bgp", keys: []string{"redistribute"}, apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
+		if len(c.words) < 3 || c.words[1] != "bgp" {
+			return "", false, false
+		}
+		a.hit(RuleRedistributeBGP)
+		c.words[2] = a.mapASNToken(c.words[2])
+		a.genericWords(c.words[3:], c.st)
+		return token.Join(c.words, c.gaps), true, true
+	}},
+
+	// A3: neighbor A remote-as ASN.
+	{id: RuleNeighborRemoteAS, name: "neighbor-remote-as", keys: []string{"neighbor"}, apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
+		if len(c.words) < 4 || c.words[2] != "remote-as" {
+			return "", false, false
+		}
+		a.hit(RuleNeighborRemoteAS)
+		c.words[1] = a.mapNeighborToken(c.words[1])
+		c.words[3] = a.mapASNToken(c.words[3])
+		return token.Join(c.words, c.gaps), true, true
+	}},
+
+	// A4: neighbor A local-as ASN.
+	{id: RuleNeighborLocalAS, name: "neighbor-local-as", keys: []string{"neighbor"}, apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
+		if len(c.words) < 4 || c.words[2] != "local-as" {
+			return "", false, false
+		}
+		a.hit(RuleNeighborLocalAS)
+		c.words[1] = a.mapNeighborToken(c.words[1])
+		c.words[3] = a.mapASNToken(c.words[3])
+		return token.Join(c.words, c.gaps), true, true
+	}},
+
+	// A5: bgp confederation identifier ASN.
+	{id: RuleConfedID, name: "confed-identifier", keys: []string{"bgp"}, apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
+		if len(c.words) < 4 || c.words[1] != "confederation" || c.words[2] != "identifier" {
+			return "", false, false
+		}
+		a.hit(RuleConfedID)
+		c.words[3] = a.mapASNToken(c.words[3])
+		return token.Join(c.words, c.gaps), true, true
+	}},
+
+	// A6: bgp confederation peers ASN...
+	{id: RuleConfedPeers, name: "confed-peers", keys: []string{"bgp"}, apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
+		if len(c.words) < 4 || c.words[1] != "confederation" || c.words[2] != "peers" {
+			return "", false, false
+		}
+		a.hit(RuleConfedPeers)
+		for i := 3; i < len(c.words); i++ {
+			c.words[i] = a.mapASNToken(c.words[i])
+		}
+		return token.Join(c.words, c.gaps), true, true
+	}},
+
+	// A7: set community V...
+	{id: RuleSetCommunity, name: "set-community", keys: []string{"set"}, apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
+		if len(c.words) < 3 || c.words[1] != "community" {
+			return "", false, false
+		}
+		a.hit(RuleSetCommunity)
+		for i := 2; i < len(c.words); i++ {
+			c.words[i] = a.mapCommunityToken(c.words[i])
+		}
+		return token.Join(c.words, c.gaps), true, true
+	}},
+
+	// A8: set extcommunity rt|soo V...
+	{id: RuleSetExtCommunity, name: "set-extcommunity", keys: []string{"set"}, apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
+		if len(c.words) < 4 || c.words[1] != "extcommunity" {
+			return "", false, false
+		}
+		a.hit(RuleSetExtCommunity)
+		for i := 3; i < len(c.words); i++ {
+			c.words[i] = a.mapCommunityToken(c.words[i])
+		}
+		return token.Join(c.words, c.gaps), true, true
+	}},
+
+	// A9/A10: ip community-list entries, numeric or named form; each
+	// entry token is a literal community (A9) or a regexp (A10).
+	{id: RuleCommListLiteral, name: "community-list", keys: []string{"ip"}, apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
+		if len(c.words) < 5 || c.words[1] != "community-list" {
+			return "", false, false
+		}
+		start := 4
+		if c.words[2] == "standard" || c.words[2] == "expanded" {
+			if len(c.words) < 6 {
+				return token.Join(c.words, c.gaps), true, true
+			}
+			c.words[3] = a.forceHashName(c.words[3])
+			start = 5
+		}
+		for i := start; i < len(c.words); i++ {
+			c.words[i] = a.mapCommunityExpr(c.words[i])
+		}
+		return token.Join(c.words, c.gaps), true, true
+	}},
+
+	// A11: set as-path prepend ASN...
+	{id: RuleASPathPrepend, name: "as-path-prepend", keys: []string{"set"}, apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
+		if len(c.words) < 4 || c.words[1] != "as-path" || c.words[2] != "prepend" {
+			return "", false, false
+		}
+		a.hit(RuleASPathPrepend)
+		for i := 3; i < len(c.words); i++ {
+			c.words[i] = a.mapASNToken(c.words[i])
+		}
+		return token.Join(c.words, c.gaps), true, true
+	}},
+
+	// A12: ip as-path access-list N permit|deny REGEXP.
+	{id: RuleASPathRegexp, name: "as-path-access-list", keys: []string{"ip"}, apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
+		if len(c.words) < 6 || c.words[1] != "as-path" || c.words[2] != "access-list" {
+			return "", false, false
+		}
+		a.hit(RuleASPathRegexp)
+		// The regexp is everything after the action word; it may contain
+		// spaces (alternation of path expressions), so rewrite the join.
+		pattern := strings.Join(c.words[5:], " ")
+		rewritten := a.rewriteASPath(pattern)
+		c.words[5] = rewritten
+		c.words = c.words[:6]
+		c.gaps = append(c.gaps[:6], c.gaps[len(c.gaps)-1])
+		return token.Join(c.words, c.gaps), true, true
+	}},
+}
+
+// rewriteASPath rewrites an AS-path regexp, falling back to hashing when
+// the pattern does not parse (conservatism over information preservation).
+func (a *Anonymizer) rewriteASPath(pattern string) string {
+	res, err := cregex.RewriteASN(pattern, a.recordingASNPerm(), a.opts.Style)
+	if err != nil {
+		a.stats.RegexpFallbacks++
+		return a.forceHash(pattern)
+	}
+	if res.Changed {
+		a.stats.RegexpsRewritten++
+	} else {
+		a.stats.RegexpsUnchanged++
+	}
+	return res.Pattern
+}
+
+// recordingASNPerm wraps the ASN permutation so every public ASN that the
+// regexp machinery maps is also recorded for the leak report.
+func (a *Anonymizer) recordingASNPerm() func(uint32) uint32 {
+	return func(v uint32) uint32 {
+		out := a.perms.ASN.Map(v)
+		if out != v {
+			a.recordASN(v)
+		}
+		return out
+	}
+}
+
+// mapCommunityExpr handles one community-list entry token: a literal
+// community (A9), a well-known value, or a regexp (A10).
+func (a *Anonymizer) mapCommunityExpr(w string) string {
+	if isWellKnownCommunity(w) {
+		return w
+	}
+	if _, _, ok := token.ParseCommunity(w); ok {
+		a.hit(RuleCommListLiteral)
+		return a.mapCommunityToken(w)
+	}
+	if token.IsInteger(w) {
+		a.hit(RuleCommListLiteral)
+		return a.mapCommunityToken(w)
+	}
+	a.hit(RuleCommListRegexp)
+	res, err := cregex.RewriteCommunity(w, a.recordingASNPerm(), a.perms.Value.Map, a.opts.Style)
+	if err != nil {
+		a.stats.RegexpFallbacks++
+		return a.forceHash(w)
+	}
+	if res.Changed {
+		a.stats.RegexpsRewritten++
+	} else {
+		a.stats.RegexpsUnchanged++
+	}
+	return res.Pattern
+}
+
+func isWellKnownCommunity(w string) bool {
+	switch w {
+	case "internet", "no-export", "no-advertise", "local-as", "additive", "none":
+		return true
+	}
+	return false
+}
+
+// mapCommunityToken maps "asn:value" (both halves), an old-format 32-bit
+// community (split into halves), or passes through keywords.
+func (a *Anonymizer) mapCommunityToken(w string) string {
+	if isWellKnownCommunity(w) {
+		return w
+	}
+	if asnHalf, val, ok := token.ParseCommunity(w); ok {
+		a.stats.CommunitiesMapped++
+		if asn.IsPublic(asnHalf) {
+			a.recordASN(asnHalf)
+		}
+		ma, mv := asn.MapCommunity(a.perms.ASN, a.perms.Value, asnHalf, val)
+		return strconv.FormatUint(uint64(ma), 10) + ":" + strconv.FormatUint(uint64(mv), 10)
+	}
+	if token.IsInteger(w) {
+		v, err := strconv.ParseUint(w, 10, 64)
+		if err == nil && v > 0xFFFF && v <= 0xFFFFFFFF {
+			// Old-format community: high half is the ASN.
+			a.stats.CommunitiesMapped++
+			hi, lo := uint32(v>>16), uint32(v&0xFFFF)
+			if asn.IsPublic(hi) {
+				a.recordASN(hi)
+			}
+			ma, mv := asn.MapCommunity(a.perms.ASN, a.perms.Value, hi, lo)
+			return strconv.FormatUint(uint64(ma)<<16|uint64(mv), 10)
+		}
+		if err == nil && v <= 0xFFFF {
+			a.stats.CommunitiesMapped++
+			return strconv.FormatUint(uint64(a.perms.Value.Map(uint32(v))), 10)
+		}
+	}
+	return a.forceHash(w)
+}
+
+// mapASNToken permutes a decimal ASN token; non-numeric tokens are hashed.
+func (a *Anonymizer) mapASNToken(w string) string {
+	if !token.IsInteger(w) {
+		return a.forceHash(w)
+	}
+	v, err := strconv.ParseUint(w, 10, 32)
+	if err != nil {
+		return a.forceHash(w)
+	}
+	out := a.perms.ASN.Map(uint32(v))
+	if out != uint32(v) {
+		a.stats.ASNsMapped++
+		a.recordASN(uint32(v))
+	}
+	return strconv.FormatUint(uint64(out), 10)
+}
+
+// mapAddrToken maps a dotted-quad token, preserving non-addresses.
+func (a *Anonymizer) mapAddrToken(w string) string {
+	v, ok := token.ParseIPv4(w)
+	if !ok {
+		return a.forceHash(w)
+	}
+	a.hit(RuleBareAddr)
+	a.stats.IPsMapped++
+	out := a.ip.MapV4(v)
+	if out != v {
+		a.seenIPs[v] = true
+	}
+	return token.FormatIPv4(out)
+}
+
+func (a *Anonymizer) recordASN(v uint32) {
+	a.seenASNs[strconv.FormatUint(uint64(v), 10)] = true
+}

@@ -1,0 +1,212 @@
+package anonymizer
+
+import (
+	"strconv"
+	"strings"
+
+	"confanon/internal/config"
+	"confanon/internal/token"
+)
+
+// The generic word pass: the engine's terminal stage, where the
+// token-scoped registry rules fire — the IP rules (I1–I5), the
+// bare-community rule (K1), and the basic method (segmentation S1/S2 +
+// pass-list + hash) — over every word of a line not consumed by a line
+// rule.
+
+// genericWords applies the token-scoped rules to a word slice.
+//
+// Words are stripped of structural punctuation first (JunOS attaches
+// semicolons, brackets, and quotes to values: "address 12.0.0.1/30;"),
+// processed on their cores, and reassembled.
+func (a *Anonymizer) genericWords(words []string, st *fileState) {
+	leads := make([]string, len(words))
+	trails := make([]string, len(words))
+	cores := make([]string, len(words))
+	for i, w := range words {
+		leads[i], cores[i], trails[i] = token.TrimPunct(w)
+	}
+	a.genericCores(cores, st)
+	for i := range words {
+		words[i] = leads[i] + cores[i] + trails[i]
+	}
+}
+
+// genericCores runs the word-level rules over punctuation-stripped cores.
+func (a *Anonymizer) genericCores(words []string, st *fileState) {
+	for i := 0; i < len(words); i++ {
+		w := words[i]
+		if w == "" {
+			continue
+		}
+		if a.sensitiveTokens[w] {
+			// Operator-added rule: treat a numeric token as an ASN,
+			// anything else as a hashable word.
+			if token.IsInteger(w) {
+				words[i] = a.mapASNToken(w)
+			} else {
+				words[i] = a.forceHash(w)
+			}
+			continue
+		}
+		if addr, ok := token.ParseIPv4(w); ok {
+			// I1 variant: "network A mask M" (BGP network statements).
+			if i+2 < len(words) && words[i+1] == "mask" {
+				if m, mok := token.ParseIPv4(words[i+2]); mok {
+					if length, isMask := config.MaskToLen(m); isMask {
+						a.hit(RuleAddrNetmask)
+						words[i] = a.mapWithPrefix(addr, length)
+						i += 2 // "mask" keyword and the mask itself pass through
+						continue
+					}
+				}
+			}
+			// Pair rules I1/I2 first: address followed by a netmask or
+			// wildcard.
+			if i+1 < len(words) {
+				if second, ok2 := token.ParseIPv4(words[i+1]); ok2 {
+					if length, isMask := config.MaskToLen(second); isMask && second != 0 {
+						a.hit(RuleAddrNetmask)
+						words[i] = a.mapWithPrefix(addr, length)
+						i++ // mask itself passes through unchanged
+						continue
+					}
+					if length, isWild := config.MaskToLen(^second); isWild {
+						a.hit(RuleAddrWildcard)
+						words[i] = a.mapWithPrefix(addr, length)
+						i++ // wildcard passes through unchanged
+						continue
+					}
+				}
+			}
+			// I5: classful network statements under RIP/EIGRP/IGRP.
+			if st != nil && (st.block == "router rip" || st.block == "router eigrp" || st.block == "router igrp") &&
+				i > 0 && words[i-1] == "network" {
+				a.hit(RuleClassfulNet)
+				length, _ := config.MaskToLen(config.ClassfulMask(addr))
+				words[i] = a.mapWithPrefix(addr, length)
+				continue
+			}
+			// I3: bare address.
+			words[i] = a.mapAddrToken(w)
+			continue
+		}
+		if addr, length, ok := token.ParseIPv4Prefix(w); ok {
+			a.hit(RuleSlashPrefix)
+			a.stats.IPsMapped++
+			mapped := a.ip.MapPrefix(addr, length)
+			net := addr & config.LenToMask(length)
+			if mapped != net {
+				a.seenIPs[net] = true
+			}
+			words[i] = token.FormatIPv4(mapped) + "/" + strconv.Itoa(length)
+			continue
+		}
+		if _, _, ok := token.ParseCommunity(w); ok {
+			a.hit(RuleBareCommunity)
+			words[i] = a.mapCommunityToken(w)
+			continue
+		}
+		if token.IsInteger(w) {
+			// "Simple integers are generally not anonymized."
+			continue
+		}
+		words[i] = a.hashIfPrivileged(w)
+	}
+}
+
+// mapWithPrefix pins the subnet address first (so subnet-address
+// preservation holds regardless of the order hosts appear in the file),
+// then maps the full address.
+func (a *Anonymizer) mapWithPrefix(addr uint32, length int) string {
+	a.stats.IPsMapped++
+	net := addr & config.LenToMask(length)
+	mappedNet := a.ip.MapPrefix(net, length)
+	if mappedNet != net {
+		a.seenIPs[net] = true
+	}
+	if addr == net {
+		return token.FormatIPv4(mappedNet)
+	}
+	out := a.ip.MapV4(addr)
+	if out != addr {
+		a.seenIPs[addr] = true
+	}
+	return token.FormatIPv4(out)
+}
+
+// hashIfPrivileged applies the basic method to one word: segment (S1/S2),
+// consult the pass-list, and hash what is not known innocuous.
+func (a *Anonymizer) hashIfPrivileged(w string) string {
+	switch token.Classify(w) {
+	case token.Email, token.Phone, token.HexString:
+		return a.forceHash(w)
+	case token.Punct:
+		return w
+	}
+	// Whole-word pass-list hit first: hyphenated keywords such as
+	// "route-map" and "access-list" are listed as units.
+	if a.pass.Contains(w) {
+		a.stats.TokensPassed++
+		return w
+	}
+	segs := token.SplitWord(w)
+	if len(segs) > 1 {
+		a.hit(RuleSegmentAlpha)
+		hasWords := 0
+		for _, s := range segs {
+			if s.Kind == token.Word {
+				hasWords++
+			}
+		}
+		if hasWords > 1 {
+			a.hit(RuleSegmentWords)
+		}
+	}
+	var b strings.Builder
+	changed := false
+	for _, s := range segs {
+		if s.Kind != token.Word {
+			b.WriteString(s.Text)
+			continue
+		}
+		if a.pass.Contains(s.Text) {
+			a.stats.TokensPassed++
+			b.WriteString(s.Text)
+			continue
+		}
+		a.stats.TokensHashed++
+		a.seenWords[s.Text] = true
+		b.WriteString(hashWord(a.opts.Salt, s.Text))
+		changed = true
+	}
+	if !changed {
+		return w
+	}
+	return b.String()
+}
+
+// forceHash hashes a whole token regardless of the pass-list; used where
+// position marks the value as identity-bearing (credentials, hostnames,
+// fallbacks).
+func (a *Anonymizer) forceHash(w string) string {
+	a.stats.TokensHashed++
+	a.seenWords[w] = true
+	return hashWord(a.opts.Salt, w)
+}
+
+// hashAllSegments hashes every alphabetic segment of a word, keeping the
+// punctuation skeleton (dots of a hostname), ignoring the pass-list.
+func (a *Anonymizer) hashAllSegments(w string) string {
+	var b strings.Builder
+	for _, s := range token.SplitWord(w) {
+		if s.Kind == token.Word {
+			a.stats.TokensHashed++
+			a.seenWords[s.Text] = true
+			b.WriteString(hashWord(a.opts.Salt, s.Text))
+		} else {
+			b.WriteString(s.Text)
+		}
+	}
+	return b.String()
+}

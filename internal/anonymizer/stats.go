@@ -1,0 +1,90 @@
+package anonymizer
+
+import (
+	"fmt"
+	"reflect"
+	"time"
+)
+
+// Stats accumulates the measurements the experiments report, plus the
+// engine's per-rule instrumentation.
+type Stats struct {
+	Files               int
+	Lines               int
+	WordsTotal          int
+	CommentWordsRemoved int
+	CommentLinesRemoved int
+	TokensHashed        int
+	TokensPassed        int
+	IPsMapped           int
+	ASNsMapped          int
+	CommunitiesMapped   int
+	RegexpsRewritten    int
+	RegexpsUnchanged    int
+	RegexpFallbacks     int
+	// RuleHits counts how many times each registry rule fired.
+	RuleHits map[RuleID]int
+	// RuleTime is each rule's cumulative wall time: every line's
+	// processing time is attributed to the rules that fired on it,
+	// proportionally to their hits on that line, so the values sum to
+	// the total line-rewriting time (prescan excluded).
+	RuleTime map[RuleID]time.Duration
+}
+
+// newStats returns a Stats with its maps initialized.
+func newStats() Stats {
+	return Stats{
+		RuleHits: make(map[RuleID]int),
+		RuleTime: make(map[RuleID]time.Duration),
+	}
+}
+
+// Add accumulates other into s. It merges reflectively — every integer
+// counter is summed and every rule-keyed map is merged — so a counter
+// added to Stats later is picked up automatically instead of being
+// silently dropped by a hand-written field list. It panics on a field
+// kind it does not know how to merge, turning "new field forgotten in
+// the merge" into an immediate test failure rather than silent data
+// loss. Used by the engine's corpus paths and ParallelCorpus.
+func (s *Stats) Add(other Stats) {
+	sv := reflect.ValueOf(s).Elem()
+	ov := reflect.ValueOf(&other).Elem()
+	t := sv.Type()
+	for i := 0; i < sv.NumField(); i++ {
+		f := sv.Field(i)
+		o := ov.Field(i)
+		switch f.Kind() {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			f.SetInt(f.Int() + o.Int())
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			f.SetUint(f.Uint() + o.Uint())
+		case reflect.Float32, reflect.Float64:
+			f.SetFloat(f.Float() + o.Float())
+		case reflect.Map:
+			switch f.Type().Elem().Kind() {
+			case reflect.Int, reflect.Int64:
+				if o.Len() == 0 {
+					continue
+				}
+				if f.IsNil() {
+					f.Set(reflect.MakeMapWithSize(f.Type(), o.Len()))
+				}
+				iter := o.MapRange()
+				for iter.Next() {
+					k := iter.Key()
+					sum := iter.Value().Int()
+					if cur := f.MapIndex(k); cur.IsValid() {
+						sum += cur.Int()
+					}
+					f.SetMapIndex(k, reflect.ValueOf(sum).Convert(f.Type().Elem()))
+				}
+			default:
+				panic(fmt.Sprintf("anonymizer: Stats.Add cannot merge map field %s (%s)",
+					t.Field(i).Name, f.Type()))
+			}
+		default:
+			panic(fmt.Sprintf("anonymizer: Stats.Add cannot merge field %s (kind %s)",
+				t.Field(i).Name, f.Kind()))
+		}
+	}
+}

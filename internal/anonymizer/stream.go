@@ -1,0 +1,63 @@
+package anonymizer
+
+import (
+	"bufio"
+	"io"
+
+	"confanon/internal/token"
+)
+
+// StreamText anonymizes one configuration file from r to w.
+//
+// Under StatelessIP the IP mapping is a pure function of the salt, so the
+// shortest-prefix-first prescan is a semantic no-op and the engine can
+// rewrite each line as it is read — constant memory in the input size,
+// byte-identical to AnonymizeText. Under the default shaped tree the
+// prescan is load-bearing (the /8 must pin its tail before the /24s
+// inside it resolve), so the file — one file, never a corpus — is
+// buffered, prescanned, and then rewritten.
+//
+// One edge differs from AnonymizeText: a zero-byte input streams to zero
+// bytes, where AnonymizeText returns "\n" (an artifact of its join).
+func (a *Anonymizer) StreamText(r io.Reader, w io.Writer) error {
+	if !a.opts.StatelessIP {
+		data, err := io.ReadAll(r)
+		if err != nil {
+			return err
+		}
+		if len(data) == 0 {
+			return nil
+		}
+		_, err = io.WriteString(w, a.AnonymizeText(string(data)))
+		return err
+	}
+
+	bw := bufio.NewWriter(w)
+	sc := token.NewLineScanner(r)
+	var werr error
+	a.runFile(
+		func() (string, bool) {
+			if werr != nil || !sc.Scan() {
+				return "", false
+			}
+			return sc.Text(), true
+		},
+		func(line string) {
+			if werr != nil {
+				return
+			}
+			if _, err := bw.WriteString(line); err != nil {
+				werr = err
+				return
+			}
+			werr = bw.WriteByte('\n')
+		},
+	)
+	if werr != nil {
+		return werr
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,54 @@
+package token
+
+import (
+	"bufio"
+	"io"
+)
+
+// LineScanner iterates over the lines of a reader with exactly the
+// semantics the anonymizer engine pins with its golden corpus: each line
+// is yielded without its trailing "\n", and a final chunk after the last
+// newline is yielded only when non-empty — so scanning "a\nb\n" and
+// "a\nb" both yield ["a", "b"], matching strings.Split minus the
+// trailing-newline artifact. Unlike bufio.Scanner there is no line-length
+// cap; configuration generators emit arbitrarily long lines.
+type LineScanner struct {
+	r    *bufio.Reader
+	line string
+	err  error
+	done bool
+}
+
+// NewLineScanner wraps r for line iteration.
+func NewLineScanner(r io.Reader) *LineScanner {
+	return &LineScanner{r: bufio.NewReader(r)}
+}
+
+// Scan advances to the next line, returning false at end of input or on
+// error (distinguish with Err).
+func (s *LineScanner) Scan() bool {
+	if s.done {
+		return false
+	}
+	line, err := s.r.ReadString('\n')
+	if err != nil {
+		s.done = true
+		if err != io.EOF {
+			s.err = err
+			return false
+		}
+		if line == "" {
+			return false
+		}
+		s.line = line // unterminated final line
+		return true
+	}
+	s.line = line[:len(line)-1]
+	return true
+}
+
+// Text returns the current line, without the terminating newline.
+func (s *LineScanner) Text() string { return s.line }
+
+// Err returns the first non-EOF error encountered by Scan.
+func (s *LineScanner) Err() error { return s.err }

@@ -1,0 +1,41 @@
+package token
+
+import (
+	"strings"
+	"testing"
+)
+
+func scanAll(t *testing.T, input string) []string {
+	t.Helper()
+	s := NewLineScanner(strings.NewReader(input))
+	var lines []string
+	for s.Scan() {
+		lines = append(lines, s.Text())
+	}
+	if s.Err() != nil {
+		t.Fatalf("scan error: %v", s.Err())
+	}
+	return lines
+}
+
+func TestLineScannerMatchesSplit(t *testing.T) {
+	for _, input := range []string{
+		"", "\n", "a", "a\n", "a\nb", "a\nb\n", "a\n\nb\n", "\n\n",
+		"no newline at all", strings.Repeat("x", 1<<16) + "\ny\n",
+	} {
+		want := strings.Split(input, "\n")
+		if n := len(want); n > 0 && want[n-1] == "" {
+			want = want[:n-1]
+		}
+		got := scanAll(t, input)
+		if len(got) != len(want) {
+			t.Errorf("input %.20q: got %d lines, want %d", input, len(got), len(want))
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("input %.20q line %d: got %.20q want %.20q", input, i, got[i], want[i])
+			}
+		}
+	}
+}

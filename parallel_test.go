@@ -1,6 +1,7 @@
 package confanon
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 
@@ -71,15 +72,14 @@ func TestParallelCorpusValidates(t *testing.T) {
 func BenchmarkParallelCorpus(b *testing.B) {
 	n := netgen.Generate(netgen.Params{Seed: 1202, Kind: netgen.Backbone, Routers: 48})
 	files := n.RenderAll()
+	lines := n.TotalLines()
 	opts := Options{Salt: []byte(n.Salt)}
-	b.Run("workers=1", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			ParallelCorpus(opts, files, 1)
-		}
-	})
-	b.Run("workers=4", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			ParallelCorpus(opts, files, 4)
-		}
-	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ParallelCorpus(opts, files, workers)
+			}
+			b.ReportMetric(float64(lines)*float64(b.N)/b.Elapsed().Seconds(), "lines/s")
+		})
+	}
 }
