@@ -1,0 +1,352 @@
+package confanon
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"confanon/internal/anonymizer"
+)
+
+// This file is the fail-closed batch layer. The string-returning APIs
+// (File, Corpus, ParallelCorpus) are fail-open: a panic on one poisoned
+// file kills the whole batch, and a leak in the output is published
+// unless the operator reads the report. The *Context APIs below invert
+// both defaults: every file is processed under per-file panic recovery
+// (one bad file yields one FileError, the rest of the corpus completes),
+// cancellation and deadlines flow in through context.Context, and under
+// Options.Strict a file whose post-anonymization leak report contains
+// confirmed (non-false-positive) leaks is quarantined — recorded,
+// withheld from the outputs, never silently published.
+
+// FileError identifies the file, line, and cause of one per-file failure.
+// It is the internal/anonymizer type re-exported.
+type FileError = anonymizer.FileError
+
+// PanicError is the FileError cause recorded when per-file recovery
+// caught a panic.
+type PanicError = anonymizer.PanicError
+
+// ErrQuarantined is wrapped into errors reported for files withheld by
+// strict leak-gating (used by the stream path, where quarantine surfaces
+// through the error channel).
+var ErrQuarantined = errors.New("quarantined: leak report not clean")
+
+// FileStatus classifies one file's outcome in a CorpusResult.
+type FileStatus int
+
+const (
+	// FileOK: the file anonymized cleanly; Text holds the output.
+	FileOK FileStatus = iota
+	// FileFailed: processing failed (panic or I/O); Err holds the cause
+	// and no output exists.
+	FileFailed
+	// FileQuarantined: anonymization completed but strict leak-gating
+	// found confirmed leaks in the output; Leaks holds them and the
+	// output is withheld.
+	FileQuarantined
+)
+
+// String names the status for reports.
+func (s FileStatus) String() string {
+	switch s {
+	case FileOK:
+		return "ok"
+	case FileFailed:
+		return "failed"
+	case FileQuarantined:
+		return "quarantined"
+	}
+	return fmt.Sprintf("FileStatus(%d)", int(s))
+}
+
+// FileResult is one file's outcome in a CorpusResult.
+type FileResult struct {
+	Name   string
+	Status FileStatus
+	// Text is the anonymized output; set only when Status == FileOK.
+	Text string
+	// Err is the failure; set only when Status == FileFailed.
+	Err *FileError
+	// Leaks are the confirmed leaks that triggered quarantine; set only
+	// when Status == FileQuarantined.
+	Leaks []Leak
+}
+
+// Ok reports whether the file anonymized cleanly and may be published.
+func (r FileResult) Ok() bool { return r.Status == FileOK }
+
+// CorpusResult is the error-carrying outcome of a batch run: one
+// FileResult per input file plus the merged statistics of the files that
+// completed (failed files are rolled back out of the totals). Files
+// missing from Files were never started (the context was cancelled
+// first).
+type CorpusResult struct {
+	Files map[string]FileResult
+	Stats Stats
+}
+
+// Ok reports whether every input file anonymized cleanly.
+func (r *CorpusResult) Ok() bool {
+	for _, f := range r.Files {
+		if !f.Ok() {
+			return false
+		}
+	}
+	return true
+}
+
+// Outputs returns the publishable files only — exactly the FileOK
+// subset. Failed and quarantined files are absent, never half-present.
+func (r *CorpusResult) Outputs() map[string]string {
+	out := make(map[string]string, len(r.Files))
+	for name, f := range r.Files {
+		if f.Ok() {
+			out[name] = f.Text
+		}
+	}
+	return out
+}
+
+// Failed returns the per-file errors, sorted by file name.
+func (r *CorpusResult) Failed() []*FileError {
+	var errs []*FileError
+	for _, f := range r.Files {
+		if f.Status == FileFailed {
+			errs = append(errs, f.Err)
+		}
+	}
+	sort.Slice(errs, func(i, j int) bool { return errs[i].Name < errs[j].Name })
+	return errs
+}
+
+// Quarantined returns the names of leak-gated files, sorted.
+func (r *CorpusResult) Quarantined() []string {
+	var names []string
+	for name, f := range r.Files {
+		if f.Status == FileQuarantined {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// confirmedLeaks filters a leak report down to the entries that gate
+// emission: everything not classified as a likely false positive.
+func confirmedLeaks(report []Leak) []Leak {
+	var out []Leak
+	for _, l := range report {
+		if !l.LikelyFalsePositive {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// anonymizeOne runs one file through the fail-closed pipeline: panic
+// recovery, then — in strict mode — leak-gating of the output against
+// the anonymizer's accumulated sensitive values.
+func (a *Anonymizer) anonymizeOne(name, text string, strict bool) FileResult {
+	out, ferr := a.inner.SafeAnonymizeText(name, text)
+	if ferr != nil {
+		return FileResult{Name: name, Status: FileFailed, Err: ferr}
+	}
+	if strict {
+		if leaks := confirmedLeaks(a.inner.LeakReport(out)); len(leaks) > 0 {
+			return FileResult{Name: name, Status: FileQuarantined, Leaks: leaks}
+		}
+	}
+	return FileResult{Name: name, Status: FileOK, Text: out}
+}
+
+// CorpusContext anonymizes a set of files as one network like Corpus,
+// but fail-closed: per-file panic recovery, strict leak-gating when
+// Options.Strict is set, and cancellation via ctx. All readable files
+// are prescanned first (a file whose prescan fails is marked failed and
+// skipped), then each file is rewritten in sorted-name order. On
+// cancellation the partial CorpusResult is returned along with ctx's
+// error; files not yet started are absent from Files.
+func (a *Anonymizer) CorpusContext(ctx context.Context, files map[string]string) (*CorpusResult, error) {
+	res := &CorpusResult{Files: make(map[string]FileResult, len(files))}
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	for _, n := range names {
+		if err := ctx.Err(); err != nil {
+			res.Stats = a.Stats()
+			return res, err
+		}
+		if ferr := a.inner.SafePrescan(n, files[n]); ferr != nil {
+			res.Files[n] = FileResult{Name: n, Status: FileFailed, Err: ferr}
+		}
+	}
+	for _, n := range names {
+		if err := ctx.Err(); err != nil {
+			res.Stats = a.Stats()
+			return res, err
+		}
+		if _, done := res.Files[n]; done { // prescan already failed it
+			continue
+		}
+		res.Files[n] = a.anonymizeOne(n, files[n], a.strict)
+	}
+	res.Stats = a.Stats()
+	return res, nil
+}
+
+// ParallelCorpusContext anonymizes a corpus across several workers with
+// the fail-closed semantics of CorpusContext: one poisoned file yields
+// one FileError instead of killing the batch, Options.Strict gates every
+// file's emission on its leak report, and ctx cancels the run (workers
+// finish their in-flight file, unstarted files stay absent from the
+// result). Like ParallelCorpus it forces the stateless IP scheme so
+// independent workers map consistently; the surviving files' outputs are
+// byte-identical to a clean sequential run and their statistics are
+// merged into Stats (failed files roll back out of the totals).
+func ParallelCorpusContext(ctx context.Context, opts Options, files map[string]string, workers int) (*CorpusResult, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	opts.StatelessIP = true
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	results := make(chan FileResult, len(files))
+	statsCh := make(chan Stats, workers)
+	work := make(chan string, len(files))
+	for _, n := range names {
+		work <- n
+	}
+	close(work)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a := New(opts)
+			for name := range work {
+				if ctx.Err() != nil {
+					break
+				}
+				results <- a.anonymizeOne(name, files[name], opts.Strict)
+			}
+			statsCh <- a.Stats()
+		}()
+	}
+	wg.Wait()
+	close(results)
+	close(statsCh)
+
+	res := &CorpusResult{Files: make(map[string]FileResult, len(files))}
+	for r := range results {
+		res.Files[r.Name] = r
+	}
+	for s := range statsCh {
+		res.Stats.Add(s)
+	}
+	return res, ctx.Err()
+}
+
+// StreamCorpusContext anonymizes a sequence of files like StreamCorpus,
+// but with per-file fault isolation: a panic while rewriting, a failing
+// reader, a sink that cannot be opened, and a writer that fails mid-file
+// or on close each produce one *FileError for that file, and the run
+// moves on to the next file instead of aborting. Under Options.Strict
+// each file's output is buffered and leak-gated before a sink is even
+// opened; a gated file is reported as a FileError wrapping
+// ErrQuarantined and nothing is written for it. The returned slice
+// carries the per-file failures (empty = every file clean); the error
+// return is reserved for run-fatal conditions — context cancellation or
+// a failing next iterator.
+func (a *Anonymizer) StreamCorpusContext(
+	ctx context.Context,
+	next func() (name string, r io.Reader, err error),
+	sink func(name string) (io.WriteCloser, error),
+) ([]*FileError, error) {
+	var ferrs []*FileError
+	for {
+		if err := ctx.Err(); err != nil {
+			return ferrs, err
+		}
+		name, r, err := next()
+		if err == io.EOF {
+			return ferrs, nil
+		}
+		if err != nil {
+			return ferrs, err
+		}
+		if ferr := a.streamOne(name, r, sink); ferr != nil {
+			ferrs = append(ferrs, ferr)
+		}
+	}
+}
+
+// streamOne pushes one file of a stream corpus through the fail-closed
+// pipeline. In strict mode the output is buffered and gated before the
+// sink is opened, so a quarantined file never touches the destination;
+// otherwise the file streams straight through with Stream's memory
+// behavior (a mid-file failure can leave an output prefix at the sink —
+// every emitted line was fully anonymized, and the FileError tells the
+// caller to discard the remnant).
+func (a *Anonymizer) streamOne(
+	name string, r io.Reader,
+	sink func(name string) (io.WriteCloser, error),
+) *FileError {
+	if a.strict {
+		var buf bytes.Buffer
+		if ferr := a.inner.SafeStreamText(name, r, &buf); ferr != nil {
+			return ferr
+		}
+		snap := a.inner.SnapshotStats()
+		if leaks := confirmedLeaks(a.inner.LeakReport(buf.String())); len(leaks) > 0 {
+			return &FileError{
+				Name:  name,
+				Cause: fmt.Errorf("%w (%d confirmed leaks, first: %s)", ErrQuarantined, len(leaks), leaks[0]),
+			}
+		}
+		w, err := sink(name)
+		if err != nil {
+			a.inner.RestoreStats(snap)
+			return &FileError{Name: name, Cause: fmt.Errorf("opening sink: %w", err)}
+		}
+		_, werr := w.Write(buf.Bytes())
+		cerr := w.Close()
+		if werr != nil {
+			a.inner.RestoreStats(snap)
+			return &FileError{Name: name, Cause: werr}
+		}
+		if cerr != nil {
+			a.inner.RestoreStats(snap)
+			return &FileError{Name: name, Cause: cerr}
+		}
+		return nil
+	}
+
+	w, err := sink(name)
+	if err != nil {
+		return &FileError{Name: name, Cause: fmt.Errorf("opening sink: %w", err)}
+	}
+	snap := a.inner.SnapshotStats()
+	ferr := a.inner.SafeStreamText(name, r, w)
+	cerr := w.Close()
+	if ferr != nil {
+		return ferr
+	}
+	if cerr != nil {
+		a.inner.RestoreStats(snap)
+		return &FileError{Name: name, Cause: cerr}
+	}
+	return nil
+}

@@ -1,0 +1,337 @@
+package confanon
+
+import (
+	"context"
+	"errors"
+	"io"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"confanon/internal/anonymizer"
+)
+
+// chaosCorpus is a small deterministic corpus; the "poison" file is the
+// one the fault hook detonates.
+func chaosCorpus() map[string]string {
+	return map[string]string{
+		"r1":     "hostname r1\ninterface Ethernet0\n ip address 12.1.2.3 255.255.255.0\n",
+		"r2":     "hostname r2\nrouter bgp 701\n neighbor 12.1.2.4 remote-as 1239\n",
+		"r3":     "hostname r3\naccess-list 101 permit tcp host 12.1.2.5 any eq 80\n",
+		"r4":     "hostname r4\nroute-map m permit 10\n set community 701:100\n",
+		"r5":     "hostname r5\nip route 12.4.0.0 255.255.0.0 Null0\n",
+		"poison": "hostname poison\ninterface Serial0\n ip address 12.9.9.9 255.255.255.0\n",
+	}
+}
+
+// armPoison injects a panic on the named file's given line for the
+// duration of the test.
+func armPoison(t *testing.T, name string, line int) {
+	t.Helper()
+	anonymizer.SetFaultHook(func(n string, l int) {
+		if n == name && l == line {
+			panic("injected chaos")
+		}
+	})
+	t.Cleanup(func() { anonymizer.SetFaultHook(nil) })
+}
+
+// waitGoroutines waits for the goroutine count to drop back to the
+// baseline (small slack for runtime housekeeping).
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d running, baseline %d", n, baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestParallelCorpusContextIsolatesPanic(t *testing.T) {
+	files := chaosCorpus()
+	opts := Options{Salt: []byte("chaos")}
+	baseline := runtime.NumGoroutine()
+
+	// Reference run: the same corpus minus the poison file, no faults.
+	clean := make(map[string]string, len(files)-1)
+	for n, text := range files {
+		if n != "poison" {
+			clean[n] = text
+		}
+	}
+	wantOut, wantStats := ParallelCorpus(opts, clean, 4)
+
+	armPoison(t, "poison", 2)
+	res, err := ParallelCorpusContext(context.Background(), opts, files, 4)
+	if err != nil {
+		t.Fatalf("batch returned fatal error: %v", err)
+	}
+	waitGoroutines(t, baseline)
+
+	if len(res.Files) != len(files) {
+		t.Fatalf("result covers %d files, want %d", len(res.Files), len(files))
+	}
+	p := res.Files["poison"]
+	if p.Status != FileFailed || p.Err == nil {
+		t.Fatalf("poison file not failed: %+v", p)
+	}
+	if p.Err.Name != "poison" || p.Err.Line != 2 {
+		t.Errorf("FileError location = (%q, %d), want (poison, 2)", p.Err.Name, p.Err.Line)
+	}
+	var pe *PanicError
+	if !errors.As(p.Err, &pe) {
+		t.Errorf("cause %v is not a PanicError", p.Err.Cause)
+	}
+
+	got := res.Outputs()
+	if len(got) != len(wantOut) {
+		t.Fatalf("%d surviving outputs, want %d", len(got), len(wantOut))
+	}
+	for n, want := range wantOut {
+		if got[n] != want {
+			t.Errorf("surviving file %s differs from clean run", n)
+		}
+	}
+	// Merged stats describe exactly the surviving files: the poisoned
+	// file's partial counts were rolled back.
+	if res.Stats.Files != wantStats.Files || res.Stats.Lines != wantStats.Lines ||
+		res.Stats.WordsTotal != wantStats.WordsTotal {
+		t.Errorf("merged stats (files=%d lines=%d words=%d) != clean run (files=%d lines=%d words=%d)",
+			res.Stats.Files, res.Stats.Lines, res.Stats.WordsTotal,
+			wantStats.Files, wantStats.Lines, wantStats.WordsTotal)
+	}
+}
+
+func TestParallelCorpusDropsOnlyPoisonedFile(t *testing.T) {
+	// The legacy fail-open API must now complete on a poisoned corpus,
+	// dropping exactly the poisoned file.
+	armPoison(t, "poison", 2)
+	out, _ := ParallelCorpus(Options{Salt: []byte("chaos")}, chaosCorpus(), 4)
+	if _, ok := out["poison"]; ok {
+		t.Error("poisoned file was emitted")
+	}
+	if len(out) != len(chaosCorpus())-1 {
+		t.Errorf("%d files emitted, want %d", len(out), len(chaosCorpus())-1)
+	}
+}
+
+func TestCorpusContextIsolatesPanic(t *testing.T) {
+	armPoison(t, "poison", 2)
+	a := New(Options{Salt: []byte("chaos")})
+	res, err := a.CorpusContext(context.Background(), chaosCorpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ok() {
+		t.Fatal("result claims clean despite poisoned file")
+	}
+	failed := res.Failed()
+	if len(failed) != 1 || failed[0].Name != "poison" {
+		t.Fatalf("failed = %v, want exactly the poison file", failed)
+	}
+	if len(res.Outputs()) != len(chaosCorpus())-1 {
+		t.Errorf("surviving outputs missing: %d", len(res.Outputs()))
+	}
+}
+
+func TestParallelCorpusContextCancel(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := ParallelCorpusContext(ctx, Options{Salt: []byte("c")}, chaosCorpus(), 4)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(res.Files) == len(chaosCorpus()) {
+		t.Log("note: all files finished before cancellation was observed")
+	}
+	waitGoroutines(t, baseline)
+}
+
+func TestCorpusContextStrictQuarantinesLeakingFile(t *testing.T) {
+	files := map[string]string{
+		"clean": "hostname r9\ninterface Ethernet0\n ip address 12.1.2.3 255.255.255.0\n",
+		// The second 7018 sits in a context no rule recognizes and
+		// survives anonymization — the seeded leak of §6.1.
+		"leaky": "router bgp 7018\nodd command with 7018 tail\n",
+	}
+	a := New(Options{Salt: []byte("s"), Strict: true})
+	res, err := a.CorpusContext(context.Background(), files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := res.Quarantined()
+	if len(q) != 1 || q[0] != "leaky" {
+		t.Fatalf("quarantined = %v, want exactly [leaky]", q)
+	}
+	fr := res.Files["leaky"]
+	if len(fr.Leaks) == 0 || fr.Text != "" {
+		t.Errorf("quarantined file must carry leaks and no output: %+v", fr)
+	}
+	out := res.Outputs()
+	if _, ok := out["leaky"]; ok {
+		t.Error("quarantined file was emitted")
+	}
+	if _, ok := out["clean"]; !ok {
+		t.Error("clean file missing from outputs")
+	}
+}
+
+func TestParallelCorpusContextStrict(t *testing.T) {
+	files := map[string]string{
+		"clean": "hostname r9\ninterface Ethernet0\n ip address 12.1.2.3 255.255.255.0\n",
+		"leaky": "router bgp 7018\nodd command with 7018 tail\n",
+	}
+	res, err := ParallelCorpusContext(context.Background(),
+		Options{Salt: []byte("s"), Strict: true}, files, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := res.Quarantined(); len(q) != 1 || q[0] != "leaky" {
+		t.Fatalf("quarantined = %v, want exactly [leaky]", q)
+	}
+}
+
+// brokenReader yields one line then fails.
+type brokenReader struct{ fed bool }
+
+func (r *brokenReader) Read(p []byte) (int, error) {
+	if !r.fed {
+		r.fed = true
+		return copy(p, "hostname half\n"), nil
+	}
+	return 0, errors.New("read: medium vanished")
+}
+
+// chaosSink is an in-memory WriteCloser with injectable failures.
+type chaosSink struct {
+	buf       strings.Builder
+	failWrite bool
+	failClose bool
+}
+
+func (s *chaosSink) Write(p []byte) (int, error) {
+	if s.failWrite {
+		return 0, errors.New("write: quota exceeded")
+	}
+	return s.buf.Write(p)
+}
+
+func (s *chaosSink) Close() error {
+	if s.failClose {
+		return errors.New("close: fsync failed")
+	}
+	return nil
+}
+
+func TestStreamCorpusContextIsolatesFileFaults(t *testing.T) {
+	armPoison(t, "panics", 1)
+	order := []string{"good1", "badread", "badwrite", "badclose", "nosink", "panics", "good2"}
+	texts := map[string]string{
+		"good1":    "hostname g1\ninterface Ethernet0\n ip address 12.1.2.3 255.255.255.0\n",
+		"badwrite": "hostname bw\n",
+		"badclose": "hostname bc\n",
+		"nosink":   "hostname ns\n",
+		"panics":   "hostname pp\n",
+		"good2":    "hostname g2\nrouter bgp 701\n",
+	}
+	sinks := map[string]*chaosSink{}
+	i := 0
+	next := func() (string, io.Reader, error) {
+		if i >= len(order) {
+			return "", nil, io.EOF
+		}
+		name := order[i]
+		i++
+		if name == "badread" {
+			return name, &brokenReader{}, nil
+		}
+		return name, strings.NewReader(texts[name]), nil
+	}
+	sink := func(name string) (io.WriteCloser, error) {
+		if name == "nosink" {
+			return nil, errors.New("mkdir: permission denied")
+		}
+		s := &chaosSink{failWrite: name == "badwrite", failClose: name == "badclose"}
+		sinks[name] = s
+		return s, nil
+	}
+
+	a := New(Options{Salt: []byte("sc"), StatelessIP: true})
+	ferrs, err := a.StreamCorpusContext(context.Background(), next, sink)
+	if err != nil {
+		t.Fatalf("run-fatal error: %v", err)
+	}
+	got := map[string]bool{}
+	for _, fe := range ferrs {
+		got[fe.Name] = true
+	}
+	for _, want := range []string{"badread", "badwrite", "badclose", "nosink", "panics"} {
+		if !got[want] {
+			t.Errorf("no FileError for %s (have %v)", want, ferrs)
+		}
+	}
+	if len(ferrs) != 5 {
+		t.Errorf("%d FileErrors, want 5: %v", len(ferrs), ferrs)
+	}
+
+	// The surviving files streamed byte-identically to a clean run.
+	ref := New(Options{Salt: []byte("sc"), StatelessIP: true})
+	for _, name := range []string{"good1", "good2"} {
+		if want := ref.File(texts[name]); sinks[name].buf.String() != want {
+			t.Errorf("surviving stream %s differs from clean run", name)
+		}
+	}
+	// Stats cover the files that completed (2 good ones; the failed
+	// files rolled back — the half-read and half-written ones too).
+	if s := a.Stats(); s.Files != 2 {
+		t.Errorf("stats.Files = %d, want 2 survivors", s.Files)
+	}
+}
+
+func TestStreamCorpusContextStrictQuarantine(t *testing.T) {
+	order := []string{"leaky"}
+	i := 0
+	next := func() (string, io.Reader, error) {
+		if i >= len(order) {
+			return "", nil, io.EOF
+		}
+		i++
+		return "leaky", strings.NewReader("router bgp 7018\nodd command with 7018 tail\n"), nil
+	}
+	opened := false
+	sink := func(name string) (io.WriteCloser, error) {
+		opened = true
+		return &chaosSink{}, nil
+	}
+	a := New(Options{Salt: []byte("s"), StatelessIP: true, Strict: true})
+	ferrs, err := a.StreamCorpusContext(context.Background(), next, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ferrs) != 1 || !errors.Is(ferrs[0], ErrQuarantined) {
+		t.Fatalf("ferrs = %v, want one ErrQuarantined", ferrs)
+	}
+	if opened {
+		t.Error("sink was opened for a quarantined file")
+	}
+}
+
+func TestStreamCorpusContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	a := New(Options{Salt: []byte("s"), StatelessIP: true})
+	_, err := a.StreamCorpusContext(ctx,
+		func() (string, io.Reader, error) { return "x", strings.NewReader("hostname x\n"), nil },
+		func(string) (io.WriteCloser, error) { return &chaosSink{}, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

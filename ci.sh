@@ -1,8 +1,10 @@
 #!/bin/sh
 # The repository's check gauntlet. Run before every push:
 #
-#   ./ci.sh          # build, vet, race-enabled tests
-#   ./ci.sh -short   # same, but tests run with -short
+#   ./ci.sh           # build, vet, race-enabled tests, fuzz smoke
+#   ./ci.sh -short    # same, but tests run with -short
+#
+# CONFANON_SKIP_FUZZ=1 skips the fuzz smoke (e.g. on very slow machines).
 #
 # The golden corpus under testdata/golden/ makes the test step a
 # byte-level regression check on the anonymizer's (salt, input) → output
@@ -18,5 +20,16 @@ go vet ./...
 
 echo "== go test -race ./... $*"
 go test -race "$@" ./...
+
+# Short coverage-guided fuzz pass over the parsers that sit in front of
+# the anonymizer. Crashers are persisted under testdata/fuzz/ and then
+# replayed by the ordinary test step above, so a find here becomes a
+# permanent regression test.
+if [ "${CONFANON_SKIP_FUZZ:-0}" != "1" ]; then
+	echo "== fuzz smoke: internal/config FuzzParse (10s)"
+	go test -run '^$' -fuzz '^FuzzParse$' -fuzztime 10s ./internal/config
+	echo "== fuzz smoke: internal/cregex FuzzParsePattern (10s)"
+	go test -run '^$' -fuzz '^FuzzParsePattern$' -fuzztime 10s ./internal/cregex
+fi
 
 echo "== ok"

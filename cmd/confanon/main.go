@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	confanon -salt SECRET -in DIR -out DIR [-minimal] [-keep-comments] [-leak-report]
+//	confanon -salt SECRET -in DIR -out DIR [-strict] [-quarantine DIR] [-minimal] [-keep-comments] [-leak-report]
 //	cat r1-confg | confanon -salt SECRET - > r1-anon
 //
 // Every file in the input directory is treated as one router's
@@ -13,22 +13,52 @@
 // tokens can then be added with repeated -sensitive flags and the tool
 // rerun, closing leaks iteratively.
 //
+// The tool fails closed. A file whose processing fails is reported and
+// withheld — never half-written — and the rest of the batch completes.
+// With -strict a file whose post-anonymization leak report contains
+// confirmed (non-false-positive) leaks is quarantined: the anonymized
+// output is withheld and, when -quarantine DIR is given, the original is
+// copied there (mode 0600 — it is raw, sensitive data) for review.
+//
+// Exit codes:
+//
+//	0  every file anonymized cleanly and was published
+//	1  one or more files were withheld (quarantined or failed), or the
+//	   leak report found confirmed leaks in the published output
+//	2  usage error
+//	3  fatal error (bad input directory, interrupted, ...)
+//
 // With "-" as the sole argument the tool streams one configuration from
 // stdin to stdout instead; add -stateless for constant-memory streaming
 // (the Crypto-PAn IP scheme needs no prescan, so nothing is buffered).
-// -rule-stats prints the engine's per-rule hit and wall-time table in
-// either mode.
+// Under -strict the streamed output is buffered and leak-gated before the
+// first byte reaches stdout. -rule-stats prints the engine's per-rule hit
+// and wall-time table in either mode.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"confanon"
+)
+
+// Exit codes (documented above; keep DESIGN.md §"Failure semantics" in
+// sync).
+const (
+	exitClean    = 0
+	exitWithheld = 1
+	exitUsage    = 2
+	exitFatal    = 3
 )
 
 type multiFlag []string
@@ -37,40 +67,62 @@ func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
 func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is main with its environment injected (tested directly; main only
+// wires the process pieces in).
+func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("confanon", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		salt     = flag.String("salt", "", "owner secret keying every mapping (required)")
-		inDir    = flag.String("in", "", "directory of configuration files (required)")
-		outDir   = flag.String("out", "", "output directory (required)")
-		minimal  = flag.Bool("minimal", false, "emit minimal-DFA regexps instead of alternations")
-		keep     = flag.Bool("keep-comments", false, "retain comments (measurement only; unsafe)")
-		leaks    = flag.Bool("leak-report", true, "print the leak-highlighting report to stderr")
-		statsOut  = flag.Bool("stats", false, "print anonymization statistics to stderr")
-		ruleStats = flag.Bool("rule-stats", false, "print the per-rule hit count and wall-time table to stderr")
-		stateless = flag.Bool("stateless", false, "use the Crypto-PAn IP scheme: no shared mapping state, constant-memory streaming")
-		rename    = flag.Bool("rename", true, "hash output file names (they are usually hostname-derived)")
-		mapFile   = flag.String("mapping", "", "IP-mapping state file: loaded if present, saved after the run (keeps later runs consistent)")
+		salt       = fs.String("salt", "", "owner secret keying every mapping (required)")
+		inDir      = fs.String("in", "", "directory of configuration files (required)")
+		outDir     = fs.String("out", "", "output directory (required)")
+		minimal    = fs.Bool("minimal", false, "emit minimal-DFA regexps instead of alternations")
+		keep       = fs.Bool("keep-comments", false, "retain comments (measurement only; unsafe)")
+		leaks      = fs.Bool("leak-report", true, "print the leak-highlighting report to stderr")
+		statsOut   = fs.Bool("stats", false, "print anonymization statistics to stderr")
+		ruleStats  = fs.Bool("rule-stats", false, "print the per-rule hit count and wall-time table to stderr")
+		stateless  = fs.Bool("stateless", false, "use the Crypto-PAn IP scheme: no shared mapping state, constant-memory streaming")
+		rename     = fs.Bool("rename", true, "hash output file names (they are usually hostname-derived)")
+		mapFile    = fs.String("mapping", "", "IP-mapping state file: loaded if present, saved after the run (keeps later runs consistent)")
+		strict     = fs.Bool("strict", false, "fail closed: quarantine any file whose leak report is not clean")
+		quarantine = fs.String("quarantine", "", "directory receiving the originals of quarantined files (with -strict)")
 	)
 	var sensitive multiFlag
-	flag.Var(&sensitive, "sensitive", "extra sensitive token to anonymize everywhere (repeatable)")
-	flag.Parse()
-
-	streamMode := flag.NArg() == 1 && flag.Arg(0) == "-"
-	if *salt == "" || (!streamMode && (*inDir == "" || *outDir == "")) {
-		flag.Usage()
-		os.Exit(2)
+	fs.Var(&sensitive, "sensitive", "extra sensitive token to anonymize everywhere (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
 	}
-	opts := confanon.Options{Salt: []byte(*salt), KeepComments: *keep, StatelessIP: *stateless}
+
+	streamMode := fs.NArg() == 1 && fs.Arg(0) == "-"
+	if *salt == "" || (!streamMode && (*inDir == "" || *outDir == "")) || (!streamMode && fs.NArg() > 0) {
+		fs.Usage()
+		return exitUsage
+	}
+	opts := confanon.Options{
+		Salt:         []byte(*salt),
+		KeepComments: *keep,
+		StatelessIP:  *stateless,
+		Strict:       *strict,
+	}
 	if *minimal {
 		opts.Style = confanon.Minimal
 	}
 	a := confanon.New(opts)
 	if *mapFile != "" {
-		if snap, err := os.ReadFile(*mapFile); err == nil {
+		var snap []byte
+		err := retryIO(func() (err error) { snap, err = os.ReadFile(*mapFile); return })
+		switch {
+		case err == nil:
 			if err := a.LoadMapping(snap); err != nil {
-				fatal(fmt.Errorf("loading %s: %w", *mapFile, err))
+				return fatal(stderr, fmt.Errorf("loading %s: %w", *mapFile, err))
 			}
-		} else if !os.IsNotExist(err) {
-			fatal(err)
+		case !os.IsNotExist(err):
+			return fatal(stderr, err)
 		}
 	}
 	for _, tok := range sensitive {
@@ -78,43 +130,76 @@ func main() {
 	}
 
 	if streamMode {
-		if err := a.Stream(os.Stdin, os.Stdout); err != nil {
-			fatal(err)
-		}
-		if *mapFile != "" {
-			if err := os.WriteFile(*mapFile, a.SaveMapping(), 0o600); err != nil {
-				fatal(err)
+		code := runStream(ctx, a, stdin, stdout, stderr)
+		if code == exitClean && *mapFile != "" {
+			if err := writeFileRetry(*mapFile, a.SaveMapping(), 0o600); err != nil {
+				return fatal(stderr, err)
 			}
 		}
-		printStats(a.Stats(), *statsOut, *ruleStats)
-		return
+		printStats(stderr, a.Stats(), *statsOut, *ruleStats)
+		return code
 	}
 
 	files, err := readDir(*inDir)
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
 	if len(files) == 0 {
-		fatal(fmt.Errorf("no files in %s", *inDir))
+		return fatal(stderr, fmt.Errorf("no files in %s", *inDir))
 	}
-	post := a.Corpus(files)
+	res, err := a.CorpusContext(ctx, files)
+	if err != nil {
+		return fatal(stderr, fmt.Errorf("anonymization aborted: %w", err))
+	}
 
+	post := res.Outputs()
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
 	for name, text := range post {
 		outName := name
 		if *rename {
 			outName = a.RenameFile(name)
 		}
-		if err := os.WriteFile(filepath.Join(*outDir, outName), []byte(text), 0o644); err != nil {
-			fatal(err)
+		if err := writeFileRetry(filepath.Join(*outDir, outName), []byte(text), 0o644); err != nil {
+			return fatal(stderr, err)
 		}
 	}
-	fmt.Printf("anonymized %d files (%d lines) into %s\n", len(post), a.Stats().Lines, *outDir)
+	fmt.Fprintf(stdout, "anonymized %d of %d files (%d lines) into %s\n",
+		len(post), len(files), res.Stats.Lines, *outDir)
 	if *mapFile != "" {
-		if err := os.WriteFile(*mapFile, a.SaveMapping(), 0o600); err != nil {
-			fatal(err)
+		if err := writeFileRetry(*mapFile, a.SaveMapping(), 0o600); err != nil {
+			return fatal(stderr, err)
+		}
+	}
+
+	code := exitClean
+	for _, ferr := range res.Failed() {
+		fmt.Fprintf(stderr, "confanon: withheld (processing failed): %v\n", ferr)
+		code = exitWithheld
+	}
+	if names := res.Quarantined(); len(names) > 0 {
+		code = exitWithheld
+		for _, name := range names {
+			fr := res.Files[name]
+			fmt.Fprintf(stderr, "confanon: quarantined %s: %d confirmed leaks\n", name, len(fr.Leaks))
+			for _, l := range fr.Leaks {
+				fmt.Fprintln(stderr, "  ", l)
+			}
+			if *quarantine != "" {
+				if err := os.MkdirAll(*quarantine, 0o700); err != nil {
+					return fatal(stderr, err)
+				}
+				// The quarantined copy is the ORIGINAL — raw, sensitive —
+				// so it keeps its name (the operator must find it) and
+				// gets owner-only permissions.
+				if err := writeFileRetry(filepath.Join(*quarantine, name), []byte(files[name]), 0o600); err != nil {
+					return fatal(stderr, err)
+				}
+			}
+		}
+		if *quarantine != "" {
+			fmt.Fprintf(stderr, "confanon: originals of %d quarantined files copied to %s\n", len(names), *quarantine)
 		}
 	}
 
@@ -128,29 +213,97 @@ func main() {
 		}
 		switch {
 		case len(report) == 0:
-			fmt.Fprintln(os.Stderr, "leak report: clean")
+			fmt.Fprintln(stderr, "leak report: clean")
 		case real == 0:
-			fmt.Fprintf(os.Stderr, "leak report: %d likely false positives, no confirmed leaks\n", len(report))
+			fmt.Fprintf(stderr, "leak report: %d likely false positives, no confirmed leaks\n", len(report))
 		default:
-			fmt.Fprintf(os.Stderr, "leak report: %d suspicious tokens (add -sensitive rules and rerun)\n", real)
+			fmt.Fprintf(stderr, "leak report: %d suspicious tokens (add -sensitive rules and rerun)\n", real)
 			for _, l := range report {
-				fmt.Fprintln(os.Stderr, "  ", l)
+				fmt.Fprintln(stderr, "  ", l)
 			}
-			os.Exit(1)
+			code = exitWithheld
 		}
 	}
-	printStats(a.Stats(), *statsOut, *ruleStats)
+	printStats(stderr, a.Stats(), *statsOut, *ruleStats)
+	return code
 }
 
-func printStats(s confanon.Stats, aggregate, perRule bool) {
+// runStream handles "confanon ... -": one configuration, stdin→stdout,
+// with the same fail-closed per-file error channel as the batch path.
+func runStream(ctx context.Context, a *confanon.Anonymizer, stdin io.Reader, stdout io.Writer, stderr io.Writer) int {
+	done := false
+	next := func() (string, io.Reader, error) {
+		if done {
+			return "", nil, io.EOF
+		}
+		done = true
+		return "stdin", stdin, nil
+	}
+	sink := func(string) (io.WriteCloser, error) { return nopCloser{stdout}, nil }
+	ferrs, err := a.StreamCorpusContext(ctx, next, sink)
+	if err != nil {
+		return fatal(stderr, err)
+	}
+	if len(ferrs) > 0 {
+		for _, fe := range ferrs {
+			fmt.Fprintln(stderr, "confanon: withheld:", fe)
+		}
+		return exitWithheld
+	}
+	return exitClean
+}
+
+type nopCloser struct{ io.Writer }
+
+func (nopCloser) Close() error { return nil }
+
+// retryIO runs op, retrying transient I/O failures (interrupted calls,
+// exhausted descriptors, busy devices) with exponential backoff. Errors
+// that retrying cannot fix — missing files, permissions, bad paths —
+// return immediately.
+func retryIO(op func() error) error {
+	const attempts = 3
+	delay := 50 * time.Millisecond
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = op(); err == nil || !transientIO(err) {
+			return err
+		}
+		if i < attempts-1 {
+			time.Sleep(delay)
+			delay *= 2
+		}
+	}
+	return err
+}
+
+// transientIO reports whether err looks like a failure a short backoff
+// can outlive.
+func transientIO(err error) bool {
+	for _, e := range []error{
+		syscall.EINTR, syscall.EAGAIN, syscall.EBUSY,
+		syscall.ENFILE, syscall.EMFILE, syscall.ETIMEDOUT,
+	} {
+		if errors.Is(err, e) {
+			return true
+		}
+	}
+	return false
+}
+
+func writeFileRetry(path string, data []byte, perm os.FileMode) error {
+	return retryIO(func() error { return os.WriteFile(path, data, perm) })
+}
+
+func printStats(stderr io.Writer, s confanon.Stats, aggregate, perRule bool) {
 	if aggregate {
-		fmt.Fprintf(os.Stderr,
+		fmt.Fprintf(stderr,
 			"stats: lines=%d words=%d comment-words-removed=%d hashed=%d passed=%d ips=%d asns=%d communities=%d regexps-rewritten=%d\n",
 			s.Lines, s.WordsTotal, s.CommentWordsRemoved, s.TokensHashed, s.TokensPassed,
 			s.IPsMapped, s.ASNsMapped, s.CommunitiesMapped, s.RegexpsRewritten)
 	}
 	if perRule {
-		fmt.Fprintf(os.Stderr, "%-34s %8s %12s\n", "rule", "hits", "time")
+		fmt.Fprintf(stderr, "%-34s %8s %12s\n", "rule", "hits", "time")
 		var hits int
 		var total time.Duration
 		for _, info := range confanon.Rules() {
@@ -158,17 +311,17 @@ func printStats(s confanon.Stats, aggregate, perRule bool) {
 			if h == 0 && d == 0 {
 				continue
 			}
-			fmt.Fprintf(os.Stderr, "%-34s %8d %12s\n", info.ID, h, d.Round(time.Microsecond))
+			fmt.Fprintf(stderr, "%-34s %8d %12s\n", info.ID, h, d.Round(time.Microsecond))
 			hits += h
 			total += d
 		}
-		fmt.Fprintf(os.Stderr, "%-34s %8d %12s\n", "total", hits, total.Round(time.Microsecond))
+		fmt.Fprintf(stderr, "%-34s %8d %12s\n", "total", hits, total.Round(time.Microsecond))
 	}
 }
 
 func readDir(dir string) (map[string]string, error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
+	var entries []os.DirEntry
+	if err := retryIO(func() (err error) { entries, err = os.ReadDir(dir); return }); err != nil {
 		return nil, err
 	}
 	files := make(map[string]string)
@@ -176,8 +329,8 @@ func readDir(dir string) (map[string]string, error) {
 		if e.IsDir() {
 			continue
 		}
-		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
-		if err != nil {
+		var b []byte
+		if err := retryIO(func() (err error) { b, err = os.ReadFile(filepath.Join(dir, e.Name())); return }); err != nil {
 			return nil, err
 		}
 		files[e.Name()] = string(b)
@@ -185,7 +338,7 @@ func readDir(dir string) (map[string]string, error) {
 	return files, nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "confanon:", err)
-	os.Exit(1)
+func fatal(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "confanon:", err)
+	return exitFatal
 }

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const cleanConf = "hostname r9\ninterface Ethernet0\n ip address 12.1.2.3 255.255.255.0\n"
+
+// leakyConf seeds the §6.1 leak: the second 7018 sits in a context no
+// rule recognizes and survives anonymization.
+const leakyConf = "router bgp 7018\nodd command with 7018 tail\n"
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(context.Background(), args, strings.NewReader(""), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func writeInput(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, text := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	if code, _, _ := runCLI(t); code != exitUsage {
+		t.Errorf("no args: exit %d, want %d", code, exitUsage)
+	}
+	if code, _, _ := runCLI(t, "-salt", "s"); code != exitUsage {
+		t.Errorf("missing dirs: exit %d, want %d", code, exitUsage)
+	}
+	if code, _, _ := runCLI(t, "-bogus-flag"); code != exitUsage {
+		t.Errorf("bad flag: exit %d, want %d", code, exitUsage)
+	}
+}
+
+func TestRunCleanCorpusExitsZero(t *testing.T) {
+	in := writeInput(t, map[string]string{"r1.conf": cleanConf})
+	out := t.TempDir()
+	code, _, stderr := runCLI(t, "-salt", "s", "-in", in, "-out", out, "-rename=false")
+	if code != exitClean {
+		t.Fatalf("exit %d, want %d; stderr:\n%s", code, exitClean, stderr)
+	}
+	if _, err := os.Stat(filepath.Join(out, "r1.conf")); err != nil {
+		t.Errorf("output file missing: %v", err)
+	}
+	if !strings.Contains(stderr, "leak report: clean") {
+		t.Errorf("stderr lacks clean leak report:\n%s", stderr)
+	}
+}
+
+func TestRunStrictQuarantinesExactlyLeakingFile(t *testing.T) {
+	in := writeInput(t, map[string]string{"clean.conf": cleanConf, "leaky.conf": leakyConf})
+	out := t.TempDir()
+	qdir := filepath.Join(t.TempDir(), "quarantine")
+	code, _, stderr := runCLI(t,
+		"-salt", "s", "-in", in, "-out", out, "-rename=false",
+		"-strict", "-quarantine", qdir)
+	if code != exitWithheld {
+		t.Fatalf("exit %d, want %d; stderr:\n%s", code, exitWithheld, stderr)
+	}
+	if _, err := os.Stat(filepath.Join(out, "clean.conf")); err != nil {
+		t.Errorf("clean file not published: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(out, "leaky.conf")); err == nil {
+		t.Error("quarantined file was published")
+	}
+	got, err := os.ReadFile(filepath.Join(qdir, "leaky.conf"))
+	if err != nil {
+		t.Fatalf("original not copied to quarantine: %v", err)
+	}
+	if string(got) != leakyConf {
+		t.Error("quarantined copy is not the original bytes")
+	}
+	if fi, err := os.Stat(filepath.Join(qdir, "leaky.conf")); err == nil && fi.Mode().Perm() != 0o600 {
+		t.Errorf("quarantined copy mode %v, want 0600", fi.Mode().Perm())
+	}
+	if !strings.Contains(stderr, "quarantined leaky.conf") {
+		t.Errorf("stderr lacks quarantine notice:\n%s", stderr)
+	}
+}
+
+func TestRunNonStrictLeakReportStillExitsOne(t *testing.T) {
+	in := writeInput(t, map[string]string{"leaky.conf": leakyConf})
+	out := t.TempDir()
+	code, _, stderr := runCLI(t, "-salt", "s", "-in", in, "-out", out, "-rename=false")
+	if code != exitWithheld {
+		t.Fatalf("exit %d, want %d; stderr:\n%s", code, exitWithheld, stderr)
+	}
+	// Fail-open legacy behavior: the file IS published, the report warns.
+	if _, err := os.Stat(filepath.Join(out, "leaky.conf")); err != nil {
+		t.Errorf("non-strict mode must still publish: %v", err)
+	}
+}
+
+func TestRunStreamMode(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run(context.Background(), []string{"-salt", "s", "-stateless", "-"},
+		strings.NewReader(cleanConf), &out, &errb)
+	if code != exitClean {
+		t.Fatalf("exit %d; stderr:\n%s", code, errb.String())
+	}
+	if out.Len() == 0 || strings.Contains(out.String(), "r9") {
+		t.Errorf("stream output wrong: %q", out.String())
+	}
+}
+
+func TestRunStreamStrictWithholdsLeakyOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run(context.Background(), []string{"-salt", "s", "-stateless", "-strict", "-"},
+		strings.NewReader(leakyConf), &out, &errb)
+	if code != exitWithheld {
+		t.Fatalf("exit %d, want %d; stderr:\n%s", code, exitWithheld, errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("quarantined stream leaked %d bytes to stdout", out.Len())
+	}
+	if !strings.Contains(errb.String(), "quarantined") {
+		t.Errorf("stderr lacks quarantine reason:\n%s", errb.String())
+	}
+}
+
+func TestRunCancelledContextIsFatal(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	in := writeInput(t, map[string]string{"r1.conf": cleanConf})
+	var out, errb bytes.Buffer
+	code := run(ctx, []string{"-salt", "s", "-in", in, "-out", t.TempDir()}, strings.NewReader(""), &out, &errb)
+	if code != exitFatal {
+		t.Errorf("exit %d, want %d", code, exitFatal)
+	}
+}

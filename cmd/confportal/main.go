@@ -14,14 +14,24 @@
 //	GET  /datasets/{id}/files/{name}     researcher key
 //	POST /datasets/{id}/comments         researcher key or {"owner_token": ...}
 //	GET  /datasets/{id}/comments         researcher key or ?owner_token=...
+//	GET  /healthz                        liveness probe (no auth)
+//
+// The server is hardened: request bodies are capped (-max-body, with
+// per-dataset file-count and size limits beneath it), every connection
+// phase has a timeout, handler panics become logged 500s, and SIGINT or
+// SIGTERM triggers a graceful shutdown that lets in-flight requests
+// finish (-grace).
 package main
 
 import (
+	"context"
 	"flag"
-	"fmt"
 	"log"
-	"net/http"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"confanon/internal/portal"
 )
@@ -33,18 +43,35 @@ func (k *kvFlag) Set(v string) error { *k = append(*k, v); return nil }
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	maxBody := flag.Int64("max-body", portal.DefaultLimits().MaxBodyBytes, "request body cap in bytes")
+	maxFiles := flag.Int("max-files", portal.DefaultLimits().MaxFiles, "files-per-dataset cap")
+	grace := flag.Duration("grace", 10*time.Second, "graceful-shutdown window for in-flight requests")
 	var researchers kvFlag
 	flag.Var(&researchers, "researcher", "researcher account as key=handle (repeatable)")
 	flag.Parse()
 
+	logger := log.New(os.Stderr, "confportal: ", log.LstdFlags)
 	store := portal.NewStore()
+	store.SetLogger(logger)
+	limits := portal.DefaultLimits()
+	limits.MaxBodyBytes = *maxBody
+	limits.MaxFiles = *maxFiles
+	store.SetLimits(limits)
 	for _, kv := range researchers {
 		parts := strings.SplitN(kv, "=", 2)
 		if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
-			log.Fatalf("confportal: bad -researcher %q, want key=handle", kv)
+			logger.Fatalf("bad -researcher %q, want key=handle", kv)
 		}
 		store.AddResearcher(parts[0], parts[1])
 	}
-	fmt.Printf("confportal: listening on %s with %d researcher accounts\n", *addr, len(researchers))
-	log.Fatal(http.ListenAndServe(*addr, store.Handler()))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := portal.NewServer(*addr, store.Handler())
+	logger.Printf("listening on %s with %d researcher accounts", *addr, len(researchers))
+	if err := portal.Run(ctx, srv, *grace); err != nil {
+		logger.Fatalf("serve: %v", err)
+	}
+	logger.Printf("shut down cleanly")
 }

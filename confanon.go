@@ -30,9 +30,9 @@
 package confanon
 
 import (
+	"context"
 	"io"
 	"sort"
-	"sync"
 
 	"confanon/internal/anonymizer"
 	"confanon/internal/config"
@@ -86,22 +86,35 @@ type Options struct {
 	// subnet-address preservation but allows ParallelCorpus to run
 	// independent workers consistently — the §4.3 trade-off.
 	StatelessIP bool
+	// Strict makes the batch APIs (CorpusContext, ParallelCorpusContext,
+	// StreamCorpusContext) fail closed on leaks: a file whose
+	// post-anonymization leak report contains confirmed
+	// (non-false-positive) entries is quarantined — reported and
+	// withheld — instead of published. Gating is conservative: a
+	// coincidental collision between an anonymized value and some
+	// original value can quarantine an innocent file, which is the safe
+	// direction (review the quarantine, never the leak).
+	Strict bool
 }
 
 // Anonymizer anonymizes configuration files consistently under one salt.
 // Not safe for concurrent use.
 type Anonymizer struct {
-	inner *anonymizer.Anonymizer
+	inner  *anonymizer.Anonymizer
+	strict bool
 }
 
 // New creates an Anonymizer.
 func New(opts Options) *Anonymizer {
-	return &Anonymizer{inner: anonymizer.New(anonymizer.Options{
-		Salt:         opts.Salt,
-		Style:        opts.Style,
-		KeepComments: opts.KeepComments,
-		StatelessIP:  opts.StatelessIP,
-	})}
+	return &Anonymizer{
+		inner: anonymizer.New(anonymizer.Options{
+			Salt:         opts.Salt,
+			Style:        opts.Style,
+			KeepComments: opts.KeepComments,
+			StatelessIP:  opts.StatelessIP,
+		}),
+		strict: opts.Strict,
+	}
 }
 
 // ParallelCorpus anonymizes a corpus across several workers. It requires
@@ -112,53 +125,15 @@ func New(opts Options) *Anonymizer {
 // consistently map addresses, making it amenable to parallelization").
 // The per-worker statistics are summed in the returned Stats (RuleHits
 // merged).
+//
+// ParallelCorpus is the convenience form of ParallelCorpusContext: a
+// file whose processing fails (or, under Options.Strict, leaks) is
+// silently absent from the returned map. Callers that must account for
+// every input file — which fail-closed publication pipelines should —
+// want ParallelCorpusContext and its CorpusResult.
 func ParallelCorpus(opts Options, files map[string]string, workers int) (map[string]string, Stats) {
-	if workers < 1 {
-		workers = 1
-	}
-	opts.StatelessIP = true
-	names := make([]string, 0, len(files))
-	for n := range files {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-
-	type result struct {
-		name string
-		text string
-	}
-	out := make(map[string]string, len(files))
-	results := make(chan result, len(files))
-	statsCh := make(chan Stats, workers)
-	work := make(chan string, len(files))
-	for _, n := range names {
-		work <- n
-	}
-	close(work)
-
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			a := New(opts)
-			for name := range work {
-				results <- result{name, a.inner.AnonymizeText(files[name])}
-			}
-			statsCh <- a.Stats()
-		}()
-	}
-	wg.Wait()
-	close(results)
-	close(statsCh)
-	for r := range results {
-		out[r.name] = r.text
-	}
-	var total Stats
-	for s := range statsCh {
-		total.Add(s)
-	}
-	return out, total
+	res, _ := ParallelCorpusContext(context.Background(), opts, files, workers)
+	return res.Outputs(), res.Stats
 }
 
 // File anonymizes a single configuration file.

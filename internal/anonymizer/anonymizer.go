@@ -48,6 +48,12 @@ type Anonymizer struct {
 	lineHits []RuleID
 	ctx      lineCtx
 
+	// Fault-isolation scratch: the file name and 1-based line currently
+	// being processed, recorded so a recovered panic can be pinned to a
+	// location (fault.go).
+	curFile string
+	curLine int
+
 	// Leak recorder (§6.1): every public ASN, hashed word, and mapped
 	// original address is remembered so LeakReport can grep the output
 	// for survivors.

@@ -33,10 +33,12 @@ type fileState struct {
 // (without terminators) and reports false when the file is exhausted.
 func (a *Anonymizer) runFile(next func() (string, bool), emit func(string)) {
 	a.stats.Files++
+	a.curLine = 0
 	st := &fileState{}
 	for {
 		line, ok := next()
 		if !ok {
+			a.curLine = 0
 			return
 		}
 		res, keep := a.runLine(line, st)
@@ -49,6 +51,10 @@ func (a *Anonymizer) runFile(next func() (string, bool), emit func(string)) {
 // runLine processes one line under the per-rule timer.
 func (a *Anonymizer) runLine(line string, st *fileState) (string, bool) {
 	a.stats.Lines++
+	a.curLine++
+	if faultHook != nil {
+		faultHook(a.curFile, a.curLine)
+	}
 	start := time.Now()
 	res, keep := a.processLine(line, st)
 	a.attribute(time.Since(start))

@@ -39,6 +39,22 @@ func newStats() Stats {
 	}
 }
 
+// Clone returns a deep copy of s (the rule maps are copied, not shared).
+// The fault layer snapshots statistics before each file so a failed file
+// can be rolled back out of the batch totals.
+func (s Stats) Clone() Stats {
+	c := s
+	c.RuleHits = make(map[RuleID]int, len(s.RuleHits))
+	for k, v := range s.RuleHits {
+		c.RuleHits[k] = v
+	}
+	c.RuleTime = make(map[RuleID]time.Duration, len(s.RuleTime))
+	for k, v := range s.RuleTime {
+		c.RuleTime[k] = v
+	}
+	return c
+}
+
 // Add accumulates other into s. It merges reflectively — every integer
 // counter is summed and every rule-keyed map is merged — so a counter
 // added to Stats later is picked up automatically instead of being

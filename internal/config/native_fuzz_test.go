@@ -1,0 +1,30 @@
+package config
+
+import (
+	"testing"
+)
+
+// FuzzParse is the native Go fuzz target the ci.sh smoke pass drives
+// (the randomized quick.Check tests in parse_fuzz_test.go stay as the
+// deterministic tier-1 versions). The parser sits in front of the
+// anonymizer and the validation suites, and every byte it sees is
+// attacker-controlled, so it must never panic and never lose lines.
+func FuzzParse(f *testing.F) {
+	f.Add("hostname r1\ninterface Ethernet0\n ip address 10.1.1.1 255.255.255.0\n")
+	f.Add("router bgp 65000\n neighbor 10.0.0.1 remote-as 701\n")
+	f.Add("banner motd #\nwelcome\n#\nend\n")
+	f.Add("ip community-list 1 permit 701:1[0-9]\n")
+	f.Add("interfaces {\n    ge-0/0/0 {\n        unit 0;\n    }\n}\n")
+	f.Add("! comment\r\nno line\x00weird bytes\xff\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		c := Parse(text) // must not panic
+		if c == nil {
+			t.Fatal("Parse returned nil")
+		}
+		// Rendering the model and reparsing the render must not panic
+		// either (byte fidelity is covered by the unit tests).
+		if c2 := Parse(c.Render()); c2 == nil {
+			t.Fatal("reparse of render returned nil")
+		}
+	})
+}

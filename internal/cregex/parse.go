@@ -270,13 +270,31 @@ func (p *parser) parseClass() (Node, error) {
 			return cl, nil
 		}
 		p.pos++
+		// Backslash escapes a class metacharacter (']', '-', '^', '\'),
+		// mirroring writeClassChar so every reprint reparses to the same
+		// set (the fuzz target's round-trip invariant).
+		if c == '\\' {
+			if p.pos >= len(p.src) {
+				return nil, p.errf("trailing backslash in class")
+			}
+			c = p.src[p.pos]
+			p.pos++
+		}
 		if p.pos+1 < len(p.src) && p.src[p.pos] == '-' && p.src[p.pos+1] != ']' {
 			hi := p.src[p.pos+1]
+			consumed := 2
+			if hi == '\\' {
+				if p.pos+2 >= len(p.src) {
+					return nil, p.errf("trailing backslash in class")
+				}
+				hi = p.src[p.pos+2]
+				consumed = 3
+			}
 			if hi < c {
 				return nil, p.errf("invalid class range %c-%c", c, hi)
 			}
 			cl.Set.AddRange(c, hi)
-			p.pos += 2
+			p.pos += consumed
 		} else {
 			cl.Set.Add(c)
 		}

@@ -21,15 +21,51 @@ package portal
 
 import (
 	"crypto/rand"
+	"crypto/subtle"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 )
+
+// Limits bounds what the portal accepts. The serving side of the paper's
+// clearinghouse is fail-closed too: an upload the portal cannot afford to
+// screen completely is rejected, not waved through.
+type Limits struct {
+	// MaxBodyBytes caps any request body (enforced with
+	// http.MaxBytesReader before JSON decoding starts).
+	MaxBodyBytes int64
+	// MaxFiles caps the number of files in one dataset.
+	MaxFiles int
+	// MaxFileBytes caps one file's size.
+	MaxFileBytes int
+	// MaxTotalBytes caps a dataset's cumulative file bytes.
+	MaxTotalBytes int64
+	// MaxScreenBytes caps how many bytes Screen scans before giving up;
+	// a dataset that exhausts the budget is rejected (fail closed), so a
+	// giant upload cannot wedge the handler.
+	MaxScreenBytes int64
+	// MaxCommentBytes caps one comment's text.
+	MaxCommentBytes int
+}
+
+// DefaultLimits returns the portal's conservative defaults.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxBodyBytes:    32 << 20, // 32 MiB of JSON per request
+		MaxFiles:        4096,
+		MaxFileBytes:    4 << 20,  // one router config is KBs, allow 4 MiB
+		MaxTotalBytes:   24 << 20, // dataset payload under the body cap
+		MaxScreenBytes:  24 << 20,
+		MaxCommentBytes: 64 << 10,
+	}
+}
 
 // Dataset is one uploaded corpus of anonymized configurations.
 type Dataset struct {
@@ -54,14 +90,38 @@ type Comment struct {
 // portal cannot verify a cryptographic property without the owner's salt,
 // so this is a heuristic gatekeeper: surviving free-text comments,
 // banner bodies, description lines, or well-known ISP names indicate raw
-// configs.
+// configs. Scanning is capped at DefaultLimits().MaxScreenBytes; see
+// ScreenLimited.
 func Screen(files map[string]string) []string {
+	return ScreenLimited(files, DefaultLimits().MaxScreenBytes)
+}
+
+// ScreenLimited is Screen with an explicit scan budget in bytes. The
+// budget makes the gatekeeper fail closed under load: a dataset too big
+// to screen completely is rejected with an explanatory problem rather
+// than accepted unscreened (and the handler never spends unbounded CPU
+// on one upload). A budget <= 0 means unlimited.
+func ScreenLimited(files map[string]string, maxBytes int64) []string {
 	var problems []string
 	add := func(name, format string, args ...interface{}) {
 		problems = append(problems, fmt.Sprintf("%s: %s", name, fmt.Sprintf(format, args...)))
 	}
+	var scanned int64
 	ispNames := []string{"uunet", "sprintlink", "globalcrossing", "level3", "genuity"}
-	for name, text := range files {
+	// Iterate in sorted order so the budget cuts deterministically.
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		text := files[name]
+		if maxBytes > 0 {
+			if scanned += int64(len(text)); scanned > maxBytes {
+				add(name, "screening budget exhausted (%d bytes scanned, cap %d): dataset too large to screen, rejected", scanned, maxBytes)
+				return problems
+			}
+		}
 		inBanner := false
 		var delim byte
 		for i, line := range strings.Split(text, "\n") {
@@ -116,15 +176,37 @@ type Store struct {
 	// apiKeys maps researcher API keys to display handles (handles are
 	// internal; the blind thread never shows them to owners).
 	apiKeys map[string]string
+	limits  Limits
+	// logger receives the request log and recovered-panic reports; nil
+	// means log.Default().
+	logger *log.Logger
 }
 
-// NewStore creates an empty portal store.
+// NewStore creates an empty portal store with DefaultLimits.
 func NewStore() *Store {
 	return &Store{
 		datasets: make(map[string]*Dataset),
 		comments: make(map[string][]Comment),
 		apiKeys:  make(map[string]string),
+		limits:   DefaultLimits(),
 	}
+}
+
+// SetLimits replaces the store's limits (call before serving).
+func (s *Store) SetLimits(l Limits) { s.limits = l }
+
+// Limits returns the store's active limits.
+func (s *Store) Limits() Limits { return s.limits }
+
+// SetLogger directs the request log and panic reports (nil restores
+// log.Default()).
+func (s *Store) SetLogger(l *log.Logger) { s.logger = l }
+
+func (s *Store) log() *log.Logger {
+	if s.logger != nil {
+		return s.logger
+	}
+	return log.Default()
 }
 
 // AddResearcher registers an API key for a researcher account.
@@ -142,18 +224,53 @@ func randomID() string {
 	return hex.EncodeToString(b[:])
 }
 
+// checkLimits enforces the dataset-shape caps (count and sizes) before
+// any content is scanned.
+func (s *Store) checkLimits(files map[string]string) []string {
+	l := s.limits
+	var problems []string
+	if l.MaxFiles > 0 && len(files) > l.MaxFiles {
+		problems = append(problems, fmt.Sprintf("dataset has %d files, cap is %d", len(files), l.MaxFiles))
+		return problems
+	}
+	var total int64
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		size := len(files[n])
+		total += int64(size)
+		if l.MaxFileBytes > 0 && size > l.MaxFileBytes {
+			problems = append(problems, fmt.Sprintf("%s: %d bytes, per-file cap is %d", n, size, l.MaxFileBytes))
+		}
+	}
+	if l.MaxTotalBytes > 0 && total > l.MaxTotalBytes {
+		problems = append(problems, fmt.Sprintf("dataset is %d bytes, cap is %d", total, l.MaxTotalBytes))
+	}
+	return problems
+}
+
 // Upload screens and stores a dataset, returning its public id and the
-// owner's secret token.
+// owner's secret token. The files map is copied: later mutation by the
+// caller cannot alter what researchers are served.
 func (s *Store) Upload(label string, files map[string]string) (id, ownerToken string, problems []string) {
-	problems = Screen(files)
-	if len(problems) > 0 {
+	if problems = s.checkLimits(files); len(problems) > 0 {
 		return "", "", problems
+	}
+	if problems = ScreenLimited(files, s.limits.MaxScreenBytes); len(problems) > 0 {
+		return "", "", problems
+	}
+	copied := make(map[string]string, len(files))
+	for n, text := range files {
+		copied[n] = text
 	}
 	d := &Dataset{
 		ID:         randomID(),
 		Label:      label,
 		Uploaded:   time.Now().UTC(),
-		Files:      files,
+		Files:      copied,
 		ownerToken: randomID(),
 	}
 	s.mu.Lock()
@@ -196,7 +313,9 @@ func (s *Store) Comments(id string) []Comment {
 	return append([]Comment(nil), s.comments[id]...)
 }
 
-// Handler builds the HTTP API.
+// Handler builds the HTTP API, wrapped in the hardening middleware:
+// panic recovery (a handler panic becomes a logged 500, not a dead
+// connection or a crashed portal) and request logging.
 func (s *Store) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /datasets", s.handleUpload)
@@ -205,7 +324,17 @@ func (s *Store) Handler() http.Handler {
 	mux.HandleFunc("GET /datasets/{id}/files/{name}", s.requireResearcher(s.handleFile))
 	mux.HandleFunc("POST /datasets/{id}/comments", s.handlePostComment)
 	mux.HandleFunc("GET /datasets/{id}/comments", s.handleGetComments)
-	return mux
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return WithRecovery(s.log(), WithLogging(s.log(), mux))
+}
+
+// handleHealthz is the liveness probe: unauthenticated, cheap, and
+// content-free beyond counts (dataset contents need a researcher key).
+func (s *Store) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	n := len(s.datasets)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]interface{}{"status": "ok", "datasets": n})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -214,12 +343,31 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// tokenEqual compares two secrets in constant time. An empty presented
+// value never matches (a dataset with an unset token must not be
+// claimable with an empty string).
+func tokenEqual(presented, actual string) bool {
+	if presented == "" || actual == "" {
+		return false
+	}
+	return subtle.ConstantTimeCompare([]byte(presented), []byte(actual)) == 1
+}
+
 // researcher resolves the API key of a request; empty if absent/invalid.
+// Every registered key is compared in constant time, with no early exit,
+// so response timing reveals neither a near-miss nor how far down the
+// key list a match sat.
 func (s *Store) researcher(r *http.Request) string {
 	key := r.Header.Get("X-API-Key")
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.apiKeys[key]
+	handle := ""
+	for k, h := range s.apiKeys {
+		if tokenEqual(key, k) {
+			handle = h
+		}
+	}
+	return handle
 }
 
 func (s *Store) requireResearcher(h http.HandlerFunc) http.HandlerFunc {
@@ -244,8 +392,17 @@ type uploadResponse struct {
 }
 
 func (s *Store) handleUpload(w http.ResponseWriter, r *http.Request) {
+	if s.limits.MaxBodyBytes > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, s.limits.MaxBodyBytes)
+	}
 	var req uploadRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				map[string]string{"error": fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "malformed JSON: " + err.Error()})
 		return
 	}
@@ -319,14 +476,22 @@ func (s *Store) handlePostComment(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no such dataset"})
 		return
 	}
+	if s.limits.MaxBodyBytes > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, s.limits.MaxBodyBytes)
+	}
 	var req commentRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || strings.TrimSpace(req.Text) == "" {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "comment text required"})
 		return
 	}
+	if s.limits.MaxCommentBytes > 0 && len(req.Text) > s.limits.MaxCommentBytes {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			map[string]string{"error": fmt.Sprintf("comment exceeds %d bytes", s.limits.MaxCommentBytes)})
+		return
+	}
 	var from string
 	switch {
-	case req.OwnerToken != "" && req.OwnerToken == d.ownerToken:
+	case tokenEqual(req.OwnerToken, d.ownerToken):
 		from = "owner"
 	case s.researcher(r) != "":
 		from = "researcher"
@@ -345,7 +510,7 @@ func (s *Store) handleGetComments(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no such dataset"})
 		return
 	}
-	if s.researcher(r) == "" && r.URL.Query().Get("owner_token") != d.ownerToken {
+	if s.researcher(r) == "" && !tokenEqual(r.URL.Query().Get("owner_token"), d.ownerToken) {
 		writeJSON(w, http.StatusUnauthorized, map[string]string{"error": "researcher key or owner token required"})
 		return
 	}

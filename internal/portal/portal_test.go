@@ -3,6 +3,8 @@ package portal
 import (
 	"bytes"
 	"encoding/json"
+	"io"
+	"log"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -14,6 +16,7 @@ import (
 
 func newTestPortal() (*Store, *httptest.Server) {
 	s := NewStore()
+	s.SetLogger(log.New(io.Discard, "", 0))
 	s.AddResearcher("key-alice", "alice")
 	srv := httptest.NewServer(s.Handler())
 	return s, srv

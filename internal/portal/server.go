@@ -1,0 +1,108 @@
+package portal
+
+// This file is the hardened serving layer: middleware (panic recovery,
+// request logging), an http.Server with timeouts on every phase of a
+// connection, and a graceful-shutdown run loop. The §7 clearinghouse is
+// the piece of the system exposed to the open Internet, so it gets the
+// fail-closed treatment too: no naked listener, no unbounded read, no
+// handler panic taking the process down.
+
+import (
+	"context"
+	"errors"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// statusRecorder captures the status a handler wrote, for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(p)
+}
+
+// WithLogging logs one line per request: method, path, status, duration,
+// and remote address. Never the X-API-Key header or an owner token —
+// query strings are deliberately omitted because owner tokens travel
+// there.
+func WithLogging(logger *log.Logger, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		h.ServeHTTP(rec, r)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		logger.Printf("%s %s %d %s %s", r.Method, r.URL.Path, rec.status,
+			time.Since(start).Round(time.Microsecond), r.RemoteAddr)
+	})
+}
+
+// WithRecovery converts a handler panic into a logged 500 response, so
+// one malformed request cannot crash the portal or leave the client with
+// a severed connection and no status. http.ErrAbortHandler keeps its
+// special meaning and is re-panicked.
+func WithRecovery(logger *log.Logger, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				if v == http.ErrAbortHandler {
+					panic(v)
+				}
+				logger.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+				writeJSON(w, http.StatusInternalServerError, map[string]string{"error": "internal error"})
+			}
+		}()
+		h.ServeHTTP(w, r)
+	})
+}
+
+// NewServer returns an http.Server for the portal with every connection
+// phase bounded: a peer that stalls on headers, body, response read, or
+// keep-alive idle is cut off instead of pinning a connection forever.
+func NewServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    64 << 10,
+	}
+}
+
+// Run serves srv until ctx is cancelled, then shuts down gracefully:
+// in-flight requests get up to grace to finish before the listener's
+// process exits. It returns nil on a clean shutdown, the listen error
+// otherwise.
+func Run(ctx context.Context, srv *http.Server, grace time.Duration) error {
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		// The listener failed before ctx did (bad address, port in use).
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	err := srv.Shutdown(shutdownCtx)
+	if serveErr := <-errCh; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+		return serveErr
+	}
+	return err
+}
