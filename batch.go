@@ -84,10 +84,13 @@ func (r FileResult) Ok() bool { return r.Status == FileOK }
 // FileResult per input file plus the merged statistics of the files that
 // completed (failed files are rolled back out of the totals). Files
 // missing from Files were never started (the context was cancelled
-// first).
+// first). Report is the machine-readable run summary: always present on
+// a finished result, with the full metric snapshot when Options.Metrics
+// wired a registry.
 type CorpusResult struct {
-	Files map[string]FileResult
-	Stats Stats
+	Files  map[string]FileResult
+	Stats  Stats
+	Report *RunReport
 }
 
 // Ok reports whether every input file anonymized cleanly.
@@ -151,7 +154,8 @@ func confirmedLeaks(report []Leak) []Leak {
 // anonymizeOne runs one file through the fail-closed pipeline: panic
 // recovery, then — in strict mode — leak-gating of the output against
 // the anonymizer's accumulated sensitive values.
-func (a *Anonymizer) anonymizeOne(name, text string, strict bool) FileResult {
+func (a *Anonymizer) anonymizeOne(name, text string, strict bool) (res FileResult) {
+	defer func() { a.batch.countFile(res.Status) }()
 	out, ferr := a.inner.SafeAnonymizeText(name, text)
 	if ferr != nil {
 		return FileResult{Name: name, Status: FileFailed, Err: ferr}
@@ -181,16 +185,21 @@ func (a *Anonymizer) CorpusContext(ctx context.Context, files map[string]string)
 
 	for _, n := range names {
 		if err := ctx.Err(); err != nil {
+			a.batch.countCancel()
 			res.Stats = a.Stats()
+			res.finishReport(a.reg)
 			return res, err
 		}
 		if ferr := a.inner.SafePrescan(n, files[n]); ferr != nil {
 			res.Files[n] = FileResult{Name: n, Status: FileFailed, Err: ferr}
+			a.batch.countFile(FileFailed)
 		}
 	}
 	for _, n := range names {
 		if err := ctx.Err(); err != nil {
+			a.batch.countCancel()
 			res.Stats = a.Stats()
+			res.finishReport(a.reg)
 			return res, err
 		}
 		if _, done := res.Files[n]; done { // prescan already failed it
@@ -199,6 +208,7 @@ func (a *Anonymizer) CorpusContext(ctx context.Context, files map[string]string)
 		res.Files[n] = a.anonymizeOne(n, files[n], a.strict)
 	}
 	res.Stats = a.Stats()
+	res.finishReport(a.reg)
 	return res, nil
 }
 
@@ -256,6 +266,10 @@ func ParallelCorpusContext(ctx context.Context, opts Options, files map[string]s
 	for s := range statsCh {
 		res.Stats.Add(s)
 	}
+	if ctx.Err() != nil && opts.Metrics != nil {
+		newBatchMetrics(opts.Metrics).countCancel()
+	}
+	res.finishReport(opts.Metrics)
 	return res, ctx.Err()
 }
 
@@ -278,6 +292,7 @@ func (a *Anonymizer) StreamCorpusContext(
 	var ferrs []*FileError
 	for {
 		if err := ctx.Err(); err != nil {
+			a.batch.countCancel()
 			return ferrs, err
 		}
 		name, r, err := next()
@@ -288,7 +303,14 @@ func (a *Anonymizer) StreamCorpusContext(
 			return ferrs, err
 		}
 		if ferr := a.streamOne(name, r, sink); ferr != nil {
+			if errors.Is(ferr.Cause, ErrQuarantined) {
+				a.batch.countFile(FileQuarantined)
+			} else {
+				a.batch.countFile(FileFailed)
+			}
 			ferrs = append(ferrs, ferr)
+		} else {
+			a.batch.countFile(FileOK)
 		}
 	}
 }

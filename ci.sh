@@ -18,8 +18,24 @@ go build ./...
 echo "== go vet ./..."
 go vet ./...
 
-echo "== go test -race ./... $*"
-go test -race "$@" ./...
+echo "== go vet ./internal/metrics && go test -race ./internal/metrics"
+go vet ./internal/metrics
+go test -race ./internal/metrics
+
+echo "== go test -race -cover ./... $*"
+go test -race -coverprofile=coverage.out "$@" ./...
+
+# Coverage ratchet: the total statement coverage must not fall below
+# coverage_baseline.txt (set slightly under the measured total to absorb
+# noise). Raise the baseline when coverage meaningfully improves; never
+# lower it to make a red run green.
+total=$(go tool cover -func=coverage.out | awk '/^total:/ {sub("%","",$NF); print $NF}')
+floor=$(cat coverage_baseline.txt)
+echo "== coverage ratchet: total ${total}% (floor ${floor}%)"
+awk -v t="$total" -v f="$floor" 'BEGIN { exit (t+0 >= f+0) ? 0 : 1 }' || {
+	echo "coverage ${total}% fell below the ${floor}% floor" >&2
+	exit 1
+}
 
 # Short coverage-guided fuzz pass over the parsers that sit in front of
 # the anonymizer. Crashers are persisted under testdata/fuzz/ and then

@@ -34,14 +34,24 @@
 // Under -strict the streamed output is buffered and leak-gated before the
 // first byte reaches stdout. -rule-stats prints the engine's per-rule hit
 // and wall-time table in either mode.
+//
+// Observability: -metrics-out FILE writes the machine-readable run
+// report (JSON, schema confanon.run_report/v1 — per-status file counts,
+// headline counters, and the full metric snapshot keyed by Prometheus
+// series identity). -pprof ADDR serves /debug/pprof/* and GET /metrics
+// on ADDR for the duration of the run, for profiling long batches.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -91,6 +101,8 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		mapFile    = fs.String("mapping", "", "IP-mapping state file: loaded if present, saved after the run (keeps later runs consistent)")
 		strict     = fs.Bool("strict", false, "fail closed: quarantine any file whose leak report is not clean")
 		quarantine = fs.String("quarantine", "", "directory receiving the originals of quarantined files (with -strict)")
+		metricsOut = fs.String("metrics-out", "", "write the machine-readable run report (JSON, schema "+confanon.RunReportSchema+") to this file")
+		pprofAddr  = fs.String("pprof", "", "serve /debug/pprof and /metrics on this address while the run lasts (e.g. localhost:6060)")
 	)
 	var sensitive multiFlag
 	fs.Var(&sensitive, "sensitive", "extra sensitive token to anonymize everywhere (repeatable)")
@@ -111,6 +123,16 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	}
 	if *minimal {
 		opts.Style = confanon.Minimal
+	}
+	if *metricsOut != "" || *pprofAddr != "" {
+		opts.Metrics = confanon.NewMetricsRegistry()
+	}
+	if *pprofAddr != "" {
+		stopProf, err := serveDebug(*pprofAddr, opts.Metrics)
+		if err != nil {
+			return fatal(stderr, fmt.Errorf("-pprof: %w", err))
+		}
+		defer stopProf()
 	}
 	a := confanon.New(opts)
 	if *mapFile != "" {
@@ -137,6 +159,11 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 			}
 		}
 		printStats(stderr, a.Stats(), *statsOut, *ruleStats)
+		if *metricsOut != "" {
+			if err := writeRunReport(*metricsOut, a.Report()); err != nil {
+				return fatal(stderr, err)
+			}
+		}
 		return code
 	}
 
@@ -225,7 +252,52 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		}
 	}
 	printStats(stderr, a.Stats(), *statsOut, *ruleStats)
+	if *metricsOut != "" {
+		// Rebuild the report at the very end so the counters include the
+		// leak-report pass above; the per-status outcome counts come from
+		// the batch result.
+		rep := a.Report()
+		rep.FilesOK = res.Report.FilesOK
+		rep.FilesFailed = res.Report.FilesFailed
+		rep.FilesQuarantined = res.Report.FilesQuarantined
+		if err := writeRunReport(*metricsOut, rep); err != nil {
+			return fatal(stderr, err)
+		}
+	}
 	return code
+}
+
+// writeRunReport serializes the run report as indented JSON.
+func writeRunReport(path string, rep *confanon.RunReport) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeFileRetry(path, append(b, '\n'), 0o644)
+}
+
+// serveDebug exposes /debug/pprof/* and GET /metrics on addr for the
+// duration of the run. Unlike the portal's gated endpoints this is a
+// local debugging aid on an operator-chosen address (typically a
+// localhost port), so it carries no token; the returned stop function
+// tears the listener down.
+func serveDebug(addr string, reg *confanon.MetricsRegistry) (func(), error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if reg != nil {
+		mux.Handle("GET /metrics", reg.Handler())
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return func() { _ = srv.Close() }, nil
 }
 
 // runStream handles "confanon ... -": one configuration, stdin→stdout,
@@ -304,10 +376,10 @@ func printStats(stderr io.Writer, s confanon.Stats, aggregate, perRule bool) {
 	}
 	if perRule {
 		fmt.Fprintf(stderr, "%-34s %8s %12s\n", "rule", "hits", "time")
-		var hits int
+		var hits int64
 		var total time.Duration
 		for _, info := range confanon.Rules() {
-			h, d := s.RuleHits[info.ID], s.RuleTime[info.ID]
+			h, d := s.Hits(info.ID), s.Time(info.ID)
 			if h == 0 && d == 0 {
 				continue
 			}

@@ -3,10 +3,13 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"confanon"
 )
 
 const cleanConf = "hostname r9\ninterface Ethernet0\n ip address 12.1.2.3 255.255.255.0\n"
@@ -139,5 +142,67 @@ func TestRunCancelledContextIsFatal(t *testing.T) {
 	code := run(ctx, []string{"-salt", "s", "-in", in, "-out", t.TempDir()}, strings.NewReader(""), &out, &errb)
 	if code != exitFatal {
 		t.Errorf("exit %d, want %d", code, exitFatal)
+	}
+}
+
+// TestRunMetricsOut: -metrics-out writes a run report whose headline
+// counts match the run and whose counter snapshot carries the engine
+// series.
+func TestRunMetricsOut(t *testing.T) {
+	in := writeInput(t, map[string]string{"r1.conf": cleanConf, "r2.conf": cleanConf})
+	out := t.TempDir()
+	reportPath := filepath.Join(t.TempDir(), "report.json")
+	code, _, stderr := runCLI(t, "-salt", "s", "-in", in, "-out", out, "-metrics-out", reportPath)
+	if code != exitClean {
+		t.Fatalf("exit %d, want %d; stderr:\n%s", code, exitClean, stderr)
+	}
+	b, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep confanon.RunReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Schema != confanon.RunReportSchema {
+		t.Errorf("schema %q, want %q", rep.Schema, confanon.RunReportSchema)
+	}
+	if rep.FilesOK != 2 || rep.FilesFailed != 0 || rep.FilesQuarantined != 0 {
+		t.Errorf("outcome counts: %+v", rep)
+	}
+	if rep.Files != 2 || rep.Lines == 0 {
+		t.Errorf("headline counters: files=%d lines=%d", rep.Files, rep.Lines)
+	}
+	if got := rep.Counters["confanon_files_processed_total"]; got != 2 {
+		t.Errorf("counter snapshot files_processed = %v, want 2", got)
+	}
+	if got := rep.Counters[`confanon_batch_files_total{status="ok"}`]; got != 2 {
+		t.Errorf("counter snapshot batch ok = %v, want 2", got)
+	}
+}
+
+// TestRunMetricsOutStreamMode: the stream path writes a report too.
+func TestRunMetricsOutStreamMode(t *testing.T) {
+	reportPath := filepath.Join(t.TempDir(), "report.json")
+	var out, errb bytes.Buffer
+	code := run(context.Background(),
+		[]string{"-salt", "s", "-stateless", "-metrics-out", reportPath, "-"},
+		strings.NewReader(cleanConf), &out, &errb)
+	if code != exitClean {
+		t.Fatalf("exit %d; stderr:\n%s", code, errb.String())
+	}
+	var rep confanon.RunReport
+	b, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Files != 1 || rep.Counters["confanon_files_processed_total"] != 1 {
+		t.Errorf("stream report: files=%d counters=%v", rep.Files, rep.Counters["confanon_files_processed_total"])
+	}
+	if rep.Counters["confanon_stream_bytes_in_total"] == 0 {
+		t.Error("stream bytes-in counter is zero")
 	}
 }

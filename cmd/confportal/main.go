@@ -15,6 +15,8 @@
 //	POST /datasets/{id}/comments         researcher key or {"owner_token": ...}
 //	GET  /datasets/{id}/comments         researcher key or ?owner_token=...
 //	GET  /healthz                        liveness probe (no auth)
+//	GET  /metrics                        Prometheus text snapshot (X-Admin-Token; 404 without -admin-token)
+//	GET  /debug/pprof/*                  runtime profiler (X-Admin-Token; 404 without -admin-token)
 //
 // The server is hardened: request bodies are capped (-max-body, with
 // per-dataset file-count and size limits beneath it), every connection
@@ -33,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	"confanon/internal/metrics"
 	"confanon/internal/portal"
 )
 
@@ -46,6 +49,7 @@ func main() {
 	maxBody := flag.Int64("max-body", portal.DefaultLimits().MaxBodyBytes, "request body cap in bytes")
 	maxFiles := flag.Int("max-files", portal.DefaultLimits().MaxFiles, "files-per-dataset cap")
 	grace := flag.Duration("grace", 10*time.Second, "graceful-shutdown window for in-flight requests")
+	adminToken := flag.String("admin-token", "", "operator secret unlocking GET /metrics and /debug/pprof (X-Admin-Token header); empty keeps both endpoints 404")
 	var researchers kvFlag
 	flag.Var(&researchers, "researcher", "researcher account as key=handle (repeatable)")
 	flag.Parse()
@@ -53,6 +57,8 @@ func main() {
 	logger := log.New(os.Stderr, "confportal: ", log.LstdFlags)
 	store := portal.NewStore()
 	store.SetLogger(logger)
+	store.SetMetrics(metrics.NewRegistry())
+	store.SetAdminToken(*adminToken)
 	limits := portal.DefaultLimits()
 	limits.MaxBodyBytes = *maxBody
 	limits.MaxFiles = *maxFiles

@@ -95,6 +95,12 @@ type Options struct {
 	// original value can quarantine an innocent file, which is the safe
 	// direction (review the quarantine, never the leak).
 	Strict bool
+	// Metrics, when set, wires the pipeline into a shared observability
+	// registry: the engine flushes its counters at file boundaries, the
+	// batch layer counts outcomes, and CorpusResult.Report carries the
+	// flattened snapshot. Nil disables all metric plumbing (the engine
+	// hot path is untouched either way; see DESIGN.md §3d).
+	Metrics *MetricsRegistry
 }
 
 // Anonymizer anonymizes configuration files consistently under one salt.
@@ -102,11 +108,13 @@ type Options struct {
 type Anonymizer struct {
 	inner  *anonymizer.Anonymizer
 	strict bool
+	reg    *MetricsRegistry
+	batch  *batchMetrics
 }
 
 // New creates an Anonymizer.
 func New(opts Options) *Anonymizer {
-	return &Anonymizer{
+	a := &Anonymizer{
 		inner: anonymizer.New(anonymizer.Options{
 			Salt:         opts.Salt,
 			Style:        opts.Style,
@@ -115,6 +123,21 @@ func New(opts Options) *Anonymizer {
 		}),
 		strict: opts.Strict,
 	}
+	if opts.Metrics != nil {
+		a.reg = opts.Metrics
+		a.batch = newBatchMetrics(opts.Metrics)
+		a.inner.SetMetrics(opts.Metrics)
+	}
+	return a
+}
+
+// Report builds a RunReport from the accumulated statistics (and the
+// wired registry, if any). The batch APIs attach a richer report — with
+// per-status file counts — to their CorpusResult; this accessor covers
+// the single-file paths (File, Stream, Corpus).
+func (a *Anonymizer) Report() *RunReport {
+	a.inner.FlushMetrics()
+	return NewRunReport(a.inner.Stats(), a.reg)
 }
 
 // ParallelCorpus anonymizes a corpus across several workers. It requires

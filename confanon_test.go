@@ -27,7 +27,7 @@ func TestFacadeCorpusAndValidate(t *testing.T) {
 			t.Errorf("company name leaked in %s", name)
 		}
 	}
-	if a.Stats().Files != len(pre) {
+	if a.Stats().Files != int64(len(pre)) {
 		t.Errorf("stats files = %d", a.Stats().Files)
 	}
 }

@@ -75,7 +75,7 @@ func main() {
 		}
 		st := a.Stats()
 		totalRouters += len(n.Routers)
-		totalLines += st.Lines
+		totalLines += int(st.Lines)
 		if n.Params.JunOS {
 			kindName += "/junos"
 		}

@@ -43,10 +43,19 @@ type Anonymizer struct {
 	perms asn.Salted
 	stats Stats
 
-	// Engine scratch: the per-line rule-hit record (for wall-time
-	// attribution) and the reusable dispatch context.
-	lineHits []RuleID
+	// Engine scratch: the per-line rule-hit record (registry indices,
+	// for wall-time attribution) and the reusable dispatch context.
+	lineHits []int
 	ctx      lineCtx
+
+	// metrics is the optional shared registry this engine flushes into
+	// at file boundaries (metrics.go); nil means no registry wired.
+	// bytesIn/bytesOut accumulate streaming throughput for the flush
+	// (not part of Stats: they measure I/O work done, so they are not
+	// rolled back with a failed file's counters).
+	metrics  *engineMetrics
+	bytesIn  int64
+	bytesOut int64
 
 	// Fault-isolation scratch: the file name and 1-based line currently
 	// being processed, recorded so a recovered panic can be pinned to a
@@ -150,10 +159,12 @@ func (a *Anonymizer) AddSensitiveToken(tok string) {
 }
 
 // hit records one firing of a rule: the hit counter and the per-line
-// scratch the engine uses for wall-time attribution.
+// scratch the engine uses for wall-time attribution. Registry lookup
+// then two array/slice writes — no map mutation on the per-token path.
 func (a *Anonymizer) hit(r RuleID) {
-	a.stats.RuleHits[r]++
-	a.lineHits = append(a.lineHits, r)
+	i := ruleIndex[r]
+	a.stats.ruleHits[i]++
+	a.lineHits = append(a.lineHits, i)
 }
 
 // AnonymizeText anonymizes one configuration file. The input is prescanned
@@ -185,5 +196,5 @@ func (a *Anonymizer) stripComments() bool { return !a.opts.KeepComments }
 // countWords adds a raw line's words to the total (used for banner bodies,
 // which bypass the normal Fields accounting).
 func (a *Anonymizer) countWords(line string) {
-	a.stats.WordsTotal += len(strings.Fields(line))
+	a.stats.WordsTotal += int64(len(strings.Fields(line)))
 }

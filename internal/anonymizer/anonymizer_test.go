@@ -390,8 +390,8 @@ func TestStatsAccumulate(t *testing.T) {
 	if s.RegexpsRewritten < 2 {
 		t.Errorf("RegexpsRewritten = %d", s.RegexpsRewritten)
 	}
-	if s.RuleHits[RuleBGPProcess] != 1 || s.RuleHits[RuleNeighborRemoteAS] != 1 {
-		t.Errorf("rule hits wrong: %+v", s.RuleHits)
+	if s.Hits(RuleBGPProcess) != 1 || s.Hits(RuleNeighborRemoteAS) != 1 {
+		t.Errorf("rule hits wrong: %+v", s.RuleHits())
 	}
 }
 
@@ -522,7 +522,7 @@ router bgp 65010
 	}
 	s := a.Stats()
 	for _, r := range []RuleID{RuleRedistributeBGP, RuleASPathPrepend, RuleSetExtCommunity, RuleNeighborLocalAS} {
-		if s.RuleHits[r] == 0 {
+		if s.Hits(r) == 0 {
 			t.Errorf("rule %s never fired", r)
 		}
 	}

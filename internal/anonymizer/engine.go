@@ -34,11 +34,14 @@ type fileState struct {
 func (a *Anonymizer) runFile(next func() (string, bool), emit func(string)) {
 	a.stats.Files++
 	a.curLine = 0
+	start := time.Now()
 	st := &fileState{}
 	for {
 		line, ok := next()
 		if !ok {
 			a.curLine = 0
+			a.observeStage(stageRewrite, time.Since(start))
+			a.flushMetrics()
 			return
 		}
 		res, keep := a.runLine(line, st)
@@ -68,9 +71,9 @@ func (a *Anonymizer) attribute(d time.Duration) {
 	if n == 0 {
 		return
 	}
-	share := d / time.Duration(n)
-	for _, r := range a.lineHits {
-		a.stats.RuleTime[r] += share
+	share := int64(d) / int64(n)
+	for _, i := range a.lineHits {
+		a.stats.ruleTimeNs[i] += share
 	}
 	a.lineHits = a.lineHits[:0]
 }
@@ -86,7 +89,7 @@ func (a *Anonymizer) processLine(line string, st *fileState) (string, bool) {
 		}
 		a.hit(RuleBanner)
 		a.stats.CommentLinesRemoved++
-		a.stats.CommentWordsRemoved += len(strings.Fields(line))
+		a.stats.CommentWordsRemoved += int64(len(strings.Fields(line)))
 		a.countWords(line)
 		if a.stripComments() {
 			return "", false
@@ -95,7 +98,7 @@ func (a *Anonymizer) processLine(line string, st *fileState) (string, bool) {
 	}
 
 	words, gaps := token.Fields(line)
-	a.stats.WordsTotal += len(words)
+	a.stats.WordsTotal += int64(len(words))
 
 	// JunOS comment syntax ("# ...", "/* ... */") is stripped like IOS
 	// comments; block comments span lines.

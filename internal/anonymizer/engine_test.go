@@ -84,16 +84,16 @@ func TestPerRuleInstrumentation(t *testing.T) {
 	a.AnonymizeText("router bgp 1111\n neighbor 12.0.0.1 remote-as 701\n")
 	s := a.Stats()
 	for _, r := range []RuleID{RuleBGPProcess, RuleNeighborRemoteAS, RuleBareAddr} {
-		if s.RuleHits[r] == 0 {
-			t.Errorf("rule %s did not hit: %+v", r, s.RuleHits)
+		if s.Hits(r) == 0 {
+			t.Errorf("rule %s did not hit: %+v", r, s.RuleHits())
 		}
-		if s.RuleTime[r] <= 0 {
-			t.Errorf("rule %s has no wall time: %v", r, s.RuleTime)
+		if s.Time(r) <= 0 {
+			t.Errorf("rule %s has no wall time: %v", r, s.RuleTime())
 		}
 	}
-	if s.RuleHits[RuleDialerString] != 0 || s.RuleTime[RuleDialerString] != 0 {
+	if s.Hits(RuleDialerString) != 0 || s.Time(RuleDialerString) != 0 {
 		t.Errorf("rule that never fired was instrumented: hits=%d time=%v",
-			s.RuleHits[RuleDialerString], s.RuleTime[RuleDialerString])
+			s.Hits(RuleDialerString), s.Time(RuleDialerString))
 	}
 	if len(a.lineHits) != 0 {
 		t.Errorf("per-line hit scratch not cleared: %v", a.lineHits)
@@ -104,36 +104,41 @@ func TestPerRuleInstrumentation(t *testing.T) {
 func TestNamePositionInstrumented(t *testing.T) {
 	a := New(Options{Salt: []byte("s")})
 	a.AnonymizeText("route-map FOO permit 10\n")
-	if a.Stats().RuleHits[RuleNamePosition] != 1 {
-		t.Errorf("name position not counted: %+v", a.Stats().RuleHits)
+	if a.Stats().Hits(RuleNamePosition) != 1 {
+		t.Errorf("name position not counted: %+v", a.Stats().RuleHits())
 	}
 }
 
-// TestStatsAdd: every counter merges; maps merge key-wise.
+// TestStatsAdd: every counter merges; per-rule counters merge slot-wise.
 func TestStatsAdd(t *testing.T) {
-	a := Stats{Files: 1, Lines: 10, TokensHashed: 3,
-		RuleHits: map[RuleID]int{RuleBanner: 2},
-		RuleTime: map[RuleID]time.Duration{RuleBanner: time.Millisecond}}
-	b := Stats{Files: 2, Lines: 5, TokensHashed: 4,
-		RuleHits: map[RuleID]int{RuleBanner: 1, RuleHostname: 7},
-		RuleTime: map[RuleID]time.Duration{RuleHostname: time.Second}}
+	a := Stats{Files: 1, Lines: 10, TokensHashed: 3}
+	a.AddRuleHit(RuleBanner, 2)
+	a.AddRuleTime(RuleBanner, time.Millisecond)
+	b := Stats{Files: 2, Lines: 5, TokensHashed: 4}
+	b.AddRuleHit(RuleBanner, 1)
+	b.AddRuleHit(RuleHostname, 7)
+	b.AddRuleTime(RuleHostname, time.Second)
 	a.Add(b)
 	if a.Files != 3 || a.Lines != 15 || a.TokensHashed != 7 {
 		t.Errorf("counters wrong after Add: %+v", a)
 	}
-	if a.RuleHits[RuleBanner] != 3 || a.RuleHits[RuleHostname] != 7 {
-		t.Errorf("RuleHits wrong after Add: %+v", a.RuleHits)
+	if a.Hits(RuleBanner) != 3 || a.Hits(RuleHostname) != 7 {
+		t.Errorf("RuleHits wrong after Add: %+v", a.RuleHits())
 	}
-	if a.RuleTime[RuleBanner] != time.Millisecond || a.RuleTime[RuleHostname] != time.Second {
-		t.Errorf("RuleTime wrong after Add: %+v", a.RuleTime)
+	if a.Time(RuleBanner) != time.Millisecond || a.Time(RuleHostname) != time.Second {
+		t.Errorf("RuleTime wrong after Add: %+v", a.RuleTime())
 	}
 }
 
-// TestStatsAddIntoZero: Add into a zero-valued Stats allocates the maps.
+// TestStatsAddIntoZero: Add into a zero-valued Stats just works (the
+// dense representation has no maps to allocate).
 func TestStatsAddIntoZero(t *testing.T) {
 	var total Stats
-	total.Add(Stats{Files: 1, RuleHits: map[RuleID]int{RuleBanner: 1}})
-	if total.Files != 1 || total.RuleHits[RuleBanner] != 1 {
+	var one Stats
+	one.Files = 1
+	one.AddRuleHit(RuleBanner, 1)
+	total.Add(one)
+	if total.Files != 1 || total.Hits(RuleBanner) != 1 {
 		t.Errorf("zero-value Add wrong: %+v", total)
 	}
 }
@@ -162,9 +167,9 @@ func TestStatsAddMatchesAnonymization(t *testing.T) {
 		got.IPsMapped != want.IPsMapped || got.ASNsMapped != want.ASNsMapped {
 		t.Errorf("merged stats differ from combined run:\n got %+v\nwant %+v", got, want)
 	}
-	for r, n := range want.RuleHits {
-		if got.RuleHits[r] != n {
-			t.Errorf("rule %s hits: got %d want %d", r, got.RuleHits[r], n)
+	for r, n := range want.RuleHits() {
+		if got.Hits(r) != n {
+			t.Errorf("rule %s hits: got %d want %d", r, got.Hits(r), n)
 		}
 	}
 }
@@ -185,7 +190,7 @@ func TestJunosMessageQuirkPreserved(t *testing.T) {
 	if a.Stats().CommentLinesRemoved != 1 {
 		t.Errorf("message line not counted as comment: %+v", a.Stats())
 	}
-	if a.Stats().RuleHits[RuleBanner] != 1 {
-		t.Errorf("banner rule not hit: %+v", a.Stats().RuleHits)
+	if a.Stats().Hits(RuleBanner) != 1 {
+		t.Errorf("banner rule not hit: %+v", a.Stats().RuleHits())
 	}
 }

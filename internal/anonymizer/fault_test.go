@@ -101,8 +101,8 @@ func TestStatsCloneIsDeep(t *testing.T) {
 	a := New(Options{Salt: []byte("s")})
 	a.AnonymizeText("hostname r1\n")
 	c := a.Stats().Clone()
-	c.RuleHits[RuleBanner] += 100
-	if a.Stats().RuleHits[RuleBanner] == c.RuleHits[RuleBanner] {
-		t.Error("Clone shares the RuleHits map")
+	c.AddRuleHit(RuleBanner, 100)
+	if a.Stats().Hits(RuleBanner) == c.Hits(RuleBanner) {
+		t.Error("Clone shares per-rule counter storage")
 	}
 }

@@ -58,7 +58,7 @@ var junosLineRules = []*lineRule{
 		apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
 			a.hit(RuleBanner)
 			a.stats.CommentLinesRemoved++
-			a.stats.CommentWordsRemoved += len(c.words) - 1
+			a.stats.CommentWordsRemoved += int64(len(c.words) - 1)
 			if a.stripComments() {
 				return "", false, false
 			}
@@ -194,7 +194,7 @@ func (a *Anonymizer) junosCommentRules(line string, words []string, st *fileStat
 	if st.inBlockComment {
 		a.hit(RuleCommentLine)
 		a.stats.CommentLinesRemoved++
-		a.stats.CommentWordsRemoved += len(words)
+		a.stats.CommentWordsRemoved += int64(len(words))
 		if strings.Contains(line, "*/") {
 			st.inBlockComment = false
 		}
@@ -209,7 +209,7 @@ func (a *Anonymizer) junosCommentRules(line string, words []string, st *fileStat
 	if strings.HasPrefix(words[0], "#") {
 		a.hit(RuleCommentLine)
 		a.stats.CommentLinesRemoved++
-		a.stats.CommentWordsRemoved += len(words)
+		a.stats.CommentWordsRemoved += int64(len(words))
 		if a.stripComments() {
 			return "", false, true
 		}
@@ -218,7 +218,7 @@ func (a *Anonymizer) junosCommentRules(line string, words []string, st *fileStat
 	if strings.HasPrefix(words[0], "/*") {
 		a.hit(RuleCommentLine)
 		a.stats.CommentLinesRemoved++
-		a.stats.CommentWordsRemoved += len(words)
+		a.stats.CommentWordsRemoved += int64(len(words))
 		if !strings.Contains(line, "*/") {
 			st.inBlockComment = true
 		}

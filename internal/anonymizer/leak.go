@@ -72,6 +72,7 @@ func (a *Anonymizer) ipOutputs() map[uint32]bool {
 // unrelated lines) — which is exactly why the report is reviewed by a
 // human rather than acted on automatically.
 func (a *Anonymizer) LeakReport(post string) []Leak {
+	reportStart := time.Now()
 	var leaks []Leak
 	for i, line := range strings.Split(post, "\n") {
 		start := time.Now()
@@ -104,5 +105,8 @@ func (a *Anonymizer) LeakReport(post string) []Leak {
 		// clear the engine's per-line hit scratch).
 		a.attribute(time.Since(start))
 	}
+	a.countLeaks(leaks)
+	a.observeStage(stageLeakReport, time.Since(reportStart))
+	a.flushMetrics()
 	return leaks
 }

@@ -1,0 +1,194 @@
+package anonymizer
+
+import (
+	"time"
+
+	"confanon/internal/metrics"
+)
+
+// The metrics bridge. The engine keeps its counters in the plain Stats
+// value (one non-atomic increment per event, unchanged hot path) and
+// reconciles them into an optional shared metrics.Registry at file
+// boundaries: flushMetrics computes the signed delta between the
+// current Stats and the last-flushed snapshot and applies it to the
+// registry counters. Because the delta is signed, a fault-isolation
+// rollback (fault.go) is followed by a negative flush and the registry
+// tracks exactly what Stats reports — counters describe only files that
+// completed, the same contract the batch API documents.
+//
+// Several engines (parallel corpus workers) may share one Registry:
+// registration is idempotent and counter adds are atomic, so the
+// per-worker deltas merge by construction.
+
+// statScalars is the single table tying each Stats scalar to its metric
+// name: the registration loop, the delta flush, and the completeness
+// test in stats_test.go all walk it.
+var statScalars = []struct {
+	name, help string
+	get        func(*Stats) int64
+}{
+	{"confanon_files_processed_total", "files processed to completion by the engine (failed files are rolled back)",
+		func(s *Stats) int64 { return s.Files }},
+	{"confanon_lines_total", "configuration lines processed",
+		func(s *Stats) int64 { return s.Lines }},
+	{"confanon_words_total", "words tokenized across all lines",
+		func(s *Stats) int64 { return s.WordsTotal }},
+	{"confanon_comment_words_removed_total", "words removed with comment text (§4.2 C rules)",
+		func(s *Stats) int64 { return s.CommentWordsRemoved }},
+	{"confanon_comment_lines_removed_total", "whole comment lines removed",
+		func(s *Stats) int64 { return s.CommentLinesRemoved }},
+	{"confanon_tokens_hashed_total", "tokens replaced by the salted hash (§4.1)",
+		func(s *Stats) int64 { return s.TokensHashed }},
+	{"confanon_tokens_passed_total", "tokens passed through via the pass-list",
+		func(s *Stats) int64 { return s.TokensPassed }},
+	{"confanon_ips_mapped_total", "IP address occurrences rewritten (§4.3)",
+		func(s *Stats) int64 { return s.IPsMapped }},
+	{"confanon_asns_mapped_total", "ASN occurrences rewritten (§4.4)",
+		func(s *Stats) int64 { return s.ASNsMapped }},
+	{"confanon_communities_mapped_total", "community attribute occurrences rewritten",
+		func(s *Stats) int64 { return s.CommunitiesMapped }},
+	{"confanon_regexps_rewritten_total", "BGP regexps rewritten through the language mapping",
+		func(s *Stats) int64 { return s.RegexpsRewritten }},
+	{"confanon_regexps_unchanged_total", "BGP regexps left unchanged (no public ASNs in language)",
+		func(s *Stats) int64 { return s.RegexpsUnchanged }},
+	{"confanon_regexp_fallbacks_total", "BGP regexps replaced by the conservative fallback",
+		func(s *Stats) int64 { return s.RegexpFallbacks }},
+}
+
+// Pipeline stages observed into confanon_stage_seconds.
+const (
+	stagePrescan    = "prescan"
+	stageRewrite    = "rewrite"
+	stageLeakReport = "leakreport"
+)
+
+// engineMetrics holds one engine's resolved instrument handles plus the
+// flushed-snapshot baselines the delta reconciliation diffs against.
+type engineMetrics struct {
+	reg *metrics.Registry
+
+	scalars  []*metrics.Counter // parallel to statScalars
+	ruleHits [numRules]*metrics.Counter
+	ruleTime [numRules]*metrics.Counter
+
+	stageSeconds *metrics.HistogramVec
+	bytesIn      *metrics.Counter
+	bytesOut     *metrics.Counter
+	leaks        *metrics.CounterVec
+	ipEntries    *metrics.Counter
+	ipRemaps     *metrics.Counter
+	asnWalks     *metrics.Counter
+
+	flushed         Stats // Stats state at the last flush
+	flushedIPLen    int64
+	flushedRemaps   int64
+	flushedWalks    int64
+	flushedBytesIn  int64
+	flushedBytesOut int64
+}
+
+func newEngineMetrics(reg *metrics.Registry) *engineMetrics {
+	m := &engineMetrics{reg: reg}
+	m.scalars = make([]*metrics.Counter, len(statScalars))
+	for i, sc := range statScalars {
+		m.scalars[i] = reg.Counter(sc.name, sc.help)
+	}
+	hitVec := reg.CounterVec("confanon_rule_hits_total", "context-rule firings by registry rule", "rule")
+	timeVec := reg.CounterVec("confanon_rule_time_ns_total", "wall time attributed to each rule, nanoseconds", "rule")
+	for i, info := range ruleInfos {
+		m.ruleHits[i] = hitVec.With(string(info.ID))
+		m.ruleTime[i] = timeVec.With(string(info.ID))
+	}
+	m.stageSeconds = reg.HistogramVec("confanon_stage_seconds", "per-file pipeline stage latency", nil, "stage")
+	m.bytesIn = reg.Counter("confanon_stream_bytes_in_total", "bytes read by the streaming path")
+	m.bytesOut = reg.Counter("confanon_stream_bytes_out_total", "bytes written by the streaming path")
+	m.leaks = reg.CounterVec("confanon_leaks_total", "leak-report findings by token kind and severity", "kind", "severity")
+	m.ipEntries = reg.Counter("confanon_ipmap_entries_total", "distinct addresses resolved by the IP mapping")
+	m.ipRemaps = reg.Counter("confanon_ipmap_remaps_total", "IP collision-chase steps (§4.3 special-range remapping)")
+	m.asnWalks = reg.Counter("confanon_asn_cycle_walks_total", "ASN permutation cycle-walking steps (§4.4)")
+	return m
+}
+
+// SetMetrics wires a shared registry into the engine. All instruments
+// are registered immediately (idempotently, so parallel workers can
+// wire the same registry); counters update at file boundaries via the
+// delta flush. A nil registry unwires.
+func (a *Anonymizer) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		a.metrics = nil
+		return
+	}
+	a.metrics = newEngineMetrics(reg)
+}
+
+// FlushMetrics reconciles the engine's Stats (and mapper sizes) into
+// the wired registry. The engine calls it at every file boundary,
+// stage end, and rollback; callers that read the registry mid-run (the
+// run-report builder, a portal scrape racing a batch) may call it to
+// tighten the window. No-op without a registry.
+func (a *Anonymizer) FlushMetrics() { a.flushMetrics() }
+
+func (a *Anonymizer) flushMetrics() {
+	m := a.metrics
+	if m == nil {
+		return
+	}
+	for i, sc := range statScalars {
+		if d := sc.get(&a.stats) - sc.get(&m.flushed); d != 0 {
+			m.scalars[i].Add(d)
+		}
+	}
+	for i := range a.stats.ruleHits {
+		if d := a.stats.ruleHits[i] - m.flushed.ruleHits[i]; d != 0 {
+			m.ruleHits[i].Add(d)
+		}
+		if d := a.stats.ruleTimeNs[i] - m.flushed.ruleTimeNs[i]; d != 0 {
+			m.ruleTime[i].Add(d)
+		}
+	}
+	m.flushed = a.stats
+	if d := int64(a.ip.Len()) - m.flushedIPLen; d != 0 {
+		m.ipEntries.Add(d)
+		m.flushedIPLen += d
+	}
+	if d := a.ip.Remaps() - m.flushedRemaps; d != 0 {
+		m.ipRemaps.Add(d)
+		m.flushedRemaps += d
+	}
+	if d := a.perms.ASN.CycleWalks() - m.flushedWalks; d != 0 {
+		m.asnWalks.Add(d)
+		m.flushedWalks += d
+	}
+	if d := a.bytesIn - m.flushedBytesIn; d != 0 {
+		m.bytesIn.Add(d)
+		m.flushedBytesIn += d
+	}
+	if d := a.bytesOut - m.flushedBytesOut; d != 0 {
+		m.bytesOut.Add(d)
+		m.flushedBytesOut += d
+	}
+}
+
+// observeStage records one stage latency when a registry is wired.
+func (a *Anonymizer) observeStage(stage string, d time.Duration) {
+	if a.metrics != nil {
+		a.metrics.stageSeconds.With(stage).ObserveDuration(d)
+	}
+}
+
+// countLeaks tallies one leak report's findings by kind and severity.
+// Cumulative across report runs: calling LeakReport twice on the same
+// text counts its findings twice, mirroring the RuleLeakHighlight hit
+// counter.
+func (a *Anonymizer) countLeaks(leaks []Leak) {
+	if a.metrics == nil {
+		return
+	}
+	for _, l := range leaks {
+		sev := "confirmed"
+		if l.LikelyFalsePositive {
+			sev = "likely_false_positive"
+		}
+		a.metrics.leaks.With(l.Kind, sev).Inc()
+	}
+}

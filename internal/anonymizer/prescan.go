@@ -3,6 +3,7 @@ package anonymizer
 import (
 	"sort"
 	"strings"
+	"time"
 
 	"confanon/internal/config"
 	"confanon/internal/token"
@@ -21,6 +22,11 @@ import (
 // a multi-file network should Prescan every file first so cross-file
 // orderings cannot break the shaping either.
 func (a *Anonymizer) Prescan(text string) {
+	start := time.Now()
+	defer func() {
+		a.observeStage(stagePrescan, time.Since(start))
+		a.flushMetrics()
+	}()
 	type pin struct {
 		net uint32
 		len int

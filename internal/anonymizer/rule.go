@@ -80,6 +80,15 @@ var ruleInfos = []RuleInfo{
 	{RuleNamePosition, ClassName, ScopeLine, "user-chosen identifiers at known grammar positions (extension)"},
 }
 
+// numRules sizes the dense per-rule counter arrays in Stats. It must be
+// a constant (array length); init panics if it drifts from the registry.
+const numRules = 29
+
+// ruleIndex maps each RuleID to its registry position — the index of
+// its slots in the Stats counter arrays. Built once at init, read-only
+// afterwards.
+var ruleIndex = make(map[RuleID]int, numRules)
+
 // Rules returns the registry inventory in canonical order: the paper's 28
 // rules first (AllRules order), then the extension rules.
 func Rules() []RuleInfo {
@@ -124,6 +133,15 @@ var (
 )
 
 func init() {
+	if len(ruleInfos) != numRules {
+		panic("anonymizer: numRules out of sync with the rule registry")
+	}
+	for i, info := range ruleInfos {
+		if _, dup := ruleIndex[info.ID]; dup {
+			panic("anonymizer: duplicate rule id " + string(info.ID))
+		}
+		ruleIndex[info.ID] = i
+	}
 	lineRules = lineRules[:0]
 	for _, group := range [][]*lineRule{
 		commentLineRules, miscLineRules, nameLineRules, junosLineRules, asnLineRules,

@@ -21,7 +21,7 @@ var commentLineRules = []*lineRule{
 		if len(c.words) > 1 || len(c.words[0]) > 1 {
 			a.hit(RuleCommentLine)
 			a.stats.CommentLinesRemoved++
-			a.stats.CommentWordsRemoved += commentWordCount(c.words)
+			a.stats.CommentWordsRemoved += int64(commentWordCount(c.words))
 			if a.stripComments() {
 				return "", false, true
 			}
@@ -51,7 +51,7 @@ var commentLineRules = []*lineRule{
 			}
 			a.hit(RuleDescription)
 			a.stats.CommentLinesRemoved++
-			a.stats.CommentWordsRemoved += commentWordCount(c.words)
+			a.stats.CommentWordsRemoved += int64(commentWordCount(c.words))
 			if a.stripComments() {
 				return "", false, true
 			}

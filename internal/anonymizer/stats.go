@@ -1,106 +1,139 @@
 package anonymizer
 
 import (
-	"fmt"
-	"reflect"
+	"sync/atomic"
 	"time"
 )
 
 // Stats accumulates the measurements the experiments report, plus the
 // engine's per-rule instrumentation.
+//
+// The scalar counters are exported int64 fields; the per-rule counters
+// live in dense arrays indexed by registry position (ruleIndex,
+// rule.go), read through Hits/Time/RuleHits/RuleTime. The dense layout
+// replaces the old map-backed, reflection-merged representation: Clone
+// is a plain value copy (the fault layer snapshots statistics before
+// every file, so this is on the batch hot path) and Add is an explicit
+// field list of atomic adds, safe to call concurrently on a shared
+// destination from parallel corpus workers.
+//
+// A reflection-driven test (stats_test.go) asserts that every field of
+// Stats is one Add knows how to merge, so a counter added later still
+// cannot be silently dropped — the guarantee moved from the merge to
+// the test suite, taking the reflection cost off the hot path.
 type Stats struct {
-	Files               int
-	Lines               int
-	WordsTotal          int
-	CommentWordsRemoved int
-	CommentLinesRemoved int
-	TokensHashed        int
-	TokensPassed        int
-	IPsMapped           int
-	ASNsMapped          int
-	CommunitiesMapped   int
-	RegexpsRewritten    int
-	RegexpsUnchanged    int
-	RegexpFallbacks     int
-	// RuleHits counts how many times each registry rule fired.
-	RuleHits map[RuleID]int
-	// RuleTime is each rule's cumulative wall time: every line's
-	// processing time is attributed to the rules that fired on it,
-	// proportionally to their hits on that line, so the values sum to
-	// the total line-rewriting time (prescan excluded).
-	RuleTime map[RuleID]time.Duration
+	Files               int64
+	Lines               int64
+	WordsTotal          int64
+	CommentWordsRemoved int64
+	CommentLinesRemoved int64
+	TokensHashed        int64
+	TokensPassed        int64
+	IPsMapped           int64
+	ASNsMapped          int64
+	CommunitiesMapped   int64
+	RegexpsRewritten    int64
+	RegexpsUnchanged    int64
+	RegexpFallbacks     int64
+
+	// ruleHits counts how many times each registry rule fired, indexed
+	// by registry position.
+	ruleHits [numRules]int64
+	// ruleTimeNs is each rule's cumulative wall time in nanoseconds:
+	// every line's processing time is attributed to the rules that fired
+	// on it, proportionally to their hits on that line, so the values
+	// sum to the total line-rewriting time (prescan excluded).
+	ruleTimeNs [numRules]int64
 }
 
-// newStats returns a Stats with its maps initialized.
-func newStats() Stats {
-	return Stats{
-		RuleHits: make(map[RuleID]int),
-		RuleTime: make(map[RuleID]time.Duration),
+// newStats returns a zero Stats (kept for construction symmetry; the
+// dense representation needs no map initialization).
+func newStats() Stats { return Stats{} }
+
+// Clone returns a copy of s. Arrays copy by value, so this is a single
+// struct assignment; the name survives from the map era because the
+// fault layer and snapshot API are written against it.
+func (s Stats) Clone() Stats { return s }
+
+// Hits returns how many times the rule fired.
+func (s Stats) Hits(id RuleID) int64 {
+	if i, ok := ruleIndex[id]; ok {
+		return s.ruleHits[i]
+	}
+	return 0
+}
+
+// Time returns the rule's attributed cumulative wall time.
+func (s Stats) Time(id RuleID) time.Duration {
+	if i, ok := ruleIndex[id]; ok {
+		return time.Duration(s.ruleTimeNs[i])
+	}
+	return 0
+}
+
+// RuleHits materializes the per-rule hit counts as a map (rules that
+// never fired are omitted, matching the old map-backed behavior).
+func (s Stats) RuleHits() map[RuleID]int64 {
+	m := make(map[RuleID]int64)
+	for i, n := range s.ruleHits {
+		if n != 0 {
+			m[ruleInfos[i].ID] = n
+		}
+	}
+	return m
+}
+
+// RuleTime materializes the per-rule attributed times as a map.
+func (s Stats) RuleTime() map[RuleID]time.Duration {
+	m := make(map[RuleID]time.Duration)
+	for i, ns := range s.ruleTimeNs {
+		if ns != 0 {
+			m[ruleInfos[i].ID] = time.Duration(ns)
+		}
+	}
+	return m
+}
+
+// AddRuleHit adds n firings of the rule (test fixtures and the engine's
+// own bookkeeping; unknown rules are ignored).
+func (s *Stats) AddRuleHit(id RuleID, n int64) {
+	if i, ok := ruleIndex[id]; ok {
+		s.ruleHits[i] += n
 	}
 }
 
-// Clone returns a deep copy of s (the rule maps are copied, not shared).
-// The fault layer snapshots statistics before each file so a failed file
-// can be rolled back out of the batch totals.
-func (s Stats) Clone() Stats {
-	c := s
-	c.RuleHits = make(map[RuleID]int, len(s.RuleHits))
-	for k, v := range s.RuleHits {
-		c.RuleHits[k] = v
+// AddRuleTime attributes d to the rule.
+func (s *Stats) AddRuleTime(id RuleID, d time.Duration) {
+	if i, ok := ruleIndex[id]; ok {
+		s.ruleTimeNs[i] += int64(d)
 	}
-	c.RuleTime = make(map[RuleID]time.Duration, len(s.RuleTime))
-	for k, v := range s.RuleTime {
-		c.RuleTime[k] = v
-	}
-	return c
 }
 
-// Add accumulates other into s. It merges reflectively — every integer
-// counter is summed and every rule-keyed map is merged — so a counter
-// added to Stats later is picked up automatically instead of being
-// silently dropped by a hand-written field list. It panics on a field
-// kind it does not know how to merge, turning "new field forgotten in
-// the merge" into an immediate test failure rather than silent data
-// loss. Used by the engine's corpus paths and ParallelCorpus.
+// Add accumulates other into s. Every add is atomic, so parallel corpus
+// workers may merge into one shared destination concurrently; the
+// source is read plainly and must not be written during the call.
+// stats_test.go walks Stats with reflection and fails if a field exists
+// that this list does not cover.
 func (s *Stats) Add(other Stats) {
-	sv := reflect.ValueOf(s).Elem()
-	ov := reflect.ValueOf(&other).Elem()
-	t := sv.Type()
-	for i := 0; i < sv.NumField(); i++ {
-		f := sv.Field(i)
-		o := ov.Field(i)
-		switch f.Kind() {
-		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
-			f.SetInt(f.Int() + o.Int())
-		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
-			f.SetUint(f.Uint() + o.Uint())
-		case reflect.Float32, reflect.Float64:
-			f.SetFloat(f.Float() + o.Float())
-		case reflect.Map:
-			switch f.Type().Elem().Kind() {
-			case reflect.Int, reflect.Int64:
-				if o.Len() == 0 {
-					continue
-				}
-				if f.IsNil() {
-					f.Set(reflect.MakeMapWithSize(f.Type(), o.Len()))
-				}
-				iter := o.MapRange()
-				for iter.Next() {
-					k := iter.Key()
-					sum := iter.Value().Int()
-					if cur := f.MapIndex(k); cur.IsValid() {
-						sum += cur.Int()
-					}
-					f.SetMapIndex(k, reflect.ValueOf(sum).Convert(f.Type().Elem()))
-				}
-			default:
-				panic(fmt.Sprintf("anonymizer: Stats.Add cannot merge map field %s (%s)",
-					t.Field(i).Name, f.Type()))
-			}
-		default:
-			panic(fmt.Sprintf("anonymizer: Stats.Add cannot merge field %s (kind %s)",
-				t.Field(i).Name, f.Kind()))
+	atomic.AddInt64(&s.Files, other.Files)
+	atomic.AddInt64(&s.Lines, other.Lines)
+	atomic.AddInt64(&s.WordsTotal, other.WordsTotal)
+	atomic.AddInt64(&s.CommentWordsRemoved, other.CommentWordsRemoved)
+	atomic.AddInt64(&s.CommentLinesRemoved, other.CommentLinesRemoved)
+	atomic.AddInt64(&s.TokensHashed, other.TokensHashed)
+	atomic.AddInt64(&s.TokensPassed, other.TokensPassed)
+	atomic.AddInt64(&s.IPsMapped, other.IPsMapped)
+	atomic.AddInt64(&s.ASNsMapped, other.ASNsMapped)
+	atomic.AddInt64(&s.CommunitiesMapped, other.CommunitiesMapped)
+	atomic.AddInt64(&s.RegexpsRewritten, other.RegexpsRewritten)
+	atomic.AddInt64(&s.RegexpsUnchanged, other.RegexpsUnchanged)
+	atomic.AddInt64(&s.RegexpFallbacks, other.RegexpFallbacks)
+	for i := range s.ruleHits {
+		if other.ruleHits[i] != 0 {
+			atomic.AddInt64(&s.ruleHits[i], other.ruleHits[i])
+		}
+		if other.ruleTimeNs[i] != 0 {
+			atomic.AddInt64(&s.ruleTimeNs[i], other.ruleTimeNs[i])
 		}
 	}
 }

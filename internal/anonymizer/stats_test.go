@@ -1,0 +1,89 @@
+package anonymizer
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStatsAddCoversEveryField is the guard the dense representation
+// traded the reflective merge for: it walks Stats with reflection and
+// fails if a field exists that Add does not accumulate. Exported int64
+// scalars are exercised individually through reflection; the unexported
+// fields must be exactly the known per-rule arrays, which are exercised
+// through their accessors. Adding a field to Stats without teaching Add
+// (and this test) about it fails here instead of silently dropping the
+// counter in parallel merges.
+func TestStatsAddCoversEveryField(t *testing.T) {
+	typ := reflect.TypeOf(Stats{})
+	knownUnexported := map[string]bool{"ruleHits": true, "ruleTimeNs": true}
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		if !f.IsExported() {
+			if !knownUnexported[f.Name] {
+				t.Errorf("unexported field %s is not covered by Add's per-rule merge; extend Add and this test", f.Name)
+			}
+			continue
+		}
+		if f.Type.Kind() != reflect.Int64 {
+			t.Errorf("exported field %s has type %s; Add only merges int64 scalars — extend Add and this test", f.Name, f.Type)
+			continue
+		}
+		// Set just this field in the source, merge into a zero Stats, and
+		// require the value to survive.
+		var src, dst Stats
+		reflect.ValueOf(&src).Elem().Field(i).SetInt(7)
+		dst.Add(src)
+		if got := reflect.ValueOf(dst).Field(i).Int(); got != 7 {
+			t.Errorf("Add dropped field %s: got %d, want 7", f.Name, got)
+		}
+	}
+
+	// The per-rule arrays, via their public surface.
+	var src, dst Stats
+	src.AddRuleHit(RuleBanner, 3)
+	src.AddRuleTime(RuleBanner, 5*time.Millisecond)
+	dst.Add(src)
+	if dst.Hits(RuleBanner) != 3 || dst.Time(RuleBanner) != 5*time.Millisecond {
+		t.Errorf("Add dropped per-rule counters: hits=%d time=%s", dst.Hits(RuleBanner), dst.Time(RuleBanner))
+	}
+}
+
+// TestStatsAddConcurrentMerge hammers one shared destination from 8
+// goroutines — the parallel-corpus merge shape — and requires exact
+// totals. Run under -race this also proves the atomic merge publishes
+// no data race.
+func TestStatsAddConcurrentMerge(t *testing.T) {
+	var src Stats
+	src.Files = 1
+	src.Lines = 3
+	src.TokensHashed = 5
+	src.AddRuleHit(RuleBanner, 2)
+	src.AddRuleTime(RuleBanner, 7*time.Nanosecond)
+
+	const workers = 8
+	const rounds = 1000
+	var dst Stats
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				dst.Add(src)
+			}
+		}()
+	}
+	wg.Wait()
+
+	const n = workers * rounds
+	if dst.Files != n || dst.Lines != 3*n || dst.TokensHashed != 5*n {
+		t.Errorf("scalar totals off: files=%d lines=%d hashed=%d, want %d/%d/%d",
+			dst.Files, dst.Lines, dst.TokensHashed, n, 3*n, 5*n)
+	}
+	if dst.Hits(RuleBanner) != 2*n || dst.Time(RuleBanner) != 7*n*time.Nanosecond {
+		t.Errorf("per-rule totals off: hits=%d time=%d, want %d/%d",
+			dst.Hits(RuleBanner), dst.Time(RuleBanner), 2*n, 7*n)
+	}
+}

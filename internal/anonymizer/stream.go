@@ -28,7 +28,10 @@ func (a *Anonymizer) StreamText(r io.Reader, w io.Writer) error {
 		if len(data) == 0 {
 			return nil
 		}
-		_, err = io.WriteString(w, a.AnonymizeText(string(data)))
+		out := a.AnonymizeText(string(data))
+		a.bytesIn += int64(len(data))
+		a.bytesOut += int64(len(out))
+		_, err = io.WriteString(w, out)
 		return err
 	}
 
@@ -40,12 +43,15 @@ func (a *Anonymizer) StreamText(r io.Reader, w io.Writer) error {
 			if werr != nil || !sc.Scan() {
 				return "", false
 			}
-			return sc.Text(), true
+			line := sc.Text()
+			a.bytesIn += int64(len(line)) + 1
+			return line, true
 		},
 		func(line string) {
 			if werr != nil {
 				return
 			}
+			a.bytesOut += int64(len(line)) + 1
 			if _, err := bw.WriteString(line); err != nil {
 				werr = err
 				return

@@ -20,6 +20,7 @@ package asn
 import (
 	"crypto/sha1"
 	"encoding/binary"
+	"sync/atomic"
 )
 
 // Range boundaries of the 16-bit ASN space.
@@ -46,6 +47,10 @@ func IsPrivate(a uint32) bool { return a >= PrivateMin && a <= PrivateMax }
 // New to supply a salt.
 type Perm struct {
 	keys [4][20]byte
+	// walks counts cycle-walking steps in Map: Feistel images that fell
+	// outside the public range and were permuted again. Atomic so Map
+	// stays safe for concurrent use.
+	walks atomic.Int64
 }
 
 // New derives a permutation from the owner-chosen secret salt.
@@ -96,9 +101,14 @@ func (p *Perm) Map(a uint32) uint32 {
 	v := p.feistel(uint16(a))
 	for !IsPublic(uint32(v)) {
 		v = p.feistel(v)
+		p.walks.Add(1)
 	}
 	return uint32(v)
 }
+
+// CycleWalks reports how many cycle-walking steps Map has taken so far
+// (diagnostic: the expected rate is (65536-64511)/65536 ≈ 1.6% of maps).
+func (p *Perm) CycleWalks() int64 { return p.walks.Load() }
 
 // Inverse undoes Map; it exists so the validation suites can check
 // round-trip properties.

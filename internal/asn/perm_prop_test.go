@@ -1,0 +1,148 @@
+package asn
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"confanon/internal/cregex"
+)
+
+// This file checks the §4.4 permutation contract exhaustively rather
+// than by example: the public range is a bijection, the private range
+// is pointwise fixed, and regexp rewriting maps a pattern's language
+// exactly through the permutation (verified differentially against the
+// cregex DFA).
+
+// TestPermPublicBijection walks the entire public range: every image is
+// public, no two inputs share an image, and Inverse undoes Map.
+func TestPermPublicBijection(t *testing.T) {
+	p := New([]byte("perm-prop"))
+	var seen [PublicMax + 1]bool
+	for a := uint32(PublicMin); a <= PublicMax; a++ {
+		m := p.Map(a)
+		if !IsPublic(m) {
+			t.Fatalf("Map(%d) = %d, outside the public range", a, m)
+		}
+		if seen[m] {
+			t.Fatalf("Map(%d) = %d collides with an earlier image", a, m)
+		}
+		seen[m] = true
+		if inv := p.Inverse(m); inv != a {
+			t.Fatalf("Inverse(Map(%d)) = %d", a, inv)
+		}
+	}
+	if p.CycleWalks() == 0 {
+		t.Error("no cycle walks over the full public range; expected ≈1.6% of maps to walk")
+	}
+}
+
+// TestPermPrivateFixedPoints: every private ASN, and every value beyond
+// the 16-bit space, is a fixed point.
+func TestPermPrivateFixedPoints(t *testing.T) {
+	p := New([]byte("perm-prop"))
+	for a := uint32(PrivateMin); a <= PrivateMax; a++ {
+		if m := p.Map(a); m != a {
+			t.Fatalf("private Map(%d) = %d, want fixed point", a, m)
+		}
+	}
+	for _, a := range []uint32{0, 65536, 1 << 20, 4200000000} {
+		if m := p.Map(a); m != a {
+			t.Fatalf("out-of-space Map(%d) = %d, want fixed point", a, m)
+		}
+	}
+}
+
+// permImage maps a language elementwise through the permutation, sorted.
+func permImage(p *Perm, lang []uint32) []uint32 {
+	out := make([]uint32, len(lang))
+	for i, v := range lang {
+		out[i] = p.Map(v)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort; languages are small here
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+func equalU32(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkRewrite asserts L(rewritten) == perm(L(original)) by compiling
+// both patterns to their DFA languages over the 16-bit universe.
+func checkRewrite(t *testing.T, p *Perm, pattern string) {
+	t.Helper()
+	res, err := cregex.RewriteASN(pattern, p.Map, cregex.Alternation)
+	if err != nil {
+		t.Fatalf("RewriteASN(%q): %v", pattern, err)
+	}
+	orig, err := cregex.Parse(pattern)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", pattern, err)
+	}
+	got, err := cregex.Parse(res.Pattern)
+	if err != nil {
+		t.Fatalf("Parse(rewritten %q): %v", res.Pattern, err)
+	}
+	want := permImage(p, orig.Language())
+	if !equalU32(got.Language(), want) {
+		t.Fatalf("pattern %q rewritten to %q: language is not the permuted image (%d vs %d members)",
+			pattern, res.Pattern, len(got.Language()), len(want))
+	}
+}
+
+// TestRewritePreservesLanguageTable: representative as-path patterns —
+// anchored literals, alternations, ranges mixing public and private
+// ASNs — rewrite to exactly the permuted language.
+func TestRewritePreservesLanguageTable(t *testing.T) {
+	p := New([]byte("perm-prop"))
+	for _, pattern := range []string{
+		"^701$",
+		"701",
+		"(701|1239|3561)",
+		"^(64512|701)$",
+		"^(701|7018)$",
+		"(64512|64513)",
+	} {
+		checkRewrite(t, p, pattern)
+	}
+}
+
+// TestRewritePreservesLanguageRandom: 300 random alternation patterns
+// over mixed public/private ASNs, each checked against the DFA of its
+// rewritten form — the randomized counterpart of the table above.
+func TestRewritePreservesLanguageRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("DFA language extraction over many random patterns")
+	}
+	p := New([]byte("perm-prop-rand"))
+	rng := rand.New(rand.NewSource(7))
+	for c := 0; c < 300; c++ {
+		n := 1 + rng.Intn(5)
+		pat := "^("
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				pat += "|"
+			}
+			// Mostly public ASNs, occasionally private.
+			v := uint32(1 + rng.Intn(PublicMax))
+			if rng.Intn(8) == 0 {
+				v = PrivateMin + uint32(rng.Intn(PrivateMax-PrivateMin+1))
+			}
+			pat += fmt.Sprint(v)
+		}
+		pat += ")$"
+		checkRewrite(t, p, pat)
+	}
+}

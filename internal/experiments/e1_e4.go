@@ -234,7 +234,7 @@ func E4Regexps(scale float64) E4Result {
 
 		// Rewrite verification.
 		a, post := anonymizeNetwork(n)
-		res.RegexpsRewritten += a.Stats().RegexpsRewritten
+		res.RegexpsRewritten += int(a.Stats().RegexpsRewritten)
 		postCfgs := parseFiles(post)
 		for ci, c := range preCfgs {
 			pc := postCfgs[ci]

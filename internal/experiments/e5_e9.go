@@ -218,8 +218,8 @@ func E9Throughput(targetLines int) E9Result {
 		seed++
 		a, post := anonymizeNetwork(n)
 		s := a.Stats()
-		res.Lines += s.Lines
-		res.Routers += s.Files
+		res.Lines += int(s.Lines)
+		res.Routers += int(s.Files)
 		for _, l := range a.LeakReport(postToSlice(post)) {
 			if !l.LikelyFalsePositive {
 				res.LeaksFound++

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"confanon/internal/token"
 )
@@ -139,6 +140,9 @@ type Tree struct {
 	// prfBuf is the reusable salt||path||depth||"flip" buffer for node
 	// resolution, avoiding an allocation per created node.
 	prfBuf []byte
+	// remaps counts collision-chase steps: how many times a raw image
+	// landed in the special range and had to be remapped (§4.3).
+	remaps int64
 }
 
 // NewTree returns an empty mapping tree with the given options.
@@ -251,6 +255,7 @@ func (t *Tree) MapV4(ip uint32) uint32 {
 		if t.opts.PassSpecial {
 			for IsSpecial(out) {
 				out = t.rawMap(out)
+				t.remaps++
 			}
 		}
 	}
@@ -283,6 +288,12 @@ func (t *Tree) Mapping() []Pair {
 
 // Len reports how many distinct addresses have been resolved.
 func (t *Tree) Len() int { return len(t.seen) }
+
+// Remaps reports how many collision-chase steps the tree has taken:
+// raw images that landed in the special range and were recursively
+// remapped. Zero means every address resolved on the first try, i.e.
+// the shaping guarantees (exact LCP preservation) held everywhere.
+func (t *Tree) Remaps() int64 { return t.remaps }
 
 // Pair is one resolved address mapping.
 type Pair struct{ In, Out uint32 }
@@ -433,6 +444,9 @@ type Mapper interface {
 	MapPrefix(addr uint32, length int) uint32
 	Mapping() []Pair
 	Len() int
+	// Remaps counts collision-chase steps taken so far (images that
+	// landed in the special range and were recursively remapped).
+	Remaps() int64
 }
 
 // CryptoMapper adapts CryptoPAn to the Mapper interface, recording
@@ -446,6 +460,9 @@ type CryptoMapper struct {
 	// seen records resolved pairs in first-seen order.
 	seen  map[uint32]uint32
 	order []Pair
+	// remaps counts collision-chase steps; atomic because the chase
+	// runs outside the mutex.
+	remaps atomic.Int64
 }
 
 // NewCryptoMapper derives a CryptoMapper from an owner salt.
@@ -479,6 +496,7 @@ func (m *CryptoMapper) MapV4(ip uint32) uint32 {
 		// like the tree does (the permutation argument is identical).
 		for IsSpecial(out) {
 			out = m.c.MapV4(out)
+			m.remaps.Add(1)
 		}
 	}
 	m.mu.Lock()
@@ -517,3 +535,6 @@ func (m *CryptoMapper) Len() int {
 	defer m.mu.Unlock()
 	return len(m.seen)
 }
+
+// Remaps reports how many collision-chase steps have been taken.
+func (m *CryptoMapper) Remaps() int64 { return m.remaps.Load() }

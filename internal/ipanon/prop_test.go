@@ -1,0 +1,144 @@
+package ipanon
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// This file is the property-based half of the ipanon suite: the §4.3
+// invariants checked over tens of thousands of pseudo-random addresses
+// instead of hand-picked examples. The generator is seeded, so a
+// failure reproduces deterministically.
+
+const propCases = 20000
+
+// randomAddrs returns n pseudo-random addresses, deduplicated, from a
+// fixed-seed source. The mix is biased toward structure the anonymizer
+// cares about: plain hosts, subnet addresses (trailing zeros), and
+// addresses adjacent to class boundaries.
+func randomAddrs(seed int64, n int) []uint32 {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[uint32]bool, n)
+	out := make([]uint32, 0, n)
+	for len(out) < n {
+		ip := rng.Uint32()
+		switch rng.Intn(4) {
+		case 0:
+			// Subnet address: clear 4–16 host bits.
+			ip &^= (1 << (4 + rng.Intn(13))) - 1
+		case 1:
+			// Cluster near a class boundary.
+			ip = (ip & 0x00ffffff) | uint32([]byte{0x7f, 0x80, 0xbf, 0xc0}[rng.Intn(4)])<<24
+		}
+		if !seen[ip] {
+			seen[ip] = true
+			out = append(out, ip)
+		}
+	}
+	return out
+}
+
+// TestPropTreeLCPPreservation: with all shaping off, the tree is the
+// pure prefix-preserving bijection of §4.3 — two inputs sharing exactly
+// k leading bits map to outputs sharing exactly k leading bits.
+func TestPropTreeLCPPreservation(t *testing.T) {
+	tr := NewTree(Options{Salt: []byte("prop")})
+	addrs := randomAddrs(1, propCases)
+	outs := make([]uint32, len(addrs))
+	for i, a := range addrs {
+		outs[i] = tr.MapV4(a)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for c := 0; c < propCases; c++ {
+		i, j := rng.Intn(len(addrs)), rng.Intn(len(addrs))
+		if i == j {
+			continue
+		}
+		if in, out := LCP(addrs[i], addrs[j]), LCP(outs[i], outs[j]); in != out {
+			t.Fatalf("LCP(%08x,%08x)=%d but LCP of images = %d", addrs[i], addrs[j], in, out)
+		}
+	}
+}
+
+// TestPropCryptoPAnLCPPreservation: the stateless Crypto-PAn scheme is
+// prefix-preserving by construction; check it over random pairs.
+func TestPropCryptoPAnLCPPreservation(t *testing.T) {
+	var key [32]byte
+	copy(key[:], "0123456789abcdef0123456789abcdef")
+	c, err := NewCryptoPAn(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := randomAddrs(3, propCases/2)
+	outs := make([]uint32, len(addrs))
+	for i, a := range addrs {
+		outs[i] = c.MapV4(a)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for n := 0; n < propCases; n++ {
+		i, j := rng.Intn(len(addrs)), rng.Intn(len(addrs))
+		if i == j {
+			continue
+		}
+		if in, out := LCP(addrs[i], addrs[j]), LCP(outs[i], outs[j]); in != out {
+			t.Fatalf("CryptoPAn LCP(%08x,%08x)=%d but LCP of images = %d", addrs[i], addrs[j], in, out)
+		}
+	}
+}
+
+// TestPropTreeClassAndSpecial: under the paper's default options the
+// mapping preserves address class, passes special addresses through
+// unchanged, and never maps a non-special address into the special set.
+func TestPropTreeClassAndSpecial(t *testing.T) {
+	tr := NewTree(DefaultOptions([]byte("prop-default")))
+	for _, a := range randomAddrs(5, propCases) {
+		out := tr.MapV4(a)
+		if IsSpecial(a) {
+			if out != a {
+				t.Fatalf("special %08x mapped to %08x, want passthrough", a, out)
+			}
+			continue
+		}
+		if IsSpecial(out) {
+			t.Fatalf("non-special %08x mapped into special set: %08x", a, out)
+		}
+		if Class(a) != Class(out) {
+			t.Fatalf("%08x (class %c) mapped to %08x (class %c)", a, Class(a), out, Class(out))
+		}
+	}
+}
+
+// TestPropInjectivity: after collision remapping (the shaping options
+// bias the raw bijection, so two inputs can race for one image), the
+// mapping must still be injective — for both the shaped tree and the
+// table-backed Crypto-PAn mapper.
+func TestPropInjectivity(t *testing.T) {
+	addrs := randomAddrs(6, propCases)
+	schemes := []struct {
+		name string
+		m    interface {
+			MapV4(uint32) uint32
+			Remaps() int64
+		}
+	}{
+		{"tree", NewTree(DefaultOptions([]byte("prop-inj")))},
+		{"crypto", NewCryptoMapper([]byte("prop-inj"))},
+	}
+	for _, sc := range schemes {
+		images := make(map[uint32]uint32, len(addrs))
+		for _, a := range addrs {
+			out := sc.m.MapV4(a)
+			if prev, dup := images[out]; dup {
+				t.Fatalf("%s: %08x and %08x both map to %08x", sc.name, prev, a, out)
+			}
+			images[out] = a
+			// Stability: a second map of the same input must agree.
+			if again := sc.m.MapV4(a); again != out {
+				t.Fatalf("%s: %08x mapped to %08x then %08x", sc.name, a, out, again)
+			}
+		}
+		if sc.m.Remaps() < 0 {
+			t.Fatalf("%s: negative remap count", sc.name)
+		}
+	}
+}

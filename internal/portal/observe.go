@@ -1,0 +1,102 @@
+package portal
+
+// This file is the portal's observability surface: a Prometheus-text
+// metrics endpoint and the runtime profiler, both mounted on the same
+// mux as the API but gated behind an operator-only admin token. The
+// gate fails closed: with no token configured the endpoints answer 404
+// exactly like any unknown path — an unconfigured portal exposes no
+// internals at all — and a wrong token is rejected with a constant-time
+// comparison, never an early exit.
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"confanon/internal/metrics"
+)
+
+// SetMetrics wires the portal into an observability registry (call
+// before serving). The portal registers its own request instruments and
+// serves the registry's full snapshot — engine, batch, and portal
+// series alike when the registry is shared — at GET /metrics.
+func (s *Store) SetMetrics(reg *metrics.Registry) {
+	s.reg = reg
+	if reg == nil {
+		s.requests = nil
+		s.latency = nil
+		return
+	}
+	s.requests = reg.CounterVec("confanon_portal_requests_total",
+		"portal HTTP requests by method and status code", "method", "code")
+	s.latency = reg.Histogram("confanon_portal_request_seconds",
+		"portal HTTP request latency in seconds")
+}
+
+// SetAdminToken configures the operator secret that unlocks GET /metrics
+// and /debug/pprof/* (call before serving). The empty string — the
+// default — keeps both endpoints answering 404: observability is opt-in,
+// and an unconfigured portal exposes nothing.
+func (s *Store) SetAdminToken(tok string) { s.adminToken = tok }
+
+// requireAdmin gates a handler behind the admin token. Unconfigured →
+// 404 (the endpoint does not exist); wrong or missing X-Admin-Token →
+// 401. tokenEqual compares in constant time and never matches an empty
+// presented value.
+func (s *Store) requireAdmin(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.adminToken == "" {
+			http.NotFound(w, r)
+			return
+		}
+		if !tokenEqual(r.Header.Get("X-Admin-Token"), s.adminToken) {
+			writeJSON(w, http.StatusUnauthorized, map[string]string{"error": "admin token required"})
+			return
+		}
+		h(w, r)
+	}
+}
+
+// handleMetrics serves the registry snapshot in Prometheus text format.
+// With no registry wired the endpoint does not exist (404), matching
+// the unconfigured-token behavior.
+func (s *Store) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.reg == nil {
+		http.NotFound(w, r)
+		return
+	}
+	s.reg.Handler().ServeHTTP(w, r)
+}
+
+// mountObservability registers /metrics and the pprof family on the
+// API mux, all behind requireAdmin. The pprof handlers are mounted
+// explicitly — never via net/http/pprof's DefaultServeMux side effect —
+// so nothing is reachable except through the gate.
+func (s *Store) mountObservability(mux *http.ServeMux) {
+	mux.HandleFunc("GET /metrics", s.requireAdmin(s.handleMetrics))
+	mux.HandleFunc("/debug/pprof/", s.requireAdmin(pprof.Index))
+	mux.HandleFunc("/debug/pprof/cmdline", s.requireAdmin(pprof.Cmdline))
+	mux.HandleFunc("/debug/pprof/profile", s.requireAdmin(pprof.Profile))
+	mux.HandleFunc("/debug/pprof/symbol", s.requireAdmin(pprof.Symbol))
+	mux.HandleFunc("/debug/pprof/trace", s.requireAdmin(pprof.Trace))
+}
+
+// withRequestMetrics counts every request and observes its latency.
+// A no-op pass-through when no registry is wired.
+func (s *Store) withRequestMetrics(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.requests == nil {
+			h.ServeHTTP(w, r)
+			return
+		}
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		h.ServeHTTP(rec, r)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		s.requests.With(r.Method, strconv.Itoa(rec.status)).Inc()
+		s.latency.Observe(time.Since(start).Seconds())
+	})
+}

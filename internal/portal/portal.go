@@ -32,6 +32,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"confanon/internal/metrics"
 )
 
 // Limits bounds what the portal accepts. The serving side of the paper's
@@ -180,6 +182,13 @@ type Store struct {
 	// logger receives the request log and recovered-panic reports; nil
 	// means log.Default().
 	logger *log.Logger
+	// reg, requests, latency are the observability wiring (SetMetrics);
+	// adminToken gates GET /metrics and /debug/pprof/* (SetAdminToken).
+	// All are configured before serving, like limits and logger.
+	reg        *metrics.Registry
+	requests   *metrics.CounterVec
+	latency    *metrics.Histogram
+	adminToken string
 }
 
 // NewStore creates an empty portal store with DefaultLimits.
@@ -325,7 +334,8 @@ func (s *Store) Handler() http.Handler {
 	mux.HandleFunc("POST /datasets/{id}/comments", s.handlePostComment)
 	mux.HandleFunc("GET /datasets/{id}/comments", s.handleGetComments)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return WithRecovery(s.log(), WithLogging(s.log(), mux))
+	s.mountObservability(mux)
+	return WithRecovery(s.log(), WithLogging(s.log(), s.withRequestMetrics(mux)))
 }
 
 // handleHealthz is the liveness probe: unauthenticated, cheap, and

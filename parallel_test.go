@@ -27,7 +27,7 @@ func TestParallelCorpusMatchesSequential(t *testing.T) {
 			t.Fatalf("parallel output differs for %s", name)
 		}
 	}
-	if stats.Files != len(files) || stats.Lines == 0 {
+	if stats.Files != int64(len(files)) || stats.Lines == 0 {
 		t.Errorf("merged stats wrong: %+v", stats)
 	}
 }

@@ -106,7 +106,7 @@ func TestStreamCorpus(t *testing.T) {
 		}
 		diffGolden(t, name, buf.Buffer.String(), want[name])
 	}
-	if a.Stats().Files != len(in) {
+	if a.Stats().Files != int64(len(in)) {
 		t.Errorf("Files = %d, want %d", a.Stats().Files, len(in))
 	}
 }
@@ -120,14 +120,14 @@ func TestParallelCorpusStatsMerged(t *testing.T) {
 	if len(out) != len(in) {
 		t.Fatalf("got %d outputs, want %d", len(out), len(in))
 	}
-	if stats.Files != len(in) || stats.Lines == 0 {
+	if stats.Files != int64(len(in)) || stats.Lines == 0 {
 		t.Errorf("aggregate counters not merged: %+v", stats)
 	}
-	if len(stats.RuleHits) == 0 {
+	if len(stats.RuleHits()) == 0 {
 		t.Error("RuleHits not merged")
 	}
 	total := 0
-	for _, d := range stats.RuleTime {
+	for _, d := range stats.RuleTime() {
 		total += int(d)
 	}
 	if total <= 0 {
