@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"confanon/internal/anonymizer"
+	"confanon/internal/ipanon"
 )
 
 // This file is the fail-closed batch layer. The string-returning APIs
@@ -151,17 +152,18 @@ func confirmedLeaks(report []Leak) []Leak {
 	return out
 }
 
-// anonymizeOne runs one file through the fail-closed pipeline: panic
-// recovery, then — in strict mode — leak-gating of the output against
-// the anonymizer's accumulated sensitive values.
-func (a *Anonymizer) anonymizeOne(name, text string, strict bool) (res FileResult) {
+// anonymizeOne runs one file through the fail-closed pipeline on the
+// given Session worker: panic recovery, then — in strict mode —
+// leak-gating of the output against the Session's accumulated sensitive
+// values.
+func (a *Anonymizer) anonymizeOne(wk *anonymizer.Anonymizer, name, text string, strict bool) (res FileResult) {
 	defer func() { a.batch.countFile(res.Status) }()
-	out, ferr := a.inner.SafeAnonymizeText(name, text)
+	out, ferr := wk.SafeAnonymizeText(name, text)
 	if ferr != nil {
 		return FileResult{Name: name, Status: FileFailed, Err: ferr}
 	}
 	if strict {
-		if leaks := confirmedLeaks(a.inner.LeakReport(out)); len(leaks) > 0 {
+		if leaks := confirmedLeaks(wk.LeakReport(out)); len(leaks) > 0 {
 			return FileResult{Name: name, Status: FileQuarantined, Leaks: leaks}
 		}
 	}
@@ -183,6 +185,8 @@ func (a *Anonymizer) CorpusContext(ctx context.Context, files map[string]string)
 	}
 	sort.Strings(names)
 
+	wk := a.sess.Acquire()
+	defer a.sess.Release(wk)
 	for _, n := range names {
 		if err := ctx.Err(); err != nil {
 			a.batch.countCancel()
@@ -190,7 +194,7 @@ func (a *Anonymizer) CorpusContext(ctx context.Context, files map[string]string)
 			res.finishReport(a.reg)
 			return res, err
 		}
-		if ferr := a.inner.SafePrescan(n, files[n]); ferr != nil {
+		if ferr := wk.SafePrescan(n, files[n]); ferr != nil {
 			res.Files[n] = FileResult{Name: n, Status: FileFailed, Err: ferr}
 			a.batch.countFile(FileFailed)
 		}
@@ -205,7 +209,7 @@ func (a *Anonymizer) CorpusContext(ctx context.Context, files map[string]string)
 		if _, done := res.Files[n]; done { // prescan already failed it
 			continue
 		}
-		res.Files[n] = a.anonymizeOne(n, files[n], a.strict)
+		res.Files[n] = a.anonymizeOne(wk, n, files[n], a.strict)
 	}
 	res.Stats = a.Stats()
 	res.finishReport(a.reg)
@@ -217,60 +221,167 @@ func (a *Anonymizer) CorpusContext(ctx context.Context, files map[string]string)
 // one FileError instead of killing the batch, Options.Strict gates every
 // file's emission on its leak report, and ctx cancels the run (workers
 // finish their in-flight file, unstarted files stay absent from the
-// result). Like ParallelCorpus it forces the stateless IP scheme so
-// independent workers map consistently; the surviving files' outputs are
-// byte-identical to a clean sequential run and their statistics are
-// merged into Stats (failed files roll back out of the totals).
+// result). The convenience form of the Anonymizer method: it compiles a
+// fresh Program and runs one Session over the corpus.
 func ParallelCorpusContext(ctx context.Context, opts Options, files map[string]string, workers int) (*CorpusResult, error) {
+	return Compile(opts).NewSession().ParallelCorpusContext(ctx, files, workers)
+}
+
+// fileCensus is one file's census record: the mapper-call traces of its
+// prescan and its full rewrite, captured against a throwaway mapper.
+type fileCensus struct {
+	pins, full *ipanon.Trace
+	pinErr     *FileError
+}
+
+// ParallelCorpusContext anonymizes a corpus across workers goroutines
+// sharing this Session, with CorpusContext's fail-closed semantics. The
+// output is byte-identical to CorpusContext on the same files at every
+// worker count, under both IP schemes.
+//
+// Under the default shaped-tree scheme the mapping depends on the order
+// addresses first reach the tree, so the run is split into three phases:
+// a parallel census records each file's exact mapper-call sequence
+// against throwaway state; the traces are then replayed into the shared
+// tree serially in CorpusContext's order (every file's prescan pins in
+// sorted-name order, then every surviving file's full sequence); finally
+// the files are rewritten in parallel, where every lookup hits the
+// now-resolved tree lock-free. Under Options.StatelessIP mappings are
+// pure functions of the salt and the census is skipped entirely.
+//
+// Strict leak-gating runs after all workers finish, so a file is gated
+// against the values recorded from the whole corpus — deterministic at
+// any worker count, and at least as conservative as CorpusContext's
+// progressive gating (a file CorpusContext quarantines is always
+// quarantined here; rarely, a file it publishes is additionally caught).
+func (a *Anonymizer) ParallelCorpusContext(ctx context.Context, files map[string]string, workers int) (*CorpusResult, error) {
 	if workers < 1 {
 		workers = 1
 	}
-	opts.StatelessIP = true
 	names := make([]string, 0, len(files))
 	for n := range files {
 		names = append(names, n)
 	}
 	sort.Strings(names)
+	res := &CorpusResult{Files: make(map[string]FileResult, len(files))}
+	finish := func(err error) (*CorpusResult, error) {
+		if err != nil {
+			a.batch.countCancel()
+		}
+		res.Stats = a.Stats()
+		res.finishReport(a.reg)
+		return res, err
+	}
 
-	results := make(chan FileResult, len(files))
-	statsCh := make(chan Stats, workers)
-	work := make(chan string, len(files))
+	if !a.prog.opts.StatelessIP {
+		// Phase 1: parallel census. Each file's mapper-call sequence is a
+		// pure function of its text, so the files can be censused in any
+		// order on any number of workers.
+		censuses := make([]fileCensus, len(names))
+		work := make(chan int, len(names))
+		for i := range names {
+			work <- i
+		}
+		close(work)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					if ctx.Err() != nil {
+						break
+					}
+					pins, full, pinErr := a.sess.CensusFile(names[i], files[names[i]])
+					censuses[i] = fileCensus{pins: pins, full: full, pinErr: pinErr}
+				}
+			}()
+		}
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			for i, c := range censuses {
+				if c.pinErr != nil {
+					res.Files[names[i]] = FileResult{Name: names[i], Status: FileFailed, Err: c.pinErr}
+					a.batch.countFile(FileFailed)
+				}
+			}
+			return finish(err)
+		}
+		// Phase 2: serial replay in CorpusContext's insertion order. A
+		// failed prescan still replays the partial pin sequence it managed
+		// before aborting — exactly what a sequential run leaves behind.
+		for _, c := range censuses {
+			a.sess.Replay(c.pins)
+		}
+		for i, c := range censuses {
+			if c.pinErr != nil {
+				res.Files[names[i]] = FileResult{Name: names[i], Status: FileFailed, Err: c.pinErr}
+				a.batch.countFile(FileFailed)
+				continue
+			}
+			a.sess.Replay(c.full)
+		}
+	}
+
+	// Phase 3: embarrassingly parallel rewrite. Under the shaped tree
+	// every mapper call was just replayed, so lookups are lock-free cache
+	// hits and the output no longer depends on scheduling.
+	rewrite := make([]string, 0, len(names))
 	for _, n := range names {
+		if _, failed := res.Files[n]; !failed {
+			rewrite = append(rewrite, n)
+		}
+	}
+	results := make(chan FileResult, len(rewrite))
+	work := make(chan string, len(rewrite))
+	for _, n := range rewrite {
 		work <- n
 	}
 	close(work)
-
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			a := New(opts)
+			wk := a.sess.Acquire()
+			defer a.sess.Release(wk)
 			for name := range work {
 				if ctx.Err() != nil {
 					break
 				}
-				results <- a.anonymizeOne(name, files[name], opts.Strict)
+				out, ferr := wk.SafeAnonymizeText(name, files[name])
+				if ferr != nil {
+					results <- FileResult{Name: name, Status: FileFailed, Err: ferr}
+					continue
+				}
+				results <- FileResult{Name: name, Status: FileOK, Text: out}
 			}
-			statsCh <- a.Stats()
 		}()
 	}
 	wg.Wait()
 	close(results)
-	close(statsCh)
-
-	res := &CorpusResult{Files: make(map[string]FileResult, len(files))}
 	for r := range results {
 		res.Files[r.Name] = r
 	}
-	for s := range statsCh {
-		res.Stats.Add(s)
+
+	// Gate and count in sorted order, after every worker has published
+	// its recorder entries (deterministic quarantine set; see doc).
+	wk := a.sess.Acquire()
+	defer a.sess.Release(wk)
+	for _, n := range rewrite {
+		r, started := res.Files[n]
+		if !started { // cancelled before a worker picked it up
+			continue
+		}
+		if a.strict && r.Status == FileOK {
+			if leaks := confirmedLeaks(wk.LeakReport(r.Text)); len(leaks) > 0 {
+				r = FileResult{Name: n, Status: FileQuarantined, Leaks: leaks, Text: ""}
+				res.Files[n] = r
+			}
+		}
+		a.batch.countFile(r.Status)
 	}
-	if ctx.Err() != nil && opts.Metrics != nil {
-		newBatchMetrics(opts.Metrics).countCancel()
-	}
-	res.finishReport(opts.Metrics)
-	return res, ctx.Err()
+	return finish(ctx.Err())
 }
 
 // StreamCorpusContext anonymizes a sequence of files like StreamCorpus,
@@ -289,6 +400,8 @@ func (a *Anonymizer) StreamCorpusContext(
 	next func() (name string, r io.Reader, err error),
 	sink func(name string) (io.WriteCloser, error),
 ) ([]*FileError, error) {
+	wk := a.sess.Acquire()
+	defer a.sess.Release(wk)
 	var ferrs []*FileError
 	for {
 		if err := ctx.Err(); err != nil {
@@ -302,7 +415,7 @@ func (a *Anonymizer) StreamCorpusContext(
 		if err != nil {
 			return ferrs, err
 		}
-		if ferr := a.streamOne(name, r, sink); ferr != nil {
+		if ferr := a.streamOne(wk, name, r, sink); ferr != nil {
 			if errors.Is(ferr.Cause, ErrQuarantined) {
 				a.batch.countFile(FileQuarantined)
 			} else {
@@ -323,16 +436,17 @@ func (a *Anonymizer) StreamCorpusContext(
 // every emitted line was fully anonymized, and the FileError tells the
 // caller to discard the remnant).
 func (a *Anonymizer) streamOne(
+	wk *anonymizer.Anonymizer,
 	name string, r io.Reader,
 	sink func(name string) (io.WriteCloser, error),
 ) *FileError {
 	if a.strict {
 		var buf bytes.Buffer
-		if ferr := a.inner.SafeStreamText(name, r, &buf); ferr != nil {
+		if ferr := wk.SafeStreamText(name, r, &buf); ferr != nil {
 			return ferr
 		}
-		snap := a.inner.SnapshotStats()
-		if leaks := confirmedLeaks(a.inner.LeakReport(buf.String())); len(leaks) > 0 {
+		snap := wk.SnapshotStats()
+		if leaks := confirmedLeaks(wk.LeakReport(buf.String())); len(leaks) > 0 {
 			return &FileError{
 				Name:  name,
 				Cause: fmt.Errorf("%w (%d confirmed leaks, first: %s)", ErrQuarantined, len(leaks), leaks[0]),
@@ -340,17 +454,17 @@ func (a *Anonymizer) streamOne(
 		}
 		w, err := sink(name)
 		if err != nil {
-			a.inner.RestoreStats(snap)
+			wk.RestoreStats(snap)
 			return &FileError{Name: name, Cause: fmt.Errorf("opening sink: %w", err)}
 		}
 		_, werr := w.Write(buf.Bytes())
 		cerr := w.Close()
 		if werr != nil {
-			a.inner.RestoreStats(snap)
+			wk.RestoreStats(snap)
 			return &FileError{Name: name, Cause: werr}
 		}
 		if cerr != nil {
-			a.inner.RestoreStats(snap)
+			wk.RestoreStats(snap)
 			return &FileError{Name: name, Cause: cerr}
 		}
 		return nil
@@ -360,14 +474,14 @@ func (a *Anonymizer) streamOne(
 	if err != nil {
 		return &FileError{Name: name, Cause: fmt.Errorf("opening sink: %w", err)}
 	}
-	snap := a.inner.SnapshotStats()
-	ferr := a.inner.SafeStreamText(name, r, w)
+	snap := wk.SnapshotStats()
+	ferr := wk.SafeStreamText(name, r, w)
 	cerr := w.Close()
 	if ferr != nil {
 		return ferr
 	}
 	if cerr != nil {
-		a.inner.RestoreStats(snap)
+		wk.RestoreStats(snap)
 		return &FileError{Name: name, Cause: cerr}
 	}
 	return nil

@@ -22,6 +22,14 @@ echo "== go vet ./internal/metrics && go test -race ./internal/metrics"
 go vet ./internal/metrics
 go test -race ./internal/metrics
 
+# Concurrency gauntlet: the packages whose correctness depends on the
+# Program/Session split's locking — the shaped tree's two-phase design,
+# the session worker pool and rewrite memo, and the portal's per-salt
+# sessions — run twice under the race detector so scheduling varies.
+echo "== concurrency gauntlet: go test -race -count=2 (ipanon, anonymizer, portal, parallel batch)"
+go test -race -count=2 ./internal/ipanon ./internal/anonymizer ./internal/portal
+go test -race -count=2 -run 'Parallel|Chaos|Session' .
+
 echo "== go test -race -cover ./... $*"
 go test -race -coverprofile=coverage.out "$@" ./...
 

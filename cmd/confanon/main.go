@@ -2,13 +2,15 @@
 //
 // Usage:
 //
-//	confanon -salt SECRET -in DIR -out DIR [-strict] [-quarantine DIR] [-minimal] [-keep-comments] [-leak-report]
+//	confanon -salt SECRET -in DIR -out DIR [-workers N] [-strict] [-quarantine DIR] [-minimal] [-keep-comments] [-leak-report]
 //	cat r1-confg | confanon -salt SECRET - > r1-anon
 //
 // Every file in the input directory is treated as one router's
 // configuration of a single network; all files are prescanned before any
 // is rewritten so the mapping is consistent and subnet-address
-// preservation holds across files. With -leak-report the tool prints the
+// preservation holds across files. With -workers N the corpus is
+// anonymized on N parallel workers; the output is byte-identical to a
+// single-worker run under either IP scheme. With -leak-report the tool prints the
 // §6.1 leak-highlighting report to stderr after anonymizing; dangerous
 // tokens can then be added with repeated -sensitive flags and the tool
 // rerun, closing leaks iteratively.
@@ -103,6 +105,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		quarantine = fs.String("quarantine", "", "directory receiving the originals of quarantined files (with -strict)")
 		metricsOut = fs.String("metrics-out", "", "write the machine-readable run report (JSON, schema "+confanon.RunReportSchema+") to this file")
 		pprofAddr  = fs.String("pprof", "", "serve /debug/pprof and /metrics on this address while the run lasts (e.g. localhost:6060)")
+		workers    = fs.Int("workers", 1, "anonymize the corpus on this many parallel workers (output is byte-identical at any count)")
 	)
 	var sensitive multiFlag
 	fs.Var(&sensitive, "sensitive", "extra sensitive token to anonymize everywhere (repeatable)")
@@ -174,7 +177,12 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	if len(files) == 0 {
 		return fatal(stderr, fmt.Errorf("no files in %s", *inDir))
 	}
-	res, err := a.CorpusContext(ctx, files)
+	var res *confanon.CorpusResult
+	if *workers > 1 {
+		res, err = a.ParallelCorpusContext(ctx, files, *workers)
+	} else {
+		res, err = a.CorpusContext(ctx, files)
+	}
 	if err != nil {
 		return fatal(stderr, fmt.Errorf("anonymization aborted: %w", err))
 	}

@@ -27,6 +27,13 @@
 // One Anonymizer = one owner secret = one consistent mapping: feed every
 // file of a network (or several networks from the same owner) through the
 // same Anonymizer.
+//
+// The engine is split into an immutable compiled Program and a mutable
+// per-owner Session. Compile builds the Program (pass-list index, rule
+// tables, salt-derived permutations, memoized regexp-rewrite cache) once;
+// Program.NewSession derives any number of independent Sessions from it,
+// each with its own IP mapping, leak recorder, and statistics. New is the
+// one-shot convenience form of Compile(...).NewSession().
 package confanon
 
 import (
@@ -83,8 +90,10 @@ type Options struct {
 	KeepComments bool
 	// StatelessIP selects the Crypto-PAn IP scheme: the mapping depends
 	// only on the salt (no shared table), which sacrifices class and
-	// subnet-address preservation but allows ParallelCorpus to run
-	// independent workers consistently — the §4.3 trade-off.
+	// subnet-address preservation — the §4.3 trade-off. Parallel runs no
+	// longer require it (the shaped tree is censused and replayed
+	// deterministically); it remains the zero-shared-state option, e.g.
+	// for anonymizing on machines that never exchange a mapping table.
 	StatelessIP bool
 	// Strict makes the batch APIs (CorpusContext, ParallelCorpusContext,
 	// StreamCorpusContext) fail closed on leaks: a file whose
@@ -103,51 +112,92 @@ type Options struct {
 	Metrics *MetricsRegistry
 }
 
-// Anonymizer anonymizes configuration files consistently under one salt.
-// Not safe for concurrent use.
-type Anonymizer struct {
-	inner  *anonymizer.Anonymizer
-	strict bool
-	reg    *MetricsRegistry
-	batch  *batchMetrics
+// Program is the immutable compiled half of the anonymizer: the pass-list
+// index, the rule dispatch tables, the salt-derived ASN/community
+// permutations, and a memoized regexp-rewrite cache shared by everything
+// derived from it. A Program is built once by Compile, is safe for
+// concurrent use, and never changes afterwards; per-owner mutable state
+// (the IP mapping, the leak recorder, statistics) lives in the Sessions
+// it derives. Because the permutations are keyed by the salt, one Program
+// corresponds to one owner secret — compile a new Program per salt, then
+// derive as many Sessions from it as there are datasets to anonymize
+// under that secret.
+type Program struct {
+	inner *anonymizer.Program
+	opts  Options
 }
 
-// New creates an Anonymizer.
-func New(opts Options) *Anonymizer {
-	a := &Anonymizer{
-		inner: anonymizer.New(anonymizer.Options{
+// Compile builds the immutable Program for the given options. The
+// expensive, shareable work — pass-list indexing, rule-table wiring,
+// permutation key derivation — happens here, exactly once; NewSession is
+// then cheap.
+func Compile(opts Options) *Program {
+	return &Program{
+		inner: anonymizer.Compile(anonymizer.Options{
 			Salt:         opts.Salt,
 			Style:        opts.Style,
 			KeepComments: opts.KeepComments,
 			StatelessIP:  opts.StatelessIP,
 		}),
-		strict: opts.Strict,
+		opts: opts,
 	}
-	if opts.Metrics != nil {
-		a.reg = opts.Metrics
-		a.batch = newBatchMetrics(opts.Metrics)
-		a.inner.SetMetrics(opts.Metrics)
+}
+
+// NewSession derives a fresh Session from the Program: an Anonymizer with
+// its own IP mapping, leak recorder, and statistics, sharing the compiled
+// tables and rewrite cache with every other Session of the Program.
+func (p *Program) NewSession() *Anonymizer {
+	a := &Anonymizer{
+		prog:   p,
+		sess:   p.inner.NewSession(),
+		strict: p.opts.Strict,
+	}
+	if p.opts.Metrics != nil {
+		a.reg = p.opts.Metrics
+		a.batch = newBatchMetrics(p.opts.Metrics)
+		a.sess.SetMetrics(p.opts.Metrics)
 	}
 	return a
 }
+
+// Anonymizer is one anonymization Session: a handle on the mutable
+// per-owner state (IP mapping, leak recorder, statistics) of a compiled
+// Program. Safe for concurrent use — any number of goroutines may call
+// its methods on the same Session, and the parallel batch APIs run worker
+// pools over exactly this shared state.
+type Anonymizer struct {
+	prog   *Program
+	sess   *anonymizer.Session
+	strict bool
+	reg    *MetricsRegistry
+	batch  *batchMetrics
+}
+
+// New creates a single-session Anonymizer: the one-shot convenience form
+// of Compile(opts).NewSession(). It remains the right call for the common
+// one-owner, one-dataset case; callers anonymizing several datasets under
+// the same salt should Compile once and derive a Session per dataset so
+// the compiled tables and rewrite cache are shared.
+func New(opts Options) *Anonymizer { return Compile(opts).NewSession() }
 
 // Report builds a RunReport from the accumulated statistics (and the
 // wired registry, if any). The batch APIs attach a richer report — with
 // per-status file counts — to their CorpusResult; this accessor covers
 // the single-file paths (File, Stream, Corpus).
 func (a *Anonymizer) Report() *RunReport {
-	a.inner.FlushMetrics()
-	return NewRunReport(a.inner.Stats(), a.reg)
+	return NewRunReport(a.Stats(), a.reg)
 }
 
-// ParallelCorpus anonymizes a corpus across several workers. It requires
-// the stateless IP scheme (it is forced on): every worker's mappings are
-// pure functions of the salt, so files can be partitioned freely and the
-// outputs are identical to a sequential run — the parallelization the
-// paper attributes to the Xu scheme ("very little state must be shared to
-// consistently map addresses, making it amenable to parallelization").
-// The per-worker statistics are summed in the returned Stats (RuleHits
-// merged).
+// ParallelCorpus anonymizes a corpus across several workers sharing one
+// Session. Under the default shaped-tree IP scheme the corpus is first
+// censused in parallel, the census replayed into the shared tree in the
+// deterministic serial order, and the files then rewritten in parallel —
+// so the output is byte-identical to a sequential Corpus run at any
+// worker count. Under Options.StatelessIP every mapping is a pure
+// function of the salt (the parallelization the paper attributes to the
+// Xu scheme: "very little state must be shared to consistently map
+// addresses, making it amenable to parallelization") and the census is
+// skipped. The per-worker statistics are merged in the returned Stats.
 //
 // ParallelCorpus is the convenience form of ParallelCorpusContext: a
 // file whose processing fails (or, under Options.Strict, leaks) is
@@ -161,7 +211,9 @@ func ParallelCorpus(opts Options, files map[string]string, workers int) (map[str
 
 // File anonymizes a single configuration file.
 func (a *Anonymizer) File(text string) string {
-	return a.inner.AnonymizeText(text)
+	w := a.sess.Acquire()
+	defer a.sess.Release(w)
+	return w.AnonymizeText(text)
 }
 
 // Stream anonymizes one configuration file from r to w. Under the
@@ -171,7 +223,9 @@ func (a *Anonymizer) File(text string) string {
 // must see the whole file before the first line can be rewritten, so the
 // file (one file, never a corpus) is buffered internally.
 func (a *Anonymizer) Stream(r io.Reader, w io.Writer) error {
-	return a.inner.StreamText(r, w)
+	wk := a.sess.Acquire()
+	defer a.sess.Release(wk)
+	return wk.StreamText(r, w)
 }
 
 // StreamCorpus anonymizes a sequence of files without ever holding the
@@ -179,14 +233,23 @@ func (a *Anonymizer) Stream(r io.Reader, w io.Writer) error {
 // content reader of each file in turn, or io.EOF when the corpus is
 // exhausted; sink maps each file name to its output writer (closed by
 // StreamCorpus after the file is written). Files are processed in
-// arrival order with Stream's memory behavior per file. Note that under
-// the shaped tree each file is prescanned individually — exactly File's
-// semantics; use Corpus when cross-file subnet shaping must be immune to
-// file ordering.
+// arrival order with Stream's memory behavior per file.
+//
+// All files route through the Session, so cross-file consistency is
+// exactly Corpus's: an address seen in two files maps identically, and a
+// later Corpus or File call under the same Session stays consistent with
+// the streamed output. The one remaining difference from Corpus is
+// prescan scope: the subnet-shaping prescan sees each file individually,
+// in arrival order, rather than the whole corpus up front — so which
+// file first pins a shared subnet (and therefore the shape chosen for
+// it) depends on the order next yields the files. Use Corpus when the
+// mapping must be immune to file ordering.
 func (a *Anonymizer) StreamCorpus(
 	next func() (name string, r io.Reader, err error),
 	sink func(name string) (io.WriteCloser, error),
 ) error {
+	wk := a.sess.Acquire()
+	defer a.sess.Release(wk)
 	for {
 		name, r, err := next()
 		if err == io.EOF {
@@ -199,7 +262,7 @@ func (a *Anonymizer) StreamCorpus(
 		if err != nil {
 			return err
 		}
-		serr := a.inner.StreamText(r, w)
+		serr := wk.StreamText(r, w)
 		cerr := w.Close()
 		if serr != nil {
 			return serr
@@ -221,12 +284,14 @@ func (a *Anonymizer) Corpus(files map[string]string) map[string]string {
 		names = append(names, n)
 	}
 	sort.Strings(names)
+	wk := a.sess.Acquire()
+	defer a.sess.Release(wk)
 	for _, n := range names {
-		a.inner.Prescan(files[n])
+		wk.Prescan(files[n])
 	}
 	out := make(map[string]string, len(files))
 	for _, n := range names {
-		out[n] = a.inner.AnonymizeText(files[n])
+		out[n] = wk.AnonymizeText(files[n])
 	}
 	return out
 }
@@ -240,16 +305,19 @@ func (a *Anonymizer) Leaks(files map[string]string) []Leak {
 		names = append(names, n)
 	}
 	sort.Strings(names)
+	wk := a.sess.Acquire()
+	defer a.sess.Release(wk)
 	var out []Leak
 	for _, n := range names {
-		out = append(out, a.inner.LeakReport(files[n])...)
+		out = append(out, wk.LeakReport(files[n])...)
 	}
 	return out
 }
 
 // AddRule registers an operator-supplied sensitive token that must be
-// anonymized wherever it appears.
-func (a *Anonymizer) AddRule(token string) { a.inner.AddSensitiveToken(token) }
+// anonymized wherever it appears. Workers pick the token up at their
+// next file boundary.
+func (a *Anonymizer) AddRule(token string) { a.sess.AddSensitiveToken(token) }
 
 // Relation is one piece of well-known external knowledge: a public ASN
 // and a prefix it is known to originate.
@@ -261,25 +329,29 @@ type MappedRelation = anonymizer.MappedRelation
 // DeclareRelation registers external knowledge whose implicit
 // relationship should be preserved (§5): the anonymized (ASN, prefix)
 // pair is available from Relations for release alongside the configs.
-func (a *Anonymizer) DeclareRelation(rel Relation) { a.inner.DeclareRelation(rel) }
+func (a *Anonymizer) DeclareRelation(rel Relation) { a.sess.DeclareRelation(rel) }
 
 // Relations returns the anonymized images of all declared relations.
-func (a *Anonymizer) Relations() []MappedRelation { return a.inner.Relations() }
+func (a *Anonymizer) Relations() []MappedRelation { return a.sess.Relations() }
 
 // RenameFile derives an anonymized output file name (file names are
 // usually hostname-derived and leak identity).
-func (a *Anonymizer) RenameFile(name string) string { return a.inner.HashFileName(name) }
+func (a *Anonymizer) RenameFile(name string) string {
+	w := a.sess.Acquire()
+	defer a.sess.Release(w)
+	return w.HashFileName(name)
+}
 
 // SaveMapping serializes the IP mapping so a later run with the same salt
 // stays consistent with this one (new files from the same owner can be
 // anonymized later without re-anonymizing the old ones).
-func (a *Anonymizer) SaveMapping() []byte { return a.inner.SaveMapping() }
+func (a *Anonymizer) SaveMapping() []byte { return a.sess.SaveMapping() }
 
 // LoadMapping restores a SaveMapping snapshot; call before anonymizing.
-func (a *Anonymizer) LoadMapping(snapshot []byte) error { return a.inner.LoadMapping(snapshot) }
+func (a *Anonymizer) LoadMapping(snapshot []byte) error { return a.sess.LoadMapping(snapshot) }
 
-// Stats returns accumulated counters.
-func (a *Anonymizer) Stats() Stats { return a.inner.Stats() }
+// Stats returns the Session's accumulated counters (all workers merged).
+func (a *Anonymizer) Stats() Stats { return a.sess.Stats() }
 
 // ValidationReport is the result of running both §5 suites over pre- and
 // post-anonymization corpora.

@@ -32,16 +32,30 @@ type Options struct {
 	StatelessIP bool
 }
 
-// Anonymizer rewrites configuration text. It is stateful: the IP mapping
-// tree and the leak recorder accumulate across files so a whole network
-// (or several networks from one owner) anonymizes consistently. Not safe
-// for concurrent use.
+// Anonymizer is one single-goroutine worker of a Session: it rewrites
+// configuration text through the Session's shared state (the IP mapping,
+// the leak recorder) while keeping its hot-path scratch — statistics,
+// pending recorder entries, dispatch context — private, reconciling into
+// the Session at file boundaries (flush). One worker is not safe for
+// concurrent use, but any number of workers of the same Session may run
+// concurrently (Session.Acquire/Release); New returns a Session-bound
+// worker for the common single-goroutine case.
 type Anonymizer struct {
+	prog *Program
+	sess *Session
+
+	// Immutable snapshots from the Program (opts/pass/perms) and the
+	// Session (ip, sensitiveTokens; refreshed on Acquire).
 	opts  Options
 	pass  *passlist.List
 	ip    ipanon.Mapper
 	perms asn.Salted
-	stats Stats
+
+	// stats is the worker-local cumulative record; synced is its state at
+	// the last flush, so flush applies only the signed delta to the
+	// Session (and registry).
+	stats  Stats
+	synced Stats
 
 	// Engine scratch: the per-line rule-hit record (registry indices,
 	// for wall-time attribution) and the reusable dispatch context.
@@ -63,54 +77,37 @@ type Anonymizer struct {
 	curFile string
 	curLine int
 
-	// Leak recorder (§6.1): every public ASN, hashed word, and mapped
-	// original address is remembered so LeakReport can grep the output
-	// for survivors.
+	// Leak recorder (§6.1), pending half: every public ASN, hashed word,
+	// and mapped original address this worker has seen since its last
+	// flush. Published into the Session's recorder at file boundaries;
+	// never retracted (an aborted file can only widen later leak reports,
+	// matching the fail-closed direction).
 	seenASNs  map[string]bool
 	seenWords map[string]bool
 	seenIPs   map[uint32]bool
 
-	// sensitiveTokens holds operator-added rules from the iterative
-	// methodology: tokens that must be anonymized wherever they appear.
+	// sensitiveTokens is the worker's read-only snapshot of the Session's
+	// operator-added rules (copy-on-write there; refreshed on Acquire).
 	sensitiveTokens map[string]bool
-
-	// relations holds declared external (ASN, prefix) relationships
-	// whose anonymized images are released alongside the configs (§5).
-	relations []Relation
-
-	// ipOuts caches the mapping's output set for the leak report's
-	// false-positive classification; ipOutsLen tracks staleness.
-	ipOuts    map[uint32]bool
-	ipOutsLen int
 }
 
-// New creates an Anonymizer for one owner salt.
+// New creates a single-worker Session for one owner salt and returns its
+// bound worker — the convenience constructor for serial use. Callers
+// that share one mapping across goroutines should Compile a Program,
+// derive a Session, and Acquire workers instead.
 func New(opts Options) *Anonymizer {
-	pl := opts.PassList
-	if pl == nil {
-		pl = passlist.Builtin()
-	}
-	var mapper ipanon.Mapper
-	if opts.StatelessIP {
-		mapper = ipanon.NewCryptoMapper(opts.Salt)
-	} else {
-		mapper = ipanon.NewTree(ipanon.DefaultOptions(opts.Salt))
-	}
-	return &Anonymizer{
-		opts:            opts,
-		pass:            pl,
-		ip:              mapper,
-		perms:           asn.NewSalted(opts.Salt),
-		stats:           newStats(),
-		seenASNs:        make(map[string]bool),
-		seenWords:       make(map[string]bool),
-		seenIPs:         make(map[uint32]bool),
-		sensitiveTokens: make(map[string]bool),
-	}
+	return Compile(opts).NewSession().Bind()
 }
 
-// Stats returns the accumulated counters.
-func (a *Anonymizer) Stats() Stats { return a.stats }
+// Session returns the Session this worker reconciles into.
+func (a *Anonymizer) Session() *Session { return a.sess }
+
+// Stats returns the accumulated counters: the Session's merged record,
+// with this worker's unflushed partials reconciled first.
+func (a *Anonymizer) Stats() Stats {
+	a.flush()
+	return a.sess.Stats()
+}
 
 // IPMapping exposes the resolved IP pairs (for validation tooling).
 func (a *Anonymizer) IPMapping() []ipanon.Pair { return a.ip.Mapping() }
@@ -119,25 +116,16 @@ func (a *Anonymizer) IPMapping() []ipanon.Pair { return a.ip.Mapping() }
 // can anonymize additional configurations consistently with this one.
 // Only the shaped tree carries state; under StatelessIP the mapping is a
 // pure function of the salt and the snapshot is empty.
-func (a *Anonymizer) SaveMapping() []byte {
-	if t, ok := a.ip.(*ipanon.Tree); ok {
-		return t.Save()
-	}
-	return nil
-}
+func (a *Anonymizer) SaveMapping() []byte { return a.sess.SaveMapping() }
 
 // LoadMapping restores a snapshot produced by SaveMapping. It must be
 // called before any anonymization and with the same salt; an error is
 // returned when the snapshot does not replay to the same mapping.
 func (a *Anonymizer) LoadMapping(snapshot []byte) error {
-	if len(snapshot) == 0 {
-		return nil
-	}
-	t, err := ipanon.Load(snapshot)
-	if err != nil {
+	if err := a.sess.LoadMapping(snapshot); err != nil {
 		return err
 	}
-	a.ip = t
+	a.ip = a.sess.mapper()
 	return nil
 }
 
@@ -153,9 +141,12 @@ func (a *Anonymizer) HashWord(w string) string { return hashWord(a.opts.Salt, w)
 // AddSensitiveToken registers an operator-supplied rule: the literal token
 // is anonymized wherever it appears from now on. This is the mechanism of
 // the iterative leak-closure methodology (§6.1): lines a human flags as
-// dangerous are used to add more rules to the anonymizer.
+// dangerous are used to add more rules to the anonymizer. The rule is
+// registered Session-wide; this worker sees it immediately, other
+// in-flight workers on their next Acquire.
 func (a *Anonymizer) AddSensitiveToken(tok string) {
-	a.sensitiveTokens[tok] = true
+	a.sess.AddSensitiveToken(tok)
+	a.sensitiveTokens = *a.sess.sensTok.Load()
 }
 
 // hit records one firing of a rule: the hit counter and the per-line

@@ -41,7 +41,7 @@ func (a *Anonymizer) runFile(next func() (string, bool), emit func(string)) {
 		if !ok {
 			a.curLine = 0
 			a.observeStage(stageRewrite, time.Since(start))
-			a.flushMetrics()
+			a.flush()
 			return
 		}
 		res, keep := a.runLine(line, st)

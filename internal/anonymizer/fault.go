@@ -64,14 +64,14 @@ func (a *Anonymizer) recoverFile(name string, snap Stats, ferr **FileError) {
 
 // rollback restores a pre-file statistics snapshot and clears the
 // engine's per-line scratch, so an aborted file leaves the batch totals
-// describing only files that completed. A wired metrics registry is
-// reconciled immediately: the flush after a restore emits negative
-// deltas, backing the aborted file's partial counts out of the shared
-// counters so the registry keeps tracking Stats exactly.
+// describing only files that completed. The Session (and a wired
+// metrics registry) is reconciled immediately: the flush after a
+// restore emits negative deltas, backing the aborted file's partial
+// counts out of the shared totals so they keep tracking Stats exactly.
 func (a *Anonymizer) rollback(snap Stats) {
 	a.stats = snap
 	a.lineHits = a.lineHits[:0]
-	a.flushMetrics()
+	a.flush()
 }
 
 // SafeAnonymizeText anonymizes one file like AnonymizeText but fails

@@ -49,53 +49,44 @@ var innocuousIntContext = map[string]bool{
 	"timers": true, "keepalive": true, "mtu": true, "delay": true,
 }
 
-// ipOutputs returns (cached) the set of addresses the IP mapping has
-// produced so far, refreshed when the tree has grown.
-func (a *Anonymizer) ipOutputs() map[uint32]bool {
-	if a.ipOuts != nil && a.ipOutsLen == len(a.seenIPs) {
-		return a.ipOuts
-	}
-	outs := make(map[uint32]bool)
-	for _, p := range a.IPMapping() {
-		outs[p.Out] = true
-	}
-	a.ipOuts = outs
-	a.ipOutsLen = len(a.seenIPs)
-	return outs
-}
-
 // LeakReport scans anonymized output for recorded sensitive values that
 // survived: public ASNs the permutation mapped, words the hash replaced,
-// and original (pre-anonymization) IP addresses. False positives are
-// possible — an anonymized value may coincide with some other original
-// value (the paper notes the same weakness: grepping for AS 1 flags many
-// unrelated lines) — which is exactly why the report is reviewed by a
-// human rather than acted on automatically.
+// and original (pre-anonymization) IP addresses. The scan reads the
+// Session's recorder (with this worker's pending entries published
+// first), so it sees everything every worker of the Session has
+// processed. False positives are possible — an anonymized value may
+// coincide with some other original value (the paper notes the same
+// weakness: grepping for AS 1 flags many unrelated lines) — which is
+// exactly why the report is reviewed by a human rather than acted on
+// automatically.
 func (a *Anonymizer) LeakReport(post string) []Leak {
 	reportStart := time.Now()
+	a.flushRecorder()
+	s := a.sess
+	s.recMu.RLock()
 	var leaks []Leak
 	for i, line := range strings.Split(post, "\n") {
 		start := time.Now()
 		words, _ := token.Fields(line)
 		for wi, w := range words {
 			switch {
-			case a.seenASNs[w]:
+			case s.seenASNs[w]:
 				a.hit(RuleLeakHighlight)
 				fp := wi > 0 && innocuousIntContext[words[wi-1]]
 				leaks = append(leaks, Leak{Line: i + 1, Text: line, Tok: w, Kind: "asn",
 					LikelyFalsePositive: fp})
-			case a.seenWords[w]:
+			case s.seenWords[w]:
 				a.hit(RuleLeakHighlight)
 				leaks = append(leaks, Leak{Line: i + 1, Text: line, Tok: w, Kind: "word"})
 			default:
-				if v, ok := token.ParseIPv4(w); ok && !ipanon.IsSpecial(v) && a.seenIPs[v] {
+				if v, ok := token.ParseIPv4(w); ok && !ipanon.IsSpecial(v) && s.seenIPs[v] {
 					a.hit(RuleLeakHighlight)
 					// Every bare dotted-quad is mapped by rule I3, so an
 					// original address can only appear in output when some
 					// other address maps onto it — a permutation collision,
 					// not a leak. A flagged token that is a known mapping
 					// output is therefore almost certainly a false positive.
-					fp := a.ipOutputs()[v]
+					fp := s.ipOutputs(len(s.seenIPs))[v]
 					leaks = append(leaks, Leak{Line: i + 1, Text: line, Tok: w, Kind: "ip",
 						LikelyFalsePositive: fp})
 				}
@@ -105,8 +96,9 @@ func (a *Anonymizer) LeakReport(post string) []Leak {
 		// clear the engine's per-line hit scratch).
 		a.attribute(time.Since(start))
 	}
+	s.recMu.RUnlock()
 	a.countLeaks(leaks)
 	a.observeStage(stageLeakReport, time.Since(reportStart))
-	a.flushMetrics()
+	a.flush()
 	return leaks
 }

@@ -9,7 +9,7 @@ import (
 // The metrics bridge. The engine keeps its counters in the plain Stats
 // value (one non-atomic increment per event, unchanged hot path) and
 // reconciles them into an optional shared metrics.Registry at file
-// boundaries: flushMetrics computes the signed delta between the
+// boundaries: the worker's flush computes the signed delta between the
 // current Stats and the last-flushed snapshot and applies it to the
 // registry counters. Because the delta is signed, a fault-isolation
 // rollback (fault.go) is followed by a negative flush and the registry
@@ -62,8 +62,12 @@ const (
 	stageLeakReport = "leakreport"
 )
 
-// engineMetrics holds one engine's resolved instrument handles plus the
-// flushed-snapshot baselines the delta reconciliation diffs against.
+// engineMetrics holds one worker's resolved instrument handles plus the
+// byte-counter baselines (the Stats baseline is the worker's synced
+// field, shared with the Session reconciliation). The session-level
+// gauges — mapper size, remaps, permutation walks, rewrite-cache hits —
+// live on sessionMetrics (session.go), because their sources are shared
+// by every worker and need one baseline, not one per worker.
 type engineMetrics struct {
 	reg *metrics.Registry
 
@@ -75,14 +79,7 @@ type engineMetrics struct {
 	bytesIn      *metrics.Counter
 	bytesOut     *metrics.Counter
 	leaks        *metrics.CounterVec
-	ipEntries    *metrics.Counter
-	ipRemaps     *metrics.Counter
-	asnWalks     *metrics.Counter
 
-	flushed         Stats // Stats state at the last flush
-	flushedIPLen    int64
-	flushedRemaps   int64
-	flushedWalks    int64
 	flushedBytesIn  int64
 	flushedBytesOut int64
 }
@@ -103,17 +100,15 @@ func newEngineMetrics(reg *metrics.Registry) *engineMetrics {
 	m.bytesIn = reg.Counter("confanon_stream_bytes_in_total", "bytes read by the streaming path")
 	m.bytesOut = reg.Counter("confanon_stream_bytes_out_total", "bytes written by the streaming path")
 	m.leaks = reg.CounterVec("confanon_leaks_total", "leak-report findings by token kind and severity", "kind", "severity")
-	m.ipEntries = reg.Counter("confanon_ipmap_entries_total", "distinct addresses resolved by the IP mapping")
-	m.ipRemaps = reg.Counter("confanon_ipmap_remaps_total", "IP collision-chase steps (§4.3 special-range remapping)")
-	m.asnWalks = reg.Counter("confanon_asn_cycle_walks_total", "ASN permutation cycle-walking steps (§4.4)")
 	return m
 }
 
-// SetMetrics wires a shared registry into the engine. All instruments
-// are registered immediately (idempotently, so parallel workers can
-// wire the same registry); counters update at file boundaries via the
-// delta flush. A nil registry unwires.
+// SetMetrics wires a shared registry into this worker's Session (gauges,
+// future workers) and this worker (counter flushes). All instruments are
+// registered immediately and idempotently; counters update at file
+// boundaries via the delta flush. A nil registry unwires.
 func (a *Anonymizer) SetMetrics(reg *metrics.Registry) {
+	a.sess.SetMetrics(reg)
 	if reg == nil {
 		a.metrics = nil
 		return
@@ -121,52 +116,73 @@ func (a *Anonymizer) SetMetrics(reg *metrics.Registry) {
 	a.metrics = newEngineMetrics(reg)
 }
 
-// FlushMetrics reconciles the engine's Stats (and mapper sizes) into
-// the wired registry. The engine calls it at every file boundary,
-// stage end, and rollback; callers that read the registry mid-run (the
-// run-report builder, a portal scrape racing a batch) may call it to
-// tighten the window. No-op without a registry.
-func (a *Anonymizer) FlushMetrics() { a.flushMetrics() }
+// FlushMetrics reconciles this worker's accumulated state into its
+// Session and the wired registry. The engine flushes at every file
+// boundary, stage end, and rollback on its own; callers that read the
+// Session or registry mid-run (the run-report builder, a portal scrape
+// racing a batch) may call it to tighten the window.
+func (a *Anonymizer) FlushMetrics() { a.flush() }
 
-func (a *Anonymizer) flushMetrics() {
-	m := a.metrics
-	if m == nil {
+// flush reconciles the worker into the shared halves: the signed Stats
+// delta since the last flush merges into the Session totals (and the
+// registry counters, when wired), the pending leak-recorder entries
+// publish into the Session recorder, and the session-level gauges
+// refresh. Deltas are signed, so a rollback flush backs a failed file's
+// partial counts out of both destinations.
+func (a *Anonymizer) flush() {
+	delta := a.stats.diff(a.synced)
+	a.synced = a.stats
+	a.sess.stats.Add(delta)
+	a.flushRecorder()
+	if m := a.metrics; m != nil {
+		for i, sc := range statScalars {
+			if d := sc.get(&delta); d != 0 {
+				m.scalars[i].Add(d)
+			}
+		}
+		for i := range delta.ruleHits {
+			if d := delta.ruleHits[i]; d != 0 {
+				m.ruleHits[i].Add(d)
+			}
+			if d := delta.ruleTimeNs[i]; d != 0 {
+				m.ruleTime[i].Add(d)
+			}
+		}
+		if d := a.bytesIn - m.flushedBytesIn; d != 0 {
+			m.bytesIn.Add(d)
+			m.flushedBytesIn = a.bytesIn
+		}
+		if d := a.bytesOut - m.flushedBytesOut; d != 0 {
+			m.bytesOut.Add(d)
+			m.flushedBytesOut = a.bytesOut
+		}
+	}
+	a.sess.flushGauges()
+}
+
+// flushRecorder publishes the worker's pending leak-recorder entries
+// into the Session recorder and clears the pending maps. Entries are
+// only ever added, never retracted: an aborted file can widen later
+// leak reports but never narrow them.
+func (a *Anonymizer) flushRecorder() {
+	if len(a.seenASNs) == 0 && len(a.seenWords) == 0 && len(a.seenIPs) == 0 {
 		return
 	}
-	for i, sc := range statScalars {
-		if d := sc.get(&a.stats) - sc.get(&m.flushed); d != 0 {
-			m.scalars[i].Add(d)
-		}
+	s := a.sess
+	s.recMu.Lock()
+	for k := range a.seenASNs {
+		s.seenASNs[k] = true
 	}
-	for i := range a.stats.ruleHits {
-		if d := a.stats.ruleHits[i] - m.flushed.ruleHits[i]; d != 0 {
-			m.ruleHits[i].Add(d)
-		}
-		if d := a.stats.ruleTimeNs[i] - m.flushed.ruleTimeNs[i]; d != 0 {
-			m.ruleTime[i].Add(d)
-		}
+	for k := range a.seenWords {
+		s.seenWords[k] = true
 	}
-	m.flushed = a.stats
-	if d := int64(a.ip.Len()) - m.flushedIPLen; d != 0 {
-		m.ipEntries.Add(d)
-		m.flushedIPLen += d
+	for k := range a.seenIPs {
+		s.seenIPs[k] = true
 	}
-	if d := a.ip.Remaps() - m.flushedRemaps; d != 0 {
-		m.ipRemaps.Add(d)
-		m.flushedRemaps += d
-	}
-	if d := a.perms.ASN.CycleWalks() - m.flushedWalks; d != 0 {
-		m.asnWalks.Add(d)
-		m.flushedWalks += d
-	}
-	if d := a.bytesIn - m.flushedBytesIn; d != 0 {
-		m.bytesIn.Add(d)
-		m.flushedBytesIn += d
-	}
-	if d := a.bytesOut - m.flushedBytesOut; d != 0 {
-		m.bytesOut.Add(d)
-		m.flushedBytesOut += d
-	}
+	s.recMu.Unlock()
+	clear(a.seenASNs)
+	clear(a.seenWords)
+	clear(a.seenIPs)
 }
 
 // observeStage records one stage latency when a registry is wired.

@@ -25,7 +25,7 @@ func (a *Anonymizer) Prescan(text string) {
 	start := time.Now()
 	defer func() {
 		a.observeStage(stagePrescan, time.Since(start))
-		a.flushMetrics()
+		a.flush()
 	}()
 	type pin struct {
 		net uint32

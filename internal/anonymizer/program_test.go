@@ -1,0 +1,100 @@
+package anonymizer
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"confanon/internal/metrics"
+)
+
+// TestProgramRewriteCacheSingleflight pins the memo contract of the
+// compiled Program's regexp-rewrite cache: when many workers of one
+// Session rewrite the same pattern concurrently, the rewrite is computed
+// exactly once (singleflight) and every other caller is a cache hit —
+// observable both on the Program's counters and, after the workers
+// flush, on the registry's cregex series.
+func TestProgramRewriteCacheSingleflight(t *testing.T) {
+	reg := metrics.NewRegistry()
+	prog := Compile(Options{Salt: []byte("memo")})
+	sess := prog.NewSession()
+	sess.SetMetrics(reg)
+
+	// One AS-path regexp and one community regexp: two cache keys (the
+	// kinds are cached separately even for equal pattern strings).
+	text := "ip as-path access-list 5 permit _701_\n" +
+		"ip community-list 7 permit 701:.*\n"
+	const workers = 8
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := sess.Acquire()
+			defer sess.Release(w)
+			<-start
+			w.AnonymizeText(text)
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	if got := prog.CacheMisses(); got != 2 {
+		t.Errorf("cache misses = %d, want 2 (one per pattern)", got)
+	}
+	if got := prog.CacheHits(); got != 2*(workers-1) {
+		t.Errorf("cache hits = %d, want %d", got, 2*(workers-1))
+	}
+
+	counters := reg.Counters()
+	if got := counters["confanon_cregex_cache_misses_total"]; got != 2 {
+		t.Errorf("registry cache-miss counter = %v, want 2", got)
+	}
+	if got := counters["confanon_cregex_cache_hits_total"]; got != float64(2*(workers-1)) {
+		t.Errorf("registry cache-hit counter = %v, want %d", got, 2*(workers-1))
+	}
+
+	// Cache hits must still replay the permuted ASNs into each caller's
+	// recorder: the session-wide leak recorder knows 701 even though only
+	// one worker computed the rewrite.
+	sess.recMu.RLock()
+	saw := sess.seenASNs["701"]
+	sess.recMu.RUnlock()
+	if !saw {
+		t.Error("session recorder is missing ASN 701 after cached rewrites")
+	}
+
+	// And all workers must have produced the same rewritten line.
+	w := sess.Acquire()
+	defer sess.Release(w)
+	out := w.AnonymizeText(text)
+	if strings.Contains(out, "701") {
+		t.Errorf("public ASN survives in rewritten output:\n%s", out)
+	}
+}
+
+// TestSessionWorkersShareMapping: workers of one Session anonymizing
+// different files concurrently agree on the mapping of a shared address.
+func TestSessionWorkersShareMapping(t *testing.T) {
+	sess := Compile(Options{Salt: []byte("shared")}).NewSession()
+	text := "interface Serial0\n ip address 12.1.2.3 255.255.255.0\n"
+	const workers = 8
+	outs := make([]string, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := sess.Acquire()
+			defer sess.Release(w)
+			outs[i] = w.AnonymizeText(text)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < workers; i++ {
+		if outs[i] != outs[0] {
+			t.Fatalf("worker %d output differs:\n%s\nvs\n%s", i, outs[i], outs[0])
+		}
+	}
+}

@@ -3,7 +3,6 @@ package anonymizer
 import (
 	"fmt"
 
-	"confanon/internal/config"
 	"confanon/internal/token"
 )
 
@@ -43,27 +42,12 @@ func (r MappedRelation) String() string {
 // public ASN originates the given prefix. The pair is resolved through the
 // same ASN permutation and IP mapping as the configs (the prefix is also
 // pinned in the tree immediately, so later occurrences in config text map
-// identically).
-func (a *Anonymizer) DeclareRelation(rel Relation) {
-	a.relations = append(a.relations, rel)
-	// Pin the prefix now so shaping is independent of where it later
-	// appears in the files.
-	a.ip.MapPrefix(rel.Prefix&config.LenToMask(rel.Len), rel.Len)
-}
+// identically). Relations are Session state: every worker shares them.
+func (a *Anonymizer) DeclareRelation(rel Relation) { a.sess.DeclareRelation(rel) }
 
 // Relations returns the anonymized images of every declared relation, for
 // release alongside the anonymized configs.
-func (a *Anonymizer) Relations() []MappedRelation {
-	out := make([]MappedRelation, 0, len(a.relations))
-	for _, rel := range a.relations {
-		out = append(out, MappedRelation{
-			ASN:    a.perms.ASN.Map(rel.ASN),
-			Prefix: a.ip.MapPrefix(rel.Prefix&config.LenToMask(rel.Len), rel.Len),
-			Len:    rel.Len,
-		})
-	}
-	return out
-}
+func (a *Anonymizer) Relations() []MappedRelation { return a.sess.Relations() }
 
 // HashFileName derives an anonymized file name from (typically) a
 // hostname-derived name, preserving only a trailing "-confg"-style suffix

