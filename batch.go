@@ -7,10 +7,12 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"sync"
 
 	"confanon/internal/anonymizer"
 	"confanon/internal/ipanon"
+	"confanon/internal/trace"
 )
 
 // This file is the fail-closed batch layer. The string-returning APIs
@@ -152,6 +154,63 @@ func confirmedLeaks(report []Leak) []Leak {
 	return out
 }
 
+// traceCorpus opens the root span of one batch run when a tracer is
+// wired (nil otherwise). Every worker the batch Acquires is handed the
+// span's ID so its file and stage spans nest under it. nfiles < 0 means
+// the file count is unknown up front (stream corpora).
+func (a *Anonymizer) traceCorpus(op string, nfiles, workers int) *trace.Span {
+	tr := a.prog.opts.Tracer
+	if tr == nil {
+		return nil
+	}
+	sp := tr.StartSpan(trace.KindCorpus, op, 0)
+	if nfiles >= 0 {
+		sp.SetAttr("files", strconv.Itoa(nfiles))
+	}
+	sp.SetAttr("workers", strconv.Itoa(workers))
+	return sp
+}
+
+// endCorpus closes a traceCorpus span: failed with the error attached
+// when the run ended on a run-fatal error (cancellation, a dead
+// iterator), ok otherwise — per-file failures are carried by the file
+// spans, not the corpus status.
+func (a *Anonymizer) endCorpus(sp *trace.Span, err error) {
+	if sp == nil {
+		return
+	}
+	status := trace.StatusOK
+	if err != nil {
+		status = trace.StatusFailed
+		sp.SetAttr("error", err.Error())
+	}
+	a.prog.opts.Tracer.End(sp, status)
+}
+
+// spanID unwraps an optional span's ID (zero for none).
+func spanID(sp *trace.Span) trace.SpanID {
+	if sp == nil {
+		return 0
+	}
+	return sp.ID
+}
+
+// traceCensusFailure publishes a failed file span for a file whose
+// parallel census failed. The census runs against muted throwaway
+// sessions that never trace, so without this the file would vanish from
+// the span tree — and failures are traced, never dropped.
+func (a *Anonymizer) traceCensusFailure(sp *trace.Span, ferr *FileError) {
+	if sp == nil {
+		return
+	}
+	tr := a.prog.opts.Tracer
+	fs := tr.StartSpan(trace.KindFile, ferr.Name, sp.ID)
+	fs.SetAttr("op", "census")
+	fs.SetAttr("line", strconv.Itoa(ferr.Line))
+	fs.AddEvent(tr.Now(), ferr.Cause.Error())
+	tr.End(fs, trace.StatusFailed)
+}
+
 // anonymizeOne runs one file through the fail-closed pipeline on the
 // given Session worker: panic recovery, then — in strict mode —
 // leak-gating of the output against the Session's accumulated sensitive
@@ -184,15 +243,23 @@ func (a *Anonymizer) CorpusContext(ctx context.Context, files map[string]string)
 		names = append(names, n)
 	}
 	sort.Strings(names)
+	sp := a.traceCorpus("corpus", len(files), 1)
+	finish := func(err error) (*CorpusResult, error) {
+		if err != nil {
+			a.batch.countCancel()
+		}
+		a.endCorpus(sp, err)
+		res.Stats = a.Stats()
+		res.finishReport(a.reg)
+		return res, err
+	}
 
 	wk := a.sess.Acquire()
 	defer a.sess.Release(wk)
+	wk.SetCorpusSpan(spanID(sp))
 	for _, n := range names {
 		if err := ctx.Err(); err != nil {
-			a.batch.countCancel()
-			res.Stats = a.Stats()
-			res.finishReport(a.reg)
-			return res, err
+			return finish(err)
 		}
 		if ferr := wk.SafePrescan(n, files[n]); ferr != nil {
 			res.Files[n] = FileResult{Name: n, Status: FileFailed, Err: ferr}
@@ -201,19 +268,14 @@ func (a *Anonymizer) CorpusContext(ctx context.Context, files map[string]string)
 	}
 	for _, n := range names {
 		if err := ctx.Err(); err != nil {
-			a.batch.countCancel()
-			res.Stats = a.Stats()
-			res.finishReport(a.reg)
-			return res, err
+			return finish(err)
 		}
 		if _, done := res.Files[n]; done { // prescan already failed it
 			continue
 		}
 		res.Files[n] = a.anonymizeOne(wk, n, files[n], a.strict)
 	}
-	res.Stats = a.Stats()
-	res.finishReport(a.reg)
-	return res, nil
+	return finish(nil)
 }
 
 // ParallelCorpusContext anonymizes a corpus across several workers with
@@ -264,10 +326,12 @@ func (a *Anonymizer) ParallelCorpusContext(ctx context.Context, files map[string
 	}
 	sort.Strings(names)
 	res := &CorpusResult{Files: make(map[string]FileResult, len(files))}
+	sp := a.traceCorpus("parallel-corpus", len(files), workers)
 	finish := func(err error) (*CorpusResult, error) {
 		if err != nil {
 			a.batch.countCancel()
 		}
+		a.endCorpus(sp, err)
 		res.Stats = a.Stats()
 		res.finishReport(a.reg)
 		return res, err
@@ -303,6 +367,7 @@ func (a *Anonymizer) ParallelCorpusContext(ctx context.Context, files map[string
 				if c.pinErr != nil {
 					res.Files[names[i]] = FileResult{Name: names[i], Status: FileFailed, Err: c.pinErr}
 					a.batch.countFile(FileFailed)
+					a.traceCensusFailure(sp, c.pinErr)
 				}
 			}
 			return finish(err)
@@ -317,6 +382,7 @@ func (a *Anonymizer) ParallelCorpusContext(ctx context.Context, files map[string
 			if c.pinErr != nil {
 				res.Files[names[i]] = FileResult{Name: names[i], Status: FileFailed, Err: c.pinErr}
 				a.batch.countFile(FileFailed)
+				a.traceCensusFailure(sp, c.pinErr)
 				continue
 			}
 			a.sess.Replay(c.full)
@@ -345,6 +411,7 @@ func (a *Anonymizer) ParallelCorpusContext(ctx context.Context, files map[string
 			defer wg.Done()
 			wk := a.sess.Acquire()
 			defer a.sess.Release(wk)
+			wk.SetCorpusSpan(spanID(sp))
 			for name := range work {
 				if ctx.Err() != nil {
 					break
@@ -368,6 +435,7 @@ func (a *Anonymizer) ParallelCorpusContext(ctx context.Context, files map[string
 	// its recorder entries (deterministic quarantine set; see doc).
 	wk := a.sess.Acquire()
 	defer a.sess.Release(wk)
+	wk.SetCorpusSpan(spanID(sp))
 	for _, n := range rewrite {
 		r, started := res.Files[n]
 		if !started { // cancelled before a worker picked it up
@@ -399,10 +467,12 @@ func (a *Anonymizer) StreamCorpusContext(
 	ctx context.Context,
 	next func() (name string, r io.Reader, err error),
 	sink func(name string) (io.WriteCloser, error),
-) ([]*FileError, error) {
+) (ferrs []*FileError, rerr error) {
 	wk := a.sess.Acquire()
 	defer a.sess.Release(wk)
-	var ferrs []*FileError
+	sp := a.traceCorpus("stream-corpus", -1, 1)
+	defer func() { a.endCorpus(sp, rerr) }()
+	wk.SetCorpusSpan(spanID(sp))
 	for {
 		if err := ctx.Err(); err != nil {
 			a.batch.countCancel()

@@ -324,6 +324,107 @@ func TestStreamCorpusContextStrictQuarantine(t *testing.T) {
 	}
 }
 
+// TestChaosRollbackLeavesNoLedgerEntries: a file that dies mid-way must
+// leave zero provenance records — the ledger mirrors the statistics
+// rollback — while its span survives, marked failed. Checked on both
+// batch paths, which fail the file in different phases (the parallel
+// census vs the serial rewrite).
+func TestChaosRollbackLeavesNoLedgerEntries(t *testing.T) {
+	armPoison(t, "poison", 2)
+	files := chaosCorpus()
+
+	check := func(t *testing.T, tr *Tracer, wantOp string) {
+		t.Helper()
+		for _, d := range tr.Ledger() {
+			if d.File == "poison" {
+				t.Fatalf("rolled-back file left a ledger entry: %+v", d)
+			}
+		}
+		decided := map[string]bool{}
+		for _, d := range tr.Ledger() {
+			decided[d.File] = true
+		}
+		for n := range files {
+			if n != "poison" && !decided[n] {
+				t.Errorf("surviving file %s has no ledger entries", n)
+			}
+		}
+		var failed *Span
+		for _, s := range tr.Spans() {
+			if s.Kind == "file" && s.Name == "poison" && s.Status == "failed" {
+				failed = s
+			}
+		}
+		if failed == nil {
+			t.Fatal("poisoned file has no failed span — failures must be traced, never dropped")
+		}
+		if failed.Attr("op") != wantOp {
+			t.Errorf("failed span op = %q, want %q", failed.Attr("op"), wantOp)
+		}
+		if failed.Attr("line") != "2" {
+			t.Errorf("failed span line attr = %q, want 2", failed.Attr("line"))
+		}
+	}
+
+	t.Run("parallel", func(t *testing.T) {
+		tr := NewTracer()
+		_, err := ParallelCorpusContext(context.Background(),
+			Options{Salt: []byte("chaos"), Tracer: tr}, files, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The muted census rehearsal swallows the rewrite panic (the file
+		// is retried on the real state), so the traced phase-3 worker is
+		// the one that fails it, inside the engine.
+		check(t, tr, "rewrite")
+	})
+	t.Run("serial", func(t *testing.T) {
+		tr := NewTracer()
+		a := New(Options{Salt: []byte("chaos"), Tracer: tr})
+		_, err := a.CorpusContext(context.Background(), files)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Serially the prescan survives (the fault hook fires per rewritten
+		// line) and the rewrite dies at line 2, inside the engine.
+		check(t, tr, "rewrite")
+	})
+}
+
+// TestCensusFailureSpanSynthesized: when a file dies in the muted
+// parallel census itself (a prescan panic — the rehearsal sessions never
+// trace), the batch layer must synthesize its failed span so the file
+// does not vanish from the span tree.
+func TestCensusFailureSpanSynthesized(t *testing.T) {
+	tr := NewTracer()
+	a := New(Options{Salt: []byte("chaos"), Tracer: tr})
+	sp := a.traceCorpus("parallel-corpus", 1, 4)
+	a.traceCensusFailure(sp, &FileError{
+		Name:  "poison",
+		Cause: &PanicError{Value: "prescan exploded"},
+	})
+	a.endCorpus(sp, nil)
+
+	var failed *Span
+	for _, s := range tr.Spans() {
+		if s.Kind == "file" && s.Name == "poison" {
+			failed = s
+		}
+	}
+	if failed == nil {
+		t.Fatal("no synthesized file span for the census failure")
+	}
+	if failed.Status != "failed" || failed.Attr("op") != "census" {
+		t.Errorf("span status %q op %q, want failed/census", failed.Status, failed.Attr("op"))
+	}
+	if failed.Parent != sp.ID {
+		t.Errorf("span parents to %d, want corpus span %d", failed.Parent, sp.ID)
+	}
+	if len(failed.Events) == 0 || !strings.Contains(failed.Events[0].Msg, "prescan exploded") {
+		t.Errorf("span carries no cause event: %+v", failed.Events)
+	}
+}
+
 func TestStreamCorpusContextCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()

@@ -18,9 +18,9 @@ go build ./...
 echo "== go vet ./..."
 go vet ./...
 
-echo "== go vet ./internal/metrics && go test -race ./internal/metrics"
-go vet ./internal/metrics
-go test -race ./internal/metrics
+echo "== go vet ./internal/metrics ./internal/trace && go test -race ./internal/metrics ./internal/trace"
+go vet ./internal/metrics ./internal/trace
+go test -race ./internal/metrics ./internal/trace
 
 # Concurrency gauntlet: the packages whose correctness depends on the
 # Program/Session split's locking — the shaped tree's two-phase design,
@@ -28,7 +28,7 @@ go test -race ./internal/metrics
 # sessions — run twice under the race detector so scheduling varies.
 echo "== concurrency gauntlet: go test -race -count=2 (ipanon, anonymizer, portal, parallel batch)"
 go test -race -count=2 ./internal/ipanon ./internal/anonymizer ./internal/portal
-go test -race -count=2 -run 'Parallel|Chaos|Session' .
+go test -race -count=2 -run 'Parallel|Chaos|Session|Trace' .
 
 echo "== go test -race -cover ./... $*"
 go test -race -coverprofile=coverage.out "$@" ./...
@@ -44,6 +44,22 @@ awk -v t="$total" -v f="$floor" 'BEGIN { exit (t+0 >= f+0) ? 0 : 1 }' || {
 	echo "coverage ${total}% fell below the ${floor}% floor" >&2
 	exit 1
 }
+
+# Observability drift gate (warn-only): re-run the golden corpus, emit a
+# run report, and diff it against the checked-in baseline with conftrace.
+# Rule-hit or outcome drift means the (salt, input) → decision contract
+# moved — investigate before pushing; stage-latency drift is machine
+# noise. The step warns but never fails the build (-fail-on-drift off);
+# regenerate the baseline together with the golden outputs when a rule
+# change is intentional:
+#   go run ./cmd/confanon -salt golden-v1 -in testdata/golden/in \
+#     -out /tmp/out -metrics-out testdata/baseline_report.json -leak-report=false
+echo "== conftrace drift check vs testdata/baseline_report.json (warn-only)"
+driftdir=$(mktemp -d)
+go run ./cmd/confanon -salt golden-v1 -in testdata/golden/in \
+	-out "$driftdir/out" -metrics-out "$driftdir/report.json" -leak-report=false >/dev/null
+go run ./cmd/conftrace testdata/baseline_report.json "$driftdir/report.json"
+rm -rf "$driftdir"
 
 # Short coverage-guided fuzz pass over the parsers that sit in front of
 # the anonymizer. Crashers are persisted under testdata/fuzz/ and then

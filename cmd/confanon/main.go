@@ -42,9 +42,22 @@
 // headline counters, and the full metric snapshot keyed by Prometheus
 // series identity). -pprof ADDR serves /debug/pprof/* and GET /metrics
 // on ADDR for the duration of the run, for profiling long batches.
+// -trace-out FILE writes the span + provenance trace (JSONL, schema
+// confanon.trace/v1): the corpus → file → stage → rule span hierarchy
+// and the ledger of every anonymization decision, recording only the
+// anonymized replacements — a trace file is as safe to share as the
+// output it describes. Tracing does not change the output.
+//
+// Query mode: -explain FILE:LINE with a trace file as the sole argument
+// prints the provenance decisions recorded for that line —
+//
+//	confanon -explain rtr7.conf:412 run.trace.jsonl
+//
+// — answering "why does line 412 look like that" from the trace alone.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -57,6 +70,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -104,6 +118,8 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		strict     = fs.Bool("strict", false, "fail closed: quarantine any file whose leak report is not clean")
 		quarantine = fs.String("quarantine", "", "directory receiving the originals of quarantined files (with -strict)")
 		metricsOut = fs.String("metrics-out", "", "write the machine-readable run report (JSON, schema "+confanon.RunReportSchema+") to this file")
+		traceOut   = fs.String("trace-out", "", "write the span + provenance trace (JSONL, schema "+confanon.TraceSchema+") to this file")
+		explain    = fs.String("explain", "", "query mode: print the trace decisions for FILE:LINE (sole argument is the trace file)")
 		pprofAddr  = fs.String("pprof", "", "serve /debug/pprof and /metrics on this address while the run lasts (e.g. localhost:6060)")
 		workers    = fs.Int("workers", 1, "anonymize the corpus on this many parallel workers (output is byte-identical at any count)")
 	)
@@ -111,6 +127,15 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	fs.Var(&sensitive, "sensitive", "extra sensitive token to anonymize everywhere (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
+	}
+
+	if *explain != "" {
+		if fs.NArg() != 1 {
+			fmt.Fprintln(stderr, "confanon: -explain takes exactly one trace file argument")
+			fs.Usage()
+			return exitUsage
+		}
+		return runExplain(*explain, fs.Arg(0), stdout, stderr)
 	}
 
 	streamMode := fs.NArg() == 1 && fs.Arg(0) == "-"
@@ -129,6 +154,11 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	}
 	if *metricsOut != "" || *pprofAddr != "" {
 		opts.Metrics = confanon.NewMetricsRegistry()
+	}
+	var tracer *confanon.Tracer
+	if *traceOut != "" {
+		tracer = confanon.NewTracer()
+		opts.Tracer = tracer
 	}
 	if *pprofAddr != "" {
 		stopProf, err := serveDebug(*pprofAddr, opts.Metrics)
@@ -164,6 +194,11 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		printStats(stderr, a.Stats(), *statsOut, *ruleStats)
 		if *metricsOut != "" {
 			if err := writeRunReport(*metricsOut, a.Report()); err != nil {
+				return fatal(stderr, err)
+			}
+		}
+		if tracer != nil {
+			if err := writeTrace(*traceOut, tracer); err != nil {
 				return fatal(stderr, err)
 			}
 		}
@@ -272,7 +307,63 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 			return fatal(stderr, err)
 		}
 	}
+	if tracer != nil {
+		// Written even when files were withheld: a trace of a failed run
+		// is exactly the artifact the operator wants to read.
+		if err := writeTrace(*traceOut, tracer); err != nil {
+			return fatal(stderr, err)
+		}
+	}
 	return code
+}
+
+// writeTrace serializes the trace as confanon.trace/v1 JSONL.
+func writeTrace(path string, tr *confanon.Tracer) error {
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		return err
+	}
+	return writeFileRetry(path, buf.Bytes(), 0o644)
+}
+
+// runExplain handles "-explain FILE:LINE TRACEFILE": it loads the trace
+// and prints the provenance decision chain recorded for that line, one
+// decision per row. Exit 0 when decisions were found, 1 when the trace
+// has none for that line.
+func runExplain(spec, tracePath string, stdout, stderr io.Writer) int {
+	colon := strings.LastIndexByte(spec, ':')
+	if colon <= 0 || colon == len(spec)-1 {
+		fmt.Fprintf(stderr, "confanon: -explain wants FILE:LINE, got %q\n", spec)
+		return exitUsage
+	}
+	file := spec[:colon]
+	line, err := strconv.Atoi(spec[colon+1:])
+	if err != nil || line < 1 {
+		fmt.Fprintf(stderr, "confanon: -explain wants FILE:LINE, got %q\n", spec)
+		return exitUsage
+	}
+	f, err := os.Open(tracePath)
+	if err != nil {
+		return fatal(stderr, err)
+	}
+	defer f.Close()
+	tf, err := confanon.ReadTrace(f)
+	if err != nil {
+		return fatal(stderr, fmt.Errorf("reading %s: %w", tracePath, err))
+	}
+	ds := tf.Explain(file, line)
+	if len(ds) == 0 {
+		fmt.Fprintf(stderr, "confanon: no decisions recorded for %s:%d\n", file, line)
+		return exitWithheld
+	}
+	for _, d := range ds {
+		out := d.Out
+		if d.Class == "dropped" {
+			out = "(line removed)"
+		}
+		fmt.Fprintf(stdout, "%s:%d\trule=%s\tclass=%s\tout=%s\n", d.File, d.Line, d.Rule, d.Class, out)
+	}
+	return exitClean
 }
 
 // writeRunReport serializes the run report as indented JSON.

@@ -206,3 +206,109 @@ func TestRunMetricsOutStreamMode(t *testing.T) {
 		t.Error("stream bytes-in counter is zero")
 	}
 }
+
+// TestRunTraceOut: -trace-out writes a parseable confanon.trace/v1
+// JSONL file whose span tree and ledger cover the run.
+func TestRunTraceOut(t *testing.T) {
+	in := writeInput(t, map[string]string{"r1.conf": cleanConf, "r2.conf": cleanConf})
+	out := t.TempDir()
+	tracePath := filepath.Join(t.TempDir(), "run.trace.jsonl")
+	code, _, stderr := runCLI(t,
+		"-salt", "s", "-in", in, "-out", out, "-rename=false", "-trace-out", tracePath)
+	if code != exitClean {
+		t.Fatalf("exit %d, want %d; stderr:\n%s", code, exitClean, stderr)
+	}
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tf, err := confanon.ReadTrace(f)
+	if err != nil {
+		t.Fatalf("trace does not parse: %v", err)
+	}
+	if tf.Schema != confanon.TraceSchema {
+		t.Errorf("schema %q, want %q", tf.Schema, confanon.TraceSchema)
+	}
+	fileSpans := map[string]bool{}
+	for _, s := range tf.Spans {
+		if s.Kind == "file" {
+			fileSpans[s.Name] = true
+		}
+	}
+	if !fileSpans["r1.conf"] || !fileSpans["r2.conf"] {
+		t.Errorf("trace lacks file spans: %v", fileSpans)
+	}
+	if len(tf.Ledger) == 0 {
+		t.Error("trace carries no ledger entries")
+	}
+	// The ledger must not leak cleartext: the one sensitive address in
+	// the input never appears in an Out field.
+	for _, d := range tf.Ledger {
+		if strings.Contains(d.Out, "12.1.2.3") {
+			t.Errorf("cleartext address in ledger entry: %+v", d)
+		}
+	}
+}
+
+// TestRunExplain: the -explain query mode finds the decision chain for
+// a traced line, reports misses distinctly, and validates its spec.
+func TestRunExplain(t *testing.T) {
+	in := writeInput(t, map[string]string{"r1.conf": cleanConf})
+	tracePath := filepath.Join(t.TempDir(), "run.trace.jsonl")
+	if code, _, stderr := runCLI(t,
+		"-salt", "s", "-in", in, "-out", t.TempDir(), "-rename=false",
+		"-trace-out", tracePath); code != exitClean {
+		t.Fatalf("trace run failed: %s", stderr)
+	}
+
+	// Line 3 holds the ip address statement: at least one ip decision.
+	code, stdout, stderr := runCLI(t, "-explain", "r1.conf:3", tracePath)
+	if code != exitClean {
+		t.Fatalf("explain exit %d; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "class=ip") || !strings.Contains(stdout, "rule=") {
+		t.Errorf("explain output lacks decisions:\n%s", stdout)
+	}
+	if strings.Contains(stdout, "12.1.2.3") {
+		t.Errorf("explain output leaks cleartext:\n%s", stdout)
+	}
+
+	if code, _, _ = runCLI(t, "-explain", "r1.conf:999", tracePath); code != exitWithheld {
+		t.Errorf("miss: exit %d, want %d", code, exitWithheld)
+	}
+	if code, _, _ = runCLI(t, "-explain", "no-colon", tracePath); code != exitUsage {
+		t.Errorf("bad spec: exit %d, want %d", code, exitUsage)
+	}
+	if code, _, _ = runCLI(t, "-explain", "r1.conf:zero", tracePath); code != exitUsage {
+		t.Errorf("bad line: exit %d, want %d", code, exitUsage)
+	}
+	if code, _, _ = runCLI(t, "-explain", "r1.conf:3", filepath.Join(t.TempDir(), "absent")); code != exitFatal {
+		t.Errorf("missing trace file: exit %d, want %d", code, exitFatal)
+	}
+}
+
+// TestRunTraceOutStreamMode: the stream path traces too, under the
+// synthetic "stdin" file name.
+func TestRunTraceOutStreamMode(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "run.trace.jsonl")
+	var out, errb bytes.Buffer
+	code := run(context.Background(),
+		[]string{"-salt", "s", "-stateless", "-trace-out", tracePath, "-"},
+		strings.NewReader(cleanConf), &out, &errb)
+	if code != exitClean {
+		t.Fatalf("exit %d; stderr:\n%s", code, errb.String())
+	}
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tf, err := confanon.ReadTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tf.FileDecisions("stdin")) == 0 {
+		t.Error("stream trace has no decisions for stdin")
+	}
+}

@@ -28,7 +28,7 @@ package main
 import (
 	"context"
 	"flag"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -50,13 +50,18 @@ func main() {
 	maxFiles := flag.Int("max-files", portal.DefaultLimits().MaxFiles, "files-per-dataset cap")
 	grace := flag.Duration("grace", 10*time.Second, "graceful-shutdown window for in-flight requests")
 	adminToken := flag.String("admin-token", "", "operator secret unlocking GET /metrics and /debug/pprof (X-Admin-Token header); empty keeps both endpoints 404")
+	logJSON := flag.Bool("log-json", false, "emit the structured request log as JSON lines instead of key=value text")
 	var researchers kvFlag
 	flag.Var(&researchers, "researcher", "researcher account as key=handle (repeatable)")
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "confportal: ", log.LstdFlags)
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
 	store := portal.NewStore()
-	store.SetLogger(logger)
+	store.SetSlogger(logger)
 	store.SetMetrics(metrics.NewRegistry())
 	store.SetAdminToken(*adminToken)
 	limits := portal.DefaultLimits()
@@ -66,7 +71,8 @@ func main() {
 	for _, kv := range researchers {
 		parts := strings.SplitN(kv, "=", 2)
 		if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
-			logger.Fatalf("bad -researcher %q, want key=handle", kv)
+			logger.Error("bad -researcher flag, want key=handle", "flag", kv)
+			os.Exit(1)
 		}
 		store.AddResearcher(parts[0], parts[1])
 	}
@@ -75,9 +81,10 @@ func main() {
 	defer stop()
 
 	srv := portal.NewServer(*addr, store.Handler())
-	logger.Printf("listening on %s with %d researcher accounts", *addr, len(researchers))
+	logger.Info("listening", "addr", *addr, "researchers", len(researchers))
 	if err := portal.Run(ctx, srv, *grace); err != nil {
-		logger.Fatalf("serve: %v", err)
+		logger.Error("serve failed", "err", err)
+		os.Exit(1)
 	}
-	logger.Printf("shut down cleanly")
+	logger.Info("shut down cleanly")
 }

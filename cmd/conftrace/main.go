@@ -1,0 +1,332 @@
+// Command conftrace diffs two anonymization runs for regressions.
+//
+// Usage:
+//
+//	conftrace [-warn-pct N] [-fail-on-drift] BASELINE CURRENT
+//
+// BASELINE and CURRENT each name a run artifact in either machine
+// format confanon emits: a span + provenance trace (JSONL, schema
+// confanon.trace/v1, from -trace-out) or a run report (JSON, schema
+// confanon.run_report/v1, from -metrics-out). The format is detected
+// from the file's schema header, so the two sides may mix formats —
+// a checked-in baseline report can be compared against a fresh trace.
+//
+// The diff covers per-rule hit counts, per-stage latency (event count
+// and mean), per-status file outcomes, and — when the artifacts carry
+// metric snapshots — leak findings by kind and severity. Any relative
+// change beyond -warn-pct (default 25) is flagged as drift on stderr.
+//
+// Exit codes:
+//
+//	0  diff printed; drift, if any, was warned about (default gate is
+//	   warn-only, for CI steps that report but do not block)
+//	1  drift found and -fail-on-drift was set
+//	2  usage error
+//	3  fatal error (unreadable or unrecognized input)
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"confanon"
+)
+
+const (
+	exitOK    = 0
+	exitDrift = 1
+	exitUsage = 2
+	exitFatal = 3
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment injected (tested directly).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("conftrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	warnPct := fs.Float64("warn-pct", 25, "flag relative changes beyond this percentage as drift")
+	failOnDrift := fs.Bool("fail-on-drift", false, "exit 1 when drift is found (default: warn only)")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "conftrace: need exactly two run artifacts (baseline, current)")
+		fs.Usage()
+		return exitUsage
+	}
+	base, err := load(fs.Arg(0))
+	if err != nil {
+		return fatal(stderr, err)
+	}
+	cur, err := load(fs.Arg(1))
+	if err != nil {
+		return fatal(stderr, err)
+	}
+	drift := diff(stdout, stderr, base, cur, *warnPct)
+	if drift && *failOnDrift {
+		return exitDrift
+	}
+	return exitOK
+}
+
+// summary is the normalized view of one run, extractable from either
+// artifact format.
+type summary struct {
+	path   string
+	source string // "trace" or "report"
+
+	ruleHits   map[string]float64
+	ruleTimeNs map[string]float64
+	stageCount map[string]float64
+	stageSumS  map[string]float64 // total seconds per stage
+	leaks      map[string]float64 // "kind/severity" → findings
+
+	filesOK, filesFailed, filesQuarantined float64
+}
+
+func newSummary(path, source string) *summary {
+	return &summary{
+		path: path, source: source,
+		ruleHits:   map[string]float64{},
+		ruleTimeNs: map[string]float64{},
+		stageCount: map[string]float64{},
+		stageSumS:  map[string]float64{},
+		leaks:      map[string]float64{},
+	}
+}
+
+// load reads one run artifact, sniffing its schema: traces parse via
+// the trace reader, anything else is tried as a run report.
+func load(path string) (*summary, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if tf, err := confanon.ReadTrace(f); err == nil {
+		return fromTrace(path, tf), nil
+	} else if !errors.Is(err, confanon.ErrTraceSchema) {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	var rep confanon.RunReport
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("%s: neither a %s trace nor a %s report: %w",
+			path, confanon.TraceSchema, confanon.RunReportSchema, err)
+	}
+	if rep.Schema != confanon.RunReportSchema {
+		return nil, fmt.Errorf("%s: unrecognized schema %q", path, rep.Schema)
+	}
+	return fromReport(path, &rep), nil
+}
+
+// fromTrace summarizes a span trace: rule spans carry per-file hit
+// counts and attributed wall time, stage spans their per-file latency,
+// file spans the run's outcome counts (quarantine is a batch-layer
+// verdict the engine's spans do not see; those files count as ok here).
+func fromTrace(path string, tf *confanon.TraceFile) *summary {
+	s := newSummary(path, "trace")
+	for _, sp := range tf.Spans {
+		switch sp.Kind {
+		case "rule":
+			hits, _ := strconv.ParseFloat(sp.Attr("hits"), 64)
+			s.ruleHits[sp.Name] += hits
+			s.ruleTimeNs[sp.Name] += float64(sp.DurNs)
+		case "stage":
+			s.stageCount[sp.Name]++
+			s.stageSumS[sp.Name] += float64(sp.DurNs) / 1e9
+		case "file":
+			if sp.Status == "failed" {
+				s.filesFailed++
+			} else {
+				s.filesOK++
+			}
+		}
+	}
+	return s
+}
+
+// fromReport summarizes a run report from its flattened metric
+// snapshot (series identities documented on RunReport.Counters).
+func fromReport(path string, rep *confanon.RunReport) *summary {
+	s := newSummary(path, "report")
+	s.filesOK = float64(rep.FilesOK)
+	s.filesFailed = float64(rep.FilesFailed)
+	s.filesQuarantined = float64(rep.FilesQuarantined)
+	for id, v := range rep.Counters {
+		name, labels := parseSeries(id)
+		switch name {
+		case "confanon_rule_hits_total":
+			s.ruleHits[labels["rule"]] += v
+		case "confanon_rule_time_ns_total":
+			s.ruleTimeNs[labels["rule"]] += v
+		case "confanon_stage_seconds_count":
+			s.stageCount[labels["stage"]] += v
+		case "confanon_stage_seconds_sum":
+			s.stageSumS[labels["stage"]] += v
+		case "confanon_leaks_total":
+			s.leaks[labels["kind"]+"/"+labels["severity"]] += v
+		}
+	}
+	return s
+}
+
+// parseSeries splits a Prometheus series identity — name{k="v",...} —
+// into its name and label map (labels nil for a bare name). It handles
+// the subset confanon emits; escaped quotes inside values are honored.
+func parseSeries(id string) (string, map[string]string) {
+	open := strings.IndexByte(id, '{')
+	if open < 0 || !strings.HasSuffix(id, "}") {
+		return id, nil
+	}
+	labels := map[string]string{}
+	body := id[open+1 : len(id)-1]
+	for len(body) > 0 {
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 || eq+1 >= len(body) || body[eq+1] != '"' {
+			break
+		}
+		key := body[:eq]
+		rest := body[eq+2:]
+		var val strings.Builder
+		i := 0
+		for ; i < len(rest); i++ {
+			if rest[i] == '\\' && i+1 < len(rest) {
+				i++
+				val.WriteByte(rest[i])
+				continue
+			}
+			if rest[i] == '"' {
+				break
+			}
+			val.WriteByte(rest[i])
+		}
+		labels[key] = val.String()
+		body = rest[i:]
+		body = strings.TrimPrefix(body, `"`)
+		body = strings.TrimPrefix(body, ",")
+	}
+	return id[:open], labels
+}
+
+// diff prints the regression comparison and reports whether any series
+// drifted beyond warnPct.
+func diff(stdout, stderr io.Writer, base, cur *summary, warnPct float64) bool {
+	fmt.Fprintf(stdout, "conftrace: baseline %s (%s) vs current %s (%s)\n",
+		base.path, base.source, cur.path, cur.source)
+	drift := false
+	warn := func(format string, args ...interface{}) {
+		drift = true
+		fmt.Fprintf(stderr, "conftrace: DRIFT: "+format+"\n", args...)
+	}
+
+	fmt.Fprintf(stdout, "\nfiles: ok %v -> %v, failed %v -> %v, quarantined %v -> %v\n",
+		base.filesOK, cur.filesOK, base.filesFailed, cur.filesFailed,
+		base.filesQuarantined, cur.filesQuarantined)
+	if cur.filesFailed > base.filesFailed {
+		warn("failed files rose %v -> %v", base.filesFailed, cur.filesFailed)
+	}
+	if cur.filesQuarantined > base.filesQuarantined {
+		warn("quarantined files rose %v -> %v", base.filesQuarantined, cur.filesQuarantined)
+	}
+
+	fmt.Fprintf(stdout, "\nrule hits:\n")
+	for _, rule := range unionKeys(base.ruleHits, cur.ruleHits) {
+		b, c := base.ruleHits[rule], cur.ruleHits[rule]
+		pct := relPct(b, c)
+		fmt.Fprintf(stdout, "  %-34s %10.0f -> %-10.0f %s\n", rule, b, c, pctLabel(pct))
+		if math.Abs(pct) > warnPct {
+			warn("rule %s hits changed %.0f -> %.0f (%+.1f%%)", rule, b, c, pct)
+		}
+	}
+
+	fmt.Fprintf(stdout, "\nstage latency (count, mean):\n")
+	for _, stage := range unionKeys(base.stageCount, cur.stageCount) {
+		bMean := mean(base.stageSumS[stage], base.stageCount[stage])
+		cMean := mean(cur.stageSumS[stage], cur.stageCount[stage])
+		pct := relPct(bMean, cMean)
+		fmt.Fprintf(stdout, "  %-12s %6.0fx %10.3gs -> %6.0fx %10.3gs %s\n",
+			stage, base.stageCount[stage], bMean, cur.stageCount[stage], cMean, pctLabel(pct))
+		if math.Abs(pct) > warnPct {
+			warn("stage %s mean latency changed %.3gs -> %.3gs (%+.1f%%)", stage, bMean, cMean, pct)
+		}
+	}
+
+	if len(base.leaks) > 0 || len(cur.leaks) > 0 {
+		fmt.Fprintf(stdout, "\nleak findings (kind/severity):\n")
+		for _, k := range unionKeys(base.leaks, cur.leaks) {
+			b, c := base.leaks[k], cur.leaks[k]
+			fmt.Fprintf(stdout, "  %-34s %10.0f -> %-10.0f\n", k, b, c)
+			if c > b && strings.HasSuffix(k, "/confirmed") {
+				warn("confirmed leaks %s rose %.0f -> %.0f", k, b, c)
+			}
+		}
+	} else if base.source == "trace" && cur.source == "trace" {
+		fmt.Fprintf(stdout, "\nleak findings: not recorded in span traces (compare run reports)\n")
+	}
+
+	if !drift {
+		fmt.Fprintf(stdout, "\nno drift beyond %.0f%%\n", warnPct)
+	}
+	return drift
+}
+
+func mean(sum, count float64) float64 {
+	if count == 0 {
+		return 0
+	}
+	return sum / count
+}
+
+// relPct is the relative change from b to c in percent; a series
+// appearing or disappearing outright is ±100%.
+func relPct(b, c float64) float64 {
+	if b == 0 {
+		if c == 0 {
+			return 0
+		}
+		return 100
+	}
+	return (c - b) / b * 100
+}
+
+func pctLabel(pct float64) string {
+	if pct == 0 {
+		return ""
+	}
+	return fmt.Sprintf("(%+.1f%%)", pct)
+}
+
+func unionKeys(a, b map[string]float64) []string {
+	seen := map[string]bool{}
+	for k := range a {
+		seen[k] = true
+	}
+	for k := range b {
+		seen[k] = true
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func fatal(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "conftrace:", err)
+	return exitFatal
+}

@@ -1,0 +1,212 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"confanon"
+)
+
+const testConf = "hostname r9\ninterface Ethernet0\n ip address 12.1.2.3 255.255.255.0\nrouter bgp 701\n neighbor 12.1.2.4 remote-as 1239\n"
+
+func runTool(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// writeRunArtifacts anonymizes a tiny corpus once with both a tracer
+// and a registry wired, and writes the two artifact forms of the same
+// run: a JSONL trace and a JSON run report.
+func writeRunArtifacts(t *testing.T) (tracePath, reportPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	tr := confanon.NewTracer()
+	reg := confanon.NewMetricsRegistry()
+	a := confanon.New(confanon.Options{Salt: []byte("ct"), Tracer: tr, Metrics: reg})
+	res, err := a.CorpusContext(context.Background(),
+		map[string]string{"r1": testConf, "r2": testConf})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tracePath = filepath.Join(dir, "run.trace.jsonl")
+	f, err := os.Create(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteJSONL(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	reportPath = filepath.Join(dir, "report.json")
+	b, err := json.Marshal(res.Report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(reportPath, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return tracePath, reportPath
+}
+
+func TestRunUsageAndFatalErrors(t *testing.T) {
+	if code, _, _ := runTool(t); code != exitUsage {
+		t.Errorf("no args: exit %d, want %d", code, exitUsage)
+	}
+	if code, _, _ := runTool(t, "one-file-only"); code != exitUsage {
+		t.Errorf("one arg: exit %d, want %d", code, exitUsage)
+	}
+	if code, _, _ := runTool(t, "-bogus", "a", "b"); code != exitUsage {
+		t.Errorf("bad flag: exit %d, want %d", code, exitUsage)
+	}
+	absent := filepath.Join(t.TempDir(), "absent")
+	if code, _, _ := runTool(t, absent, absent); code != exitFatal {
+		t.Errorf("missing file: exit %d, want %d", code, exitFatal)
+	}
+	garbage := filepath.Join(t.TempDir(), "garbage")
+	if err := os.WriteFile(garbage, []byte("not json at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, stderr := runTool(t, garbage, garbage); code != exitFatal ||
+		!strings.Contains(stderr, "neither a") {
+		t.Errorf("garbage file: exit %d, stderr %q", code, stderr)
+	}
+	foreign := filepath.Join(t.TempDir(), "foreign.json")
+	if err := os.WriteFile(foreign, []byte(`{"schema":"other/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, stderr := runTool(t, foreign, foreign); code != exitFatal ||
+		!strings.Contains(stderr, "unrecognized schema") {
+		t.Errorf("foreign schema: exit %d, stderr %q", code, stderr)
+	}
+}
+
+// TestIdenticalRunsShowNoDrift: a run compared against itself is clean,
+// in every format pairing — and the trace-derived rule hits must agree
+// with the report-derived ones, or the mixed pairing would drift.
+func TestIdenticalRunsShowNoDrift(t *testing.T) {
+	tracePath, reportPath := writeRunArtifacts(t)
+	for _, pair := range [][2]string{
+		{reportPath, reportPath},
+		{tracePath, tracePath},
+		{tracePath, reportPath},
+		{reportPath, tracePath},
+	} {
+		code, stdout, stderr := runTool(t, pair[0], pair[1])
+		if code != exitOK {
+			t.Fatalf("%v: exit %d; stderr:\n%s", pair, code, stderr)
+		}
+		if strings.Contains(stderr, "DRIFT") && strings.Contains(stderr, "rule") {
+			t.Errorf("%v: rule drift between two views of one run:\n%s", pair, stderr)
+		}
+		if !strings.Contains(stdout, "rule hits:") {
+			t.Errorf("%v: no rule-hits section:\n%s", pair, stdout)
+		}
+	}
+}
+
+// TestDriftWarnsButExitsZero: rule-hit drift beyond -warn-pct is
+// reported on stderr yet the exit stays 0 unless -fail-on-drift.
+func TestDriftWarnsButExitsZero(t *testing.T) {
+	_, reportPath := writeRunArtifacts(t)
+	b, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep confanon.RunReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatal(err)
+	}
+	// Double one rule's hits and add a confirmed leak: both must warn.
+	for id := range rep.Counters {
+		if strings.HasPrefix(id, "confanon_rule_hits_total") {
+			rep.Counters[id] *= 2
+		}
+	}
+	rep.Counters[`confanon_leaks_total{kind="asn",severity="confirmed"}`] = 1
+	drifted := filepath.Join(t.TempDir(), "drifted.json")
+	b, _ = json.Marshal(&rep)
+	if err := os.WriteFile(drifted, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, _, stderr := runTool(t, reportPath, drifted)
+	if code != exitOK {
+		t.Fatalf("warn-only run exited %d; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "DRIFT: rule") {
+		t.Errorf("no rule drift warning:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "confirmed leaks") {
+		t.Errorf("no confirmed-leak warning:\n%s", stderr)
+	}
+
+	if code, _, _ = runTool(t, "-fail-on-drift", reportPath, drifted); code != exitDrift {
+		t.Errorf("-fail-on-drift exit %d, want %d", code, exitDrift)
+	}
+	// Widening the tolerance past the change silences the rule warning
+	// but not the leak rise, which always warns.
+	code, _, stderr = runTool(t, "-warn-pct", "150", reportPath, drifted)
+	if code != exitOK || strings.Contains(stderr, "DRIFT: rule") {
+		t.Errorf("warn-pct=150 still warned on rules (exit %d):\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "confirmed leaks") {
+		t.Errorf("leak rise suppressed by warn-pct:\n%s", stderr)
+	}
+}
+
+// TestFailedFilesWarn: a failed-file count rising above the baseline is
+// drift regardless of percentages.
+func TestFailedFilesWarn(t *testing.T) {
+	_, reportPath := writeRunArtifacts(t)
+	var rep confanon.RunReport
+	b, _ := os.ReadFile(reportPath)
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatal(err)
+	}
+	rep.FilesFailed = 1
+	failed := filepath.Join(t.TempDir(), "failed.json")
+	b, _ = json.Marshal(&rep)
+	if err := os.WriteFile(failed, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, stderr := runTool(t, reportPath, failed); !strings.Contains(stderr, "failed files rose") {
+		t.Errorf("no failed-files warning:\n%s", stderr)
+	}
+}
+
+func TestParseSeries(t *testing.T) {
+	for _, tc := range []struct {
+		id, name string
+		labels   map[string]string
+	}{
+		{"confanon_lines_total", "confanon_lines_total", nil},
+		{`confanon_rule_hits_total{rule="I1-address-netmask-pair"}`,
+			"confanon_rule_hits_total", map[string]string{"rule": "I1-address-netmask-pair"}},
+		{`confanon_leaks_total{kind="asn",severity="confirmed"}`,
+			"confanon_leaks_total", map[string]string{"kind": "asn", "severity": "confirmed"}},
+		{`x{k="a\"b"}`, "x", map[string]string{"k": `a"b`}},
+	} {
+		name, labels := parseSeries(tc.id)
+		if name != tc.name {
+			t.Errorf("parseSeries(%q) name = %q, want %q", tc.id, name, tc.name)
+		}
+		if len(labels) != len(tc.labels) {
+			t.Errorf("parseSeries(%q) labels = %v, want %v", tc.id, labels, tc.labels)
+			continue
+		}
+		for k, v := range tc.labels {
+			if labels[k] != v {
+				t.Errorf("parseSeries(%q) label %s = %q, want %q", tc.id, k, labels[k], v)
+			}
+		}
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"confanon/internal/anonymizer"
 	"confanon/internal/config"
 	"confanon/internal/cregex"
+	"confanon/internal/trace"
 	"confanon/internal/validate"
 )
 
@@ -79,6 +80,41 @@ func Rules() []RuleInfo { return anonymizer.Rules() }
 // Leak is one suspicious token in anonymized output.
 type Leak = anonymizer.Leak
 
+// Tracer collects the span hierarchy and provenance ledger of a traced
+// run (see internal/trace). Wire one through Options.Tracer, run, then
+// export with Tracer.WriteJSONL. One Tracer may observe several
+// Sessions; its clock and span IDs are shared across them.
+type Tracer = trace.Tracer
+
+// NewTracer returns an empty Tracer whose clock starts now.
+func NewTracer() *Tracer { return trace.NewTracer() }
+
+// TraceSchema identifies the JSONL trace layout Tracer.WriteJSONL emits
+// (the first line of every trace file carries it).
+const TraceSchema = trace.Schema
+
+// Span is one timed node of a trace: corpus → file → stage → rule.
+type Span = trace.Span
+
+// Decision is one provenance ledger entry: which rule did what to one
+// token of one line, and the anonymized replacement it produced. The
+// ledger never records the cleartext being replaced.
+type Decision = trace.Decision
+
+// TraceFile is a parsed trace: the reader-side counterpart of a Tracer,
+// with Explain and FileDecisions query helpers.
+type TraceFile = trace.File
+
+// ErrTraceSchema is returned by ReadTrace for a stream whose header
+// does not carry TraceSchema — the signal for format-sniffing readers
+// (cmd/conftrace) to try another parser.
+var ErrTraceSchema = trace.ErrSchema
+
+// ReadTrace parses a TraceSchema JSONL stream (as written by
+// Tracer.WriteJSONL). Unknown record types are skipped; a missing or
+// foreign schema header is an error.
+func ReadTrace(r io.Reader) (*TraceFile, error) { return trace.ReadJSONL(r) }
+
 // Options configures an Anonymizer.
 type Options struct {
 	// Salt is the network owner's secret; it keys every mapping.
@@ -110,6 +146,14 @@ type Options struct {
 	// flattened snapshot. Nil disables all metric plumbing (the engine
 	// hot path is untouched either way; see DESIGN.md §3d).
 	Metrics *MetricsRegistry
+	// Tracer, when set, records the run's span hierarchy (corpus → file
+	// → stage → rule) and its provenance ledger — one entry per
+	// anonymization decision, carrying only the anonymized replacement,
+	// never the cleartext it replaced. Nil disables all tracing at the
+	// cost of one predictable branch per decision site (see DESIGN.md
+	// §3f). Tracing does not alter output: a traced run is byte-identical
+	// to an untraced one.
+	Tracer *Tracer
 }
 
 // Program is the immutable compiled half of the anonymizer: the pass-list
@@ -138,6 +182,7 @@ func Compile(opts Options) *Program {
 			Style:        opts.Style,
 			KeepComments: opts.KeepComments,
 			StatelessIP:  opts.StatelessIP,
+			Tracer:       opts.Tracer,
 		}),
 		opts: opts,
 	}

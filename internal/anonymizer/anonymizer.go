@@ -7,6 +7,7 @@ import (
 	"confanon/internal/cregex"
 	"confanon/internal/ipanon"
 	"confanon/internal/passlist"
+	"confanon/internal/trace"
 )
 
 // Options configures an Anonymizer.
@@ -30,6 +31,12 @@ type Options struct {
 	// anonymizer instances consistent with each other and therefore
 	// parallelizable (and single-pass streamable: see StreamText).
 	StatelessIP bool
+	// Tracer, when set, records a hierarchical span trace (corpus →
+	// file → stage → rule) and a provenance ledger of every
+	// anonymization decision. The ledger carries only anonymized
+	// replacements, never cleartext (trace.go); nil — the default —
+	// keeps the hot path free of any tracing cost.
+	Tracer *trace.Tracer
 }
 
 // Anonymizer is one single-goroutine worker of a Session: it rewrites
@@ -76,6 +83,19 @@ type Anonymizer struct {
 	// location (fault.go).
 	curFile string
 	curLine int
+
+	// Tracing state (trace.go): the Session's tracer (nil = untraced),
+	// the batch-level corpus span this worker's file spans nest under,
+	// the open file span with its rule-counter baselines, the buffered
+	// provenance decisions of the file in flight, and the last rule that
+	// fired on the current line (ledger attribution).
+	tracer     *trace.Tracer
+	corpusSpan trace.SpanID
+	fileSpan   *trace.Span
+	fileHits   [numRules]int64
+	fileTime   [numRules]int64
+	pending    []trace.Decision
+	curRule    RuleID
 
 	// Leak recorder (§6.1), pending half: every public ASN, hashed word,
 	// and mapped original address this worker has seen since its last
@@ -156,6 +176,7 @@ func (a *Anonymizer) hit(r RuleID) {
 	i := ruleIndex[r]
 	a.stats.ruleHits[i]++
 	a.lineHits = append(a.lineHits, i)
+	a.curRule = r
 }
 
 // AnonymizeText anonymizes one configuration file. The input is prescanned

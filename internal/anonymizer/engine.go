@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"confanon/internal/token"
+	"confanon/internal/trace"
 )
 
 // The engine owns line iteration, token segmentation, and per-rule
@@ -55,12 +56,18 @@ func (a *Anonymizer) runFile(next func() (string, bool), emit func(string)) {
 func (a *Anonymizer) runLine(line string, st *fileState) (string, bool) {
 	a.stats.Lines++
 	a.curLine++
+	a.curRule = ""
 	if faultHook != nil {
 		faultHook(a.curFile, a.curLine)
 	}
 	start := time.Now()
 	res, keep := a.processLine(line, st)
 	a.attribute(time.Since(start))
+	if !keep && a.tracer != nil {
+		// A dropped line is one decision: the comment/banner rule that
+		// removed it, with no replacement to record.
+		a.decide(trace.ClassDropped, "")
+	}
 	return res, keep
 }
 

@@ -58,6 +58,7 @@ func SetFaultHook(h func(name string, line int)) { faultHook = h }
 func (a *Anonymizer) recoverFile(name string, snap Stats, ferr **FileError) {
 	if v := recover(); v != nil {
 		*ferr = &FileError{Name: name, Line: a.curLine, Cause: &PanicError{Value: v}}
+		a.failFileSpan(*ferr)
 		a.rollback(snap)
 	}
 }
@@ -68,9 +69,13 @@ func (a *Anonymizer) recoverFile(name string, snap Stats, ferr **FileError) {
 // metrics registry) is reconciled immediately: the flush after a
 // restore emits negative deltas, backing the aborted file's partial
 // counts out of the shared totals so they keep tracking Stats exactly.
+// The buffered provenance decisions are discarded with the counters —
+// they publish only at a file span's clean end, so a rolled-back file
+// leaves no partial ledger records.
 func (a *Anonymizer) rollback(snap Stats) {
 	a.stats = snap
 	a.lineHits = a.lineHits[:0]
+	a.pending = a.pending[:0]
 	a.flush()
 }
 
@@ -86,7 +91,9 @@ func (a *Anonymizer) SafeAnonymizeText(name, text string) (out string, ferr *Fil
 	snap := a.stats.Clone()
 	defer a.recoverFile(name, snap, &ferr)
 	a.curFile, a.curLine = name, 0
+	a.beginFileSpan(name, "rewrite")
 	out = a.AnonymizeText(text)
+	a.endFileSpan()
 	return out, nil
 }
 
@@ -96,7 +103,9 @@ func (a *Anonymizer) SafePrescan(name, text string) (ferr *FileError) {
 	snap := a.stats.Clone()
 	defer a.recoverFile(name, snap, &ferr)
 	a.curFile, a.curLine = name, 0
+	a.beginFileSpan(name, "prescan")
 	a.Prescan(text)
+	a.endFileSpan()
 	return nil
 }
 
@@ -109,11 +118,14 @@ func (a *Anonymizer) SafeStreamText(name string, r io.Reader, w io.Writer) (ferr
 	snap := a.stats.Clone()
 	defer a.recoverFile(name, snap, &ferr)
 	a.curFile, a.curLine = name, 0
+	a.beginFileSpan(name, "stream")
 	if err := a.StreamText(r, w); err != nil {
-		line := a.curLine
+		fe := &FileError{Name: name, Line: a.curLine, Cause: err}
+		a.failFileSpan(fe)
 		a.rollback(snap)
-		return &FileError{Name: name, Line: line, Cause: err}
+		return fe
 	}
+	a.endFileSpan()
 	return nil
 }
 

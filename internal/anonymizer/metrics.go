@@ -185,10 +185,14 @@ func (a *Anonymizer) flushRecorder() {
 	clear(a.seenIPs)
 }
 
-// observeStage records one stage latency when a registry is wired.
+// observeStage records one stage latency when a registry is wired, and
+// the matching retroactive stage span when a tracer is.
 func (a *Anonymizer) observeStage(stage string, d time.Duration) {
 	if a.metrics != nil {
 		a.metrics.stageSeconds.With(stage).ObserveDuration(d)
+	}
+	if a.tracer != nil {
+		a.traceStage(stage, d)
 	}
 }
 

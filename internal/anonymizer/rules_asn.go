@@ -6,6 +6,7 @@ import (
 
 	"confanon/internal/asn"
 	"confanon/internal/token"
+	"confanon/internal/trace"
 )
 
 // ASN-location entries (A1–A12) and the ASN/community token mappers they
@@ -219,7 +220,11 @@ func (a *Anonymizer) mapCommunityToken(w string) string {
 			a.recordASN(asnHalf)
 		}
 		ma, mv := asn.MapCommunity(a.perms.ASN, a.perms.Value, asnHalf, val)
-		return strconv.FormatUint(uint64(ma), 10) + ":" + strconv.FormatUint(uint64(mv), 10)
+		out := strconv.FormatUint(uint64(ma), 10) + ":" + strconv.FormatUint(uint64(mv), 10)
+		if a.tracer != nil {
+			a.decide(trace.ClassCommunity, out)
+		}
+		return out
 	}
 	if token.IsInteger(w) {
 		v, err := strconv.ParseUint(w, 10, 64)
@@ -231,11 +236,19 @@ func (a *Anonymizer) mapCommunityToken(w string) string {
 				a.recordASN(hi)
 			}
 			ma, mv := asn.MapCommunity(a.perms.ASN, a.perms.Value, hi, lo)
-			return strconv.FormatUint(uint64(ma)<<16|uint64(mv), 10)
+			out := strconv.FormatUint(uint64(ma)<<16|uint64(mv), 10)
+			if a.tracer != nil {
+				a.decide(trace.ClassCommunity, out)
+			}
+			return out
 		}
 		if err == nil && v <= 0xFFFF {
 			a.stats.CommunitiesMapped++
-			return strconv.FormatUint(uint64(a.perms.Value.Map(uint32(v))), 10)
+			out := strconv.FormatUint(uint64(a.perms.Value.Map(uint32(v))), 10)
+			if a.tracer != nil {
+				a.decide(trace.ClassCommunity, out)
+			}
+			return out
 		}
 	}
 	return a.forceHash(w)
@@ -251,11 +264,15 @@ func (a *Anonymizer) mapASNToken(w string) string {
 		return a.forceHash(w)
 	}
 	out := a.perms.ASN.Map(uint32(v))
+	res := strconv.FormatUint(uint64(out), 10)
 	if out != uint32(v) {
 		a.stats.ASNsMapped++
 		a.recordASN(uint32(v))
+		if a.tracer != nil {
+			a.decide(trace.ClassASN, res)
+		}
 	}
-	return strconv.FormatUint(uint64(out), 10)
+	return res
 }
 
 // mapAddrToken maps a dotted-quad token, preserving non-addresses.
@@ -270,7 +287,11 @@ func (a *Anonymizer) mapAddrToken(w string) string {
 	if out != v {
 		a.seenIPs[v] = true
 	}
-	return token.FormatIPv4(out)
+	res := token.FormatIPv4(out)
+	if a.tracer != nil {
+		a.decide(trace.ClassIP, res)
+	}
+	return res
 }
 
 func (a *Anonymizer) recordASN(v uint32) {

@@ -6,6 +6,7 @@ import (
 
 	"confanon/internal/config"
 	"confanon/internal/token"
+	"confanon/internal/trace"
 )
 
 // The generic word pass: the engine's terminal stage, where the
@@ -42,6 +43,7 @@ func (a *Anonymizer) genericCores(words []string, st *fileState) {
 		if a.sensitiveTokens[w] {
 			// Operator-added rule: treat a numeric token as an ASN,
 			// anything else as a hashable word.
+			a.curRule = pseudoRuleOperator
 			if token.IsInteger(w) {
 				words[i] = a.mapASNToken(w)
 			} else {
@@ -100,6 +102,9 @@ func (a *Anonymizer) genericCores(words []string, st *fileState) {
 				a.seenIPs[net] = true
 			}
 			words[i] = token.FormatIPv4(mapped) + "/" + strconv.Itoa(length)
+			if a.tracer != nil {
+				a.decide(trace.ClassIP, words[i])
+			}
 			continue
 		}
 		if _, _, ok := token.ParseCommunity(w); ok {
@@ -126,13 +131,21 @@ func (a *Anonymizer) mapWithPrefix(addr uint32, length int) string {
 		a.seenIPs[net] = true
 	}
 	if addr == net {
-		return token.FormatIPv4(mappedNet)
+		res := token.FormatIPv4(mappedNet)
+		if a.tracer != nil {
+			a.decide(trace.ClassIP, res)
+		}
+		return res
 	}
 	out := a.ip.MapV4(addr)
 	if out != addr {
 		a.seenIPs[addr] = true
 	}
-	return token.FormatIPv4(out)
+	res := token.FormatIPv4(out)
+	if a.tracer != nil {
+		a.decide(trace.ClassIP, res)
+	}
+	return res
 }
 
 // hashIfPrivileged applies the basic method to one word: segment (S1/S2),
@@ -148,6 +161,9 @@ func (a *Anonymizer) hashIfPrivileged(w string) string {
 	// "route-map" and "access-list" are listed as units.
 	if a.pass.Contains(w) {
 		a.stats.TokensPassed++
+		if a.tracer != nil {
+			a.decideAs(pseudoRuleBasic, trace.ClassPassed, w)
+		}
 		return w
 	}
 	segs := token.SplitWord(w)
@@ -181,9 +197,16 @@ func (a *Anonymizer) hashIfPrivileged(w string) string {
 		changed = true
 	}
 	if !changed {
+		if a.tracer != nil {
+			a.decideAs(pseudoRuleBasic, trace.ClassPassed, w)
+		}
 		return w
 	}
-	return b.String()
+	res := b.String()
+	if a.tracer != nil {
+		a.decideAs(pseudoRuleBasic, trace.ClassHashed, res)
+	}
+	return res
 }
 
 // forceHash hashes a whole token regardless of the pass-list; used where
@@ -192,7 +215,11 @@ func (a *Anonymizer) hashIfPrivileged(w string) string {
 func (a *Anonymizer) forceHash(w string) string {
 	a.stats.TokensHashed++
 	a.seenWords[w] = true
-	return hashWord(a.opts.Salt, w)
+	out := hashWord(a.opts.Salt, w)
+	if a.tracer != nil {
+		a.decide(trace.ClassHashed, out)
+	}
+	return out
 }
 
 // hashAllSegments hashes every alphabetic segment of a word, keeping the
@@ -208,5 +235,9 @@ func (a *Anonymizer) hashAllSegments(w string) string {
 			b.WriteString(s.Text)
 		}
 	}
-	return b.String()
+	res := b.String()
+	if a.tracer != nil {
+		a.decide(trace.ClassHashed, res)
+	}
+	return res
 }

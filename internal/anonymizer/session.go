@@ -7,6 +7,7 @@ import (
 	"confanon/internal/config"
 	"confanon/internal/ipanon"
 	"confanon/internal/metrics"
+	"confanon/internal/trace"
 )
 
 // Session is the mutable per-owner half of the anonymizer: the IP
@@ -56,6 +57,13 @@ type Session struct {
 	reg *metrics.Registry
 	met *sessionMetrics
 
+	// tracer is the span/ledger recorder every worker of this Session
+	// writes into (copied from Options.Tracer at NewSession; nil =
+	// untraced). Census sessions (NewCensus) always run untraced: their
+	// files are throwaway rehearsals whose spans and decisions would
+	// duplicate the real rewrite's.
+	tracer *trace.Tracer
+
 	pool sync.Pool
 }
 
@@ -100,6 +108,7 @@ func (p *Program) newSession(mapper ipanon.Mapper) *Session {
 	}
 	empty := make(map[string]bool)
 	s.sensTok.Store(&empty)
+	s.tracer = p.opts.Tracer
 	return s
 }
 
@@ -153,6 +162,7 @@ func (s *Session) newWorker() *Anonymizer {
 		seenWords:       make(map[string]bool),
 		seenIPs:         make(map[uint32]bool),
 		sensitiveTokens: *s.sensTok.Load(),
+		tracer:          s.tracer,
 	}
 	if s.reg != nil {
 		a.metrics = newEngineMetrics(s.reg)
@@ -300,6 +310,7 @@ func (s *Session) NewCensus() (*Anonymizer, *ipanon.Trace) {
 	tr := &ipanon.Trace{}
 	mute := s.prog.newSession(tr)
 	mute.sensTok.Store(s.sensTok.Load())
+	mute.tracer = nil // census rehearsals must not emit spans or ledger entries
 	return mute.Acquire(), tr
 }
 

@@ -1,0 +1,150 @@
+package anonymizer
+
+import (
+	"strconv"
+	"time"
+
+	"confanon/internal/trace"
+)
+
+// The tracing bridge. Like the metrics bridge (metrics.go) it keeps the
+// hot path untouched when unwired: every call site guards on the
+// worker's tracer pointer, so a nil tracer costs one predictable branch
+// per decision site and nothing else. When wired, the worker buffers
+// its provenance decisions privately (pending) and publishes them at
+// the successful end of each file span — the ledger-side mirror of the
+// Stats delta flush, with the same rollback contract: a file that fails
+// mid-way discards its buffered decisions, so failed and quarantined
+// files leave no partial provenance records. The file's span is still
+// published, marked failed; failures are traced, never dropped.
+//
+// Span nesting: batch layers open one corpus span and hand its ID to
+// every worker they Acquire (SetCorpusSpan); the engine opens a file
+// span per Safe* call, parents the retroactive stage spans under it
+// (or under the corpus span when no file is open — standalone prescans,
+// leak-report passes), and synthesizes per-rule spans under each
+// rewrite stage from the per-file rule-hit deltas.
+
+// Pseudo-rule ids for ledger attribution of decisions no registry rule
+// dispatches: the §4.1 basic method (segmentation + pass-list + hash)
+// and operator-added sensitive tokens. Deliberately not in the registry
+// — they have no hit counters, only ledger attribution.
+const (
+	pseudoRuleBasic    RuleID = "B0-basic-method"
+	pseudoRuleOperator RuleID = "O0-operator-token"
+)
+
+// SetCorpusSpan parents this worker's subsequent file and stage spans
+// under a batch-level corpus span (zero = root). The batch layer calls
+// it after Acquire; single-file callers never need to.
+func (a *Anonymizer) SetCorpusSpan(id trace.SpanID) { a.corpusSpan = id }
+
+// decideAs buffers one provenance ledger entry with explicit rule
+// attribution. Callers guard with a.tracer != nil; out must be the
+// anonymized replacement (never the cleartext being replaced).
+func (a *Anonymizer) decideAs(rule RuleID, class, out string) {
+	var span trace.SpanID
+	if a.fileSpan != nil {
+		span = a.fileSpan.ID
+	}
+	a.pending = append(a.pending, trace.Decision{
+		File:  a.curFile,
+		Line:  a.curLine,
+		Rule:  string(rule),
+		Class: class,
+		Out:   out,
+		Span:  span,
+	})
+}
+
+// decide buffers one ledger entry attributed to the last rule that
+// fired on the current line (the dispatching rule at every call site
+// that reaches a mapping helper), falling back to the basic-method
+// pseudo-rule when no rule has fired yet.
+func (a *Anonymizer) decide(class, out string) {
+	rule := a.curRule
+	if rule == "" {
+		rule = pseudoRuleBasic
+	}
+	a.decideAs(rule, class, out)
+}
+
+// beginFileSpan opens the span covering one Safe* call on one file and
+// snapshots the per-rule counters, so the rewrite stage can synthesize
+// rule spans from this file's deltas alone. op names the operation
+// ("prescan", "rewrite", "stream") — in a serial corpus a file is
+// prescanned and rewritten in separate calls and gets one span per.
+func (a *Anonymizer) beginFileSpan(name, op string) {
+	if a.tracer == nil {
+		return
+	}
+	a.fileSpan = a.tracer.StartSpan(trace.KindFile, name, a.corpusSpan)
+	a.fileSpan.SetAttr("op", op)
+	a.fileHits = a.stats.ruleHits
+	a.fileTime = a.stats.ruleTimeNs
+}
+
+// endFileSpan closes the current file span cleanly and publishes the
+// file's buffered ledger entries.
+func (a *Anonymizer) endFileSpan() {
+	if a.tracer == nil || a.fileSpan == nil {
+		return
+	}
+	sp := a.fileSpan
+	a.fileSpan = nil
+	a.tracer.Publish(a.pending)
+	a.pending = a.pending[:0]
+	a.tracer.End(sp, trace.StatusOK)
+}
+
+// failFileSpan closes the current file span as failed — annotated with
+// the failing line and cause — and discards the file's buffered ledger
+// entries (rollback also discards them; this keeps the two paths
+// independent). A failed file's spans are marked, never dropped.
+func (a *Anonymizer) failFileSpan(ferr *FileError) {
+	if a.tracer == nil || a.fileSpan == nil {
+		return
+	}
+	sp := a.fileSpan
+	a.fileSpan = nil
+	sp.SetAttr("line", strconv.Itoa(ferr.Line))
+	sp.AddEvent(a.tracer.Now(), ferr.Cause.Error())
+	a.pending = a.pending[:0]
+	a.tracer.End(sp, trace.StatusFailed)
+}
+
+// traceStage records one pipeline stage retroactively (the engine times
+// stages whether or not anything observes them), parented under the
+// open file span — or the corpus span for standalone prescans and
+// leak-report passes. The rewrite stage additionally gets per-rule
+// child spans from the file's rule-hit deltas.
+func (a *Anonymizer) traceStage(stage string, d time.Duration) {
+	parent := a.corpusSpan
+	if a.fileSpan != nil {
+		parent = a.fileSpan.ID
+	}
+	start := a.tracer.Now() - int64(d)
+	if start < 0 {
+		start = 0
+	}
+	id := a.tracer.RecordSpan(trace.KindStage, stage, parent, start, int64(d), trace.StatusOK)
+	if stage == stageRewrite && a.fileSpan != nil {
+		a.traceRuleSpans(id, start)
+	}
+}
+
+// traceRuleSpans synthesizes one span per rule that fired during the
+// file, under the rewrite stage span: its duration is the wall time the
+// engine attributed to the rule within this file, its "hits" attribute
+// the per-file firing count.
+func (a *Anonymizer) traceRuleSpans(parent trace.SpanID, startNs int64) {
+	for i := range a.stats.ruleHits {
+		hits := a.stats.ruleHits[i] - a.fileHits[i]
+		if hits == 0 {
+			continue
+		}
+		dur := a.stats.ruleTimeNs[i] - a.fileTime[i]
+		a.tracer.RecordSpan(trace.KindRule, string(ruleInfos[i].ID), parent, startNs, dur, trace.StatusOK,
+			trace.Attr{Key: "hits", Value: strconv.FormatInt(hits, 10)})
+	}
+}

@@ -127,8 +127,17 @@ func writeSeries(w io.Writer, f *family, s *series) error {
 	lbl := func(extra ...string) string { return renderLabels(f.labelKeys, s.labelVals, extra) }
 	switch {
 	case s.c != nil:
-		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, lbl(), s.c.Value())
-		return err
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", f.name, lbl(), s.c.Value()); err != nil {
+			return err
+		}
+		if ex := s.c.Exemplar(); ex != "" {
+			// A comment line: Prometheus 0.0.4 consumers and ParseText
+			// skip it, scrape-debugging humans get the context.
+			if _, err := fmt.Fprintf(w, "# exemplar %s%s %s\n", f.name, lbl(), escapeHelp(ex)); err != nil {
+				return err
+			}
+		}
+		return nil
 	case s.g != nil:
 		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, lbl(), s.g.Value())
 		return err

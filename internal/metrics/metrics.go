@@ -41,6 +41,11 @@ import (
 // boundaries the value is monotonic.
 type Counter struct {
 	v atomic.Int64
+	// exemplar holds the last SetExemplar annotation (a string, e.g.
+	// `request_id="ab12"`), exposed as a comment line alongside the
+	// series — exemplar-style context without departing from the 0.0.4
+	// text format this package's ParseText round-trips.
+	exemplar atomic.Pointer[string]
 }
 
 // Inc adds one.
@@ -51,6 +56,27 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
+
+// SetExemplar attaches (or, with "", clears) a free-form annotation tying
+// the series to one recent contributing event — typically a request or
+// trace id. The exposition renders it as a `# exemplar` comment line, so
+// every 0.0.4 consumer (and ParseText) skips it; it never affects the
+// value or the series identity.
+func (c *Counter) SetExemplar(note string) {
+	if note == "" {
+		c.exemplar.Store(nil)
+		return
+	}
+	c.exemplar.Store(&note)
+}
+
+// Exemplar returns the current annotation ("" when unset).
+func (c *Counter) Exemplar() string {
+	if p := c.exemplar.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
 
 // Gauge is a settable instantaneous value.
 type Gauge struct {

@@ -170,3 +170,52 @@ func TestSampleID(t *testing.T) {
 		t.Fatalf("unlabeled ID = %q", got)
 	}
 }
+
+func TestCounterExemplar(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("req_total", "requests", "code")
+	c := v.With("200")
+	c.Inc()
+
+	// No exemplar yet: the series renders without a comment.
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "# exemplar") {
+		t.Fatalf("exemplar comment before any was set:\n%s", buf.String())
+	}
+
+	c.SetExemplar(`request_id="abc123"`)
+	if got := c.Exemplar(); got != `request_id="abc123"` {
+		t.Fatalf("Exemplar() = %q", got)
+	}
+	buf.Reset()
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# exemplar req_total{code="200"} request_id="abc123"`
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("exposition lacks %q:\n%s", want, buf.String())
+	}
+
+	// The exemplar is a comment: parsing, snapshots, and values are
+	// unaffected by it.
+	parsed, err := ParseText(buf.String())
+	if err != nil {
+		t.Fatalf("exposition with exemplar no longer parses: %v", err)
+	}
+	if parsed[`req_total{code="200"}`] != 1 {
+		t.Fatalf("parsed value = %v, want 1", parsed[`req_total{code="200"}`])
+	}
+
+	// Clearing removes the comment again.
+	c.SetExemplar("")
+	buf.Reset()
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "# exemplar") {
+		t.Fatalf("exemplar comment survived clearing:\n%s", buf.String())
+	}
+}

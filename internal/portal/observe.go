@@ -83,7 +83,10 @@ func (s *Store) mountObservability(mux *http.ServeMux) {
 	mux.HandleFunc("/debug/pprof/trace", s.requireAdmin(pprof.Trace))
 }
 
-// withRequestMetrics counts every request and observes its latency.
+// withRequestMetrics counts every request and observes its latency,
+// annotating each series with the last contributing request's trace id
+// (an exemplar-style `# exemplar` comment in the exposition, so one
+// anomalous count can be chased back to its request log line).
 // A no-op pass-through when no registry is wired.
 func (s *Store) withRequestMetrics(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -97,7 +100,11 @@ func (s *Store) withRequestMetrics(h http.Handler) http.Handler {
 		if rec.status == 0 {
 			rec.status = http.StatusOK
 		}
-		s.requests.With(r.Method, strconv.Itoa(rec.status)).Inc()
+		ctr := s.requests.With(r.Method, strconv.Itoa(rec.status))
+		ctr.Inc()
+		if id := RequestID(r); id != "" {
+			ctr.SetExemplar(`request_id="` + id + `"`)
+		}
 		s.latency.Observe(time.Since(start).Seconds())
 	})
 }

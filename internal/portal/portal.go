@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
@@ -179,9 +180,12 @@ type Store struct {
 	// internal; the blind thread never shows them to owners).
 	apiKeys map[string]string
 	limits  Limits
-	// logger receives the request log and recovered-panic reports; nil
-	// means log.Default().
-	logger *log.Logger
+	// slogger receives the structured request log and recovered-panic
+	// reports; logger is the legacy handle SetLogger keeps for callers
+	// built against the *log.Logger API (it feeds slogger through the
+	// shim). Both nil means slog.Default() / log.Default().
+	slogger *slog.Logger
+	logger  *log.Logger
 	// reg, requests, latency are the observability wiring (SetMetrics);
 	// adminToken gates GET /metrics and /debug/pprof/* (SetAdminToken).
 	// All are configured before serving, like limits and logger.
@@ -211,15 +215,38 @@ func (s *Store) SetLimits(l Limits) { s.limits = l }
 // Limits returns the store's active limits.
 func (s *Store) Limits() Limits { return s.limits }
 
-// SetLogger directs the request log and panic reports (nil restores
-// log.Default()).
-func (s *Store) SetLogger(l *log.Logger) { s.logger = l }
+// SetSlogger directs the structured request log and panic reports (nil
+// restores slog.Default()). The portal logs with fields — request id,
+// owner, route, status, duration — so any slog.Handler can route them.
+func (s *Store) SetSlogger(l *slog.Logger) {
+	s.slogger = l
+	s.logger = nil
+}
+
+// SetLogger is the compatibility shim for callers still wiring a
+// *log.Logger: the structured log renders as "msg k=v ..." lines
+// through it (nil restores the defaults). New code wants SetSlogger.
+func (s *Store) SetLogger(l *log.Logger) {
+	s.logger = l
+	if l == nil {
+		s.slogger = nil
+		return
+	}
+	s.slogger = shimSlog(l)
+}
 
 func (s *Store) log() *log.Logger {
 	if s.logger != nil {
 		return s.logger
 	}
 	return log.Default()
+}
+
+func (s *Store) slog() *slog.Logger {
+	if s.slogger != nil {
+		return s.slogger
+	}
+	return slog.Default()
 }
 
 // AddResearcher registers an API key for a researcher account.
@@ -327,8 +354,10 @@ func (s *Store) Comments(id string) []Comment {
 }
 
 // Handler builds the HTTP API, wrapped in the hardening middleware:
-// panic recovery (a handler panic becomes a logged 500, not a dead
-// connection or a crashed portal) and request logging.
+// request-id assignment (outermost, so every log line and metric
+// exemplar carries the id), panic recovery (a handler panic becomes a
+// logged 500, not a dead connection or a crashed portal), and
+// structured request logging.
 func (s *Store) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /datasets", s.handleUpload)
@@ -340,7 +369,20 @@ func (s *Store) Handler() http.Handler {
 	mux.HandleFunc("GET /datasets/{id}/comments", s.handleGetComments)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mountObservability(mux)
-	return WithRecovery(s.log(), WithLogging(s.log(), s.withRequestMetrics(mux)))
+	return WithRequestID(withSlogRecovery(s.slog(),
+		withSlogLogging(s.slog(), s.principal, s.withRequestMetrics(mux))))
+}
+
+// principal names the request's authenticated party for the log's owner
+// field: the researcher's registered handle, or "-" for everyone else.
+// Owner tokens travel in bodies and query strings the log never reads,
+// so owner-authenticated requests stay "-" — anonymity holds in the
+// operator's own logs.
+func (s *Store) principal(r *http.Request) string {
+	if h := s.researcher(r); h != "" {
+		return h
+	}
+	return "-"
 }
 
 // handleHealthz is the liveness probe: unauthenticated, cheap, and

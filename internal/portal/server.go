@@ -9,10 +9,15 @@ package portal
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
+	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"runtime/debug"
+	"strings"
 	"time"
 )
 
@@ -34,11 +39,47 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 	return r.ResponseWriter.Write(p)
 }
 
-// WithLogging logs one line per request: method, path, status, duration,
-// and remote address. Never the X-API-Key header or an owner token —
-// query strings are deliberately omitted because owner tokens travel
-// there.
+// requestIDKey carries the per-request trace id through the context.
+type requestIDKey struct{}
+
+// RequestID returns the request's trace id ("" outside WithRequestID).
+func RequestID(r *http.Request) string {
+	id, _ := r.Context().Value(requestIDKey{}).(string)
+	return id
+}
+
+// WithRequestID assigns every request a random trace id, stores it in
+// the request context, and echoes it in the X-Request-Id response
+// header — the same id the request log and the metrics exemplars carry,
+// so one client-reported failure can be matched to its log line and its
+// series annotation.
+func WithRequestID(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var b [6]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			panic("portal: no entropy: " + err.Error())
+		}
+		id := hex.EncodeToString(b[:])
+		w.Header().Set("X-Request-Id", id)
+		h.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id)))
+	})
+}
+
+// WithLogging logs one structured line per request: request id, owner
+// (the authenticated principal's role, when the store middleware
+// resolves one), route, status, duration, and remote address. Never the
+// X-API-Key header or an owner token — query strings are deliberately
+// omitted because owner tokens travel there.
+//
+// The *log.Logger form is the compatibility shim around the slog-based
+// implementation; new callers wire a *slog.Logger via Store.SetSlogger.
 func WithLogging(logger *log.Logger, h http.Handler) http.Handler {
+	return withSlogLogging(shimSlog(logger), nil, h)
+}
+
+// withSlogLogging is the structured request log. principal, when
+// non-nil, names the request's authenticated party ("-" for anonymous).
+func withSlogLogging(logger *slog.Logger, principal func(*http.Request) string, h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w}
 		start := time.Now()
@@ -46,8 +87,17 @@ func WithLogging(logger *log.Logger, h http.Handler) http.Handler {
 		if rec.status == 0 {
 			rec.status = http.StatusOK
 		}
-		logger.Printf("%s %s %d %s %s", r.Method, r.URL.Path, rec.status,
-			time.Since(start).Round(time.Microsecond), r.RemoteAddr)
+		owner := "-"
+		if principal != nil {
+			owner = principal(r)
+		}
+		logger.Info("request",
+			slog.String("request_id", RequestID(r)),
+			slog.String("owner", owner),
+			slog.String("route", r.Method+" "+r.URL.Path),
+			slog.Int("status", rec.status),
+			slog.Duration("duration", time.Since(start).Round(time.Microsecond)),
+			slog.String("remote", r.RemoteAddr))
 	})
 }
 
@@ -55,20 +105,72 @@ func WithLogging(logger *log.Logger, h http.Handler) http.Handler {
 // one malformed request cannot crash the portal or leave the client with
 // a severed connection and no status. http.ErrAbortHandler keeps its
 // special meaning and is re-panicked.
+//
+// Like WithLogging, the *log.Logger form shims onto the slog core.
 func WithRecovery(logger *log.Logger, h http.Handler) http.Handler {
+	return withSlogRecovery(shimSlog(logger), h)
+}
+
+func withSlogRecovery(logger *slog.Logger, h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if v := recover(); v != nil {
 				if v == http.ErrAbortHandler {
 					panic(v)
 				}
-				logger.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+				logger.Error("panic serving request",
+					slog.String("request_id", RequestID(r)),
+					slog.String("route", r.Method+" "+r.URL.Path),
+					slog.Any("panic", v),
+					slog.String("stack", string(debug.Stack())))
 				writeJSON(w, http.StatusInternalServerError, map[string]string{"error": "internal error"})
 			}
 		}()
 		h.ServeHTTP(w, r)
 	})
 }
+
+// shimSlog adapts a legacy *log.Logger into a slog.Logger so the
+// compatibility entry points (SetLogger, the exported middleware forms)
+// feed the same structured core. Lines render as "msg k=v ..." through
+// the wrapped logger, preserving its prefix and flags.
+func shimSlog(l *log.Logger) *slog.Logger {
+	if l == nil {
+		return slog.Default()
+	}
+	return slog.New(&logShim{l: l})
+}
+
+// logShim is the slog.Handler behind shimSlog. It keeps no state beyond
+// WithAttrs accumulation and is safe for concurrent use (the wrapped
+// log.Logger serializes output).
+type logShim struct {
+	l     *log.Logger
+	attrs []slog.Attr
+}
+
+func (h *logShim) Enabled(context.Context, slog.Level) bool { return true }
+
+func (h *logShim) Handle(_ context.Context, r slog.Record) error {
+	var b strings.Builder
+	b.WriteString(r.Message)
+	emit := func(a slog.Attr) bool {
+		fmt.Fprintf(&b, " %s=%v", a.Key, a.Value)
+		return true
+	}
+	for _, a := range h.attrs {
+		emit(a)
+	}
+	r.Attrs(emit)
+	h.l.Print(b.String())
+	return nil
+}
+
+func (h *logShim) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &logShim{l: h.l, attrs: append(append([]slog.Attr(nil), h.attrs...), attrs...)}
+}
+
+func (h *logShim) WithGroup(string) slog.Handler { return h }
 
 // NewServer returns an http.Server for the portal with every connection
 // phase bounded: a peer that stalls on headers, body, response read, or

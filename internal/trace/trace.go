@@ -1,0 +1,386 @@
+// Package trace is the anonymizer's explainability layer: a
+// dependency-free span tracer plus a provenance ledger.
+//
+// The tracer records a hierarchy of spans — corpus → file → stage →
+// rule — with monotonic timing, free-form attributes, and a bounded
+// per-span event buffer. The ledger records every anonymization
+// decision the engine makes: which rule fired, on which line of which
+// file, what class of token it handled, and the anonymized replacement
+// it produced. The ledger deliberately never records the cleartext
+// being replaced: a decision's Out field holds only the value that
+// also appears in the anonymized output (or nothing, for a dropped
+// line), so a trace file is exactly as safe to share as the output it
+// describes.
+//
+// Design constraints, in order:
+//
+//   - Hot-path cost. The engine guards every trace call behind a nil
+//     check on its tracer pointer, so an untraced run pays a predictable
+//     branch and nothing else. A traced run buffers decisions in
+//     worker-local slices and publishes them at file boundaries; the
+//     tracer's mutex is taken per file, never per token.
+//   - Concurrency. StartSpan hands ownership of the span to the calling
+//     goroutine; the tracer is touched again only at End/Record/Publish,
+//     each a short critical section. Any number of workers may trace
+//     into one Tracer.
+//   - Rollback. Decisions buffered for a file that fails mid-way are
+//     discarded with the file's statistics, so a failed or quarantined
+//     file leaves no partial provenance records; its span is still
+//     published, marked failed — failures are traced, never dropped.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Schema identifies the JSONL trace layout (the first line of every
+// trace file carries it).
+const Schema = "confanon.trace/v1"
+
+// SpanID identifies one span within a Tracer; zero means "no parent"
+// (a root span) or "no owning span" (a decision outside any file span).
+type SpanID uint64
+
+// Span kinds, outermost first.
+const (
+	KindCorpus = "corpus"
+	KindFile   = "file"
+	KindStage  = "stage"
+	KindRule   = "rule"
+)
+
+// Span statuses.
+const (
+	StatusOK     = "ok"
+	StatusFailed = "failed"
+)
+
+// Decision token classes.
+const (
+	ClassIP        = "ip"
+	ClassASN       = "asn"
+	ClassCommunity = "community"
+	ClassHashed    = "hashed"
+	ClassPassed    = "passed"
+	ClassDropped   = "dropped"
+)
+
+// MaxSpanEvents bounds one span's event buffer; further events are
+// counted in DroppedEvents instead of stored, so a pathological file
+// cannot balloon its span.
+const MaxSpanEvents = 16
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// Event is one timestamped note inside a span (nanoseconds since the
+// tracer's epoch, like span start times).
+type Event struct {
+	AtNs int64  `json:"at_ns"`
+	Msg  string `json:"msg"`
+}
+
+// Span is one timed node of the trace hierarchy. Between StartSpan and
+// End the span is owned by the starting goroutine: SetAttr and AddEvent
+// must not be called concurrently or after End.
+type Span struct {
+	ID            SpanID  `json:"id"`
+	Parent        SpanID  `json:"parent,omitempty"`
+	Kind          string  `json:"kind"`
+	Name          string  `json:"name"`
+	StartNs       int64   `json:"start_ns"`
+	DurNs         int64   `json:"dur_ns"`
+	Status        string  `json:"status"`
+	Attrs         []Attr  `json:"attrs,omitempty"`
+	Events        []Event `json:"events,omitempty"`
+	DroppedEvents int     `json:"dropped_events,omitempty"`
+}
+
+// SetAttr annotates the span.
+func (s *Span) SetAttr(key, value string) {
+	s.Attrs = append(s.Attrs, Attr{Key: key, Value: value})
+}
+
+// AddEvent appends a timestamped note, bounded by MaxSpanEvents.
+func (s *Span) AddEvent(atNs int64, msg string) {
+	if len(s.Events) >= MaxSpanEvents {
+		s.DroppedEvents++
+		return
+	}
+	s.Events = append(s.Events, Event{AtNs: atNs, Msg: msg})
+}
+
+// Attr returns the value of the named attribute ("" when absent).
+func (s *Span) Attr(key string) string {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// Decision is one provenance ledger entry: what the engine did to one
+// token (or line). Out is the anonymized replacement — the value that
+// appears in the output — never the cleartext it replaced; for a
+// dropped line Out is empty. Rule is the registry id of the deciding
+// rule (best-effort attribution: the last rule that fired on the line
+// when the decision was made, or a pseudo-rule id for the basic
+// pass-list/hash method and operator-added tokens). Span is the owning
+// file span, zero outside any.
+type Decision struct {
+	File  string `json:"file"`
+	Line  int    `json:"line"`
+	Rule  string `json:"rule"`
+	Class string `json:"class"`
+	Out   string `json:"out,omitempty"`
+	Span  SpanID `json:"span,omitempty"`
+}
+
+// Tracer collects spans and ledger entries for one run. Safe for
+// concurrent use by any number of workers. The zero value is not
+// usable; call NewTracer.
+type Tracer struct {
+	epoch  time.Time
+	nextID atomic.Uint64
+
+	mu     sync.Mutex
+	spans  []*Span
+	ledger []Decision
+}
+
+// NewTracer returns an empty tracer whose clock starts now.
+func NewTracer() *Tracer {
+	return &Tracer{epoch: time.Now()}
+}
+
+// Now returns nanoseconds since the tracer's epoch, read from the
+// monotonic clock.
+func (t *Tracer) Now() int64 { return int64(time.Since(t.epoch)) }
+
+// StartSpan opens a span under parent (zero = root) and hands it to the
+// caller; the span is published when End is called on it. The returned
+// span's ID is final immediately, so children may be parented under it
+// before it ends.
+func (t *Tracer) StartSpan(kind, name string, parent SpanID) *Span {
+	return &Span{
+		ID:      SpanID(t.nextID.Add(1)),
+		Parent:  parent,
+		Kind:    kind,
+		Name:    name,
+		StartNs: t.Now(),
+	}
+}
+
+// End closes a span with the given status, stamps its duration, and
+// publishes it. A span must be ended exactly once.
+func (t *Tracer) End(s *Span, status string) {
+	s.DurNs = t.Now() - s.StartNs
+	if s.DurNs < 0 {
+		s.DurNs = 0
+	}
+	s.Status = status
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// RecordSpan publishes a completed span in one call — used for
+// retroactive spans synthesized from already-measured durations (the
+// engine times its stages and per-rule wall shares before it knows a
+// tracer will want them). Returns the new span's ID so children can be
+// recorded under it.
+func (t *Tracer) RecordSpan(kind, name string, parent SpanID, startNs, durNs int64, status string, attrs ...Attr) SpanID {
+	s := &Span{
+		ID:      SpanID(t.nextID.Add(1)),
+		Parent:  parent,
+		Kind:    kind,
+		Name:    name,
+		StartNs: startNs,
+		DurNs:   durNs,
+		Status:  status,
+		Attrs:   attrs,
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s.ID
+}
+
+// Publish appends a batch of ledger entries. The engine calls it once
+// per completed file with that file's buffered decisions; a file rolled
+// back before its Publish leaves no trace in the ledger. The batch is
+// copied, so callers may reuse the slice.
+func (t *Tracer) Publish(ds []Decision) {
+	if len(ds) == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.ledger = append(t.ledger, ds...)
+	t.mu.Unlock()
+}
+
+// Spans returns the published spans sorted by ID (start order).
+func (t *Tracer) Spans() []*Span {
+	t.mu.Lock()
+	out := make([]*Span, len(t.spans))
+	copy(out, t.spans)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Ledger returns a copy of the provenance ledger in publish order.
+func (t *Tracer) Ledger() []Decision {
+	t.mu.Lock()
+	out := make([]Decision, len(t.ledger))
+	copy(out, t.ledger)
+	t.mu.Unlock()
+	return out
+}
+
+// JSONL record envelopes: the first line of a trace file is a header
+// carrying the schema; every following line is a span or a decision
+// tagged by its "t" field.
+type header struct {
+	Schema string `json:"schema"`
+}
+
+type spanRecord struct {
+	T string `json:"t"`
+	*Span
+}
+
+type decisionRecord struct {
+	T string `json:"t"`
+	Decision
+}
+
+// WriteJSONL renders the trace as confanon.trace/v1 JSONL: the schema
+// header, then every span sorted by ID, then every ledger entry in
+// publish order.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(header{Schema: Schema}); err != nil {
+		return err
+	}
+	for _, s := range t.Spans() {
+		if err := enc.Encode(spanRecord{T: "span", Span: s}); err != nil {
+			return err
+		}
+	}
+	for _, d := range t.Ledger() {
+		if err := enc.Encode(decisionRecord{T: "decision", Decision: d}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// File is a parsed trace: the reader-side counterpart of a Tracer.
+type File struct {
+	Schema string
+	Spans  []*Span
+	Ledger []Decision
+
+	byID map[SpanID]*Span
+}
+
+// ErrSchema reports a trace file whose header does not carry the
+// expected schema.
+var ErrSchema = errors.New("trace: not a " + Schema + " file")
+
+// ReadJSONL parses a confanon.trace/v1 JSONL stream. Records of unknown
+// type are skipped (forward compatibility); a missing or foreign header
+// returns ErrSchema.
+func ReadJSONL(r io.Reader) (*File, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	f := &File{byID: make(map[SpanID]*Span)}
+	first := true
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if first {
+			first = false
+			var h header
+			if err := json.Unmarshal(line, &h); err != nil || h.Schema != Schema {
+				return nil, ErrSchema
+			}
+			f.Schema = h.Schema
+			continue
+		}
+		var tag struct {
+			T string `json:"t"`
+		}
+		if err := json.Unmarshal(line, &tag); err != nil {
+			return nil, fmt.Errorf("trace: unparsable record: %w", err)
+		}
+		switch tag.T {
+		case "span":
+			var rec spanRecord
+			rec.Span = &Span{}
+			if err := json.Unmarshal(line, &rec); err != nil {
+				return nil, fmt.Errorf("trace: bad span record: %w", err)
+			}
+			f.Spans = append(f.Spans, rec.Span)
+			f.byID[rec.Span.ID] = rec.Span
+		case "decision":
+			var rec decisionRecord
+			if err := json.Unmarshal(line, &rec); err != nil {
+				return nil, fmt.Errorf("trace: bad decision record: %w", err)
+			}
+			f.Ledger = append(f.Ledger, rec.Decision)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if first {
+		return nil, ErrSchema
+	}
+	return f, nil
+}
+
+// Span returns the span with the given ID (nil when absent).
+func (f *File) Span(id SpanID) *Span {
+	return f.byID[id]
+}
+
+// Explain returns the ledger entries for one line of one file, in
+// publish order — the decision chain the -explain query prints.
+func (f *File) Explain(file string, line int) []Decision {
+	var out []Decision
+	for _, d := range f.Ledger {
+		if d.File == file && d.Line == line {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// FileDecisions returns every ledger entry for one file, in publish
+// order.
+func (f *File) FileDecisions(file string) []Decision {
+	var out []Decision
+	for _, d := range f.Ledger {
+		if d.File == file {
+			out = append(out, d)
+		}
+	}
+	return out
+}

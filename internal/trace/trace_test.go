@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanHierarchyRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	corpus := tr.StartSpan(KindCorpus, "corpus", 0)
+	file := tr.StartSpan(KindFile, "r1-confg", corpus.ID)
+	file.SetAttr("op", "rewrite")
+	stage := tr.RecordSpan(KindStage, "rewrite", file.ID, file.StartNs, 100, StatusOK)
+	tr.RecordSpan(KindRule, "I3-bare-addr", stage, file.StartNs, 40, StatusOK, Attr{Key: "hits", Value: "3"})
+	tr.End(file, StatusOK)
+	tr.End(corpus, StatusOK)
+	tr.Publish([]Decision{
+		{File: "r1-confg", Line: 4, Rule: "I3-bare-addr", Class: ClassIP, Out: "10.0.0.1", Span: file.ID},
+		{File: "r1-confg", Line: 9, Rule: "B0-basic-method", Class: ClassHashed, Out: "xdeadbeef0123", Span: file.ID},
+	})
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	if !strings.HasPrefix(buf.String(), `{"schema":"`+Schema+`"}`) {
+		t.Fatalf("missing schema header, got %q", buf.String()[:60])
+	}
+
+	f, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if len(f.Spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(f.Spans))
+	}
+	if len(f.Ledger) != 2 {
+		t.Fatalf("got %d ledger entries, want 2", len(f.Ledger))
+	}
+	// The hierarchy survives: every non-root span's parent exists and the
+	// chain reaches the corpus span.
+	for _, s := range f.Spans {
+		if s.Parent == 0 {
+			if s.Kind != KindCorpus {
+				t.Errorf("root span %d has kind %q, want corpus", s.ID, s.Kind)
+			}
+			continue
+		}
+		p := f.Span(s.Parent)
+		if p == nil {
+			t.Errorf("span %d: parent %d missing", s.ID, s.Parent)
+		}
+	}
+	got := f.Span(file.ID)
+	if got == nil || got.Attr("op") != "rewrite" || got.Status != StatusOK {
+		t.Errorf("file span did not round-trip: %+v", got)
+	}
+}
+
+func TestExplainFiltersByFileAndLine(t *testing.T) {
+	tr := NewTracer()
+	tr.Publish([]Decision{
+		{File: "a", Line: 1, Rule: "r1", Class: ClassIP, Out: "10.0.0.1"},
+		{File: "a", Line: 2, Rule: "r2", Class: ClassHashed, Out: "xabc"},
+		{File: "b", Line: 1, Rule: "r3", Class: ClassASN, Out: "7018"},
+		{File: "a", Line: 1, Rule: "r4", Class: ClassPassed, Out: "interface"},
+	})
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := f.Explain("a", 1)
+	if len(ds) != 2 || ds[0].Rule != "r1" || ds[1].Rule != "r4" {
+		t.Fatalf("Explain(a,1) = %+v, want r1 then r4", ds)
+	}
+	if got := f.FileDecisions("b"); len(got) != 1 || got[0].Rule != "r3" {
+		t.Fatalf("FileDecisions(b) = %+v", got)
+	}
+	if got := f.Explain("a", 99); got != nil {
+		t.Fatalf("Explain(a,99) = %+v, want nil", got)
+	}
+}
+
+func TestEventBufferBounded(t *testing.T) {
+	tr := NewTracer()
+	s := tr.StartSpan(KindFile, "f", 0)
+	for i := 0; i < MaxSpanEvents+5; i++ {
+		s.AddEvent(tr.Now(), fmt.Sprintf("event %d", i))
+	}
+	tr.End(s, StatusFailed)
+	if len(s.Events) != MaxSpanEvents {
+		t.Fatalf("got %d events, want %d", len(s.Events), MaxSpanEvents)
+	}
+	if s.DroppedEvents != 5 {
+		t.Fatalf("got %d dropped, want 5", s.DroppedEvents)
+	}
+}
+
+func TestConcurrentWorkers(t *testing.T) {
+	tr := NewTracer()
+	corpus := tr.StartSpan(KindCorpus, "corpus", 0)
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 50
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				name := fmt.Sprintf("f-%d-%d", w, i)
+				s := tr.StartSpan(KindFile, name, corpus.ID)
+				tr.Publish([]Decision{{File: name, Line: 1, Rule: "r", Class: ClassHashed, Out: "x0", Span: s.ID}})
+				tr.End(s, StatusOK)
+			}
+		}(w)
+	}
+	wg.Wait()
+	tr.End(corpus, StatusOK)
+	spans := tr.Spans()
+	if len(spans) != workers*perWorker+1 {
+		t.Fatalf("got %d spans, want %d", len(spans), workers*perWorker+1)
+	}
+	// IDs are unique and sorted ascending.
+	for i := 1; i < len(spans); i++ {
+		if spans[i].ID <= spans[i-1].ID {
+			t.Fatalf("span IDs not strictly ascending at %d", i)
+		}
+	}
+	if got := len(tr.Ledger()); got != workers*perWorker {
+		t.Fatalf("got %d ledger entries, want %d", got, workers*perWorker)
+	}
+}
+
+func TestReadJSONLRejectsForeignSchema(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader(`{"schema":"other/v9"}` + "\n")); err != ErrSchema {
+		t.Fatalf("foreign schema: got %v, want ErrSchema", err)
+	}
+	if _, err := ReadJSONL(strings.NewReader("")); err != ErrSchema {
+		t.Fatalf("empty input: got %v, want ErrSchema", err)
+	}
+	if _, err := ReadJSONL(strings.NewReader("not json\n")); err != ErrSchema {
+		t.Fatalf("non-JSON header: got %v, want ErrSchema", err)
+	}
+}
+
+func TestUnknownRecordsSkipped(t *testing.T) {
+	in := `{"schema":"` + Schema + `"}
+{"t":"future-record","x":1}
+{"t":"decision","file":"a","line":1,"rule":"r","class":"ip","out":"10.0.0.1"}
+`
+	f, err := ReadJSONL(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Ledger) != 1 || len(f.Spans) != 0 {
+		t.Fatalf("got %d ledger / %d spans, want 1 / 0", len(f.Ledger), len(f.Spans))
+	}
+}
