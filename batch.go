@@ -94,6 +94,9 @@ type CorpusResult struct {
 	Files  map[string]FileResult
 	Stats  Stats
 	Report *RunReport
+	// Incremental summarizes cache reuse; set only by
+	// IncrementalCorpusContext (incremental.go).
+	Incremental *IncrementalSummary
 }
 
 // Ok reports whether every input file anonymized cleanly.
@@ -296,6 +299,64 @@ type fileCensus struct {
 	pinErr     *FileError
 }
 
+// censusReplay runs the shaped-tree census over the named files on
+// workers goroutines and replays the recorded mapper-call traces into
+// the shared tree in the deterministic serial order (every file's
+// prescan pins in sorted-name order, then every surviving file's full
+// sequence). Files whose census failed are marked failed in res and
+// traced; their partial pin traces still replay — exactly what a
+// sequential run leaves behind before aborting. Returns ctx's error if
+// the census was cut short, in which case the replay is skipped (only
+// the failures are recorded). Shared by ParallelCorpusContext and
+// IncrementalCorpusContext; callers pass names already sorted.
+func (a *Anonymizer) censusReplay(ctx context.Context, names []string, files map[string]string, workers int, res *CorpusResult, sp *trace.Span) error {
+	censuses := make([]fileCensus, len(names))
+	work := make(chan int, len(names))
+	for i := range names {
+		work <- i
+	}
+	close(work)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				if ctx.Err() != nil {
+					break
+				}
+				pins, full, pinErr := a.sess.CensusFile(names[i], files[names[i]])
+				censuses[i] = fileCensus{pins: pins, full: full, pinErr: pinErr}
+			}
+		}()
+	}
+	wg.Wait()
+	markFailed := func(i int, ferr *FileError) {
+		res.Files[names[i]] = FileResult{Name: names[i], Status: FileFailed, Err: ferr}
+		a.batch.countFile(FileFailed)
+		a.traceCensusFailure(sp, ferr)
+	}
+	if err := ctx.Err(); err != nil {
+		for i, c := range censuses {
+			if c.pinErr != nil {
+				markFailed(i, c.pinErr)
+			}
+		}
+		return err
+	}
+	for _, c := range censuses {
+		a.sess.Replay(c.pins)
+	}
+	for i, c := range censuses {
+		if c.pinErr != nil {
+			markFailed(i, c.pinErr)
+			continue
+		}
+		a.sess.Replay(c.full)
+	}
+	return nil
+}
+
 // ParallelCorpusContext anonymizes a corpus across workers goroutines
 // sharing this Session, with CorpusContext's fail-closed semantics. The
 // output is byte-identical to CorpusContext on the same files at every
@@ -338,54 +399,10 @@ func (a *Anonymizer) ParallelCorpusContext(ctx context.Context, files map[string
 	}
 
 	if !a.prog.opts.StatelessIP {
-		// Phase 1: parallel census. Each file's mapper-call sequence is a
-		// pure function of its text, so the files can be censused in any
-		// order on any number of workers.
-		censuses := make([]fileCensus, len(names))
-		work := make(chan int, len(names))
-		for i := range names {
-			work <- i
-		}
-		close(work)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range work {
-					if ctx.Err() != nil {
-						break
-					}
-					pins, full, pinErr := a.sess.CensusFile(names[i], files[names[i]])
-					censuses[i] = fileCensus{pins: pins, full: full, pinErr: pinErr}
-				}
-			}()
-		}
-		wg.Wait()
-		if err := ctx.Err(); err != nil {
-			for i, c := range censuses {
-				if c.pinErr != nil {
-					res.Files[names[i]] = FileResult{Name: names[i], Status: FileFailed, Err: c.pinErr}
-					a.batch.countFile(FileFailed)
-					a.traceCensusFailure(sp, c.pinErr)
-				}
-			}
+		// Phases 1+2: parallel census, then serial replay in
+		// CorpusContext's insertion order (censusReplay).
+		if err := a.censusReplay(ctx, names, files, workers, res, sp); err != nil {
 			return finish(err)
-		}
-		// Phase 2: serial replay in CorpusContext's insertion order. A
-		// failed prescan still replays the partial pin sequence it managed
-		// before aborting — exactly what a sequential run leaves behind.
-		for _, c := range censuses {
-			a.sess.Replay(c.pins)
-		}
-		for i, c := range censuses {
-			if c.pinErr != nil {
-				res.Files[names[i]] = FileResult{Name: names[i], Status: FileFailed, Err: c.pinErr}
-				a.batch.countFile(FileFailed)
-				a.traceCensusFailure(sp, c.pinErr)
-				continue
-			}
-			a.sess.Replay(c.full)
 		}
 	}
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"confanon/internal/anonymizer"
+	"confanon/internal/store"
 )
 
 // chaosCorpus is a small deterministic corpus; the "poison" file is the
@@ -422,6 +423,139 @@ func TestCensusFailureSpanSynthesized(t *testing.T) {
 	}
 	if len(failed.Events) == 0 || !strings.Contains(failed.Events[0].Msg, "prescan exploded") {
 		t.Errorf("span carries no cause event: %+v", failed.Events)
+	}
+}
+
+// runStoreCorpus opens the mapping ledger in dir, runs the corpus
+// through a store-backed session, commits, and closes — one clean
+// "process lifetime" in the durable-store timeline.
+func runStoreCorpus(t *testing.T, dir string, salt []byte, files map[string]string, workers int) map[string]string {
+	t.Helper()
+	ms, err := OpenMappingStore(dir, salt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	a := New(Options{Salt: salt})
+	if err := a.UseStore(ms); err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.ParallelCorpusContext(context.Background(), files, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok() {
+		t.Fatalf("store-backed run not clean: %v", res.Failed())
+	}
+	if err := a.SyncStore(); err != nil {
+		t.Fatal(err)
+	}
+	return res.Outputs()
+}
+
+// TestChaosStoreCrashRecovery kills the ledger's commit protocol at both
+// sides of its durability point and checks the restart semantics the
+// store promises: a crash between append and the commit record loses
+// exactly the in-flight file (the uncommitted tail is discarded on
+// replay), a crash after the fsynced commit record loses nothing — and
+// in both timelines a restarted replica replays to a state whose outputs
+// are byte-identical to a process that never crashed.
+func TestChaosStoreCrashRecovery(t *testing.T) {
+	salt := []byte("chaos-store")
+	v1 := chaosCorpus()
+	// The delta upload carries addresses and an ASN v1 never saw, so its
+	// commit appends fresh records — the tail the crash interrupts.
+	delta := map[string]string{
+		"r-new": "hostname r-new\ninterface Serial1\n ip address 12.77.3.10 255.255.255.0\nrouter bgp 65001\n neighbor 12.77.3.9 remote-as 3356\n",
+	}
+
+	// Reference timeline: v1 then the delta, no crashes.
+	refDir := t.TempDir()
+	wantV1 := runStoreCorpus(t, refDir, salt, v1, 4)
+	wantDelta := runStoreCorpus(t, refDir, salt, delta, 1)
+
+	for _, tc := range []struct {
+		event   string // crash point inside Ledger.Commit
+		durable bool   // does the delta's mapping survive the crash?
+	}{
+		{"commit", false},   // power lost after append, before the commit record
+		{"committed", true}, // power lost right after the fsynced commit record
+	} {
+		t.Run("crash-at-"+tc.event, func(t *testing.T) {
+			dir := t.TempDir()
+			if got := runStoreCorpus(t, dir, salt, v1, 4); len(got) != len(wantV1) {
+				t.Fatalf("v1 run emitted %d files, want %d", len(got), len(wantV1))
+			}
+
+			// Crashed process: the hook detonates inside Commit, the file
+			// is reported failed, and the session and ledger are abandoned
+			// without Close — nothing after the panic reaches the disk.
+			ms2, err := OpenMappingStore(dir, salt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n1 := len(ms2.led.State().IPs)
+			if n1 == 0 {
+				t.Fatal("v1 run committed no IP pairs")
+			}
+			a2 := New(Options{Salt: salt})
+			if err := a2.UseStore(ms2); err != nil {
+				t.Fatal(err)
+			}
+			store.SetCrashHook(func(ev string) {
+				if ev == tc.event {
+					store.SetCrashHook(nil)
+					panic("injected crash: power lost inside Commit at " + ev)
+				}
+			})
+			t.Cleanup(func() { store.SetCrashHook(nil) })
+			res, err := a2.CorpusContext(context.Background(), delta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fr := res.Files["r-new"]; fr.Status != FileFailed {
+				t.Fatalf("file that crashed at its commit point not failed: %+v", fr)
+			}
+
+			// Restart: a fresh process replays the directory.
+			ms3, err := OpenMappingStore(dir, salt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ms3.Close()
+			n3 := len(ms3.led.State().IPs)
+			if tc.durable && n3 <= n1 {
+				t.Errorf("fsynced commit lost: restart replayed %d IP pairs, want > %d", n3, n1)
+			}
+			if !tc.durable && n3 != n1 {
+				t.Errorf("uncommitted tail survived restart: %d IP pairs, want %d", n3, n1)
+			}
+
+			a3 := New(Options{Salt: salt})
+			if err := a3.UseStore(ms3); err != nil {
+				t.Fatal(err)
+			}
+			res3, err := a3.ParallelCorpusContext(context.Background(), delta, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := res3.Outputs()["r-new"]; got != wantDelta["r-new"] {
+				t.Error("post-restart delta output differs from the crash-free timeline")
+			}
+			// The recovered mapping also reproduces every pre-crash file.
+			res1, err := a3.ParallelCorpusContext(context.Background(), v1, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, want := range wantV1 {
+				if res1.Outputs()[name] != want {
+					t.Errorf("recovered mapping rewrote %s differently from the crash-free timeline", name)
+				}
+			}
+			if err := a3.SyncStore(); err != nil {
+				t.Fatal(err)
+			}
+		})
 	}
 }
 

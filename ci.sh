@@ -18,17 +18,18 @@ go build ./...
 echo "== go vet ./..."
 go vet ./...
 
-echo "== go vet ./internal/metrics ./internal/trace && go test -race ./internal/metrics ./internal/trace"
-go vet ./internal/metrics ./internal/trace
-go test -race ./internal/metrics ./internal/trace
+echo "== go vet ./internal/metrics ./internal/trace ./internal/store && go test -race ./internal/metrics ./internal/trace ./internal/store"
+go vet ./internal/metrics ./internal/trace ./internal/store
+go test -race ./internal/metrics ./internal/trace ./internal/store
 
 # Concurrency gauntlet: the packages whose correctness depends on the
 # Program/Session split's locking — the shaped tree's two-phase design,
-# the session worker pool and rewrite memo, and the portal's per-salt
-# sessions — run twice under the race detector so scheduling varies.
-echo "== concurrency gauntlet: go test -race -count=2 (ipanon, anonymizer, portal, parallel batch)"
-go test -race -count=2 ./internal/ipanon ./internal/anonymizer ./internal/portal
-go test -race -count=2 -run 'Parallel|Chaos|Session|Trace' .
+# the session worker pool and rewrite memo, the portal's per-salt
+# sessions, and the mapping ledger's append/commit serialization — run
+# twice under the race detector so scheduling varies.
+echo "== concurrency gauntlet: go test -race -count=2 (ipanon, anonymizer, store, portal, parallel batch)"
+go test -race -count=2 ./internal/ipanon ./internal/anonymizer ./internal/store ./internal/portal
+go test -race -count=2 -run 'Parallel|Chaos|Session|Trace|Store|Incremental' .
 
 echo "== go test -race -cover ./... $*"
 go test -race -coverprofile=coverage.out "$@" ./...

@@ -3,6 +3,7 @@
 // Usage:
 //
 //	confanon -salt SECRET -in DIR -out DIR [-workers N] [-strict] [-quarantine DIR] [-minimal] [-keep-comments] [-leak-report]
+//	confanon -salt SECRET -in DIR -out DIR -state-dir DIR [-incremental]
 //	cat r1-confg | confanon -salt SECRET - > r1-anon
 //
 // Every file in the input directory is treated as one router's
@@ -47,6 +48,17 @@
 // and the ledger of every anonymization decision, recording only the
 // anonymized replacements — a trace file is as safe to share as the
 // output it describes. Tracing does not change the output.
+//
+// Durable state: -state-dir DIR opens (creating if needed) a crash-safe
+// mapping ledger that the run commits at every clean file boundary; a
+// later run with the same salt replays it and stays byte-consistent
+// with this one, even after a crash mid-run (committed files survive,
+// the interrupted file is simply reprocessed). Adding -incremental
+// diffs the corpus against the prior run's line cache (kept in the
+// state dir) and rewrites only changed lines — output identical to a
+// full re-run. The state directory holds cleartext-derived values
+// (original addresses, recorder tokens): it is as sensitive as the
+// salt, created 0700 with 0600 files, and must never be published.
 //
 // Query mode: -explain FILE:LINE with a trace file as the sole argument
 // prints the provenance decisions recorded for that line —
@@ -115,6 +127,8 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		stateless  = fs.Bool("stateless", false, "use the Crypto-PAn IP scheme: no shared mapping state, constant-memory streaming")
 		rename     = fs.Bool("rename", true, "hash output file names (they are usually hostname-derived)")
 		mapFile    = fs.String("mapping", "", "IP-mapping state file: loaded if present, saved after the run (keeps later runs consistent)")
+		stateDir   = fs.String("state-dir", "", "durable mapping-ledger directory: opened (or created) before the run, committed at every clean file boundary; later runs replay it (as sensitive as the salt)")
+		increment  = fs.Bool("incremental", false, "with -state-dir: diff the corpus against the prior run's line cache and rewrite only changed lines (output identical to a full run)")
 		strict     = fs.Bool("strict", false, "fail closed: quarantine any file whose leak report is not clean")
 		quarantine = fs.String("quarantine", "", "directory receiving the originals of quarantined files (with -strict)")
 		metricsOut = fs.String("metrics-out", "", "write the machine-readable run report (JSON, schema "+confanon.RunReportSchema+") to this file")
@@ -143,6 +157,10 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		fs.Usage()
 		return exitUsage
 	}
+	if *increment && (*stateDir == "" || streamMode) {
+		fmt.Fprintln(stderr, "confanon: -incremental requires -state-dir and batch mode (the cache is only sound against the ledger it was recorded with)")
+		return exitUsage
+	}
 	opts := confanon.Options{
 		Salt:         []byte(*salt),
 		KeepComments: *keep,
@@ -168,6 +186,18 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		defer stopProf()
 	}
 	a := confanon.New(opts)
+	var mstore *confanon.MappingStore
+	if *stateDir != "" {
+		var err error
+		mstore, err = confanon.OpenMappingStore(*stateDir, opts.Salt)
+		if err != nil {
+			return fatal(stderr, fmt.Errorf("opening state dir %s: %w", *stateDir, err))
+		}
+		defer mstore.Close()
+		if err := a.UseStore(mstore); err != nil {
+			return fatal(stderr, fmt.Errorf("restoring state from %s: %w", *stateDir, err))
+		}
+	}
 	if *mapFile != "" {
 		var snap []byte
 		err := retryIO(func() (err error) { snap, err = os.ReadFile(*mapFile); return })
@@ -186,8 +216,13 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 
 	if streamMode {
 		code := runStream(ctx, a, stdin, stdout, stderr)
+		if mstore != nil {
+			if err := a.SyncStore(); err != nil {
+				return fatal(stderr, fmt.Errorf("state dir %s: %w", *stateDir, err))
+			}
+		}
 		if code == exitClean && *mapFile != "" {
-			if err := writeFileRetry(*mapFile, a.SaveMapping(), 0o600); err != nil {
+			if err := writeFileAtomic(*mapFile, a.SaveMapping(), 0o600); err != nil {
 				return fatal(stderr, err)
 			}
 		}
@@ -213,13 +248,52 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		return fatal(stderr, fmt.Errorf("no files in %s", *inDir))
 	}
 	var res *confanon.CorpusResult
-	if *workers > 1 {
+	var nextCache *confanon.CorpusCache
+	switch {
+	case *increment:
+		var prior *confanon.CorpusCache
+		cachePath := filepath.Join(*stateDir, cacheFileName)
+		var blob []byte
+		rerr := retryIO(func() (err error) { blob, err = os.ReadFile(cachePath); return })
+		switch {
+		case rerr == nil:
+			if prior, rerr = confanon.DecodeCorpusCache(blob); rerr != nil {
+				// A cache that does not parse forces a full (recording)
+				// run; the ledger, not the cache, is the source of truth.
+				fmt.Fprintf(stderr, "confanon: ignoring corpus cache %s: %v\n", cachePath, rerr)
+				prior = nil
+			}
+		case !os.IsNotExist(rerr):
+			return fatal(stderr, rerr)
+		}
+		res, nextCache, err = a.IncrementalCorpusContext(ctx, files, prior, *workers)
+	case *workers > 1:
 		res, err = a.ParallelCorpusContext(ctx, files, *workers)
-	} else {
+	default:
 		res, err = a.CorpusContext(ctx, files)
 	}
 	if err != nil {
 		return fatal(stderr, fmt.Errorf("anonymization aborted: %w", err))
+	}
+	if mstore != nil {
+		// Surface commit failures as run-fatal before anything is
+		// published: outputs without durable mappings cannot be
+		// re-anonymized consistently later.
+		if err := a.SyncStore(); err != nil {
+			return fatal(stderr, fmt.Errorf("state dir %s: %w", *stateDir, err))
+		}
+	}
+	if nextCache != nil {
+		blob, err := nextCache.Encode()
+		if err != nil {
+			return fatal(stderr, err)
+		}
+		if err := writeFileAtomic(filepath.Join(*stateDir, cacheFileName), blob, 0o600); err != nil {
+			return fatal(stderr, err)
+		}
+		sum := res.Incremental
+		fmt.Fprintf(stdout, "incremental: %d files reused, %d resumed, %d rewritten in full (%d lines reused, %d rewritten)\n",
+			sum.FilesReused, sum.FilesPartial, sum.FilesFull, sum.LinesReused, sum.LinesRewritten)
 	}
 
 	post := res.Outputs()
@@ -238,7 +312,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	fmt.Fprintf(stdout, "anonymized %d of %d files (%d lines) into %s\n",
 		len(post), len(files), res.Stats.Lines, *outDir)
 	if *mapFile != "" {
-		if err := writeFileRetry(*mapFile, a.SaveMapping(), 0o600); err != nil {
+		if err := writeFileAtomic(*mapFile, a.SaveMapping(), 0o600); err != nil {
 			return fatal(stderr, err)
 		}
 	}
@@ -464,6 +538,41 @@ func transientIO(err error) bool {
 
 func writeFileRetry(path string, data []byte, perm os.FileMode) error {
 	return retryIO(func() error { return os.WriteFile(path, data, perm) })
+}
+
+// cacheFileName is the incremental line cache inside -state-dir.
+const cacheFileName = "filecache.json"
+
+// writeFileAtomic writes data to path via fsynced temp file + rename in
+// the target's directory, so a crash mid-write can never leave a
+// truncated or interleaved file — the previous version survives intact.
+// Used for every state artifact a later run depends on (-mapping
+// snapshots, the incremental cache).
+func writeFileAtomic(path string, data []byte, perm os.FileMode) error {
+	return retryIO(func() error {
+		tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+		if err != nil {
+			return err
+		}
+		tmpName := tmp.Name()
+		defer os.Remove(tmpName) // no-op once renamed
+		if _, err := tmp.Write(data); err != nil {
+			tmp.Close()
+			return err
+		}
+		if err := tmp.Chmod(perm); err != nil {
+			tmp.Close()
+			return err
+		}
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return err
+		}
+		if err := tmp.Close(); err != nil {
+			return err
+		}
+		return os.Rename(tmpName, path)
+	})
 }
 
 func printStats(stderr io.Writer, s confanon.Stats, aggregate, perRule bool) {

@@ -312,3 +312,139 @@ func TestRunTraceOutStreamMode(t *testing.T) {
 		t.Error("stream trace has no decisions for stdin")
 	}
 }
+
+// readOutputs loads every file in an output directory.
+func readOutputs(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]string, len(entries))
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = string(b)
+	}
+	return out
+}
+
+func TestRunStateDirKeepsRunsConsistent(t *testing.T) {
+	// Two runs over the same corpus through a shared -state-dir must be
+	// byte-identical: the second run replays the first run's ledger.
+	files := map[string]string{"r1.conf": cleanConf, "r2.conf": "hostname r2\n ip address 12.1.2.99 255.255.255.0\n"}
+	state := t.TempDir()
+	in := writeInput(t, files)
+	out1, out2 := t.TempDir(), t.TempDir()
+	if code, _, stderr := runCLI(t, "-salt", "s", "-in", in, "-out", out1, "-rename=false", "-state-dir", state); code != exitClean {
+		t.Fatalf("run 1: exit %d; stderr:\n%s", code, stderr)
+	}
+	if code, _, stderr := runCLI(t, "-salt", "s", "-in", in, "-out", out2, "-rename=false", "-state-dir", state); code != exitClean {
+		t.Fatalf("run 2: exit %d; stderr:\n%s", code, stderr)
+	}
+	a, b := readOutputs(t, out1), readOutputs(t, out2)
+	for name := range a {
+		if a[name] != b[name] {
+			t.Errorf("state-dir run diverged on %s", name)
+		}
+	}
+	// A different salt must be refused outright.
+	if code, _, stderr := runCLI(t, "-salt", "other", "-in", in, "-out", t.TempDir(), "-state-dir", state); code != exitFatal {
+		t.Errorf("wrong salt against state dir: exit %d, want %d; stderr:\n%s", code, exitFatal, stderr)
+	}
+}
+
+func TestRunIncremental(t *testing.T) {
+	// -incremental without -state-dir is a usage error.
+	if code, _, _ := runCLI(t, "-salt", "s", "-in", t.TempDir(), "-out", t.TempDir(), "-incremental"); code != exitUsage {
+		t.Errorf("-incremental without -state-dir: exit %d, want %d", code, exitUsage)
+	}
+
+	files := map[string]string{
+		"r1.conf": cleanConf,
+		"r2.conf": "hostname r2\ninterface Serial0\n ip address 12.9.2.1 255.255.255.252\n",
+	}
+	state := t.TempDir()
+	in := writeInput(t, files)
+	if code, _, stderr := runCLI(t, "-salt", "s", "-in", in, "-out", t.TempDir(), "-rename=false",
+		"-state-dir", state, "-incremental"); code != exitClean {
+		t.Fatalf("recording run: exit %d; stderr:\n%s", code, stderr)
+	}
+	if _, err := os.Stat(filepath.Join(state, cacheFileName)); err != nil {
+		t.Fatalf("recording run wrote no cache: %v", err)
+	}
+
+	// Mutate one file; the other must be served from the cache and the
+	// output must equal a full re-run from the same state.
+	files2 := map[string]string{
+		"r1.conf": files["r1.conf"],
+		"r2.conf": files["r2.conf"] + "interface Serial1\n ip address 12.9.3.1 255.255.255.252\n",
+	}
+	in2 := writeInput(t, files2)
+	incOut := t.TempDir()
+	code, stdout, stderr := runCLI(t, "-salt", "s", "-in", in2, "-out", incOut, "-rename=false",
+		"-state-dir", state, "-incremental")
+	if code != exitClean {
+		t.Fatalf("incremental run: exit %d; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "incremental: 1 files reused, 1 resumed") {
+		t.Errorf("incremental summary missing or wrong:\n%s", stdout)
+	}
+
+	// Full re-run against a copy of the same ledger (every mapping the
+	// incremental run committed replays identically; no -incremental, so
+	// every line is reprocessed from scratch).
+	state2 := t.TempDir()
+	entries, err := os.ReadDir(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(state, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(state2, e.Name()), b, 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fullOut := t.TempDir()
+	if code, _, stderr := runCLI(t, "-salt", "s", "-in", in2, "-out", fullOut, "-rename=false",
+		"-state-dir", state2, "-workers", "4"); code != exitClean {
+		t.Fatalf("full re-run: exit %d; stderr:\n%s", code, stderr)
+	}
+	inc, full := readOutputs(t, incOut), readOutputs(t, fullOut)
+	if len(inc) != len(full) {
+		t.Fatalf("output counts differ: incremental %d, full %d", len(inc), len(full))
+	}
+	for name := range full {
+		if inc[name] != full[name] {
+			t.Errorf("incremental output differs from full re-run on %s:\n inc: %q\nfull: %q", name, inc[name], full[name])
+		}
+	}
+}
+
+func TestRunMappingFileWrittenAtomically(t *testing.T) {
+	// After a run the -mapping path must hold a complete snapshot and no
+	// temp artifacts may linger next to it.
+	dir := t.TempDir()
+	mapPath := filepath.Join(dir, "map.state")
+	in := writeInput(t, map[string]string{"r1.conf": cleanConf})
+	if code, _, stderr := runCLI(t, "-salt", "s", "-in", in, "-out", t.TempDir(), "-mapping", mapPath); code != exitClean {
+		t.Fatalf("exit %d; stderr:\n%s", code, stderr)
+	}
+	if _, err := os.Stat(mapPath); err != nil {
+		t.Fatalf("mapping file missing: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temp artifact left behind: %s", e.Name())
+		}
+	}
+}

@@ -50,6 +50,7 @@ func main() {
 	maxFiles := flag.Int("max-files", portal.DefaultLimits().MaxFiles, "files-per-dataset cap")
 	grace := flag.Duration("grace", 10*time.Second, "graceful-shutdown window for in-flight requests")
 	adminToken := flag.String("admin-token", "", "operator secret unlocking GET /metrics and /debug/pprof (X-Admin-Token header); empty keeps both endpoints 404")
+	stateDir := flag.String("state-dir", "", "durable per-owner mapping-ledger directory for POST /datasets/raw; a restarted portal replays it (as sensitive as the owners' salts)")
 	logJSON := flag.Bool("log-json", false, "emit the structured request log as JSON lines instead of key=value text")
 	var researchers kvFlag
 	flag.Var(&researchers, "researcher", "researcher account as key=handle (repeatable)")
@@ -64,6 +65,14 @@ func main() {
 	store.SetSlogger(logger)
 	store.SetMetrics(metrics.NewRegistry())
 	store.SetAdminToken(*adminToken)
+	if *stateDir != "" {
+		store.SetStateDir(*stateDir)
+		defer func() {
+			if err := store.Close(); err != nil {
+				logger.Error("closing mapping ledgers", "err", err)
+			}
+		}()
+	}
 	limits := portal.DefaultLimits()
 	limits.MaxBodyBytes = *maxBody
 	limits.MaxFiles = *maxFiles

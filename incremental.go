@@ -1,0 +1,434 @@
+package confanon
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"confanon/internal/anonymizer"
+	"confanon/internal/store"
+)
+
+// Incremental re-anonymization: a recorded run emits, per file and per
+// line, the output each input line contributed plus the engine's
+// cross-line resume checkpoint. A later run over a mutated corpus diffs
+// each file against the cache, reuses the cached outputs for the
+// unchanged line prefix, and re-enters the engine only at the first
+// divergent line — producing output byte-identical to re-anonymizing
+// the whole corpus from the same restored mapping state (a golden test
+// pins this at several worker counts).
+//
+// The identity argument: in a full run from restored state, every
+// address an unchanged file references is already resolved in the tree
+// (the prior run resolved it and the ledger/state restore replayed it),
+// so unchanged files contribute no new tree insertions. The insertion
+// sequence of a full run is therefore exactly the pins of the changed
+// files in sorted-name order followed by their full sequences — which
+// is precisely what the incremental census replays. The cached prefix
+// outputs are sound because a prefix's engine state depends only on the
+// prefix's own lines (captured per line as a ResumeState checkpoint)
+// and on mappings that are, by the same argument, identical.
+
+// CorpusCacheSchema identifies the incremental line-cache JSON layout.
+const CorpusCacheSchema = "confanon.filecache/v1"
+
+// ResumeState is the engine's serializable cross-line checkpoint,
+// stored after every cached line (re-exported from the engine).
+type ResumeState = anonymizer.ResumeState
+
+// LineCache is one input line's cache entry: its content hash, the
+// output it contributed (absent when the line was dropped), and the
+// resume checkpoint after it. It stores only anonymized output — never
+// the cleartext line, which is represented solely by its hash.
+type LineCache struct {
+	H string      `json:"h"`
+	O string      `json:"o,omitempty"`
+	D bool        `json:"d,omitempty"`
+	S ResumeState `json:"s"`
+}
+
+// FileCache is one file's cache: the SHA-256 of its cleartext (for the
+// whole-file fast path) and its per-line records.
+type FileCache struct {
+	Sum   string      `json:"sum"`
+	Lines []LineCache `json:"lines"`
+}
+
+// CorpusCache is the persistent artifact of a recorded run. SaltFP and
+// OptsFP fingerprint the mapping-relevant configuration; a cache whose
+// fingerprints do not match the current session is ignored wholesale
+// (every file reprocessed) rather than half-trusted. Like the mapping
+// ledger, the cache holds values derived from cleartext (line hashes,
+// anonymized outputs) — store it with the same care as the salt.
+type CorpusCache struct {
+	Schema string                `json:"schema"`
+	SaltFP string                `json:"salt_fp"`
+	OptsFP string                `json:"opts_fp"`
+	Files  map[string]*FileCache `json:"files"`
+}
+
+// Encode serializes the cache for storage.
+func (c *CorpusCache) Encode() ([]byte, error) { return json.Marshal(c) }
+
+// DecodeCorpusCache parses a stored cache, rejecting foreign schemas.
+func DecodeCorpusCache(data []byte) (*CorpusCache, error) {
+	var c CorpusCache
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("corpus cache: %w", err)
+	}
+	if c.Schema != CorpusCacheSchema {
+		return nil, fmt.Errorf("corpus cache: unsupported schema %q (want %q)", c.Schema, CorpusCacheSchema)
+	}
+	if c.Files == nil {
+		c.Files = make(map[string]*FileCache)
+	}
+	return &c, nil
+}
+
+// IncrementalSummary reports how an incremental run dispatched its
+// files: reused whole from the cache, resumed mid-file, or reprocessed
+// in full. Line counts cover the same split. CacheInvalidated is set
+// when a prior cache was supplied but its fingerprints did not match
+// the session (wrong salt, changed options, or changed sensitive
+// tokens), forcing a full run.
+type IncrementalSummary struct {
+	FilesReused      int  `json:"files_reused"`
+	FilesPartial     int  `json:"files_partial"`
+	FilesFull        int  `json:"files_full"`
+	LinesReused      int  `json:"lines_reused"`
+	LinesRewritten   int  `json:"lines_rewritten"`
+	CacheInvalidated bool `json:"cache_invalidated,omitempty"`
+}
+
+// cacheSaltFP is the salt fingerprint both the mapping ledger and the
+// corpus cache are keyed by.
+func (a *Anonymizer) cacheSaltFP() string { return store.SaltFingerprint(a.prog.opts.Salt) }
+
+// cacheOptsFP fingerprints every non-salt input that can change a
+// line's output: the regexp style, comment retention, the IP scheme,
+// and the session's operator-added sensitive tokens (a token added
+// since the cache was recorded invalidates every cached line — the
+// token could appear anywhere). Strict mode is deliberately absent: it
+// gates emission, never alters a line, and gating always re-runs.
+func (a *Anonymizer) cacheOptsFP() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "confanon.optsfp/style=%v/keep=%t/stateless=%t",
+		a.prog.opts.Style, a.prog.opts.KeepComments, a.prog.opts.StatelessIP)
+	for _, tok := range a.sess.SensitiveTokens() {
+		fmt.Fprintf(h, "/tok=%q", tok)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// NewCorpusCache returns an empty cache fingerprinted for this session;
+// passing it (or nil) as the prior cache makes IncrementalCorpusContext
+// a recording full run.
+func (a *Anonymizer) NewCorpusCache() *CorpusCache {
+	return &CorpusCache{
+		Schema: CorpusCacheSchema,
+		SaltFP: a.cacheSaltFP(),
+		OptsFP: a.cacheOptsFP(),
+		Files:  make(map[string]*FileCache),
+	}
+}
+
+func contentSum(text string) string {
+	s := sha256.Sum256([]byte(text))
+	return hex.EncodeToString(s[:])
+}
+
+// prefixOutputs returns the kept output lines of the first p cached
+// lines.
+func (fc *FileCache) prefixOutputs(p int) []string {
+	outs := make([]string, 0, p)
+	for _, lc := range fc.Lines[:p] {
+		if !lc.D {
+			outs = append(outs, lc.O)
+		}
+	}
+	return outs
+}
+
+// text reassembles the file's full cached output.
+func (fc *FileCache) text() string {
+	return anonymizer.JoinOutputs(fc.prefixOutputs(len(fc.Lines)))
+}
+
+// stateAt returns the resume checkpoint after the first p lines.
+func (fc *FileCache) stateAt(p int) ResumeState {
+	if p == 0 {
+		return ResumeState{}
+	}
+	return fc.Lines[p-1].S
+}
+
+func toLineCaches(recs []anonymizer.LineRecord) []LineCache {
+	out := make([]LineCache, len(recs))
+	for i, r := range recs {
+		out[i] = LineCache{H: r.Hash, O: r.Out, D: r.Drop, S: r.Next}
+	}
+	return out
+}
+
+// File dispositions of an incremental run.
+const (
+	modeReuse   = iota // content hash matched: output straight from cache
+	modePartial        // line prefix matched: engine resumed at divergence
+	modeFull           // no usable entry: full recorded reprocess
+)
+
+func modeName(mode int) string {
+	switch mode {
+	case modeReuse:
+		return "reused"
+	case modePartial:
+		return "partial"
+	}
+	return "full"
+}
+
+// incrPlan is the per-file work order the classifier produces.
+type incrPlan struct {
+	name  string
+	mode  int
+	sum   string
+	p     int      // reused prefix length in lines
+	lines []string // split cleartext; nil for modeReuse
+	fc    *FileCache
+}
+
+// needsEngine reports whether the plan has lines to run (a modePartial
+// plan whose new content is a pure prefix of the cached file has none).
+func (pl *incrPlan) needsEngine() bool {
+	return pl.mode == modeFull || (pl.mode == modePartial && pl.p < len(pl.lines))
+}
+
+// incrOut is one plan's outcome: the file result, its next-cache entry
+// (nil for failed files — a failed file is never half-cached), and the
+// line accounting for the summary.
+type incrOut struct {
+	res               FileResult
+	fc                *FileCache
+	reused, rewritten int
+}
+
+// IncrementalCorpusContext anonymizes a corpus like
+// ParallelCorpusContext, but diffs each file against the line cache of
+// a prior recorded run and reprocesses only what changed: a file whose
+// content hash matches is served from the cache without touching the
+// engine; a file sharing a line prefix with its cached form reuses the
+// prefix outputs and resumes the engine at the first divergent line;
+// everything else (new files, fingerprint mismatches, first runs) is
+// processed in full. The returned CorpusCache is the recording of this
+// run, to be stored for the next one; prior == nil (or a fingerprint
+// mismatch) makes the call a recording full run.
+//
+// The contract: called on a Session restored from the prior run's
+// mapping state (UseStore / LoadMapping), the outputs are
+// byte-identical to ParallelCorpusContext over the same corpus on the
+// same restored Session, at every worker count. Strict leak-gating
+// re-gates every file — including cache-served ones — against the
+// corpus-wide recorder, so quarantine decisions are never stale.
+// Res.Stats covers only the reprocessed work (cache-served files spend
+// no engine time, which is the point); res.Incremental reports the
+// split.
+func (a *Anonymizer) IncrementalCorpusContext(ctx context.Context, files map[string]string, prior *CorpusCache, workers int) (*CorpusResult, *CorpusCache, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	saltFP := a.cacheSaltFP()
+	optsFP := a.cacheOptsFP()
+	usable := prior != nil && prior.Schema == CorpusCacheSchema &&
+		prior.SaltFP == saltFP && prior.OptsFP == optsFP
+
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	res := &CorpusResult{
+		Files:       make(map[string]FileResult, len(files)),
+		Incremental: &IncrementalSummary{CacheInvalidated: prior != nil && !usable},
+	}
+	next := &CorpusCache{
+		Schema: CorpusCacheSchema,
+		SaltFP: saltFP,
+		OptsFP: optsFP,
+		Files:  make(map[string]*FileCache, len(files)),
+	}
+	sp := a.traceCorpus("incremental-corpus", len(files), workers)
+	finish := func(err error) (*CorpusResult, *CorpusCache, error) {
+		if err != nil {
+			a.batch.countCancel()
+		}
+		a.endCorpus(sp, err)
+		res.Stats = a.Stats()
+		res.finishReport(a.reg)
+		return res, next, err
+	}
+
+	// Classify: longest common line-hash prefix against the cache.
+	plans := make([]incrPlan, len(names))
+	for i, n := range names {
+		text := files[n]
+		sum := contentSum(text)
+		var fc *FileCache
+		if usable {
+			fc = prior.Files[n]
+		}
+		if fc != nil && fc.Sum == sum {
+			plans[i] = incrPlan{name: n, mode: modeReuse, sum: sum, p: len(fc.Lines), fc: fc}
+			continue
+		}
+		lines := anonymizer.SplitLines(text)
+		p := 0
+		if fc != nil {
+			max := len(lines)
+			if len(fc.Lines) < max {
+				max = len(fc.Lines)
+			}
+			for p < max && fc.Lines[p].H == anonymizer.LineHash(lines[p]) {
+				p++
+			}
+		}
+		mode := modeFull
+		if p > 0 {
+			mode = modePartial
+		}
+		plans[i] = incrPlan{name: n, mode: mode, sum: sum, p: p, lines: lines, fc: fc}
+	}
+
+	// Census only the files the engine will touch: unchanged files
+	// contribute no new tree insertions (their addresses are already
+	// resolved in the restored state), so replaying just the changed
+	// files' traces in sorted order reproduces a full run's insertion
+	// sequence exactly.
+	var engineNames []string
+	for i := range plans {
+		if plans[i].needsEngine() {
+			engineNames = append(engineNames, plans[i].name)
+		}
+	}
+	if !a.prog.opts.StatelessIP && len(engineNames) > 0 {
+		if err := a.censusReplay(ctx, engineNames, files, workers, res, sp); err != nil {
+			return finish(err)
+		}
+	}
+
+	// Dispatch: cache-served plans are assembled inline (no engine, no
+	// worker); engine plans run on the worker pool. Each slot of outs is
+	// written by exactly one goroutine.
+	outs := make([]*incrOut, len(plans))
+	var work []int
+	for i := range plans {
+		pl := &plans[i]
+		if _, failed := res.Files[pl.name]; failed { // census already failed it
+			continue
+		}
+		if !pl.needsEngine() {
+			fc := pl.fc
+			if pl.mode == modePartial { // pure-prefix shrink: trim the cache, no engine work
+				fc = &FileCache{Sum: pl.sum, Lines: pl.fc.Lines[:pl.p]}
+			}
+			outs[i] = &incrOut{
+				res:    FileResult{Name: pl.name, Status: FileOK, Text: fc.text()},
+				fc:     fc,
+				reused: len(fc.Lines),
+			}
+			continue
+		}
+		work = append(work, i)
+	}
+	workCh := make(chan int, len(work))
+	for _, i := range work {
+		workCh <- i
+	}
+	close(workCh)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wk := a.sess.Acquire()
+			defer a.sess.Release(wk)
+			wk.SetCorpusSpan(spanID(sp))
+			for i := range workCh {
+				if ctx.Err() != nil {
+					break
+				}
+				pl := &plans[i]
+				if pl.mode == modeFull {
+					out, recs, ferr := wk.SafeAnonymizeRecorded(pl.name, files[pl.name])
+					if ferr != nil {
+						outs[i] = &incrOut{res: FileResult{Name: pl.name, Status: FileFailed, Err: ferr}}
+						continue
+					}
+					outs[i] = &incrOut{
+						res:       FileResult{Name: pl.name, Status: FileOK, Text: out},
+						fc:        &FileCache{Sum: pl.sum, Lines: toLineCaches(recs)},
+						rewritten: len(recs),
+					}
+					continue
+				}
+				tailOuts, tailRecs, ferr := wk.SafeAnonymizeTail(pl.name, pl.lines[pl.p:], pl.p, pl.fc.stateAt(pl.p))
+				if ferr != nil {
+					outs[i] = &incrOut{res: FileResult{Name: pl.name, Status: FileFailed, Err: ferr}}
+					continue
+				}
+				lines := append(append([]LineCache(nil), pl.fc.Lines[:pl.p]...), toLineCaches(tailRecs)...)
+				outs[i] = &incrOut{
+					res:       FileResult{Name: pl.name, Status: FileOK, Text: anonymizer.JoinOutputs(append(pl.fc.prefixOutputs(pl.p), tailOuts...))},
+					fc:        &FileCache{Sum: pl.sum, Lines: lines},
+					reused:    pl.p,
+					rewritten: len(tailRecs),
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Gate and account in sorted order after every worker has published
+	// its recorder entries — the same deterministic-quarantine protocol
+	// as ParallelCorpusContext, applied to cache-served files too.
+	wk := a.sess.Acquire()
+	defer a.sess.Release(wk)
+	wk.SetCorpusSpan(spanID(sp))
+	for i := range plans {
+		o := outs[i]
+		if o == nil { // census-failed (already recorded) or cancelled before start
+			continue
+		}
+		pl := &plans[i]
+		r := o.res
+		if a.strict && r.Status == FileOK {
+			if leaks := confirmedLeaks(wk.LeakReport(r.Text)); len(leaks) > 0 {
+				r = FileResult{Name: pl.name, Status: FileQuarantined, Leaks: leaks}
+			}
+		}
+		res.Files[pl.name] = r
+		a.batch.countFile(r.Status)
+		if r.Status == FileFailed {
+			continue // a failed file is dropped from the next cache
+		}
+		// Quarantined files keep their cache entry: the lines are valid,
+		// only emission was withheld.
+		next.Files[pl.name] = o.fc
+		switch pl.mode {
+		case modeReuse:
+			res.Incremental.FilesReused++
+		case modePartial:
+			res.Incremental.FilesPartial++
+		default:
+			res.Incremental.FilesFull++
+		}
+		res.Incremental.LinesReused += o.reused
+		res.Incremental.LinesRewritten += o.rewritten
+		a.batch.countIncr(modeName(pl.mode))
+	}
+	return finish(ctx.Err())
+}

@@ -1,0 +1,353 @@
+package confanon
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"confanon/internal/netgen"
+	"confanon/internal/store"
+)
+
+// mutateCorpus derives the second-generation corpus the incremental run
+// is diffed against: one file gets lines appended (pure-append partial),
+// one file gets a middle line edited (mid-file divergence), one file is
+// deleted, one new file appears, and the rest are untouched.
+func mutateCorpus(t *testing.T, v1 map[string]string) (v2 map[string]string, appended, edited, deleted, added string) {
+	t.Helper()
+	names := make([]string, 0, len(v1))
+	for n := range v1 {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) < 4 {
+		t.Fatalf("fixture corpus too small: %d files", len(names))
+	}
+	appended, edited, deleted = names[0], names[1], names[2]
+	added = "zz-new-router-confg"
+
+	v2 = make(map[string]string, len(v1))
+	for n, text := range v1 {
+		v2[n] = text
+	}
+	v2[appended] += "interface Loopback99\n ip address 10.99.88.77 255.255.255.255\n"
+	lines := strings.Split(v2[edited], "\n")
+	mid := len(lines) / 2
+	lines[mid] = " description edited-for-incremental-run 172.31.45.6"
+	v2[edited] = strings.Join(lines, "\n")
+	delete(v2, deleted)
+	v2[added] = "hostname zz-new.example.net\n!\ninterface Ethernet0\n ip address 10.99.88.78 255.255.255.0\n!\nrouter bgp 64999\n neighbor 10.99.88.77 remote-as 65001\nend\n"
+	return v2, appended, edited, deleted, added
+}
+
+// TestIncrementalMatchesFullRun is the golden byte-identity test: an
+// incremental re-run over a mutated corpus, seeded with the prior run's
+// ledger state and line cache, must produce output byte-identical to a
+// full ParallelCorpusContext run from the same restored state — at
+// every worker count and under both IP schemes.
+func TestIncrementalMatchesFullRun(t *testing.T) {
+	for _, stateless := range []bool{false, true} {
+		for _, workers := range []int{1, 4, 8} {
+			t.Run(fmt.Sprintf("stateless=%t/workers=%d", stateless, workers), func(t *testing.T) {
+				n := netgen.Generate(netgen.Params{Seed: 4100, Kind: netgen.Backbone, Routers: 12})
+				v1 := n.RenderAll()
+				salt := []byte(n.Salt)
+				opts := Options{Salt: salt, StatelessIP: stateless}
+				ctx := context.Background()
+
+				// Run 1: recording full run, ledger attached. Its output
+				// must already match a plain parallel run (recording is
+				// observation, not behavior).
+				dir := t.TempDir()
+				led, err := store.Open(dir, store.SaltFingerprint(salt))
+				if err != nil {
+					t.Fatalf("store.Open: %v", err)
+				}
+				a1 := New(opts)
+				a1.sess.SetLedger(led)
+				res1, cache, err := a1.IncrementalCorpusContext(ctx, v1, nil, workers)
+				if err != nil || !res1.Ok() {
+					t.Fatalf("recording run: err=%v failed=%v", err, res1.Failed())
+				}
+				plain, err := New(opts).ParallelCorpusContext(ctx, v1, workers)
+				if err != nil {
+					t.Fatalf("plain run: %v", err)
+				}
+				for name, want := range plain.Outputs() {
+					if got := res1.Files[name].Text; got != want {
+						t.Fatalf("recording run diverged from plain run on %s", name)
+					}
+				}
+				if got, want := res1.Incremental.FilesFull, len(v1); got != want {
+					t.Fatalf("recording run reused files: full=%d want %d", got, want)
+				}
+				if err := a1.sess.SyncLedger(); err != nil {
+					t.Fatalf("SyncLedger: %v", err)
+				}
+				if err := led.Close(); err != nil {
+					t.Fatalf("ledger close: %v", err)
+				}
+
+				// The cache must survive its serialization round-trip.
+				blob, err := cache.Encode()
+				if err != nil {
+					t.Fatalf("cache encode: %v", err)
+				}
+				cache, err = DecodeCorpusCache(blob)
+				if err != nil {
+					t.Fatalf("cache decode: %v", err)
+				}
+
+				v2, appended, edited, deleted, added := mutateCorpus(t, v1)
+
+				// Both consumers restore the same replayed ledger state.
+				led2, err := store.Open(dir, store.SaltFingerprint(salt))
+				if err != nil {
+					t.Fatalf("reopen ledger: %v", err)
+				}
+				st := led2.State()
+				if err := led2.Close(); err != nil {
+					t.Fatalf("close reopened ledger: %v", err)
+				}
+
+				full := New(opts)
+				if err := full.sess.RestoreState(st); err != nil {
+					t.Fatalf("restore (full): %v", err)
+				}
+				fullRes, err := full.ParallelCorpusContext(ctx, v2, workers)
+				if err != nil || !fullRes.Ok() {
+					t.Fatalf("full re-run: err=%v failed=%v", err, fullRes.Failed())
+				}
+
+				inc := New(opts)
+				if err := inc.sess.RestoreState(st); err != nil {
+					t.Fatalf("restore (incremental): %v", err)
+				}
+				incRes, cache2, err := inc.IncrementalCorpusContext(ctx, v2, cache, workers)
+				if err != nil || !incRes.Ok() {
+					t.Fatalf("incremental re-run: err=%v failed=%v", err, incRes.Failed())
+				}
+
+				wantOut, gotOut := fullRes.Outputs(), incRes.Outputs()
+				if len(gotOut) != len(wantOut) {
+					t.Fatalf("file count: incremental %d, full %d", len(gotOut), len(wantOut))
+				}
+				for name, want := range wantOut {
+					if got, ok := gotOut[name]; !ok || got != want {
+						t.Errorf("incremental output differs for %s (present=%t)", name, ok)
+					}
+				}
+
+				// The dispositions must be exactly as constructed.
+				sum := incRes.Incremental
+				if sum.FilesPartial != 2 {
+					t.Errorf("partial files = %d, want 2 (%s appended, %s edited)", sum.FilesPartial, appended, edited)
+				}
+				if sum.FilesFull != 1 {
+					t.Errorf("full files = %d, want 1 (%s)", sum.FilesFull, added)
+				}
+				if want := len(v2) - 3; sum.FilesReused != want {
+					t.Errorf("reused files = %d, want %d", sum.FilesReused, want)
+				}
+				if sum.LinesReused == 0 || sum.LinesRewritten == 0 {
+					t.Errorf("line accounting empty: %+v", sum)
+				}
+				if _, ok := cache2.Files[deleted]; ok {
+					t.Errorf("deleted file %s still present in new cache", deleted)
+				}
+
+				// Run 3: nothing changed — everything is served from cache.
+				inc2 := New(opts)
+				if err := inc2.sess.RestoreState(st); err != nil {
+					t.Fatalf("restore (idle): %v", err)
+				}
+				idleRes, _, err := inc2.IncrementalCorpusContext(ctx, v2, cache2, workers)
+				if err != nil || !idleRes.Ok() {
+					t.Fatalf("idle re-run: err=%v", err)
+				}
+				if got := idleRes.Incremental.FilesReused; got != len(v2) {
+					t.Errorf("idle run reused %d of %d files", got, len(v2))
+				}
+				if idleRes.Incremental.LinesRewritten != 0 {
+					t.Errorf("idle run rewrote %d lines", idleRes.Incremental.LinesRewritten)
+				}
+				for name, want := range wantOut {
+					if got := idleRes.Files[name].Text; got != want {
+						t.Errorf("idle run output differs for %s", name)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestIncrementalCacheInvalidation: a cache recorded under different
+// mapping-relevant options (here: an extra sensitive token) must be
+// ignored wholesale, not half-trusted.
+func TestIncrementalCacheInvalidation(t *testing.T) {
+	n := netgen.Generate(netgen.Params{Seed: 4200, Kind: netgen.Enterprise, Routers: 6})
+	files := n.RenderAll()
+	opts := Options{Salt: []byte(n.Salt)}
+	ctx := context.Background()
+
+	a1 := New(opts)
+	res1, cache, err := a1.IncrementalCorpusContext(ctx, files, nil, 4)
+	if err != nil || !res1.Ok() {
+		t.Fatalf("recording run: err=%v", err)
+	}
+
+	a2 := New(opts)
+	a2.AddRule("supersecret-community")
+	res2, _, err := a2.IncrementalCorpusContext(ctx, files, cache, 4)
+	if err != nil || !res2.Ok() {
+		t.Fatalf("re-run: err=%v", err)
+	}
+	if !res2.Incremental.CacheInvalidated {
+		t.Errorf("token-shifted cache was not invalidated")
+	}
+	if res2.Incremental.FilesReused != 0 || res2.Incremental.FilesFull != len(files) {
+		t.Errorf("invalidated cache still reused files: %+v", res2.Incremental)
+	}
+
+	// Wrong salt: same wholesale rejection.
+	a3 := New(Options{Salt: []byte("some-other-owner")})
+	res3, _, err := a3.IncrementalCorpusContext(ctx, files, cache, 4)
+	if err != nil || !res3.Ok() {
+		t.Fatalf("wrong-salt run: err=%v", err)
+	}
+	if !res3.Incremental.CacheInvalidated || res3.Incremental.FilesReused != 0 {
+		t.Errorf("wrong-salt cache was not invalidated: %+v", res3.Incremental)
+	}
+}
+
+// TestIncrementalStrictRegatesReusedFiles: strict gating applies to
+// cache-served files too — a token that becomes sensitive between runs
+// must quarantine a file the engine never touched this run. (The
+// fingerprint shift from AddRule forces reprocessing; to test the
+// reused path specifically we instead poison the recorder by feeding a
+// doctored extra file whose cleartext collides with a reused output.)
+func TestIncrementalStrictRegatesReusedFiles(t *testing.T) {
+	const target = "r1-confg"
+	files := map[string]string{
+		target: "hostname alpha\n!\ninterface Ethernet0\n ip address 8.8.1.1 255.255.255.0\n!\nrouter bgp 3320\n neighbor 8.8.1.2 remote-as 701\nend\n",
+	}
+	opts := Options{Salt: []byte("strict-regate"), Strict: true}
+	ctx := context.Background()
+
+	a1 := New(opts)
+	res1, cache, err := a1.IncrementalCorpusContext(ctx, files, nil, 2)
+	if err != nil || !res1.Ok() {
+		t.Fatalf("recording run: err=%v files=%+v", err, res1.Files)
+	}
+	out := res1.Files[target].Text
+
+	// Second corpus adds a file whose cleartext uses the PERMUTED ASN
+	// from the reused file's output as an original ASN: the recorder
+	// learns it, so the reused file's unchanged output now carries a
+	// confirmed ASN collision and must be quarantined, cache hit or
+	// not. (An IP collision would not do — a flagged IP that is a known
+	// mapping output is classified as a likely false positive — and
+	// hashed words are fragmented by the tokenizer, so neither kind can
+	// confirm here.)
+	var anonASN string
+	for _, line := range strings.Split(out, "\n") {
+		if i := strings.Index(line, "remote-as "); i >= 0 {
+			anonASN = strings.TrimSpace(line[i+len("remote-as "):])
+			break
+		}
+	}
+	if anonASN == "" {
+		t.Fatalf("no anonymized ASN found in output %q", out)
+	}
+	files2 := map[string]string{
+		target:      files[target],
+		"r2-poison": "hostname beta\n!\nrouter bgp " + anonASN + "\nend\n",
+	}
+	a2 := New(opts)
+	if err := a2.LoadMapping(a1.SaveMapping()); err != nil {
+		t.Fatalf("LoadMapping: %v", err)
+	}
+	res2, _, err := a2.IncrementalCorpusContext(ctx, files2, cache, 2)
+	if err != nil {
+		t.Fatalf("re-run: %v", err)
+	}
+	if res2.Files[target].Status != FileQuarantined {
+		t.Errorf("reused file escaped strict re-gating: status=%v", res2.Files[target].Status)
+	}
+
+	// And the full path agrees: same corpus, same restored state, same
+	// quarantine set.
+	a3 := New(opts)
+	if err := a3.LoadMapping(a1.SaveMapping()); err != nil {
+		t.Fatalf("LoadMapping: %v", err)
+	}
+	res3, err := a3.ParallelCorpusContext(ctx, files2, 2)
+	if err != nil {
+		t.Fatalf("full re-run: %v", err)
+	}
+	if got, want := res2.Quarantined(), res3.Quarantined(); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("quarantine sets diverge: incremental %v, full %v", got, want)
+	}
+}
+
+// BenchmarkIncremental sweeps the changed-line fraction of a second-
+// generation corpus against the prior run's cache. An edit invalidates
+// the file's tail from the edited line on (the cache reuses the longest
+// common prefix), so editing the middle line of K of the N files
+// rewrites ~K·L/2 lines; K = 2·f·N puts the rewritten fraction at ~f.
+// Each iteration restores the prior mapping and runs the incremental
+// path end to end — classify, census over changed files, tail rewrite,
+// strict re-gate — the same work `confanon -incremental` does per run.
+func BenchmarkIncremental(b *testing.B) {
+	n := netgen.Generate(netgen.Params{Seed: 1202, Kind: netgen.Backbone, Routers: 48})
+	files := n.RenderAll()
+	lines := n.TotalLines()
+	opts := Options{Salt: []byte(n.Salt)}
+
+	rec := New(opts)
+	_, cache, err := rec.IncrementalCorpusContext(context.Background(), files, nil, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	state := rec.SaveMapping()
+
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, pct := range []int{1, 10, 50} {
+		k := (2*pct*len(names) + 99) / 100
+		if k > len(names) {
+			k = len(names)
+		}
+		edited := make(map[string]string, len(files))
+		for name, text := range files {
+			edited[name] = text
+		}
+		for i := 0; i < k; i++ {
+			ls := strings.Split(edited[names[i]], "\n")
+			ls[len(ls)/2] = fmt.Sprintf(" description bench-edit 10.200.%d.1", i)
+			edited[names[i]] = strings.Join(ls, "\n")
+		}
+		b.Run(fmt.Sprintf("changed=%d%%", pct), func(b *testing.B) {
+			var reused, rewritten int
+			for i := 0; i < b.N; i++ {
+				a := New(opts)
+				if err := a.LoadMapping(state); err != nil {
+					b.Fatal(err)
+				}
+				res, _, err := a.IncrementalCorpusContext(context.Background(), edited, cache, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reused, rewritten = res.Incremental.LinesReused, res.Incremental.LinesRewritten
+			}
+			b.ReportMetric(float64(lines)*float64(b.N)/b.Elapsed().Seconds(), "lines/s")
+			b.ReportMetric(float64(reused)/float64(reused+rewritten)*100, "reused%")
+		})
+	}
+}

@@ -94,6 +94,7 @@ func (a *Anonymizer) SafeAnonymizeText(name, text string) (out string, ferr *Fil
 	a.beginFileSpan(name, "rewrite")
 	out = a.AnonymizeText(text)
 	a.endFileSpan()
+	a.sess.commitLedger()
 	return out, nil
 }
 
@@ -106,6 +107,7 @@ func (a *Anonymizer) SafePrescan(name, text string) (ferr *FileError) {
 	a.beginFileSpan(name, "prescan")
 	a.Prescan(text)
 	a.endFileSpan()
+	a.sess.commitLedger()
 	return nil
 }
 
@@ -126,6 +128,7 @@ func (a *Anonymizer) SafeStreamText(name string, r io.Reader, w io.Writer) (ferr
 		return fe
 	}
 	a.endFileSpan()
+	a.sess.commitLedger()
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"confanon/internal/metrics"
+	"confanon/internal/store"
 )
 
 // The metrics bridge. The engine keeps its counters in the plain Stats
@@ -163,23 +164,37 @@ func (a *Anonymizer) flush() {
 // flushRecorder publishes the worker's pending leak-recorder entries
 // into the Session recorder and clears the pending maps. Entries are
 // only ever added, never retracted: an aborted file can widen later
-// leak reports but never narrow them.
+// leak reports but never narrow them. When a durable ledger is attached,
+// each genuinely new key (detected under recMu, so exactly one worker
+// records it) is queued for the next clean-boundary commit.
 func (a *Anonymizer) flushRecorder() {
 	if len(a.seenASNs) == 0 && len(a.seenWords) == 0 && len(a.seenIPs) == 0 {
 		return
 	}
 	s := a.sess
+	led := s.ledgerOn.Load()
+	var recs []store.Record
 	s.recMu.Lock()
 	for k := range a.seenASNs {
+		if led && !s.seenASNs[k] {
+			recs = append(recs, store.Record{T: store.TASN, V: k})
+		}
 		s.seenASNs[k] = true
 	}
 	for k := range a.seenWords {
+		if led && !s.seenWords[k] {
+			recs = append(recs, store.Record{T: store.TWord, V: k})
+		}
 		s.seenWords[k] = true
 	}
 	for k := range a.seenIPs {
+		if led && !s.seenIPs[k] {
+			recs = append(recs, store.Record{T: store.TOrigIP, In: k})
+		}
 		s.seenIPs[k] = true
 	}
 	s.recMu.Unlock()
+	s.appendLedgerRecords(recs)
 	clear(a.seenASNs)
 	clear(a.seenWords)
 	clear(a.seenIPs)

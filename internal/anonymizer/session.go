@@ -1,12 +1,15 @@
 package anonymizer
 
 import (
+	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"confanon/internal/config"
 	"confanon/internal/ipanon"
 	"confanon/internal/metrics"
+	"confanon/internal/store"
 	"confanon/internal/trace"
 )
 
@@ -64,7 +67,28 @@ type Session struct {
 	// duplicate the real rewrite's.
 	tracer *trace.Tracer
 
+	// The durable mapping ledger (SetLedger). ledgerOn is the hot-path
+	// gate (one atomic load per recorder flush when detached); ledMu
+	// guards the sink, the pending record log, the persisted-pair
+	// baseline, and the sticky first error. Commits happen at the same
+	// clean-file-boundary points the provenance ledger publishes at
+	// (fault.go), so a mid-file crash persists nothing partial.
+	ledgerOn  atomic.Bool
+	ledMu     sync.Mutex
+	ledger    LedgerSink
+	ledIPBase int
+	recLog    []store.Record
+	ledErr    error
+
 	pool sync.Pool
+}
+
+// LedgerSink is the durable-store surface the Session commits into:
+// Append buffers records, Commit makes everything appended since the
+// last Commit durable atomically. *store.Ledger satisfies it.
+type LedgerSink interface {
+	Append(recs ...store.Record) error
+	Commit() error
 }
 
 // sessionMetrics holds the session-level instruments that reconcile
@@ -228,19 +252,38 @@ func (s *Session) flushGauges() {
 
 // AddSensitiveToken registers an operator-supplied rule for every worker
 // of this Session (copy-on-write: in-flight workers pick it up on their
-// next Acquire).
+// next Acquire). A genuinely new token is also appended to the attached
+// mapping ledger (committed at the next clean file boundary).
 func (s *Session) AddSensitiveToken(tok string) {
 	for {
 		old := s.sensTok.Load()
+		if (*old)[tok] {
+			return
+		}
 		next := make(map[string]bool, len(*old)+1)
 		for k := range *old {
 			next[k] = true
 		}
 		next[tok] = true
 		if s.sensTok.CompareAndSwap(old, &next) {
+			s.appendLedgerRecords([]store.Record{{T: store.TSensitive, V: tok}})
 			return
 		}
 	}
+}
+
+// SensitiveTokens returns the operator-added sensitive tokens, sorted
+// (the incremental cache fingerprints them: a token added between runs
+// changes what every file's output would be, so cached lines from before
+// the addition must not be reused).
+func (s *Session) SensitiveTokens() []string {
+	m := *s.sensTok.Load()
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // DeclareRelation registers well-known external knowledge (§5) and pins
@@ -250,6 +293,7 @@ func (s *Session) DeclareRelation(rel Relation) {
 	s.relMu.Lock()
 	s.relations = append(s.relations, rel)
 	s.relMu.Unlock()
+	s.appendLedgerRecords([]store.Record{{T: store.TRelation, ASN: rel.ASN, Prefix: rel.Prefix, Len: rel.Len}})
 	s.mapper().MapPrefix(rel.Prefix&config.LenToMask(rel.Len), rel.Len)
 }
 
@@ -270,20 +314,135 @@ func (s *Session) Relations() []MappedRelation {
 	return out
 }
 
-// SaveMapping serializes the IP mapping state (shaped tree only; the
-// stateless mapping is a pure function of the salt and snapshots empty).
-func (s *Session) SaveMapping() []byte {
-	if t, ok := s.mapper().(*ipanon.Tree); ok {
-		return t.Save()
+// saltFP returns the owner fingerprint every persistence artifact of
+// this Session is keyed by.
+func (s *Session) saltFP() string { return store.SaltFingerprint(s.prog.opts.Salt) }
+
+// CaptureState snapshots every piece of mutable Session state the
+// durable store persists: the IP mapping in insertion order, the leak
+// recorder (sorted, for deterministic snapshots), the operator-added
+// sensitive tokens, and the declared relations.
+func (s *Session) CaptureState() store.State {
+	var st store.State
+	for _, p := range s.mapper().Since(0) {
+		st.IPs = append(st.IPs, store.Pair{In: p.In, Out: p.Out})
+	}
+	s.recMu.RLock()
+	for k := range s.seenASNs {
+		st.ASNs = append(st.ASNs, k)
+	}
+	for k := range s.seenWords {
+		st.Words = append(st.Words, k)
+	}
+	for k := range s.seenIPs {
+		st.OrigIPs = append(st.OrigIPs, k)
+	}
+	s.recMu.RUnlock()
+	sort.Strings(st.ASNs)
+	sort.Strings(st.Words)
+	sort.Slice(st.OrigIPs, func(i, j int) bool { return st.OrigIPs[i] < st.OrigIPs[j] })
+	for k := range *s.sensTok.Load() {
+		st.Sensitive = append(st.Sensitive, k)
+	}
+	sort.Strings(st.Sensitive)
+	s.relMu.Lock()
+	for _, rel := range s.relations {
+		st.Relations = append(st.Relations, store.Relation{ASN: rel.ASN, Prefix: rel.Prefix, Len: rel.Len})
+	}
+	s.relMu.Unlock()
+	return st
+}
+
+// RestoreState reinstates a captured state: the IP pairs replay through
+// a fresh mapper in insertion order, verified pair by pair against this
+// Session's salt (a snapshot taken under a different salt fails, never
+// silently diverges); recorder entries, sensitive tokens, and relations
+// merge in. Call before any anonymization.
+func (s *Session) RestoreState(st store.State) error {
+	var mapper ipanon.Mapper
+	if s.prog.opts.StatelessIP {
+		mapper = ipanon.NewCryptoMapper(s.prog.opts.Salt)
+	} else {
+		mapper = ipanon.NewTree(ipanon.DefaultOptions(s.prog.opts.Salt))
+	}
+	for _, p := range st.IPs {
+		if got := mapper.MapV4(p.In); got != p.Out {
+			return fmt.Errorf("anonymizer: state replay mismatch for %08x: got %08x want %08x (wrong salt?)",
+				p.In, got, p.Out)
+		}
+	}
+	s.ipMu.Lock()
+	s.ip = mapper
+	s.ipMu.Unlock()
+	s.recMu.Lock()
+	for _, k := range st.ASNs {
+		s.seenASNs[k] = true
+	}
+	for _, k := range st.Words {
+		s.seenWords[k] = true
+	}
+	for _, k := range st.OrigIPs {
+		s.seenIPs[k] = true
+	}
+	s.recMu.Unlock()
+	if len(st.Sensitive) > 0 {
+		old := s.sensTok.Load()
+		next := make(map[string]bool, len(*old)+len(st.Sensitive))
+		for k := range *old {
+			next[k] = true
+		}
+		for _, k := range st.Sensitive {
+			next[k] = true
+		}
+		s.sensTok.Store(&next)
+	}
+	if len(st.Relations) > 0 {
+		s.relMu.Lock()
+		for _, r := range st.Relations {
+			s.relations = append(s.relations, Relation{ASN: r.ASN, Prefix: r.Prefix, Len: r.Len})
+		}
+		s.relMu.Unlock()
 	}
 	return nil
 }
 
-// LoadMapping replaces the Session's mapper with a replayed snapshot.
-// Call before any anonymization, with the same salt.
+// SaveMapping serializes the complete mutable Session state — the IP
+// mapping in insertion order, the leak-recorder maps, the sensitive
+// tokens, the declared relations — as a versioned confanon.mapping/v1
+// blob. An empty session snapshots nil. (Earlier releases saved a
+// tree-only "ipa1" binary; LoadMapping still accepts those.)
+func (s *Session) SaveMapping() []byte {
+	st := s.CaptureState()
+	if st.Empty() {
+		return nil
+	}
+	blob, err := store.EncodeState(&st, s.saltFP())
+	if err != nil {
+		// Marshal of plain structs cannot fail; keep the historical
+		// no-error signature.
+		return nil
+	}
+	return blob
+}
+
+// LoadMapping restores a SaveMapping snapshot — either the current
+// confanon.mapping/v1 state capture or a legacy tree-only "ipa1" blob.
+// Call before any anonymization, with the same salt: the replayed pairs
+// are verified against this Session's mapping, so a wrong-salt snapshot
+// is rejected, not silently diverged from.
 func (s *Session) LoadMapping(snapshot []byte) error {
 	if len(snapshot) == 0 {
 		return nil
+	}
+	if store.IsStateBlob(snapshot) {
+		st, fp, err := store.DecodeState(snapshot)
+		if err != nil {
+			return err
+		}
+		if fp != "" && fp != s.saltFP() {
+			return fmt.Errorf("anonymizer: %w", store.ErrSaltMismatch)
+		}
+		return s.RestoreState(st)
 	}
 	t, err := ipanon.Load(snapshot)
 	if err != nil {
@@ -293,6 +452,91 @@ func (s *Session) LoadMapping(snapshot []byte) error {
 	s.ip = t
 	s.ipMu.Unlock()
 	return nil
+}
+
+// SetLedger attaches a durable mapping ledger: from now on every clean
+// file boundary commits the state delta since the last commit — newly
+// resolved IP pairs, new leak-recorder entries, new sensitive tokens and
+// relations. State the mapper resolved before attachment is assumed
+// already persisted (the usual flow restores the ledger's replayed state
+// first, then attaches). nil detaches.
+func (s *Session) SetLedger(l LedgerSink) {
+	s.ledMu.Lock()
+	s.ledger = l
+	s.ledIPBase = s.mapper().Len()
+	s.recLog = nil
+	s.ledErr = nil
+	s.ledMu.Unlock()
+	s.ledgerOn.Store(l != nil)
+}
+
+// LedgerErr reports the first error the attached ledger returned (nil
+// when healthy). Ledger errors are sticky and stop further commits: the
+// run's output is still correct, but its mappings are no longer durable,
+// so batch callers surface this as a run-level failure.
+func (s *Session) LedgerErr() error {
+	s.ledMu.Lock()
+	defer s.ledMu.Unlock()
+	return s.ledErr
+}
+
+// appendLedgerRecords queues records for the next commit; a no-op when
+// no ledger is attached.
+func (s *Session) appendLedgerRecords(recs []store.Record) {
+	if !s.ledgerOn.Load() || len(recs) == 0 {
+		return
+	}
+	s.ledMu.Lock()
+	if s.ledger != nil && s.ledErr == nil {
+		s.recLog = append(s.recLog, recs...)
+	}
+	s.ledMu.Unlock()
+}
+
+// commitLedger persists the state delta since the last commit: the IP
+// pairs the shared mapper resolved past the persisted baseline, plus the
+// queued recorder/token/relation records. Called from the Safe* methods
+// at clean file boundaries — the same points the provenance ledger
+// publishes at — and never from a rollback path, so a mid-file failure
+// persists nothing. Note the delta is session-wide, not per-file: pairs
+// resolved by a file that later aborts are live shared state (subsequent
+// mappings depend on them), so they are swept into the next clean
+// commit, which is exactly what replica consistency requires.
+func (s *Session) commitLedger() {
+	if !s.ledgerOn.Load() {
+		return
+	}
+	s.ledMu.Lock()
+	defer s.ledMu.Unlock()
+	if s.ledger == nil || s.ledErr != nil {
+		return
+	}
+	pairs := s.mapper().Since(s.ledIPBase)
+	if len(pairs) == 0 && len(s.recLog) == 0 {
+		return
+	}
+	recs := make([]store.Record, 0, len(pairs)+len(s.recLog))
+	for _, p := range pairs {
+		recs = append(recs, store.Record{T: store.TIP, In: p.In, Out: p.Out})
+	}
+	recs = append(recs, s.recLog...)
+	if err := s.ledger.Append(recs...); err != nil {
+		s.ledErr = err
+		return
+	}
+	if err := s.ledger.Commit(); err != nil {
+		s.ledErr = err
+		return
+	}
+	s.ledIPBase += len(pairs)
+	s.recLog = s.recLog[:0]
+}
+
+// SyncLedger commits any state delta not yet persisted (end-of-run
+// flush; also the point batch callers check ledger health).
+func (s *Session) SyncLedger() error {
+	s.commitLedger()
+	return s.LedgerErr()
 }
 
 // IPMapping exposes the resolved IP pairs (for validation tooling).

@@ -310,6 +310,19 @@ func (t *Tree) Mapping() []Pair {
 	return pairs
 }
 
+// Since returns the pairs resolved at insertion index n and later, in
+// insertion order — the delta a persistence layer appends after having
+// already recorded the first n pairs. Since(0) is the full insertion-
+// order log (unlike Mapping, which sorts by input).
+func (t *Tree) Since(n int) []Pair {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n >= len(t.order) {
+		return nil
+	}
+	return append([]Pair(nil), t.order[n:]...)
+}
+
 // Len reports how many distinct addresses have been resolved.
 func (t *Tree) Len() int { return int(t.count.Load()) }
 
@@ -473,6 +486,10 @@ type Mapper interface {
 	// Remaps counts collision-chase steps taken so far (images that
 	// landed in the special range and were recursively remapped).
 	Remaps() int64
+	// Since returns the pairs resolved at insertion index n and later,
+	// in insertion order — the incremental delta the durable mapping
+	// ledger appends at commit points.
+	Since(n int) []Pair
 }
 
 // CryptoMapper adapts CryptoPAn to the Mapper interface, recording
@@ -560,6 +577,17 @@ func (m *CryptoMapper) Len() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return len(m.seen)
+}
+
+// Since returns the pairs resolved at insertion index n and later, in
+// first-seen order (see Tree.Since).
+func (m *CryptoMapper) Since(n int) []Pair {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n >= len(m.order) {
+		return nil
+	}
+	return append([]Pair(nil), m.order[n:]...)
 }
 
 // Remaps reports how many collision-chase steps have been taken.

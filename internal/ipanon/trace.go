@@ -48,6 +48,10 @@ func (tr *Trace) Len() int { return len(tr.ops) }
 // Remaps returns zero: a Trace never chases collisions.
 func (tr *Trace) Remaps() int64 { return 0 }
 
+// Since returns nil: a Trace resolves nothing, so there is never a
+// delta to persist.
+func (tr *Trace) Since(n int) []Pair { return nil }
+
 // Replay feeds every recorded call into m in recorded order. Repeated
 // addresses are harmless — they resolve from m's cache — so replaying a
 // trace that contains both a prescan pass and a rewrite pass reproduces

@@ -209,6 +209,20 @@ func NewStore() *Store {
 	}
 }
 
+// SetStateDir enables durable per-owner mapping ledgers under dir: the
+// raw-upload path commits each owner's mapping delta at every clean
+// file boundary, and a restarted Store pointed at the same directory
+// replays every owner's committed mappings on that owner's first upload
+// — uploads before and after a restart (or crash) anonymize under one
+// consistent mapping. Call before serving. The directory holds
+// cleartext-derived values; it is as sensitive as the owners' salts.
+func (s *Store) SetStateDir(dir string) { s.anon.stateDir = dir }
+
+// Close flushes and closes the per-owner mapping ledgers (a no-op
+// without SetStateDir). Call on shutdown, after the server has
+// drained.
+func (s *Store) Close() error { return s.anon.close() }
+
 // SetLimits replaces the store's limits (call before serving).
 func (s *Store) SetLimits(l Limits) { s.limits = l }
 

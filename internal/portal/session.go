@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"sort"
 	"sync"
 
@@ -31,36 +32,77 @@ import (
 // rawWorkers is the parallelism of one raw upload's anonymization run.
 const rawWorkers = 4
 
-// anonSessions holds the per-owner-salt anonymization sessions.
+// anonSessions holds the per-owner-salt anonymization sessions. With a
+// stateDir configured, each owner's Session is backed by a durable
+// mapping ledger in its own subdirectory (named by the salt digest):
+// the ledger is opened — and any prior runs' committed mappings
+// replayed — the first time the owner's salt is seen, so a restarted
+// portal continues every owner's mapping exactly where the previous
+// process left it, including after a crash mid-upload (clean file
+// boundaries commit; the interrupted file never half-persists).
 type anonSessions struct {
 	mu       sync.Mutex
 	sessions map[string]*confanon.Anonymizer
+	stores   map[string]*confanon.MappingStore
+	stateDir string
 	reg      *confanon.MetricsRegistry
 }
 
 func newAnonSessions() *anonSessions {
-	return &anonSessions{sessions: make(map[string]*confanon.Anonymizer)}
+	return &anonSessions{
+		sessions: make(map[string]*confanon.Anonymizer),
+		stores:   make(map[string]*confanon.MappingStore),
+	}
 }
 
-// forSalt returns the owner's Session, compiling its Program on first
-// use. The map is keyed by a digest of the salt, not the salt itself.
-// Anonymization is strict: a file whose leak report is not clean is
-// quarantined, never stored.
-func (p *anonSessions) forSalt(salt []byte) *confanon.Anonymizer {
+// forSalt returns the owner's Session, compiling its Program — and,
+// with a state directory configured, opening and replaying the owner's
+// mapping ledger — on first use. The map (and the ledger subdirectory)
+// is keyed by a digest of the salt, not the salt itself. Anonymization
+// is strict: a file whose leak report is not clean is quarantined,
+// never stored.
+func (p *anonSessions) forSalt(salt []byte) (*confanon.Anonymizer, error) {
 	key := sha256.Sum256(salt)
 	id := hex.EncodeToString(key[:])
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if a, ok := p.sessions[id]; ok {
-		return a
+		return a, nil
 	}
 	a := confanon.Compile(confanon.Options{
 		Salt:    append([]byte(nil), salt...),
 		Strict:  true,
 		Metrics: p.reg,
 	}).NewSession()
+	if p.stateDir != "" {
+		ms, err := confanon.OpenMappingStore(filepath.Join(p.stateDir, id), salt)
+		if err != nil {
+			return nil, fmt.Errorf("opening mapping ledger: %w", err)
+		}
+		if err := a.UseStore(ms); err != nil {
+			ms.Close()
+			return nil, fmt.Errorf("replaying mapping ledger: %w", err)
+		}
+		p.stores[id] = ms
+	}
 	p.sessions[id] = a
-	return a
+	return a, nil
+}
+
+// close closes every open mapping ledger (flushing buffered appends)
+// and forgets the sessions, returning the first close error.
+func (p *anonSessions) close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var first error
+	for id, ms := range p.stores {
+		if err := ms.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(p.stores, id)
+		delete(p.sessions, id)
+	}
+	return first
 }
 
 type rawUploadRequest struct {
@@ -96,10 +138,23 @@ func (s *Store) handleUploadRaw(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	sess := s.anon.forSalt([]byte(req.Salt))
+	sess, err := s.anon.forSalt([]byte(req.Salt))
+	if err != nil {
+		s.slog().Error("raw upload: session unavailable", "err", err)
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "anonymization session unavailable: " + err.Error()})
+		return
+	}
 	res, err := sess.ParallelCorpusContext(r.Context(), req.Files, rawWorkers)
 	if err != nil {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "anonymization aborted: " + err.Error()})
+		return
+	}
+	// Durability before publication: if the mapping delta cannot be
+	// committed, storing the outputs would orphan them from any future
+	// consistent run — fail the upload instead.
+	if err := sess.SyncStore(); err != nil {
+		s.slog().Error("raw upload: mapping ledger commit failed", "err", err)
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "mapping ledger commit failed: " + err.Error()})
 		return
 	}
 	if !res.Ok() {

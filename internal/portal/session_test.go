@@ -146,3 +146,86 @@ func TestRawUploadRejects(t *testing.T) {
 		t.Errorf("rejected uploads left %d datasets stored", n)
 	}
 }
+
+// TestRawUploadStatePersistsAcrossRestart is the portal's durable-store
+// contract: with a state directory configured, a second Store process
+// pointed at the same directory replays each owner's mapping ledger on
+// first use, so uploads before and after a restart anonymize a shared
+// address identically — and a different owner's mapping stays
+// independent.
+func TestRawUploadStatePersistsAcrossRestart(t *testing.T) {
+	stateDir := t.TempDir()
+	const salt = "owner-secret"
+	const shared = "12.1.2.3"
+	files := func(tag string) map[string]string {
+		return map[string]string{
+			tag + "-confg": "hostname " + tag + "\ninterface Serial0\n ip address " + shared + " 255.255.255.0\n",
+		}
+	}
+	extract := func(text string) string {
+		m := regexp.MustCompile(`ip address (\S+)`).FindStringSubmatch(text)
+		if m == nil {
+			t.Fatalf("no ip address in %q", text)
+		}
+		return m[1]
+	}
+
+	// First process lifetime.
+	store1 := NewStore()
+	store1.AddResearcher("key-r1", "r1")
+	store1.SetStateDir(stateDir)
+	srv1 := httptest.NewServer(store1.Handler())
+	code, up1 := rawUpload(t, srv1.URL, "gen1", salt, files("alpha"))
+	if code != http.StatusCreated {
+		t.Fatalf("upload 1: status %d: %+v", code, up1)
+	}
+	anon1 := extract(datasetText(t, srv1.URL, "key-r1", up1.ID))
+	srv1.Close()
+	if err := store1.Close(); err != nil {
+		t.Fatalf("closing store 1: %v", err)
+	}
+
+	// Restarted process: fresh Store, same state directory.
+	store2 := NewStore()
+	store2.AddResearcher("key-r1", "r1")
+	store2.SetStateDir(stateDir)
+	srv2 := httptest.NewServer(store2.Handler())
+	defer srv2.Close()
+	defer store2.Close()
+	code, up2 := rawUpload(t, srv2.URL, "gen2", salt, files("beta"))
+	if code != http.StatusCreated {
+		t.Fatalf("upload 2: status %d: %+v", code, up2)
+	}
+	anon2 := extract(datasetText(t, srv2.URL, "key-r1", up2.ID))
+	if anon1 != anon2 {
+		t.Errorf("mapping did not survive the restart: %s then %s for %s", anon1, anon2, shared)
+	}
+
+	// A different owner gets an independent mapping and an independent
+	// ledger subdirectory.
+	code, up3 := rawUpload(t, srv2.URL, "gen3", "other-owner", files("gamma"))
+	if code != http.StatusCreated {
+		t.Fatalf("upload 3: status %d: %+v", code, up3)
+	}
+	if anon3 := extract(datasetText(t, srv2.URL, "key-r1", up3.ID)); anon3 == anon1 {
+		t.Errorf("two owners share a mapping: %s", anon3)
+	}
+}
+
+// TestRawUploadWithoutStateDirStillWorks pins the default: no state
+// directory means the pre-durability behavior, ledgers never touched.
+func TestRawUploadWithoutStateDirStillWorks(t *testing.T) {
+	store := NewStore()
+	store.AddResearcher("key-r1", "r1")
+	srv := httptest.NewServer(store.Handler())
+	defer srv.Close()
+	code, up := rawUpload(t, srv.URL, "plain", "owner-secret", map[string]string{
+		"r1-confg": "hostname r1\ninterface Serial0\n ip address 12.1.2.3 255.255.255.0\n",
+	})
+	if code != http.StatusCreated {
+		t.Fatalf("status %d: %+v", code, up)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatalf("Close without state dir: %v", err)
+	}
+}

@@ -68,8 +68,9 @@ func NewRunReport(stats Stats, reg *MetricsRegistry) *RunReport {
 // outcomes and context cancellations. Registered idempotently, so the
 // serial and parallel paths (and several runs) share the same counters.
 type batchMetrics struct {
-	files     *metrics.CounterVec
-	cancelled *metrics.Counter
+	files       *metrics.CounterVec
+	cancelled   *metrics.Counter
+	incremental *metrics.CounterVec
 }
 
 func newBatchMetrics(reg *metrics.Registry) *batchMetrics {
@@ -78,6 +79,8 @@ func newBatchMetrics(reg *metrics.Registry) *batchMetrics {
 			"batch file outcomes by status (ok, failed, quarantined)", "status"),
 		cancelled: reg.Counter("confanon_batch_cancelled_total",
 			"batch runs cut short by context cancellation"),
+		incremental: reg.CounterVec("confanon_incremental_files_total",
+			"incremental run file dispositions (reused, partial, full)", "mode"),
 	}
 }
 
@@ -85,6 +88,13 @@ func newBatchMetrics(reg *metrics.Registry) *batchMetrics {
 func (m *batchMetrics) countFile(st FileStatus) {
 	if m != nil {
 		m.files.With(st.String()).Inc()
+	}
+}
+
+// countIncr records one incremental file disposition.
+func (m *batchMetrics) countIncr(mode string) {
+	if m != nil {
+		m.incremental.With(mode).Inc()
 	}
 }
 
