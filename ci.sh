@@ -25,11 +25,15 @@ go test -race ./internal/metrics ./internal/trace ./internal/store
 # Concurrency gauntlet: the packages whose correctness depends on the
 # Program/Session split's locking — the shaped tree's two-phase design,
 # the session worker pool and rewrite memo, the portal's per-salt
-# sessions, and the mapping ledger's append/commit serialization — run
-# twice under the race detector so scheduling varies.
-echo "== concurrency gauntlet: go test -race -count=2 (ipanon, anonymizer, store, portal, parallel batch)"
-go test -race -count=2 ./internal/ipanon ./internal/anonymizer ./internal/store ./internal/portal
+# sessions, the mapping ledger's append/commit serialization, and the
+# job queue's worker pool — run twice under the race detector so
+# scheduling varies. The chaos pass includes the restart-mid-job test:
+# the portal is killed on both sides of a ledger commit and must resume
+# to byte-identical output.
+echo "== concurrency gauntlet: go test -race -count=2 (ipanon, anonymizer, store, jobs, portal, parallel batch)"
+go test -race -count=2 ./internal/ipanon ./internal/anonymizer ./internal/store ./internal/jobs ./internal/portal
 go test -race -count=2 -run 'Parallel|Chaos|Session|Trace|Store|Incremental' .
+go test -race -count=2 -run 'Jobs|Queue|Chaos|Readyz|Drain' ./internal/jobs ./internal/portal
 
 echo "== go test -race -cover ./... $*"
 go test -race -coverprofile=coverage.out "$@" ./...

@@ -72,7 +72,6 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -88,6 +87,7 @@ import (
 	"time"
 
 	"confanon"
+	"confanon/internal/retry"
 )
 
 // Exit codes (documented above; keep DESIGN.md §"Failure semantics" in
@@ -502,39 +502,10 @@ type nopCloser struct{ io.Writer }
 
 func (nopCloser) Close() error { return nil }
 
-// retryIO runs op, retrying transient I/O failures (interrupted calls,
-// exhausted descriptors, busy devices) with exponential backoff. Errors
-// that retrying cannot fix — missing files, permissions, bad paths —
-// return immediately.
-func retryIO(op func() error) error {
-	const attempts = 3
-	delay := 50 * time.Millisecond
-	var err error
-	for i := 0; i < attempts; i++ {
-		if err = op(); err == nil || !transientIO(err) {
-			return err
-		}
-		if i < attempts-1 {
-			time.Sleep(delay)
-			delay *= 2
-		}
-	}
-	return err
-}
-
-// transientIO reports whether err looks like a failure a short backoff
-// can outlive.
-func transientIO(err error) bool {
-	for _, e := range []error{
-		syscall.EINTR, syscall.EAGAIN, syscall.EBUSY,
-		syscall.ENFILE, syscall.EMFILE, syscall.ETIMEDOUT,
-	} {
-		if errors.Is(err, e) {
-			return true
-		}
-	}
-	return false
-}
+// retryIO runs op under the shared transient-I/O retry policy
+// (internal/retry, which this helper's original inline implementation
+// was extracted into).
+func retryIO(op func() error) error { return retry.Do(op) }
 
 func writeFileRetry(path string, data []byte, perm os.FileMode) error {
 	return retryIO(func() error { return os.WriteFile(path, data, perm) })

@@ -9,20 +9,31 @@
 // The API:
 //
 //	POST /datasets                       {"label": "...", "files": {...}}  (anyone; screened)
+//	POST /datasets/raw                   {"salt": "...", "files": {...}}   (synchronous server-side anonymization)
+//	POST /jobs                           same body as /datasets/raw → 202 {"job_id", "job_token"} (async)
+//	GET  /jobs/{id}                      job status + progress (X-Job-Token header)
+//	DELETE /jobs/{id}                    cancel a queued or running job (X-Job-Token header)
 //	GET  /datasets                       researcher key (X-API-Key header)
 //	GET  /datasets/{id}/files            researcher key
 //	GET  /datasets/{id}/files/{name}     researcher key
 //	POST /datasets/{id}/comments         researcher key or {"owner_token": ...}
 //	GET  /datasets/{id}/comments         researcher key or ?owner_token=...
 //	GET  /healthz                        liveness probe (no auth)
+//	GET  /readyz                         routing probe: 503 during startup replay and graceful drain
 //	GET  /metrics                        Prometheus text snapshot (X-Admin-Token; 404 without -admin-token)
 //	GET  /debug/pprof/*                  runtime profiler (X-Admin-Token; 404 without -admin-token)
 //
 // The server is hardened: request bodies are capped (-max-body, with
 // per-dataset file-count and size limits beneath it), every connection
 // phase has a timeout, handler panics become logged 500s, and SIGINT or
-// SIGTERM triggers a graceful shutdown that lets in-flight requests
-// finish (-grace).
+// SIGTERM triggers a graceful drain: /readyz flips not-ready, the
+// listener keeps serving for -drain-notice so load balancers stop
+// routing, in-flight requests get -grace, and running jobs get
+// -drain-jobs to finish (stragglers are checkpointed resumably — with
+// -state-dir their committed progress survives and the next start
+// resumes them). The job queue is bounded (-job-workers, -job-queue,
+// -job-timeout) with per-owner fairness (-owner-jobs, -owner-rate);
+// refusals answer 429/503 with a Retry-After computed from queue depth.
 package main
 
 import (
@@ -35,6 +46,7 @@ import (
 	"syscall"
 	"time"
 
+	"confanon/internal/jobs"
 	"confanon/internal/metrics"
 	"confanon/internal/portal"
 )
@@ -49,8 +61,15 @@ func main() {
 	maxBody := flag.Int64("max-body", portal.DefaultLimits().MaxBodyBytes, "request body cap in bytes")
 	maxFiles := flag.Int("max-files", portal.DefaultLimits().MaxFiles, "files-per-dataset cap")
 	grace := flag.Duration("grace", 10*time.Second, "graceful-shutdown window for in-flight requests")
+	drainNotice := flag.Duration("drain-notice", 2*time.Second, "how long /readyz answers not-ready before the listener stops (lets load balancers stop routing)")
+	drainJobs := flag.Duration("drain-jobs", 30*time.Second, "how long running jobs get to finish on shutdown before being checkpointed for resume")
 	adminToken := flag.String("admin-token", "", "operator secret unlocking GET /metrics and /debug/pprof (X-Admin-Token header); empty keeps both endpoints 404")
-	stateDir := flag.String("state-dir", "", "durable per-owner mapping-ledger directory for POST /datasets/raw; a restarted portal replays it (as sensitive as the owners' salts)")
+	stateDir := flag.String("state-dir", "", "durable per-owner mapping-ledger and job-record directory; a restarted portal replays ledgers and resumes unfinished jobs (as sensitive as the owners' salts)")
+	jobWorkers := flag.Int("job-workers", 2, "async job worker-pool size")
+	jobQueue := flag.Int("job-queue", 64, "async job queue capacity; beyond it POST /jobs answers 429 + Retry-After")
+	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "per-job execution timeout (0 = none)")
+	ownerJobs := flag.Int("owner-jobs", 4, "per-owner in-flight job quota (0 = unlimited)")
+	ownerRate := flag.Float64("owner-rate", 30, "per-owner job submissions per minute, bucket one minute deep (0 = unlimited)")
 	logJSON := flag.Bool("log-json", false, "emit the structured request log as JSON lines instead of key=value text")
 	var researchers kvFlag
 	flag.Var(&researchers, "researcher", "researcher account as key=handle (repeatable)")
@@ -67,11 +86,6 @@ func main() {
 	store.SetAdminToken(*adminToken)
 	if *stateDir != "" {
 		store.SetStateDir(*stateDir)
-		defer func() {
-			if err := store.Close(); err != nil {
-				logger.Error("closing mapping ledgers", "err", err)
-			}
-		}()
 	}
 	limits := portal.DefaultLimits()
 	limits.MaxBodyBytes = *maxBody
@@ -86,13 +100,42 @@ func main() {
 		store.AddResearcher(parts[0], parts[1])
 	}
 
+	// Start the job queue (resuming any jobs a previous process left
+	// behind) before the listener: /readyz answers ready only once the
+	// startup replay is done.
+	if err := store.StartJobs(jobs.Config{
+		Workers:          *jobWorkers,
+		Capacity:         *jobQueue,
+		JobTimeout:       *jobTimeout,
+		PerOwnerInFlight: *ownerJobs,
+		OwnerRatePerMin:  *ownerRate,
+	}); err != nil {
+		logger.Error("starting job queue", "err", err)
+		os.Exit(1)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	srv := portal.NewServer(*addr, store.Handler())
 	logger.Info("listening", "addr", *addr, "researchers", len(researchers))
-	if err := portal.Run(ctx, srv, *grace); err != nil {
+	err := portal.RunWithDrain(ctx, srv, *grace, *drainNotice, func() {
+		logger.Info("drain: readyz now not-ready")
+		store.BeginDrain()
+	})
+	if err != nil {
 		logger.Error("serve failed", "err", err)
+		os.Exit(1)
+	}
+	// Listener is down; now drain the job queue (running jobs finish or
+	// are checkpointed resumably) and only then close the ledgers.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainJobs)
+	if err := store.DrainJobs(drainCtx); err != nil {
+		logger.Warn("job drain hit its deadline; unfinished jobs checkpointed for resume", "err", err)
+	}
+	cancel()
+	if err := store.Close(); err != nil {
+		logger.Error("closing mapping ledgers", "err", err)
 		os.Exit(1)
 	}
 	logger.Info("shut down cleanly")

@@ -1,0 +1,389 @@
+package portal
+
+// This file is the portal's asynchronous submission surface: the layer
+// that turns the synchronous POST /datasets/raw flow into 202-Accepted
+// job semantics the paper's §7 clearinghouse needs at carrier scale.
+// POST /jobs enqueues a raw corpus for server-side anonymization and
+// returns immediately with a job id and a secret job token;
+// GET /jobs/{id} reports status and per-file progress; DELETE /jobs/{id}
+// cancels. The queue (internal/jobs) bounds workers and queue depth,
+// enforces per-owner quotas and rates, and persists every job durably
+// before acknowledging it — a killed portal resumes unfinished jobs at
+// the next start, and the per-owner mapping ledger guarantees the re-run
+// is byte-identical to an uninterrupted one.
+//
+// The job runner processes the corpus in fixed-size sorted chunks
+// through the owner's shared Session, so progress advances per chunk and
+// the Session's ledger commits land at clean file boundaries throughout
+// the run — the checkpoints a crash recovers to. Failed files are
+// retried with jittered backoff before they are declared problems; the
+// portal cannot distinguish a transient fault from a deterministic one,
+// so it retries optimistically within a small bounded budget.
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"net/http"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"time"
+
+	"confanon/internal/jobs"
+	"confanon/internal/retry"
+	"confanon/internal/trace"
+)
+
+// jobChunkFiles is how many files one job processes per Session run: the
+// progress/checkpoint granularity. Small enough that a crash loses
+// little uncommitted work, large enough to keep the parallel workers fed.
+const jobChunkFiles = 8
+
+// fileRetryPolicy bounds the per-file re-attempts inside a job. Jittered
+// so a burst of simultaneous failures does not retry in lockstep.
+var fileRetryPolicy = retry.Policy{Attempts: 3, BaseDelay: 100 * time.Millisecond, MaxDelay: 2 * time.Second,
+	Classify: func(error) bool { return true }}
+
+// SetTracer wires a span tracer into the job pipeline: one KindJob span
+// per job with retroactive per-file children (call before StartJobs).
+func (s *Store) SetTracer(tr *trace.Tracer) { s.tracer = tr }
+
+// StartJobs builds the job queue, resumes any jobs a previous process
+// left behind, and flips the portal ready. Zero-value cfg fields inherit
+// the portal's wiring: records under <stateDir>/jobs, the Store's
+// metrics registry and tracer. Call after SetStateDir/SetMetrics and
+// before serving.
+func (s *Store) StartJobs(cfg jobs.Config) error {
+	if cfg.Dir == "" && s.anon.stateDir != "" {
+		cfg.Dir = filepath.Join(s.anon.stateDir, "jobs")
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = s.reg
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = s.tracer
+	}
+	run := s.jobRunner
+	if run == nil {
+		run = s.runJob
+	}
+	q, err := jobs.New(cfg, run)
+	if err != nil {
+		return fmt.Errorf("portal: starting job queue: %w", err)
+	}
+	s.jobs = q
+	for _, p := range q.LoadProblems() {
+		s.slog().Warn("job record set aside", "problem", p)
+	}
+	if n := q.Resumed(); n > 0 {
+		s.slog().Info("resumed persisted jobs", "count", n)
+	}
+	s.ready.Store(true)
+	return nil
+}
+
+// BeginDrain flips the portal not-ready (GET /readyz answers 503, so
+// load balancers stop routing) and refuses new job submissions. It does
+// not wait; call DrainJobs once the HTTP server has stopped accepting.
+func (s *Store) BeginDrain() { s.ready.Store(false) }
+
+// DrainJobs winds the job queue down: running jobs get until ctx to
+// finish, stragglers are interrupted resumably. A no-op without
+// StartJobs.
+func (s *Store) DrainJobs(ctx context.Context) error {
+	if s.jobs == nil {
+		return nil
+	}
+	return s.jobs.Drain(ctx)
+}
+
+// Ready reports whether the portal should receive traffic: jobs started
+// (startup replay done) and not draining.
+func (s *Store) Ready() bool {
+	return s.ready.Load() && s.jobs != nil && !s.jobs.Draining()
+}
+
+// handleReadyz is the routing probe — distinct from /healthz (liveness):
+// a portal mid-startup or mid-drain is alive but must not receive new
+// work.
+func (s *Store) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.Ready() {
+		status := "starting"
+		if s.jobs != nil && (s.jobs.Draining() || !s.ready.Load()) {
+			status = "draining"
+		}
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": status})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// ownerKey derives the per-owner queue key from the salt — the same
+// digest that keys the owner's Session and ledger directory, never the
+// salt itself.
+func ownerKey(salt []byte) string {
+	sum := sha256.Sum256(salt)
+	return hex.EncodeToString(sum[:])
+}
+
+type jobSubmitResponse struct {
+	JobID    string `json:"job_id"`
+	JobToken string `json:"job_token"`
+	Status   string `json:"status"`
+}
+
+// jobView is the status representation GET /jobs/{id} serves. The job
+// token authenticates the request and is never echoed back; the owner
+// token appears only once the dataset is published.
+type jobView struct {
+	JobID       string        `json:"job_id"`
+	Label       string        `json:"label,omitempty"`
+	State       string        `json:"state"`
+	Progress    jobs.Progress `json:"progress"`
+	Attempts    int           `json:"attempts,omitempty"`
+	FileRetries int           `json:"file_retries,omitempty"`
+	Error       string        `json:"error,omitempty"`
+	Problems    []string      `json:"problems,omitempty"`
+	DatasetID   string        `json:"dataset_id,omitempty"`
+	OwnerToken  string        `json:"owner_token,omitempty"`
+}
+
+func viewOf(snap jobs.Snapshot) jobView {
+	return jobView{
+		JobID:       snap.ID,
+		Label:       snap.Label,
+		State:       string(snap.State),
+		Progress:    snap.Progress,
+		Attempts:    snap.Attempts,
+		FileRetries: snap.FileRetries,
+		Error:       snap.Err,
+		Problems:    snap.Problems,
+		DatasetID:   snap.DatasetID,
+		OwnerToken:  snap.OwnerToken,
+	}
+}
+
+// retryAfterSeconds renders a Retry-After header value (whole seconds,
+// rounded up so clients never return early).
+func retryAfterSeconds(d time.Duration) string {
+	return strconv.Itoa(int(math.Ceil(d.Seconds())))
+}
+
+// handleSubmitJob is POST /jobs: validate like the synchronous raw
+// upload, then enqueue and answer 202 with the job id and token. The
+// submission is durable before the 202 leaves. Overload answers carry
+// Retry-After computed from live queue state: 429 for quota and
+// capacity pressure, 503 while draining.
+func (s *Store) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	if s.jobs == nil || !s.ready.Load() {
+		w.Header().Set("Retry-After", "5")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "job queue unavailable"})
+		return
+	}
+	if s.limits.MaxBodyBytes > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, s.limits.MaxBodyBytes)
+	}
+	var req rawUploadRequest
+	if err := decodeJSONBody(w, r, &req); err != nil {
+		return
+	}
+	if len(req.Files) == 0 {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "no files"})
+		return
+	}
+	if req.Salt == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "salt required (it keys your anonymization mapping)"})
+		return
+	}
+	if problems := s.checkLimits(req.Files); len(problems) > 0 {
+		writeJSON(w, http.StatusUnprocessableEntity, uploadResponse{Problems: problems})
+		return
+	}
+	snap, err := s.jobs.Submit(jobs.Spec{
+		Owner: ownerKey([]byte(req.Salt)),
+		Label: req.Label,
+		Salt:  []byte(req.Salt),
+		Files: req.Files,
+	})
+	if err != nil {
+		if ov, ok := err.(*jobs.OverloadError); ok {
+			status := http.StatusTooManyRequests
+			if ov.Reason == "draining" {
+				status = http.StatusServiceUnavailable
+			}
+			w.Header().Set("Retry-After", retryAfterSeconds(ov.RetryAfter))
+			writeJSON(w, status, map[string]string{"error": "overloaded: " + ov.Reason})
+			return
+		}
+		s.slog().Error("job submission failed", "err", err)
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "submission failed: " + err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, jobSubmitResponse{
+		JobID:    snap.ID,
+		JobToken: snap.Token,
+		Status:   "/jobs/" + snap.ID,
+	})
+}
+
+// authJob resolves {id} and checks the X-Job-Token header in constant
+// time. On failure the response is written and ok is false.
+func (s *Store) authJob(w http.ResponseWriter, r *http.Request) (jobs.Snapshot, bool) {
+	if s.jobs == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "job queue unavailable"})
+		return jobs.Snapshot{}, false
+	}
+	snap, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no such job"})
+		return jobs.Snapshot{}, false
+	}
+	if !tokenEqual(r.Header.Get("X-Job-Token"), snap.Token) {
+		writeJSON(w, http.StatusUnauthorized, map[string]string{"error": "job token required"})
+		return jobs.Snapshot{}, false
+	}
+	return snap, true
+}
+
+// handleJobStatus is GET /jobs/{id}: the polling endpoint.
+func (s *Store) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.authJob(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, viewOf(snap))
+}
+
+// handleJobCancel is DELETE /jobs/{id}: queued jobs cancel immediately,
+// running jobs stop at their next file boundary; either way the answer
+// is the post-cancel view.
+func (s *Store) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.authJob(w, r); !ok {
+		return
+	}
+	snap, err := s.jobs.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no such job"})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, viewOf(snap))
+}
+
+// runJob executes one queued job against the owner's shared Session.
+// Chunked: the sorted corpus runs jobChunkFiles at a time, so progress
+// is visible, cancellation lands at chunk boundaries, and the Session's
+// ledger commits (clean file boundaries) checkpoint the run throughout.
+// A failed file is retried under fileRetryPolicy before it becomes a
+// problem. Fail-closed like the synchronous path: any surviving failure
+// or quarantine withholds the whole dataset.
+func (s *Store) runJob(ctx context.Context, cb jobs.Callbacks, spec jobs.Spec) (*jobs.Result, error) {
+	sess, err := s.anon.forSalt(spec.Salt)
+	if err != nil {
+		return nil, fmt.Errorf("anonymization session unavailable: %w", err)
+	}
+	names := make([]string, 0, len(spec.Files))
+	for n := range spec.Files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	prog := jobs.Progress{FilesTotal: len(names)}
+	outputs := make(map[string]string, len(names))
+	var problems []string
+	fileRetries := 0
+
+	for start := 0; start < len(names); start += jobChunkFiles {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		end := start + jobChunkFiles
+		if end > len(names) {
+			end = len(names)
+		}
+		chunk := make(map[string]string, end-start)
+		for _, n := range names[start:end] {
+			chunk[n] = spec.Files[n]
+		}
+		chunkStart := time.Time{}
+		var startNs int64
+		if cb.Tracer != nil {
+			startNs = cb.Tracer.Now()
+			chunkStart = time.Now()
+		}
+		res, err := sess.ParallelCorpusContext(ctx, chunk, rawWorkers)
+		if err != nil {
+			return nil, err
+		}
+		// Retry each failed file individually before giving up on it.
+		for _, fe := range res.Failed() {
+			name := fe.Name
+			rp := fileRetryPolicy
+			rp.OnRetry = func(int, error) { fileRetries++ }
+			err := rp.Do(ctx, func() error {
+				one, rerr := sess.ParallelCorpusContext(ctx, map[string]string{name: spec.Files[name]}, 1)
+				if rerr != nil {
+					return rerr
+				}
+				fr := one.Files[name]
+				res.Files[name] = fr
+				if fr.Ok() {
+					return nil
+				}
+				if fr.Err != nil {
+					return fr.Err
+				}
+				return fmt.Errorf("%s: quarantined", name)
+			})
+			if err != nil && ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+		}
+		for _, n := range names[start:end] {
+			fr := res.Files[n]
+			spanStatus := trace.StatusOK
+			switch {
+			case fr.Err != nil:
+				problems = append(problems, fmt.Sprintf("%s: processing failed: %v", n, fr.Err))
+				prog.FilesFailed++
+				spanStatus = trace.StatusFailed
+			case len(fr.Leaks) > 0:
+				problems = append(problems, fmt.Sprintf("%s: quarantined (%d confirmed leaks, first: %s)", n, len(fr.Leaks), fr.Leaks[0]))
+				prog.FilesQuarantined++
+				spanStatus = trace.StatusFailed
+			default:
+				outputs[n] = fr.Text
+				prog.FilesDone++
+			}
+			if cb.Tracer != nil && cb.Span != nil {
+				// Retroactive: the chunk's wall time is shared across its
+				// files — attribution, not profiling.
+				per := time.Since(chunkStart).Nanoseconds() / int64(end-start)
+				cb.Tracer.RecordSpan(trace.KindFile, n, cb.Span.ID, startNs, per, spanStatus)
+			}
+		}
+		if cb.Progress != nil {
+			cb.Progress(prog)
+		}
+	}
+
+	// Durability before publication, exactly like the synchronous path.
+	if err := sess.SyncStore(); err != nil {
+		return nil, fmt.Errorf("mapping ledger commit failed: %w", err)
+	}
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		return &jobs.Result{Problems: problems, Progress: prog, FileRetries: fileRetries}, nil
+	}
+	renamed := make(map[string]string, len(outputs))
+	for name, text := range outputs {
+		renamed[sess.RenameFile(name)] = text
+	}
+	id, tok, uploadProblems := s.Upload(spec.Label, renamed)
+	if len(uploadProblems) > 0 {
+		return &jobs.Result{Problems: uploadProblems, Progress: prog, FileRetries: fileRetries}, nil
+	}
+	return &jobs.Result{DatasetID: id, OwnerToken: tok, Progress: prog, FileRetries: fileRetries}, nil
+}

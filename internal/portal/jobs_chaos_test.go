@@ -1,0 +1,208 @@
+package portal
+
+// Chaos test for the tentpole crash-survivability claim: a portal
+// process killed mid-job — on either side of a mapping-ledger commit —
+// must, on restart against the same state directory, resume the job and
+// publish output byte-identical to a never-killed run.
+//
+// The kill is a real process death, not a panic: the test re-execs its
+// own binary as a helper (TestChaosJobHelper, inert unless the env
+// marker is set) that runs a portal store, submits one job, and installs
+// a store crash hook calling os.Exit(137) at the Nth occurrence of the
+// chosen commit-protocol event. "commit" fires before the commit record
+// reaches the OS (the durable state is the previous commit); "committed"
+// fires after the fsync (the commit is durable, the in-memory fold never
+// happened). Both windows must recover to the identical corpus.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"testing"
+	"time"
+
+	"confanon/internal/jobs"
+	"confanon/internal/store"
+)
+
+const chaosSalt = "chaos-owner-secret"
+
+// chaosCorpus is big enough that several per-file ledger commits happen
+// mid-job, with a shared neighbor address so mapping consistency is
+// observable across files.
+func chaosCorpus() map[string]string {
+	files := make(map[string]string)
+	for i := 1; i <= 6; i++ {
+		name := fmt.Sprintf("chaos-r%d-confg", i)
+		files[name] = fmt.Sprintf(
+			"hostname chaos-r%d\ninterface Serial0\n ip address 12.2.%d.1 255.255.255.0\nrouter bgp 71%d\n neighbor 12.9.9.9 remote-as 702\n neighbor 12.2.%d.7 remote-as 71%d\n",
+			i, i, i, i, i)
+	}
+	return files
+}
+
+// TestChaosJobHelper is the subprocess body; without the env marker it
+// is a no-op in normal test runs.
+func TestChaosJobHelper(t *testing.T) {
+	dir := os.Getenv("PORTAL_JOB_CHAOS_DIR")
+	if dir == "" {
+		t.Skip("helper: only runs re-execed by the chaos test")
+	}
+	event := os.Getenv("PORTAL_JOB_CHAOS_EVENT")
+	crashAt, _ := strconv.Atoi(os.Getenv("PORTAL_JOB_CHAOS_AT"))
+	if event != "" && crashAt > 0 {
+		n := 0
+		store.SetCrashHook(func(e string) {
+			if e == event {
+				if n++; n == crashAt {
+					os.Exit(137) // process death, mid-protocol, no unwinding
+				}
+			}
+		})
+		defer store.SetCrashHook(nil)
+	}
+
+	s := NewStore()
+	s.SetStateDir(filepath.Join(dir, "state"))
+	if err := s.StartJobs(jobs.Config{Workers: 1}); err != nil {
+		t.Fatalf("helper: StartJobs: %v", err)
+	}
+	defer s.Close()
+
+	// First run submits; a restarted run finds the persisted id and just
+	// waits for the resumed job.
+	idFile := filepath.Join(dir, "jobid")
+	var id string
+	if b, err := os.ReadFile(idFile); err == nil {
+		id = string(b)
+		if s.jobs.Resumed() == 0 {
+			t.Fatal("helper: restart resumed no jobs")
+		}
+	} else {
+		snap, err := s.jobs.Submit(jobs.Spec{
+			Owner: ownerKey([]byte(chaosSalt)),
+			Label: "chaos",
+			Salt:  []byte(chaosSalt),
+			Files: chaosCorpus(),
+		})
+		if err != nil {
+			t.Fatalf("helper: Submit: %v", err)
+		}
+		id = snap.ID
+		if err := os.WriteFile(idFile, []byte(id), 0o600); err != nil {
+			t.Fatalf("helper: recording job id: %v", err)
+		}
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		snap, ok := s.jobs.Get(id)
+		if !ok {
+			t.Fatalf("helper: job %s vanished", id)
+		}
+		if snap.State == jobs.StateDone {
+			d, ok := s.Dataset(snap.DatasetID)
+			if !ok {
+				t.Fatalf("helper: done job's dataset %s missing", snap.DatasetID)
+			}
+			blob, err := json.Marshal(d.Files)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dir, "result.json"), blob, 0o600); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		if snap.State.Terminal() {
+			t.Fatalf("helper: job finished %q (err %q, problems %v)", snap.State, snap.Err, snap.Problems)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("helper: job never finished")
+}
+
+// runChaosHelper re-execs the test binary as the helper. event=""
+// means run to completion; otherwise the helper is expected to die with
+// exit 137 at the crashAt-th occurrence of the event.
+func runChaosHelper(t *testing.T, dir, event string, crashAt int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestChaosJobHelper$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		"PORTAL_JOB_CHAOS_DIR="+dir,
+		"PORTAL_JOB_CHAOS_EVENT="+event,
+		"PORTAL_JOB_CHAOS_AT="+strconv.Itoa(crashAt),
+	)
+	out, err := cmd.CombinedOutput()
+	if event == "" {
+		if err != nil {
+			t.Fatalf("helper run failed: %v\n%s", err, out)
+		}
+		return
+	}
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) || exitErr.ExitCode() != 137 {
+		t.Fatalf("helper was not killed at %q (err %v):\n%s", event, err, out)
+	}
+}
+
+func readChaosResult(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	blob, err := os.ReadFile(filepath.Join(dir, "result.json"))
+	if err != nil {
+		t.Fatalf("reading helper result: %v", err)
+	}
+	var files map[string]string
+	if err := json.Unmarshal(blob, &files); err != nil {
+		t.Fatal(err)
+	}
+	return files
+}
+
+// TestChaosJobKilledMidJobRestartsByteIdentical kills the portal
+// process mid-job at both sides of a ledger commit and asserts the
+// restarted portal resumes the job to output byte-identical with an
+// uninterrupted reference run.
+func TestChaosJobKilledMidJobRestartsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-execs the test binary; skipped in -short")
+	}
+	refDir := t.TempDir()
+	runChaosHelper(t, refDir, "", 0)
+	want := readChaosResult(t, refDir)
+	if len(want) == 0 {
+		t.Fatal("reference run published no files")
+	}
+
+	// The 3rd occurrence lands mid-corpus: after some files' mappings
+	// committed, before others ran.
+	for _, event := range []string{"commit", "committed"} {
+		t.Run(event, func(t *testing.T) {
+			dir := t.TempDir()
+			runChaosHelper(t, dir, event, 3)
+			if _, err := os.Stat(filepath.Join(dir, "result.json")); err == nil {
+				t.Fatal("killed run left a result; the crash landed after completion, not mid-job")
+			}
+			// Restart on the same state: the job resumes and completes.
+			runChaosHelper(t, dir, "", 0)
+			got := readChaosResult(t, dir)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("restarted output differs from uninterrupted run:\nwant %d files %v\ngot  %d files %v",
+					len(want), keys(want), len(got), keys(got))
+			}
+		})
+	}
+}
+
+func keys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -32,9 +32,12 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"confanon/internal/jobs"
 	"confanon/internal/metrics"
+	"confanon/internal/trace"
 )
 
 // Limits bounds what the portal accepts. The serving side of the paper's
@@ -196,6 +199,16 @@ type Store struct {
 	// anon holds the per-owner-salt anonymization sessions behind
 	// POST /datasets/raw (see session.go).
 	anon *anonSessions
+	// jobs is the async submission queue behind POST /jobs (nil until
+	// StartJobs); tracer feeds it job spans; ready gates /readyz — false
+	// until startup replay finishes and again once draining begins. All
+	// three are configured before serving (see jobs.go).
+	jobs   *jobs.Queue
+	tracer *trace.Tracer
+	ready  atomic.Bool
+	// jobRunner overrides the job executor (tests saturate the queue
+	// with a blocking stub); nil means the real anonymization runner.
+	jobRunner jobs.Runner
 }
 
 // NewStore creates an empty portal store with DefaultLimits.
@@ -218,10 +231,17 @@ func NewStore() *Store {
 // cleartext-derived values; it is as sensitive as the owners' salts.
 func (s *Store) SetStateDir(dir string) { s.anon.stateDir = dir }
 
-// Close flushes and closes the per-owner mapping ledgers (a no-op
-// without SetStateDir). Call on shutdown, after the server has
-// drained.
-func (s *Store) Close() error { return s.anon.close() }
+// Close stops the job queue (if started) and then flushes and closes
+// the per-owner mapping ledgers — in that order, so no worker touches a
+// ledger after it closes. Call on shutdown, after the server has
+// drained; servers wanting running jobs to finish call DrainJobs first.
+func (s *Store) Close() error {
+	if s.jobs != nil {
+		s.ready.Store(false)
+		s.jobs.Close()
+	}
+	return s.anon.close()
+}
 
 // SetLimits replaces the store's limits (call before serving).
 func (s *Store) SetLimits(l Limits) { s.limits = l }
@@ -376,6 +396,10 @@ func (s *Store) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /datasets", s.handleUpload)
 	mux.HandleFunc("POST /datasets/raw", s.handleUploadRaw)
+	mux.HandleFunc("POST /jobs", s.handleSubmitJob)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJobStatus)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /datasets", s.requireResearcher(s.handleList))
 	mux.HandleFunc("GET /datasets/{id}/files", s.requireResearcher(s.handleFiles))
 	mux.HandleFunc("GET /datasets/{id}/files/{name}", s.requireResearcher(s.handleFile))

@@ -192,6 +192,18 @@ func NewServer(addr string, h http.Handler) *http.Server {
 // process exits. It returns nil on a clean shutdown, the listen error
 // otherwise.
 func Run(ctx context.Context, srv *http.Server, grace time.Duration) error {
+	return RunWithDrain(ctx, srv, grace, 0, nil)
+}
+
+// RunWithDrain is Run with the load-balancer courtesy step in front of
+// the shutdown: when ctx is cancelled it first calls onDrain (which
+// should flip /readyz not-ready — Store.BeginDrain), then keeps serving
+// for notice so balancers observe the not-ready answer and stop routing
+// before the listener dies, and only then shuts the HTTP server down
+// with grace for in-flight requests. Draining the job queue is the
+// caller's next step, after this returns, so queued work is not racing a
+// dying listener.
+func RunWithDrain(ctx context.Context, srv *http.Server, grace, notice time.Duration, onDrain func()) error {
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	select {
@@ -199,6 +211,16 @@ func Run(ctx context.Context, srv *http.Server, grace time.Duration) error {
 		// The listener failed before ctx did (bad address, port in use).
 		return err
 	case <-ctx.Done():
+	}
+	if onDrain != nil {
+		onDrain()
+	}
+	if notice > 0 {
+		select {
+		case err := <-errCh:
+			return err
+		case <-time.After(notice):
+		}
 	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
 	defer cancel()

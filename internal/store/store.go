@@ -55,6 +55,7 @@ package store
 
 import (
 	"bufio"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -65,7 +66,16 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+
+	"confanon/internal/retry"
 )
+
+// ioRetry shields the ledger's durability syscalls — the flush/fsync
+// pair in Commit and compaction's segment removals — from transient
+// failures (EINTR, EAGAIN, exhausted descriptors) under the shared
+// backoff policy. No jitter: these retries run with the ledger lock
+// held, and random extra sleep there serves nobody.
+var ioRetry = retry.Default.NoJitter()
 
 // SaltFingerprint derives the opaque owner identifier ledgers are keyed
 // by: a domain-separated SHA-256 of the salt, hex-encoded. It names the
@@ -563,10 +573,15 @@ func (l *Ledger) Commit() error {
 	if _, err := l.w.Write(line); err != nil {
 		return err
 	}
-	if err := l.w.Flush(); err != nil {
-		return err
-	}
-	if err := l.f.Sync(); err != nil {
+	// Flush and fsync are retried as one unit: a re-run flush after a
+	// partial failure is a cheap no-op, and the pair succeeding is what
+	// "committed" means.
+	if err := ioRetry.Do(context.Background(), func() error {
+		if err := l.w.Flush(); err != nil {
+			return err
+		}
+		return l.f.Sync()
+	}); err != nil {
 		return err
 	}
 	fireCrashHook("committed")
@@ -659,17 +674,20 @@ func (l *Ledger) compactLocked() error {
 	if _, err := l.w.Write(line); err != nil {
 		return err
 	}
-	if err := l.w.Flush(); err != nil {
-		return err
-	}
-	if err := l.f.Sync(); err != nil {
-		return err
-	}
-	if err := syncDir(l.dir); err != nil {
+	if err := ioRetry.Do(context.Background(), func() error {
+		if err := l.w.Flush(); err != nil {
+			return err
+		}
+		if err := l.f.Sync(); err != nil {
+			return err
+		}
+		return syncDir(l.dir)
+	}); err != nil {
 		return err
 	}
 	for _, name := range old {
-		if err := os.Remove(filepath.Join(l.dir, name)); err != nil {
+		path := filepath.Join(l.dir, name)
+		if err := ioRetry.Do(context.Background(), func() error { return os.Remove(path) }); err != nil {
 			return err
 		}
 	}

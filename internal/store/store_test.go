@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -393,4 +394,96 @@ func TestCrashHookBetweenAppendAndCommit(t *testing.T) {
 	if got := l2.State(); !reflect.DeepEqual(got, committed) {
 		t.Fatalf("post-crash replay = %+v, want %+v", got, committed)
 	}
+}
+
+// TestCompactionRacesAppendCommit drives Compact concurrently against
+// Append/Commit traffic, for the race detector as much as for the
+// assertions: writer goroutines commit distinct IP pairs while a
+// compactor goroutine hammers Compact and the lowered churn floor lets
+// Commit's automatic compaction fire too. Every committed pair must be
+// present afterwards and again after a fresh replay — compaction may
+// reshape segments, never state.
+func TestCompactionRacesAppendCommit(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, testFP)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	l.compactFloor = 1 // compact eagerly: maximize interleavings
+
+	const writers = 4
+	const perWriter = 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				in := uint32(w+1)<<16 | uint32(i+1)
+				if err := l.Append(Record{T: TIP, In: in, Out: ^in}); err != nil {
+					t.Errorf("writer %d: Append: %v", w, err)
+					return
+				}
+				if err := l.Commit(); err != nil {
+					t.Errorf("writer %d: Commit: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	compacted := make(chan int, 1)
+	go func() {
+		n := 0
+		for {
+			select {
+			case <-stop:
+				compacted <- n
+				return
+			default:
+			}
+			if err := l.Compact(); err != nil {
+				t.Errorf("Compact: %v", err)
+				compacted <- n
+				return
+			}
+			n++
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	if n := <-compacted; n == 0 {
+		t.Fatal("compactor never ran")
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	want := make(map[uint32]uint32, writers*perWriter)
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			in := uint32(w+1)<<16 | uint32(i+1)
+			want[in] = ^in
+		}
+	}
+	check := func(label string, s State) {
+		t.Helper()
+		got := make(map[uint32]uint32, len(s.IPs))
+		for _, p := range s.IPs {
+			got[p.In] = p.Out
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: %d pairs survived, want %d", label, len(got), len(want))
+		}
+	}
+	check("live state", l.State())
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	l2, err := Open(dir, testFP)
+	if err != nil {
+		t.Fatalf("reopen after racing compaction: %v", err)
+	}
+	defer l2.Close()
+	check("replayed state", l2.State())
 }

@@ -49,8 +49,11 @@ const Schema = "confanon.trace/v1"
 // (a root span) or "no owning span" (a decision outside any file span).
 type SpanID uint64
 
-// Span kinds, outermost first.
+// Span kinds, outermost first. KindJob wraps a whole async portal job
+// (one KindJob span per submission, with per-file children); the engine
+// itself emits the corpus → file → stage → rule hierarchy.
 const (
+	KindJob    = "job"
 	KindCorpus = "corpus"
 	KindFile   = "file"
 	KindStage  = "stage"
