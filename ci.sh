@@ -30,9 +30,9 @@ go test -race ./internal/metrics ./internal/trace ./internal/store
 # scheduling varies. The chaos pass includes the restart-mid-job test:
 # the portal is killed on both sides of a ledger commit and must resume
 # to byte-identical output.
-echo "== concurrency gauntlet: go test -race -count=2 (ipanon, anonymizer, store, jobs, portal, parallel batch)"
-go test -race -count=2 ./internal/ipanon ./internal/anonymizer ./internal/store ./internal/jobs ./internal/portal
-go test -race -count=2 -run 'Parallel|Chaos|Session|Trace|Store|Incremental' .
+echo "== concurrency gauntlet: go test -race -count=2 (ipanon, anonymizer, store, jobs, portal, bench, parallel batch)"
+go test -race -count=2 ./internal/ipanon ./internal/anonymizer ./internal/store ./internal/jobs ./internal/portal ./internal/bench
+go test -race -count=2 -run 'Parallel|Chaos|Session|Trace|Store|Incremental|Equivalence' .
 go test -race -count=2 -run 'Jobs|Queue|Chaos|Readyz|Drain' ./internal/jobs ./internal/portal
 
 echo "== go test -race -cover ./... $*"
@@ -65,6 +65,23 @@ go run ./cmd/confanon -salt golden-v1 -in testdata/golden/in \
 	-out "$driftdir/out" -metrics-out "$driftdir/report.json" -leak-report=false >/dev/null
 go run ./cmd/conftrace testdata/baseline_report.json "$driftdir/report.json"
 rm -rf "$driftdir"
+
+# Privacy/utility bench gate (hard-fail): run the benchmark harness over
+# the small committed corpus shape and diff the scores against
+# testdata/baseline_bench.json. Every score is deterministic in the
+# seed, so any drift here is a real behavior change: privacy scores
+# worsening (re-identification, fingerprint survival, identity leaks
+# rising) or utility scores dropping (design equivalence, clean
+# characteristics) beyond 1pp fails the build. Throughput is machine
+# noise and only reported. Regenerate the baseline when a score change
+# is intentional and understood:
+#   go run ./cmd/confbench -seed 1 -routers 60 -networks 4 \
+#     -out testdata/baseline_bench.json
+echo "== confbench privacy/utility gate vs testdata/baseline_bench.json (hard-fail on drift)"
+benchdir=$(mktemp -d)
+go run ./cmd/confbench -seed 1 -routers 60 -networks 4 -q -out "$benchdir/bench.json"
+go run ./cmd/conftrace -fail-on-drift testdata/baseline_bench.json "$benchdir/bench.json"
+rm -rf "$benchdir"
 
 # Short coverage-guided fuzz pass over the parsers that sit in front of
 # the anonymizer. Crashers are persisted under testdata/fuzz/ and then

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"confanon/internal/bench"
+)
+
+// runTool invokes the CLI entry point with captured output.
+func runTool(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(context.Background(), args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"bad flag", []string{"-nope"}, "flag provided but not defined"},
+		{"positional args", []string{"extra"}, "unexpected arguments"},
+		{"unknown policy", []string{"-policies", "bogus"}, "unknown policy"},
+	} {
+		code, _, stderr := runTool(t, tc.args...)
+		if code != 2 {
+			t.Errorf("%s: exit %d, want 2", tc.name, code)
+		}
+		if !strings.Contains(stderr, tc.want) {
+			t.Errorf("%s: stderr %q missing %q", tc.name, stderr, tc.want)
+		}
+	}
+}
+
+func TestReportToStdout(t *testing.T) {
+	code, stdout, stderr := runTool(t,
+		"-seed", "1", "-routers", "40", "-networks", "3", "-policies", "shaped")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	rep, err := bench.Decode(strings.NewReader(stdout))
+	if err != nil {
+		t.Fatalf("stdout is not a bench report: %v", err)
+	}
+	if rep.Seed != 1 || len(rep.Policies) != 1 || rep.Policies[0].Name != "shaped" {
+		t.Errorf("report shape wrong: seed=%d policies=%+v", rep.Seed, rep.Policies)
+	}
+	// Progress goes to stderr, never contaminating the JSON stream.
+	if !strings.Contains(stderr, "corpus:") || !strings.Contains(stderr, "policy") {
+		t.Errorf("expected progress lines on stderr, got %q", stderr)
+	}
+}
+
+func TestReportToFileAndQuiet(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	code, stdout, stderr := runTool(t,
+		"-seed", "2", "-routers", "30", "-networks", "2", "-policies", "shaped",
+		"-out", path, "-q")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("-out set but stdout not empty: %q", stdout)
+	}
+	if stderr != "" {
+		t.Errorf("-q set but stderr not empty: %q", stderr)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := bench.Decode(f); err != nil {
+		t.Errorf("file is not a bench report: %v", err)
+	}
+}
+
+func TestUnwritableOut(t *testing.T) {
+	code, _, stderr := runTool(t,
+		"-routers", "30", "-networks", "2", "-policies", "shaped",
+		"-out", filepath.Join(t.TempDir(), "missing-dir", "bench.json"), "-q")
+	if code != 1 {
+		t.Errorf("exit %d, want 1", code)
+	}
+	if stderr == "" {
+		t.Error("no error message for unwritable -out")
+	}
+}
+
+func TestCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errb bytes.Buffer
+	if code := run(ctx, []string{"-routers", "30", "-networks", "2", "-q"}, &out, &errb); code != 1 {
+		t.Errorf("cancelled run exited %d, want 1", code)
+	}
+}

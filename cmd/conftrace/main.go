@@ -4,17 +4,30 @@
 //
 //	conftrace [-warn-pct N] [-fail-on-drift] BASELINE CURRENT
 //
-// BASELINE and CURRENT each name a run artifact in either machine
-// format confanon emits: a span + provenance trace (JSONL, schema
-// confanon.trace/v1, from -trace-out) or a run report (JSON, schema
-// confanon.run_report/v1, from -metrics-out). The format is detected
-// from the file's schema header, so the two sides may mix formats —
-// a checked-in baseline report can be compared against a fresh trace.
+// BASELINE and CURRENT each name a run artifact in any machine format
+// confanon emits: a span + provenance trace (JSONL, schema
+// confanon.trace/v1, from -trace-out), a run report (JSON, schema
+// confanon.run_report/v1, from -metrics-out), or a benchmark report
+// (JSON, schema confanon.bench/v1, from confbench). The format is
+// detected from the file's schema header. Traces and run reports may
+// mix — a checked-in baseline report can be compared against a fresh
+// trace — but a bench report only diffs against another bench report.
 //
-// The diff covers per-rule hit counts, per-stage latency (event count
-// and mean), per-status file outcomes, and — when the artifacts carry
-// metric snapshots — leak findings by kind and severity. Any relative
-// change beyond -warn-pct (default 25) is flagged as drift on stderr.
+// For traces and run reports the diff covers per-rule hit counts,
+// per-stage latency (event count and mean), per-status file outcomes,
+// and — when the artifacts carry metric snapshots — leak findings by
+// kind and severity. Any relative change beyond -warn-pct (default 25)
+// is flagged as drift on stderr.
+//
+// For bench reports the diff is the CI gate over the privacy/utility
+// suites: per policy, any privacy score worsening (re-identification,
+// fingerprint survival, or identity leak rising) beyond
+// -bench-privacy-drift percentage points, or any utility score
+// (design equivalence, characteristics clean) dropping beyond
+// -bench-utility-drop percentage points, is drift. A changed policy
+// fingerprint or a policy missing from the current report is also
+// drift. Throughput is machine-dependent and reported informationally,
+// never as drift.
 //
 // Exit codes:
 //
@@ -22,7 +35,7 @@
 //	   warn-only, for CI steps that report but do not block)
 //	1  drift found and -fail-on-drift was set
 //	2  usage error
-//	3  fatal error (unreadable or unrecognized input)
+//	3  fatal error (unreadable, unrecognized, or mismatched input)
 package main
 
 import (
@@ -38,6 +51,7 @@ import (
 	"strings"
 
 	"confanon"
+	"confanon/internal/bench"
 )
 
 const (
@@ -57,6 +71,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	warnPct := fs.Float64("warn-pct", 25, "flag relative changes beyond this percentage as drift")
 	failOnDrift := fs.Bool("fail-on-drift", false, "exit 1 when drift is found (default: warn only)")
+	privacyPP := fs.Float64("bench-privacy-drift", 1.0,
+		"bench reports: flag privacy scores worsening beyond this many percentage points as drift")
+	utilityPP := fs.Float64("bench-utility-drop", 1.0,
+		"bench reports: flag utility scores dropping beyond this many percentage points as drift")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
 	}
@@ -73,11 +91,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fatal(stderr, err)
 	}
-	drift := diff(stdout, stderr, base, cur, *warnPct)
+	if (base.bench != nil) != (cur.bench != nil) {
+		return fatal(stderr, fmt.Errorf("cannot diff a %s report against a run artifact: %s is %s, %s is %s",
+			bench.Schema, base.path, base.source, cur.path, cur.source))
+	}
+	var drift bool
+	if base.bench != nil {
+		drift = diffBench(stdout, stderr, base.path, cur.path, base.bench, cur.bench, *privacyPP, *utilityPP)
+	} else {
+		drift = diff(stdout, stderr, base.sum, cur.sum, *warnPct)
+	}
 	if drift && *failOnDrift {
 		return exitDrift
 	}
 	return exitOK
+}
+
+// artifact is one loaded run artifact: exactly one of sum (trace or
+// run report, normalized) and bench is set.
+type artifact struct {
+	path   string
+	source string // "trace", "report", or "bench"
+	sum    *summary
+	bench  *bench.Report
 }
 
 // summary is the normalized view of one run, extractable from either
@@ -107,30 +143,36 @@ func newSummary(path, source string) *summary {
 }
 
 // load reads one run artifact, sniffing its schema: traces parse via
-// the trace reader, anything else is tried as a run report.
-func load(path string) (*summary, error) {
+// the trace reader, then bench reports, then run reports.
+func load(path string) (*artifact, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
 	if tf, err := confanon.ReadTrace(f); err == nil {
-		return fromTrace(path, tf), nil
+		return &artifact{path: path, source: "trace", sum: fromTrace(path, tf)}, nil
 	} else if !errors.Is(err, confanon.ErrTraceSchema) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return nil, err
 	}
+	if br, err := bench.Decode(f); err == nil {
+		return &artifact{path: path, source: "bench", bench: br}, nil
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
 	var rep confanon.RunReport
 	if err := json.NewDecoder(f).Decode(&rep); err != nil {
-		return nil, fmt.Errorf("%s: neither a %s trace nor a %s report: %w",
-			path, confanon.TraceSchema, confanon.RunReportSchema, err)
+		return nil, fmt.Errorf("%s: neither a %s trace, a %s report, nor a %s report: %w",
+			path, confanon.TraceSchema, bench.Schema, confanon.RunReportSchema, err)
 	}
 	if rep.Schema != confanon.RunReportSchema {
 		return nil, fmt.Errorf("%s: unrecognized schema %q", path, rep.Schema)
 	}
-	return fromReport(path, &rep), nil
+	return &artifact{path: path, source: "report", sum: fromReport(path, &rep)}, nil
 }
 
 // fromTrace summarizes a span trace: rule spans carry per-file hit
@@ -282,6 +324,94 @@ func diff(stdout, stderr io.Writer, base, cur *summary, warnPct float64) bool {
 		fmt.Fprintf(stdout, "\nno drift beyond %.0f%%\n", warnPct)
 	}
 	return drift
+}
+
+// scoreDelta is one gated score in a bench diff.
+type scoreDelta struct {
+	name string
+	b, c float64
+}
+
+// diffBench prints the privacy/utility gate comparison of two bench
+// reports and reports whether any score drifted beyond its threshold.
+// Privacy scores are "higher is worse" (rises beyond privacyPP drift);
+// utility scores are "higher is better" (drops beyond utilityPP
+// drift). Throughput never drifts.
+func diffBench(stdout, stderr io.Writer, basePath, curPath string, base, cur *bench.Report, privacyPP, utilityPP float64) bool {
+	fmt.Fprintf(stdout, "conftrace: bench baseline %s vs current %s\n", basePath, curPath)
+	drift := false
+	warn := func(format string, args ...interface{}) {
+		drift = true
+		fmt.Fprintf(stderr, "conftrace: DRIFT: "+format+"\n", args...)
+	}
+
+	// Scores are only comparable over the same population.
+	if base.Seed != cur.Seed || base.TopK != cur.TopK || base.Corpus != cur.Corpus {
+		warn("bench parameters changed: seed %d -> %d, top-k %d -> %d, corpus %+v -> %+v",
+			base.Seed, cur.Seed, base.TopK, cur.TopK, base.Corpus, cur.Corpus)
+	}
+	fmt.Fprintf(stdout, "corpus: %d networks, %d routers, %d lines (seed %d, top-%d)\n",
+		cur.Corpus.Networks, cur.Corpus.Routers, cur.Corpus.Lines, cur.Seed, cur.TopK)
+
+	for i := range base.Policies {
+		bp := &base.Policies[i]
+		cp := cur.Policy(bp.Name)
+		fmt.Fprintf(stdout, "\npolicy %s\n", bp.Name)
+		if cp == nil {
+			warn("policy %s missing from current report", bp.Name)
+			continue
+		}
+		if cp.Fingerprint != bp.Fingerprint {
+			warn("policy %s fingerprint changed: %q -> %q", bp.Name, bp.Fingerprint, cp.Fingerprint)
+		}
+
+		for _, d := range []scoreDelta{
+			{"subnet_match_pct", bp.Privacy.SubnetMatchPct, cp.Privacy.SubnetMatchPct},
+			{"peering_match_pct", bp.Privacy.PeeringMatchPct, cp.Privacy.PeeringMatchPct},
+			{"subnet_top1_pct", bp.Privacy.SubnetTop1Pct, cp.Privacy.SubnetTop1Pct},
+			{"subnet_topk_pct", bp.Privacy.SubnetTopKPct, cp.Privacy.SubnetTopKPct},
+			{"peering_top1_pct", bp.Privacy.PeeringTop1Pct, cp.Privacy.PeeringTop1Pct},
+			{"peering_topk_pct", bp.Privacy.PeeringTopKPct, cp.Privacy.PeeringTopKPct},
+			{"combined_top1_pct", bp.Privacy.CombinedTop1Pct, cp.Privacy.CombinedTop1Pct},
+			{"combined_topk_pct", bp.Privacy.CombinedTopKPct, cp.Privacy.CombinedTopKPct},
+			{"identity_leak_pct", bp.Privacy.IdentityLeakPct, cp.Privacy.IdentityLeakPct},
+		} {
+			delta := d.c - d.b
+			fmt.Fprintf(stdout, "  privacy %-26s %7.2f -> %-7.2f %s\n", d.name, d.b, d.c, ppLabel(delta))
+			if delta > privacyPP {
+				warn("policy %s privacy %s worsened %.2f -> %.2f (+%.2fpp)", bp.Name, d.name, d.b, d.c, delta)
+			}
+		}
+		for _, d := range []scoreDelta{
+			{"design_equiv_pct", bp.Utility.DesignEquivPct, cp.Utility.DesignEquivPct},
+			{"characteristics_clean_pct", bp.Utility.CharacteristicsCleanPct, cp.Utility.CharacteristicsCleanPct},
+		} {
+			delta := d.c - d.b
+			fmt.Fprintf(stdout, "  utility %-26s %7.2f -> %-7.2f %s\n", d.name, d.b, d.c, ppLabel(delta))
+			if -delta > utilityPP {
+				warn("policy %s utility %s dropped %.2f -> %.2f (%.2fpp)", bp.Name, d.name, d.b, d.c, delta)
+			}
+		}
+		fmt.Fprintf(stdout, "  throughput %.0f -> %.0f lines/s (machine-dependent, never drift)\n",
+			bp.Throughput.LinesPerSec, cp.Throughput.LinesPerSec)
+	}
+	for i := range cur.Policies {
+		if base.Policy(cur.Policies[i].Name) == nil {
+			fmt.Fprintf(stdout, "\npolicy %s: new in current, not gated\n", cur.Policies[i].Name)
+		}
+	}
+	if !drift {
+		fmt.Fprintf(stdout, "\nno bench drift beyond +%.1fpp privacy / -%.1fpp utility\n", privacyPP, utilityPP)
+	}
+	return drift
+}
+
+// ppLabel renders a percentage-point delta, blank when zero.
+func ppLabel(delta float64) string {
+	if delta == 0 {
+		return ""
+	}
+	return fmt.Sprintf("(%+.2fpp)", delta)
 }
 
 func mean(sum, count float64) float64 {

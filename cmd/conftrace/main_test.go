@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"confanon"
+	"confanon/internal/bench"
 )
 
 const testConf = "hostname r9\ninterface Ethernet0\n ip address 12.1.2.3 255.255.255.0\nrouter bgp 701\n neighbor 12.1.2.4 remote-as 1239\n"
@@ -180,6 +181,139 @@ func TestFailedFilesWarn(t *testing.T) {
 	}
 	if _, _, stderr := runTool(t, reportPath, failed); !strings.Contains(stderr, "failed files rose") {
 		t.Errorf("no failed-files warning:\n%s", stderr)
+	}
+}
+
+// writeBench runs the benchmark harness over a small corpus with the
+// given policies and writes the report; mutate edits it first.
+func writeBench(t *testing.T, name string, policies []bench.Policy, mutate func(*bench.Report)) string {
+	t.Helper()
+	rep, err := bench.Run(context.Background(), bench.Options{
+		Seed: 1, Routers: 40, Networks: 3, Policies: policies,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mutate != nil {
+		mutate(rep)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := rep.Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+var shapedOnly = []bench.Policy{{Name: "shaped", Workers: 1}}
+
+// TestBenchSelfDiffClean: a bench report against itself is no drift —
+// including throughput, which differs between runs of the same seed but
+// must never gate.
+func TestBenchSelfDiffClean(t *testing.T) {
+	base := writeBench(t, "base.json", shapedOnly, nil)
+	cur := writeBench(t, "cur.json", shapedOnly, nil)
+	code, stdout, stderr := runTool(t, "-fail-on-drift", base, cur)
+	if code != exitOK {
+		t.Fatalf("self diff exited %d; stderr:\n%s", code, stderr)
+	}
+	if strings.Contains(stderr, "DRIFT") {
+		t.Errorf("self diff drifted:\n%s", stderr)
+	}
+	for _, want := range []string{"bench baseline", "policy shaped", "privacy", "utility", "no bench drift"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("diff output missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+// TestBenchGateCatchesWeakenedRule is the acceptance demonstration: a
+// deliberately weakened anonymizer — shaped-tree IP mapping disabled
+// under the same policy name — must fail the CI drift gate against the
+// committed baseline, on both the fingerprint and the utility axes.
+func TestBenchGateCatchesWeakenedRule(t *testing.T) {
+	base := writeBench(t, "base.json", shapedOnly, nil)
+	weakened := writeBench(t, "weak.json",
+		[]bench.Policy{{Name: "shaped", StatelessIP: true, Workers: 1}}, nil)
+	code, _, stderr := runTool(t, "-fail-on-drift", base, weakened)
+	if code != exitDrift {
+		t.Fatalf("weakened rule passed the gate (exit %d); stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "fingerprint changed") {
+		t.Errorf("no fingerprint-change warning:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "utility design_equiv_pct dropped") {
+		t.Errorf("no design-equivalence drop warning:\n%s", stderr)
+	}
+	// Without -fail-on-drift the gate stays warn-only (exit 0).
+	if code, _, _ := runTool(t, base, weakened); code != exitOK {
+		t.Errorf("warn-only bench diff exited %d", code)
+	}
+}
+
+// TestBenchThresholds: the privacy gate fires only beyond
+// -bench-privacy-drift, and missing policies or changed parameters are
+// always drift.
+func TestBenchThresholds(t *testing.T) {
+	base := writeBench(t, "base.json", shapedOnly, nil)
+
+	leaky := writeBench(t, "leaky.json", shapedOnly, func(r *bench.Report) {
+		r.Policies[0].Privacy.IdentityLeakPct = 25
+	})
+	code, _, stderr := runTool(t, "-fail-on-drift", base, leaky)
+	if code != exitDrift || !strings.Contains(stderr, "privacy identity_leak_pct worsened") {
+		t.Errorf("leak rise not gated (exit %d):\n%s", code, stderr)
+	}
+	// Widening the privacy tolerance past the rise silences it.
+	if code, _, _ := runTool(t, "-fail-on-drift", "-bench-privacy-drift", "30", base, leaky); code != exitOK {
+		t.Errorf("widened privacy threshold still gated (exit %d)", code)
+	}
+	// A utility drop within -bench-utility-drop is tolerated, beyond it gated.
+	dipped := writeBench(t, "dipped.json", shapedOnly, func(r *bench.Report) {
+		r.Policies[0].Utility.DesignEquivPct -= 0.5
+	})
+	if code, _, _ := runTool(t, "-fail-on-drift", base, dipped); code != exitOK {
+		t.Errorf("0.5pp utility dip gated at default 1.0pp threshold (exit %d)", code)
+	}
+	if code, _, _ := runTool(t, "-fail-on-drift", "-bench-utility-drop", "0.1", base, dipped); code != exitDrift {
+		t.Errorf("0.5pp utility dip passed a 0.1pp threshold (exit %d)", code)
+	}
+
+	missing := writeBench(t, "missing.json", shapedOnly, func(r *bench.Report) {
+		r.Policies = nil
+	})
+	if code, _, stderr := runTool(t, "-fail-on-drift", base, missing); code != exitDrift ||
+		!strings.Contains(stderr, "missing from current") {
+		t.Errorf("missing policy not gated (exit %d):\n%s", code, stderr)
+	}
+
+	reseeded := writeBench(t, "reseeded.json", shapedOnly, func(r *bench.Report) {
+		r.Seed = 99
+	})
+	if code, _, stderr := runTool(t, "-fail-on-drift", base, reseeded); code != exitDrift ||
+		!strings.Contains(stderr, "bench parameters changed") {
+		t.Errorf("seed change not gated (exit %d):\n%s", code, stderr)
+	}
+}
+
+// TestBenchMixedArtifactsFatal: a bench report cannot be diffed against
+// a trace or run report.
+func TestBenchMixedArtifactsFatal(t *testing.T) {
+	benchPath := writeBench(t, "bench.json", shapedOnly, nil)
+	tracePath, reportPath := writeRunArtifacts(t)
+	for _, pair := range [][2]string{
+		{benchPath, reportPath},
+		{reportPath, benchPath},
+		{benchPath, tracePath},
+	} {
+		code, _, stderr := runTool(t, pair[0], pair[1])
+		if code != exitFatal || !strings.Contains(stderr, "cannot diff") {
+			t.Errorf("%v: exit %d, stderr %q", pair, code, stderr)
+		}
 	}
 }
 

@@ -1,0 +1,246 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"confanon"
+	"confanon/internal/config"
+	"confanon/internal/fingerprint"
+	"confanon/internal/netgen"
+	"confanon/internal/validate"
+)
+
+// Options configures one benchmark run.
+type Options struct {
+	Seed     int64
+	Routers  int // total router budget (0 = netgen default)
+	Networks int // AS count (0 = derived from Routers)
+	Policies []Policy
+	TopK     int // k for top-k re-identification (0 = 5)
+	// Progress, when set, receives one line per completed stage (corpus
+	// generation, each policy) for CLI feedback on long runs.
+	Progress func(format string, args ...interface{})
+}
+
+// NetworkArtifacts bundles one network's pre/post state for scoring.
+// The privacy and utility suites run over a slice of these — the
+// benchmark builds them from generated corpora, and examples/attack
+// builds them from its own population, so both share one scoring
+// implementation.
+type NetworkArtifacts struct {
+	// Pre and Post are the parsed configurations before and after
+	// anonymization. Post may be smaller when a strict policy
+	// quarantined files.
+	Pre  []*config.Config
+	Post []*config.Config
+	// PostText is the anonymized rendered output, scanned for Identity.
+	PostText []string
+	// Identity lists the planted identity tokens that must not survive
+	// anonymization (empty disables the leak scan for this network).
+	Identity []string
+}
+
+// Run generates the corpus and sweeps every policy over it.
+func Run(ctx context.Context, opts Options) (*Report, error) {
+	if opts.TopK <= 0 {
+		opts.TopK = 5
+	}
+	if len(opts.Policies) == 0 {
+		opts.Policies = DefaultPolicies()
+	}
+	progress := opts.Progress
+	if progress == nil {
+		progress = func(string, ...interface{}) {}
+	}
+
+	corpus := netgen.GenerateCorpus(netgen.CorpusParams{
+		Seed: opts.Seed, Routers: opts.Routers, Networks: opts.Networks,
+	})
+	rep := &Report{Schema: Schema, Seed: opts.Seed, TopK: opts.TopK}
+	rep.Corpus.Networks = len(corpus.Networks)
+	rep.Corpus.Routers = corpus.TotalRouters()
+	rep.Corpus.InterASLinks = len(corpus.Links)
+
+	// Render and parse each network once; every policy reuses this.
+	type netState struct {
+		files    map[string]string
+		names    []string // sorted file names
+		pre      []*config.Config
+		identity []string
+		salt     []byte
+		lines    int
+	}
+	states := make([]*netState, len(corpus.Networks))
+	for i, n := range corpus.Networks {
+		st := &netState{files: n.RenderAll(), salt: []byte(n.Salt)}
+		for name := range st.files {
+			st.names = append(st.names, name)
+		}
+		sort.Strings(st.names)
+		st.pre = validate.ParseAll(st.files)
+		st.identity = corpus.IdentityTokens(i)
+		for _, text := range st.files {
+			st.lines += strings.Count(text, "\n")
+		}
+		rep.Corpus.Files += len(st.files)
+		rep.Corpus.Lines += st.lines
+		states[i] = st
+	}
+	progress("corpus: %d networks, %d routers, %d files, %d lines, %d inter-AS links",
+		rep.Corpus.Networks, rep.Corpus.Routers, rep.Corpus.Files, rep.Corpus.Lines,
+		rep.Corpus.InterASLinks)
+
+	for _, pol := range opts.Policies {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		workers := pol.Workers
+		if workers < 1 {
+			workers = 1
+		}
+		arts := make([]NetworkArtifacts, len(states))
+		var elapsed time.Duration
+		for i, st := range states {
+			aOpts := confanon.Options{
+				Salt:         st.salt,
+				StatelessIP:  pol.StatelessIP,
+				Strict:       pol.Strict,
+				KeepComments: pol.KeepComments,
+			}
+			start := time.Now()
+			res, err := confanon.ParallelCorpusContext(ctx, aOpts, st.files, workers)
+			elapsed += time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("policy %s network %d: %w", pol.Name, i, err)
+			}
+			out := res.Outputs()
+			arts[i] = NetworkArtifacts{
+				Pre:      st.pre,
+				Post:     validate.ParseAll(out),
+				Identity: st.identity,
+			}
+			for _, name := range st.names {
+				if text, ok := out[name]; ok {
+					arts[i].PostText = append(arts[i].PostText, text)
+				}
+			}
+		}
+		pr := PolicyReport{
+			Name:        pol.Name,
+			Fingerprint: pol.Fingerprint(),
+			Privacy:     PrivacyOf(arts, opts.TopK),
+			Utility:     UtilityOf(arts),
+		}
+		pr.Throughput.Seconds = elapsed.Seconds()
+		pr.Throughput.InputLines = rep.Corpus.Lines
+		if s := elapsed.Seconds(); s > 0 {
+			pr.Throughput.LinesPerSec = float64(rep.Corpus.Lines) / s
+		}
+		rep.Policies = append(rep.Policies, pr)
+		progress("policy %-16s privacy: subnet top1 %.1f%% combined top1 %.1f%% leak %.1f%% | utility: design %.1f%% | %.0f lines/s",
+			pol.Name, pr.Privacy.SubnetTop1Pct, pr.Privacy.CombinedTop1Pct,
+			pr.Privacy.IdentityLeakPct, pr.Utility.DesignEquivPct, pr.Throughput.LinesPerSec)
+	}
+	return rep, nil
+}
+
+// PrivacyOf runs the generalized §6 attack suite over a population: the
+// attacker holds the true fingerprints of every candidate network
+// (externally measurable ground truth) and matches each anonymized
+// corpus against them by fingerprint distance.
+func PrivacyOf(nets []NetworkArtifacts, topK int) PrivacyScores {
+	n := len(nets)
+	var s PrivacyScores
+	if n == 0 {
+		return s
+	}
+	preSub := make([]fingerprint.Subnet, n)
+	postSub := make([]fingerprint.Subnet, n)
+	prePeer := make([]fingerprint.Peering, n)
+	postPeer := make([]fingerprint.Peering, n)
+	preSubKeys := make([]string, n)
+	postSubKeys := make([]string, n)
+	prePeerKeys := make([]string, n)
+	postPeerKeys := make([]string, n)
+	for i, a := range nets {
+		preSub[i] = fingerprint.SubnetOf(a.Pre)
+		postSub[i] = fingerprint.SubnetOf(a.Post)
+		prePeer[i] = fingerprint.PeeringOf(a.Pre)
+		postPeer[i] = fingerprint.PeeringOf(a.Post)
+		preSubKeys[i] = preSub[i].Key()
+		postSubKeys[i] = postSub[i].Key()
+		prePeerKeys[i] = prePeer[i].Key()
+		postPeerKeys[i] = postPeer[i].Key()
+	}
+
+	s.SubnetMatchPct = pct(fingerprint.MatchRate(preSubKeys, postSubKeys))
+	s.PeeringMatchPct = pct(fingerprint.MatchRate(prePeerKeys, postPeerKeys))
+
+	subDist := func(j, i int) float64 { return fingerprint.SubnetDistance(postSub[j], preSub[i]) }
+	peerDist := func(j, i int) float64 { return fingerprint.PeeringDistance(postPeer[j], prePeer[i]) }
+	combDist := func(j, i int) float64 { return subDist(j, i) + peerDist(j, i) }
+
+	sub := fingerprint.Reidentify(subDist, n, topK)
+	peer := fingerprint.Reidentify(peerDist, n, topK)
+	comb := fingerprint.Reidentify(combDist, n, topK)
+	s.SubnetTop1Pct, s.SubnetTopKPct = pct(sub.Top1), pct(sub.TopK)
+	s.PeeringTop1Pct, s.PeeringTopKPct = pct(peer.Top1), pct(peer.TopK)
+	s.CombinedTop1Pct, s.CombinedTopKPct = pct(comb.Top1), pct(comb.TopK)
+
+	subU := fingerprint.Analyze(postSubKeys)
+	peerU := fingerprint.Analyze(postPeerKeys)
+	s.SubnetEntropyBits = round6(subU.EntropyBits)
+	s.SubnetUniquePct = pct(float64(subU.Unique) / float64(n))
+	s.PeeringEntropyBits = round6(peerU.EntropyBits)
+	s.PeeringUniquePct = pct(float64(peerU.Unique) / float64(n))
+
+	leaked := 0
+	for _, a := range nets {
+		if identityLeaks(a.PostText, a.Identity) {
+			leaked++
+		}
+	}
+	s.IdentityLeakPct = pct(float64(leaked) / float64(n))
+	return s
+}
+
+// identityLeaks reports whether any identity token survives in the
+// anonymized text.
+func identityLeaks(texts, tokens []string) bool {
+	for _, text := range texts {
+		for _, tok := range tokens {
+			if tok != "" && strings.Contains(text, tok) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// UtilityOf runs the §5 extraction-equivalence suite over a population.
+func UtilityOf(nets []NetworkArtifacts) UtilityScores {
+	var s UtilityScores
+	n := len(nets)
+	if n == 0 {
+		return s
+	}
+	equal, clean := 0, 0
+	for _, a := range nets {
+		r2 := validate.Suite2(a.Pre, a.Post)
+		if r2.OK() {
+			equal++
+		}
+		diffs := validate.Suite1(a.Pre, a.Post)
+		if len(diffs) == 0 {
+			clean++
+		}
+		s.CharacteristicMismatches += len(diffs)
+	}
+	s.DesignEquivPct = pct(float64(equal) / float64(n))
+	s.CharacteristicsCleanPct = pct(float64(clean) / float64(n))
+	return s
+}

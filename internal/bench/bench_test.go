@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// runSmall is the shared small-corpus run (kept modest: the full CI
+// gauntlet runs this package under -race).
+func runSmall(t *testing.T, policies []Policy) *Report {
+	t.Helper()
+	rep, err := Run(context.Background(), Options{
+		Seed: 1, Routers: 60, Networks: 4, Policies: policies,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func zeroThroughput(rep *Report) {
+	for i := range rep.Policies {
+		rep.Policies[i].Throughput = Throughput{}
+	}
+}
+
+func TestRunScoresDefaultPolicies(t *testing.T) {
+	rep := runSmall(t, nil)
+	if rep.Schema != Schema {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if rep.Corpus.Networks != 4 || rep.Corpus.Routers < 40 || rep.Corpus.Lines == 0 {
+		t.Fatalf("corpus stats implausible: %+v", rep.Corpus)
+	}
+	if rep.Corpus.InterASLinks < rep.Corpus.Networks-1 {
+		t.Fatalf("inter-AS graph not connected: %+v", rep.Corpus)
+	}
+	shaped := rep.Policy("shaped")
+	if shaped == nil {
+		t.Fatal("no shaped policy in default sweep")
+	}
+	// The production policy must preserve the routing design everywhere
+	// and leak no identity — the paper's §5 claim as a score.
+	if shaped.Utility.DesignEquivPct != 100 {
+		t.Errorf("shaped design equivalence %.1f%%, want 100", shaped.Utility.DesignEquivPct)
+	}
+	if shaped.Utility.CharacteristicsCleanPct != 100 {
+		t.Errorf("shaped characteristics clean %.1f%%, want 100", shaped.Utility.CharacteristicsCleanPct)
+	}
+	if shaped.Privacy.IdentityLeakPct != 0 {
+		t.Errorf("shaped identity leak %.1f%%, want 0", shaped.Privacy.IdentityLeakPct)
+	}
+	// And the fingerprints must survive exactly (the attack premise):
+	// structure preservation means the attacker's measure is conserved.
+	if shaped.Privacy.SubnetMatchPct != 100 || shaped.Privacy.PeeringMatchPct != 100 {
+		t.Errorf("fingerprint survival subnet=%.1f peering=%.1f, want 100/100",
+			shaped.Privacy.SubnetMatchPct, shaped.Privacy.PeeringMatchPct)
+	}
+	// Parallel anonymization is byte-identical to serial, so its scores
+	// must be exactly the shaped scores.
+	par := rep.Policy("shaped-parallel")
+	if par == nil {
+		t.Fatal("no shaped-parallel policy")
+	}
+	if !reflect.DeepEqual(par.Privacy, shaped.Privacy) || !reflect.DeepEqual(par.Utility, shaped.Utility) {
+		t.Errorf("parallel scores differ from serial:\nserial   %+v %+v\nparallel %+v %+v",
+			shaped.Privacy, shaped.Utility, par.Privacy, par.Utility)
+	}
+}
+
+// TestWeakenedPoliciesMoveTheRightAxis pins the harness's sensitivity:
+// each deliberate weakening must move its axis in the expected
+// direction, or the CI gate would be measuring noise.
+func TestWeakenedPoliciesMoveTheRightAxis(t *testing.T) {
+	rep := runSmall(t, []Policy{
+		{Name: "shaped", Workers: 1},
+		{Name: "stateless", StatelessIP: true, Workers: 1},
+		{Name: "keep-comments", KeepComments: true, Workers: 1},
+	})
+	shaped, stateless, kept := rep.Policy("shaped"), rep.Policy("stateless"), rep.Policy("keep-comments")
+
+	// Disabling the shaped tree sacrifices class/subnet-address
+	// preservation (§4.3): routing-design extraction must degrade.
+	if stateless.Utility.DesignEquivPct >= shaped.Utility.DesignEquivPct {
+		t.Errorf("stateless design equivalence %.1f%% not below shaped %.1f%%",
+			stateless.Utility.DesignEquivPct, shaped.Utility.DesignEquivPct)
+	}
+	// Keeping comments leaks identity: the privacy axis must flag it.
+	if kept.Privacy.IdentityLeakPct <= shaped.Privacy.IdentityLeakPct {
+		t.Errorf("keep-comments identity leak %.1f%% not above shaped %.1f%%",
+			kept.Privacy.IdentityLeakPct, shaped.Privacy.IdentityLeakPct)
+	}
+}
+
+// TestScoreDeterminism: two runs with the same seed produce identical
+// reports apart from throughput — the property the committed baseline
+// and the CI drift gate rely on.
+func TestScoreDeterminism(t *testing.T) {
+	r1 := runSmall(t, []Policy{{Name: "shaped", Workers: 1}, {Name: "stateless", StatelessIP: true, Workers: 1}})
+	r2 := runSmall(t, []Policy{{Name: "shaped", Workers: 1}, {Name: "stateless", StatelessIP: true, Workers: 1}})
+	zeroThroughput(r1)
+	zeroThroughput(r2)
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("same-seed reports differ:\n%+v\n%+v", r1, r2)
+	}
+	// A different seed must actually change the corpus.
+	r3, err := Run(context.Background(), Options{
+		Seed: 2, Routers: 60, Networks: 4, Policies: []Policy{{Name: "shaped", Workers: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(r1.Corpus, r3.Corpus) {
+		t.Error("different seeds generated identical corpus stats")
+	}
+}
+
+func TestRunHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, Options{Seed: 1, Routers: 30, Networks: 2}); err == nil {
+		t.Fatal("cancelled context did not stop the run")
+	}
+}
+
+func TestSelectPolicies(t *testing.T) {
+	all, err := SelectPolicies("all")
+	if err != nil || len(all) != len(DefaultPolicies()) {
+		t.Fatalf("all: %v %d", err, len(all))
+	}
+	two, err := SelectPolicies("shaped, stateless")
+	if err != nil || len(two) != 2 || two[0].Name != "shaped" || !two[1].StatelessIP {
+		t.Fatalf("subset: %v %+v", err, two)
+	}
+	if _, err := SelectPolicies("bogus"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if _, err := SelectPolicies(","); err == nil {
+		t.Fatal("empty selection accepted")
+	}
+}
+
+func TestSuitesOnEmptyPopulation(t *testing.T) {
+	p := PrivacyOf(nil, 5)
+	u := UtilityOf(nil)
+	if p.SubnetTop1Pct != 0 || u.DesignEquivPct != 0 {
+		t.Errorf("empty population scored: %+v %+v", p, u)
+	}
+}

@@ -1,0 +1,92 @@
+// Package bench is the corpus-scale adversarial benchmark harness: it
+// generates a deterministic multi-AS population (internal/netgen), runs
+// it through configurable anonymization policies, and scores each
+// policy on the two axes the paper argues must be measured together —
+// privacy (the §6 fingerprint attacks, as re-identification scores)
+// and utility (the §5 routing-design extraction, as structural
+// equivalence). The scores land in a versioned confanon.bench/v1
+// report that conftrace diffs against a committed baseline, so a rule
+// change that silently weakens either axis fails CI.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Policy is one anonymization configuration under measurement.
+type Policy struct {
+	// Name identifies the policy in reports and baselines.
+	Name string `json:"name"`
+	// StatelessIP selects the Crypto-PAn scheme: salt-only mapping, no
+	// shared tree — the §4.3 trade-off that sacrifices class and
+	// subnet-address preservation (a deliberate utility reduction).
+	StatelessIP bool `json:"stateless_ip"`
+	// Strict fails closed: files whose leak report has confirmed
+	// findings are quarantined instead of published.
+	Strict bool `json:"strict"`
+	// KeepComments retains comment lines — a deliberately weakened
+	// measurement-only mode; the identity-leak score exists to catch it.
+	KeepComments bool `json:"keep_comments"`
+	// Workers is the anonymization worker count (0 or 1 = serial).
+	Workers int `json:"workers"`
+}
+
+// Fingerprint canonically serializes the policy's knobs. A baseline
+// comparison treats a changed fingerprint under an unchanged name as
+// drift: the policy was silently redefined.
+func (p Policy) Fingerprint() string {
+	return fmt.Sprintf("stateless_ip=%v strict=%v keep_comments=%v workers=%d",
+		p.StatelessIP, p.Strict, p.KeepComments, p.Workers)
+}
+
+// defaultPolicies is the registry the CLI selects from. The set pins
+// the contracts the repo already claims elsewhere: shaped-parallel must
+// score identically to shaped (parallel runs are byte-identical), and
+// stateless must show its documented utility cost.
+var defaultPolicies = []Policy{
+	{Name: "shaped", Workers: 1},
+	{Name: "shaped-parallel", Workers: 4},
+	{Name: "shaped-strict", Strict: true, Workers: 1},
+	{Name: "stateless", StatelessIP: true, Workers: 1},
+}
+
+// DefaultPolicies returns the standard policy sweep (a copy).
+func DefaultPolicies() []Policy {
+	out := make([]Policy, len(defaultPolicies))
+	copy(out, defaultPolicies)
+	return out
+}
+
+// SelectPolicies resolves a comma-separated list of registry names
+// ("all" or empty = every default policy).
+func SelectPolicies(spec string) ([]Policy, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "all" {
+		return DefaultPolicies(), nil
+	}
+	byName := make(map[string]Policy, len(defaultPolicies))
+	var known []string
+	for _, p := range defaultPolicies {
+		byName[p.Name] = p
+		known = append(known, p.Name)
+	}
+	sort.Strings(known)
+	var out []Policy
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		p, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown policy %q (known: %s)", name, strings.Join(known, ", "))
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no policies selected from %q", spec)
+	}
+	return out, nil
+}

@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Schema identifies the benchmark report layout. Version it forward
+// (v2, ...) on any incompatible change; Decode rejects foreign schemas
+// so a stale tool can never mis-score a newer report.
+const Schema = "confanon.bench/v1"
+
+// Report is one benchmark run: the corpus it measured and the scores of
+// every policy swept over it. All scores are deterministic functions of
+// (Seed, corpus shape, policy); only Throughput varies between runs.
+type Report struct {
+	Schema string `json:"schema"`
+	Seed   int64  `json:"seed"`
+	// TopK is the k of the top-k re-identification scores.
+	TopK     int            `json:"top_k"`
+	Corpus   CorpusStats    `json:"corpus"`
+	Policies []PolicyReport `json:"policies"`
+}
+
+// CorpusStats describes the generated population.
+type CorpusStats struct {
+	Networks     int `json:"networks"`
+	Routers      int `json:"routers"`
+	Files        int `json:"files"`
+	Lines        int `json:"lines"`
+	InterASLinks int `json:"inter_as_links"`
+}
+
+// PolicyReport carries one policy's scores.
+type PolicyReport struct {
+	Name string `json:"name"`
+	// Fingerprint canonically records the policy knobs that produced
+	// these scores; baseline diffs treat a change as drift.
+	Fingerprint string        `json:"fingerprint"`
+	Privacy     PrivacyScores `json:"privacy"`
+	Utility     UtilityScores `json:"utility"`
+	Throughput  Throughput    `json:"throughput"`
+}
+
+// PrivacyScores quantifies the §6 attacks over the population. All
+// percentages are 0..100; higher re-identification means the anonymized
+// corpora are easier to match back to their networks (worse privacy).
+type PrivacyScores struct {
+	// Fingerprint survival: the fraction of networks whose subnet-size /
+	// peering-structure fingerprint is bit-identical across
+	// anonymization — the structure preservation the attacks exploit.
+	SubnetMatchPct  float64 `json:"subnet_match_pct"`
+	PeeringMatchPct float64 `json:"peering_match_pct"`
+	// Re-identification accuracy of a distance-matching attacker, per
+	// fingerprint and for both combined (realistic attacker).
+	SubnetTop1Pct    float64 `json:"subnet_top1_pct"`
+	SubnetTopKPct    float64 `json:"subnet_topk_pct"`
+	PeeringTop1Pct   float64 `json:"peering_top1_pct"`
+	PeeringTopKPct   float64 `json:"peering_topk_pct"`
+	CombinedTop1Pct  float64 `json:"combined_top1_pct"`
+	CombinedTopKPct  float64 `json:"combined_topk_pct"`
+	// Population uniqueness of the anonymized fingerprints.
+	SubnetEntropyBits  float64 `json:"subnet_entropy_bits"`
+	SubnetUniquePct    float64 `json:"subnet_unique_pct"`
+	PeeringEntropyBits float64 `json:"peering_entropy_bits"`
+	PeeringUniquePct   float64 `json:"peering_unique_pct"`
+	// IdentityLeakPct is the fraction of networks whose anonymized
+	// output still contains any planted identity token (company name,
+	// contact address, peer names). Must be 0 for any production policy.
+	IdentityLeakPct float64 `json:"identity_leak_pct"`
+}
+
+// UtilityScores quantifies §5: does the routing design survive?
+type UtilityScores struct {
+	// DesignEquivPct is the fraction of networks whose extracted
+	// routing-design signature is identical pre- and post-anonymization
+	// (suite 2) — the headline structural-equivalence score.
+	DesignEquivPct float64 `json:"design_equiv_pct"`
+	// CharacteristicsCleanPct is the fraction of networks with zero
+	// independent-characteristic mismatches (suite 1).
+	CharacteristicsCleanPct float64 `json:"characteristics_clean_pct"`
+	// CharacteristicMismatches totals the suite-1 mismatch lines across
+	// the population (diagnostic; 0 when CharacteristicsCleanPct=100).
+	CharacteristicMismatches int `json:"characteristic_mismatches"`
+}
+
+// Throughput is the run's performance — machine-dependent, so baseline
+// diffs only warn on it, never fail.
+type Throughput struct {
+	Seconds     float64 `json:"seconds"`
+	InputLines  int     `json:"input_lines"`
+	LinesPerSec float64 `json:"lines_per_sec"`
+}
+
+// Encode writes the report as indented JSON.
+func (r *Report) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Decode parses a report, rejecting unknown schemas — including newer
+// versions of this one, which a current tool must not silently
+// mis-score.
+func Decode(r io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("bench report: %w", err)
+	}
+	if rep.Schema != Schema {
+		return nil, fmt.Errorf("bench report: unrecognized schema %q (want %s)", rep.Schema, Schema)
+	}
+	return &rep, nil
+}
+
+// Policy returns the named policy report, or nil.
+func (r *Report) Policy(name string) *PolicyReport {
+	for i := range r.Policies {
+		if r.Policies[i].Name == name {
+			return &r.Policies[i]
+		}
+	}
+	return nil
+}
+
+// round6 stabilizes scores for baseline comparison: six decimals is far
+// below any threshold the gate uses but above float formatting jitter.
+func round6(v float64) float64 {
+	return math.Round(v*1e6) / 1e6
+}
+
+// pct renders a fraction as a rounded percentage.
+func pct(f float64) float64 { return round6(f * 100) }

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sampleReport builds a small fully-populated report without running
+// the harness.
+func sampleReport() *Report {
+	return &Report{
+		Schema: Schema,
+		Seed:   7,
+		TopK:   5,
+		Corpus: CorpusStats{Networks: 4, Routers: 60, Files: 60, Lines: 9000, InterASLinks: 5},
+		Policies: []PolicyReport{
+			{
+				Name:        "shaped",
+				Fingerprint: Policy{Name: "shaped", Workers: 1}.Fingerprint(),
+				Privacy: PrivacyScores{
+					SubnetMatchPct: 100, PeeringMatchPct: 100,
+					SubnetTop1Pct: 100, SubnetTopKPct: 100,
+					PeeringTop1Pct: 75, PeeringTopKPct: 100,
+					CombinedTop1Pct: 100, CombinedTopKPct: 100,
+					SubnetEntropyBits: 2, SubnetUniquePct: 100,
+					PeeringEntropyBits: 1.5, PeeringUniquePct: 75,
+				},
+				Utility:    UtilityScores{DesignEquivPct: 100, CharacteristicsCleanPct: 100},
+				Throughput: Throughput{Seconds: 1.5, InputLines: 9000, LinesPerSec: 6000},
+			},
+		},
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		rep  *Report
+	}{
+		{"sample", sampleReport()},
+		{"empty policies", &Report{Schema: Schema, Seed: 1, TopK: 5}},
+	} {
+		var buf bytes.Buffer
+		if err := tc.rep.Encode(&buf); err != nil {
+			t.Fatalf("%s: encode: %v", tc.name, err)
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", tc.name, err)
+		}
+		if !reflect.DeepEqual(got, tc.rep) {
+			t.Errorf("%s: round trip changed the report:\nin:  %+v\nout: %+v", tc.name, tc.rep, got)
+		}
+	}
+}
+
+func TestDecodeRejectsForeignSchemas(t *testing.T) {
+	for _, tc := range []struct {
+		name, body, wantErr string
+	}{
+		{"future version", `{"schema":"confanon.bench/v2","seed":1}`, "unrecognized schema"},
+		{"other artifact", `{"schema":"confanon.run_report/v1"}`, "unrecognized schema"},
+		{"no schema", `{"seed":1}`, "unrecognized schema"},
+		{"not json", `nonsense`, "bench report"},
+		{"empty", ``, "bench report"},
+	} {
+		_, err := Decode(strings.NewReader(tc.body))
+		if err == nil {
+			t.Errorf("%s: decoded without error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q missing %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestPolicyLookup(t *testing.T) {
+	rep := sampleReport()
+	if rep.Policy("shaped") == nil {
+		t.Error("existing policy not found")
+	}
+	if rep.Policy("absent") != nil {
+		t.Error("phantom policy found")
+	}
+}
+
+// TestEncodedReportDeterministic: two same-seed harness runs encode to
+// identical bytes once throughput is zeroed — the exact byte-level
+// property that lets testdata/baseline_bench.json be regenerated
+// reproducibly on any machine.
+func TestEncodedReportDeterministic(t *testing.T) {
+	opts := Options{Seed: 3, Routers: 40, Networks: 3,
+		Policies: []Policy{{Name: "shaped", Workers: 1}}}
+	var bufs [2]bytes.Buffer
+	for i := range bufs {
+		rep, err := Run(context.Background(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		zeroThroughput(rep)
+		if err := rep.Encode(&bufs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(bufs[0].Bytes(), bufs[1].Bytes()) {
+		t.Fatalf("same-seed encodings differ:\n%s\n---\n%s", bufs[0].String(), bufs[1].String())
+	}
+}

@@ -1,0 +1,107 @@
+package fingerprint
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSubnetDistance(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		a, b Subnet
+		want float64
+	}{
+		{"both empty", Subnet{}, Subnet{}, 0},
+		{"identical", Subnet{24: 3, 30: 7}, Subnet{24: 3, 30: 7}, 0},
+		{"count moved", Subnet{24: 3}, Subnet{24: 5}, 2},
+		{"length moved", Subnet{24: 3}, Subnet{25: 3}, 6},
+		{"one empty", Subnet{24: 2, 30: 1}, Subnet{}, 3},
+	} {
+		if got := SubnetDistance(tc.a, tc.b); got != tc.want {
+			t.Errorf("%s: SubnetDistance = %v, want %v", tc.name, got, tc.want)
+		}
+		if got := SubnetDistance(tc.b, tc.a); got != tc.want {
+			t.Errorf("%s: not symmetric: %v", tc.name, got)
+		}
+	}
+}
+
+func TestPeeringDistance(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		a, b []int
+		want float64
+	}{
+		{"both empty", nil, nil, 0},
+		{"identical", []int{1, 2, 5}, []int{1, 2, 5}, 0},
+		{"order ignored", []int{5, 1, 2}, []int{1, 2, 5}, 0},
+		{"session moved", []int{1, 2, 5}, []int{1, 2, 6}, 1},
+		{"router missing", []int{1, 2, 5}, []int{2, 5}, 1},
+		{"one empty", []int{3, 4}, nil, 7},
+	} {
+		a := Peering{SessionsPerRouter: tc.a}
+		b := Peering{SessionsPerRouter: tc.b}
+		if got := PeeringDistance(a, b); got != tc.want {
+			t.Errorf("%s: PeeringDistance = %v, want %v", tc.name, got, tc.want)
+		}
+		if got := PeeringDistance(b, a); got != tc.want {
+			t.Errorf("%s: not symmetric: %v", tc.name, got)
+		}
+	}
+}
+
+func TestMatchRate(t *testing.T) {
+	if got := MatchRate(nil, nil); got != 0 {
+		t.Errorf("empty MatchRate = %v", got)
+	}
+	if got := MatchRate([]string{"a", "b"}, []string{"a", "c"}); got != 0.5 {
+		t.Errorf("MatchRate = %v, want 0.5", got)
+	}
+	if got := MatchRate([]string{"a"}, []string{"a", "b"}); got != 0 {
+		t.Errorf("misaligned MatchRate = %v, want 0", got)
+	}
+}
+
+func TestTopKCredit(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		dists   []float64
+		trueIdx int
+		k       int
+		want    float64
+	}{
+		{"unique nearest", []float64{0, 5, 9}, 0, 1, 1},
+		{"outranked", []float64{3, 0, 1}, 0, 1, 0},
+		{"outranked but in top2", []float64{3, 0, 4}, 0, 2, 1},
+		{"two-way tie at top1", []float64{2, 2, 9}, 0, 1, 0.5},
+		{"two-way tie within top2", []float64{2, 2, 9}, 0, 2, 1},
+		{"three-way tie, one slot", []float64{1, 1, 1}, 1, 1, 1.0 / 3},
+		{"k beyond population", []float64{5, 0, 1}, 0, 10, 1},
+		{"k zero", []float64{0}, 0, 0, 0},
+		{"bad index", []float64{0, 1}, 5, 1, 0},
+	} {
+		if got := TopKCredit(tc.dists, tc.trueIdx, tc.k); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: TopKCredit = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestReidentify(t *testing.T) {
+	// Three networks with fully distinct fingerprints: perfect top-1.
+	d := [][]float64{{0, 7, 8}, {7, 0, 9}, {8, 9, 0}}
+	r := Reidentify(func(j, i int) float64 { return d[j][i] }, 3, 2)
+	if r.Top1 != 1 || r.TopK != 1 || r.K != 2 {
+		t.Errorf("distinct population: %+v", r)
+	}
+	// All fingerprints identical: top-1 expected credit is 1/n, top-k is
+	// k/n — the anonymity-set intuition.
+	r = Reidentify(func(j, i int) float64 { return 0 }, 4, 2)
+	if math.Abs(r.Top1-0.25) > 1e-12 || math.Abs(r.TopK-0.5) > 1e-12 {
+		t.Errorf("uniform population: %+v", r)
+	}
+	// Empty population.
+	r = Reidentify(func(j, i int) float64 { return 0 }, 0, 3)
+	if r.Top1 != 0 || r.TopK != 0 {
+		t.Errorf("empty population: %+v", r)
+	}
+}

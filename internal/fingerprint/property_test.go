@@ -1,0 +1,173 @@
+package fingerprint
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"testing"
+
+	"confanon/internal/config"
+	"confanon/internal/netgen"
+)
+
+// The two properties pinned here are what makes the §6 attacks the
+// right privacy measure: the quantities the attacker computes are
+// exactly invariant under the renamings a correct structure-preserving
+// anonymization performs. If either property broke, a benchmark score
+// change could mean "the measurement moved" instead of "privacy moved".
+
+// ppMap builds a prefix-preserving bijection on IPv4 addresses in the
+// Crypto-PAn form: output bit i is input bit i XOR f(first i input
+// bits), for a keyed pseudorandom f. Every prefix-preserving bijection
+// has this form (§4.3), so invariance under ppMap is invariance under
+// prefix-preserving renumbering in general.
+func ppMap(key uint64) func(uint32) uint32 {
+	return func(addr uint32) uint32 {
+		var out uint32
+		for i := 0; i < 32; i++ {
+			prefix := uint64(0)
+			if i > 0 {
+				prefix = uint64(addr >> (32 - i))
+			}
+			h := fnv.New64a()
+			var buf [17]byte
+			buf[0] = byte(i)
+			for b := 0; b < 8; b++ {
+				buf[1+b] = byte(key >> (8 * b))
+				buf[9+b] = byte(prefix >> (8 * b))
+			}
+			h.Write(buf[:])
+			flip := uint32(h.Sum64() & 1)
+			bit := (addr >> (31 - i)) & 1
+			out = out<<1 | (bit ^ flip)
+		}
+		return out
+	}
+}
+
+func corpusConfigs(t *testing.T, seed int64) [][]*config.Config {
+	t.Helper()
+	c := netgen.GenerateCorpus(netgen.CorpusParams{Seed: seed, Routers: 60, Networks: 3})
+	var out [][]*config.Config
+	for _, n := range c.Networks {
+		var cfgs []*config.Config
+		for _, r := range n.Routers {
+			cfgs = append(cfgs, config.Parse(r.Config.Render()))
+		}
+		out = append(out, cfgs)
+	}
+	return out
+}
+
+// mapAddrs rewrites every interface address (primary and secondary)
+// through f, in place.
+func mapAddrs(cfgs []*config.Config, f func(uint32) uint32) {
+	for _, c := range cfgs {
+		for _, ifc := range c.Interfaces {
+			if ifc.HasAddress {
+				ifc.Address.Addr = f(ifc.Address.Addr)
+			}
+			for i := range ifc.Secondary {
+				ifc.Secondary[i].Addr = f(ifc.Secondary[i].Addr)
+			}
+		}
+	}
+}
+
+// TestSubnetFingerprintInvariantUnderPrefixPreserving pins the §6.2
+// guarantee: prefix-preserving renumbering conserves the subnet-size
+// fingerprint exactly, for any key and any generated network.
+func TestSubnetFingerprintInvariantUnderPrefixPreserving(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		for _, nets := range corpusConfigs(t, seed) {
+			before := SubnetOf(nets).Key()
+			mapAddrs(nets, ppMap(uint64(seed)*0x9e3779b97f4a7c15+1))
+			after := SubnetOf(nets).Key()
+			if before != after {
+				t.Fatalf("seed %d: subnet fingerprint changed under prefix-preserving renumbering:\npre:  %s\npost: %s",
+					seed, before, after)
+			}
+			if d := SubnetDistance(SubnetOf(nets), SubnetOf(nets)); d != 0 {
+				t.Fatalf("self-distance %v != 0", d)
+			}
+		}
+	}
+}
+
+// TestSubnetFingerprintDetectsNonPrefixPreserving is the control: a
+// renumbering that is NOT prefix-preserving (independent random
+// addresses) splits shared subnets and moves the fingerprint — the
+// attack measure is sensitive to exactly the damage the paper's scheme
+// avoids.
+func TestSubnetFingerprintDetectsNonPrefixPreserving(t *testing.T) {
+	nets := corpusConfigs(t, 2)[0]
+	before := SubnetOf(nets).Key()
+	rng := rand.New(rand.NewSource(99))
+	mapAddrs(nets, func(uint32) uint32 { return rng.Uint32() })
+	after := SubnetOf(nets).Key()
+	if before == after {
+		t.Fatal("random renumbering left the subnet fingerprint unchanged — the measure is blind")
+	}
+}
+
+// mapASNs rewrites every local and neighbor ASN through f, in place.
+func mapASNs(cfgs []*config.Config, f func(uint32) uint32) {
+	for _, c := range cfgs {
+		if c.BGP == nil {
+			continue
+		}
+		c.BGP.ASN = f(c.BGP.ASN)
+		for _, nb := range c.BGP.Neighbors {
+			nb.RemoteAS = f(nb.RemoteAS)
+		}
+	}
+}
+
+// TestPeeringFingerprintInvariantUnderASNPermutation pins the §6.3
+// guarantee: any bijection on AS numbers (the anonymizer's permutation
+// included) conserves the peering-structure fingerprint, because the
+// eBGP relation "remote AS differs from local AS" is
+// permutation-invariant.
+func TestPeeringFingerprintInvariantUnderASNPermutation(t *testing.T) {
+	// Multiplication by an odd constant is a bijection on uint32; adding
+	// a constant shifts private-range ASNs out of range, which must not
+	// matter to the fingerprint either.
+	perms := []func(uint32) uint32{
+		func(a uint32) uint32 { return a*2654435761 + 12345 },
+		func(a uint32) uint32 { return a ^ 0xdeadbeef },
+		func(a uint32) uint32 { return ^a },
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		for _, nets := range corpusConfigs(t, seed) {
+			before := PeeringOf(nets).Key()
+			// Applying the bijections in sequence composes them — each
+			// step must leave the fingerprint fixed.
+			for pi, perm := range perms {
+				mapASNs(nets, perm)
+				after := PeeringOf(nets).Key()
+				if before != after {
+					t.Fatalf("seed %d perm %d: peering fingerprint changed under ASN bijection:\npre:  %s\npost: %s",
+						seed, pi, before, after)
+				}
+			}
+		}
+	}
+}
+
+// TestPeeringFingerprintDetectsASNCollapse is the control: a
+// non-injective ASN map (everything to one AS) turns eBGP into iBGP and
+// empties the fingerprint.
+func TestPeeringFingerprintDetectsASNCollapse(t *testing.T) {
+	nets := corpusConfigs(t, 3)[0]
+	before := PeeringOf(nets)
+	if len(before.SessionsPerRouter) == 0 {
+		t.Fatal("generated network has no eBGP sessions to measure")
+	}
+	mapASNs(nets, func(uint32) uint32 { return 65000 })
+	after := PeeringOf(nets)
+	if len(after.SessionsPerRouter) != 0 {
+		t.Fatalf("ASN collapse left eBGP sessions: %v", after.SessionsPerRouter)
+	}
+	if PeeringDistance(before, after) == 0 {
+		t.Fatal("peering distance blind to ASN collapse")
+	}
+}

@@ -1,0 +1,290 @@
+package netgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"confanon/internal/config"
+)
+
+// CorpusParams controls multi-AS corpus generation: a population of
+// networks (one autonomous system each) interconnected by eBGP, sized to
+// a total router budget. It is the scaled-up stand-in for the paper's
+// full dataset — 31 networks, 7,655 routers — and the input shape the
+// confbench harness measures privacy and utility over.
+type CorpusParams struct {
+	Seed int64
+	// Routers is the total router budget across all networks. 0 selects
+	// a paper-scale default of 200.
+	Routers int
+	// Networks is the number of autonomous systems. 0 derives a count
+	// from the router budget (roughly one network per 50 routers,
+	// between 2 and 64).
+	Networks int
+}
+
+// InterASLink is one ground-truth eBGP interconnection between two
+// generated networks: a /30 with one end in each AS and a BGP session
+// configured on both sides.
+type InterASLink struct {
+	A, B             int // network indices
+	RouterA, RouterB int // router indices within each network
+	AddrA, AddrB     uint32
+}
+
+// Corpus is a generated multi-AS population. Each Network keeps its own
+// identity, address plan, and anonymization salt — the paper's per-owner
+// trust model — while the Links tie their border routers together into
+// one internet-like topology.
+type Corpus struct {
+	Params   CorpusParams
+	Networks []*Network
+	Links    []InterASLink
+}
+
+// TotalRouters counts routers across the corpus.
+func (c *Corpus) TotalRouters() int {
+	total := 0
+	for _, n := range c.Networks {
+		total += len(n.Routers)
+	}
+	return total
+}
+
+// TotalLines counts rendered configuration lines across the corpus.
+func (c *Corpus) TotalLines() int {
+	total := 0
+	for _, n := range c.Networks {
+		total += n.TotalLines()
+	}
+	return total
+}
+
+// interASBlock is the address pool inter-AS link /30s are carved from.
+// It is disjoint from publicBlocks so corpus-level allocations can never
+// collide with any network's own address plan.
+var interASBlock = config.Prefix{Addr: ip(204, 245, 0, 0), Len: 16}
+
+// GenerateCorpus builds a deterministic multi-AS corpus: Networks ASes
+// whose sizes follow a heavy-tailed split of the router budget (the
+// paper's dataset mixes 8-router enterprises with thousand-router
+// carriers), per-network kinds and regexp knobs assigned at the paper's
+// §4.4/§6.3 prevalence, and a connected inter-AS eBGP graph over the
+// networks' border routers.
+func GenerateCorpus(p CorpusParams) *Corpus {
+	if p.Routers == 0 {
+		p.Routers = 200
+	}
+	if p.Networks == 0 {
+		p.Networks = p.Routers / 50
+		if p.Networks < 2 {
+			p.Networks = 2
+		}
+		if p.Networks > 64 {
+			p.Networks = 64
+		}
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	c := &Corpus{Params: p}
+
+	// Heavy-tailed size split: exponential weights normalized to the
+	// budget, floored so every network is big enough to have all roles.
+	const minRouters = 6
+	weights := make([]float64, p.Networks)
+	sum := 0.0
+	for i := range weights {
+		weights[i] = 0.35 + rng.ExpFloat64()
+		sum += weights[i]
+	}
+	sizes := make([]int, p.Networks)
+	assigned := 0
+	for i := range sizes {
+		sizes[i] = int(float64(p.Routers) * weights[i] / sum)
+		if sizes[i] < minRouters {
+			sizes[i] = minRouters
+		}
+		assigned += sizes[i]
+	}
+	// Absorb rounding drift in the largest network (keeping the floor).
+	biggest := 0
+	for i, s := range sizes {
+		if s > sizes[biggest] {
+			biggest = i
+		}
+	}
+	if sizes[biggest]+p.Routers-assigned >= minRouters {
+		sizes[biggest] += p.Routers - assigned
+	}
+
+	for i := 0; i < p.Networks; i++ {
+		name := companyPool[i%len(companyPool)]
+		if i >= len(companyPool) {
+			name = fmt.Sprintf("%s%d", name, i/len(companyPool)+1)
+		}
+		kind := Backbone
+		if i%2 == 1 {
+			kind = Enterprise
+		}
+		n := Generate(Params{
+			Seed:    rng.Int63(),
+			Name:    name,
+			Kind:    kind,
+			Routers: sizes[i],
+			// Knob prevalence per the paper's population: alternation in
+			// 10/31 networks, public ranges 2/31, private ranges 3/31,
+			// community regexps 5/31, community ranges 2/31,
+			// compartmentalization 10/31.
+			UseASPathAlternation: i%3 == 0,
+			UsePublicASNRanges:   i%16 == 5,
+			UsePrivateASNRanges:  i%10 == 7,
+			UseCommunityRegexps:  i%6 == 2,
+			UseCommunityRanges:   i%16 == 8,
+			Compartmentalized:    i%3 == 1,
+		})
+		c.Networks = append(c.Networks, n)
+	}
+
+	c.interconnect(rng)
+	return c
+}
+
+// interconnect wires the networks into one connected eBGP graph: a
+// random spanning tree plus extra chords, each link a /30 from the
+// corpus pool terminating on a border router of each side.
+func (g *Corpus) interconnect(rng *rand.Rand) {
+	cursor := interASBlock.Addr
+	nextP2P := func() (uint32, uint32) {
+		base := cursor
+		cursor += 4
+		return base + 1, base + 2
+	}
+	link := func(ai, bi int) {
+		a, b := g.Networks[ai], g.Networks[bi]
+		// Same-ASN pairs would form iBGP, not an inter-AS link; the
+		// random 2000..32000 ASN draw makes this rare — just skip.
+		if a.ASN == b.ASN {
+			return
+		}
+		ra := borderRouter(a, rng)
+		rb := borderRouter(b, rng)
+		if ra == nil || rb == nil || ra.Config.BGP == nil || rb.Config.BGP == nil {
+			return
+		}
+		addrA, addrB := nextP2P()
+		attachInterAS(ra.Config, rng, addrA, b.Params.Name, b.ASN)
+		attachInterAS(rb.Config, rng, addrB, a.Params.Name, a.ASN)
+		ra.Config.BGP.Neighbors = append(ra.Config.BGP.Neighbors, &config.BGPNeighbor{
+			Addr: addrB, RemoteAS: b.ASN,
+			Description: fmt.Sprintf("interconnect %s AS%d", b.Params.Name, b.ASN),
+			SendComm:    true,
+		})
+		rb.Config.BGP.Neighbors = append(rb.Config.BGP.Neighbors, &config.BGPNeighbor{
+			Addr: addrA, RemoteAS: a.ASN,
+			Description: fmt.Sprintf("interconnect %s AS%d", a.Params.Name, a.ASN),
+			SendComm:    true,
+		})
+		a.Peers = append(a.Peers, EBGPPeer{Router: ra.Index, PeerASN: b.ASN, PeerIP: addrB})
+		b.Peers = append(b.Peers, EBGPPeer{Router: rb.Index, PeerASN: a.ASN, PeerIP: addrA})
+		g.Links = append(g.Links, InterASLink{
+			A: ai, B: bi, RouterA: ra.Index, RouterB: rb.Index, AddrA: addrA, AddrB: addrB,
+		})
+	}
+	// Spanning tree keeps the corpus connected; chords add the peering
+	// variance that makes per-network session counts distinguishable.
+	for i := 1; i < len(g.Networks); i++ {
+		link(i, rng.Intn(i))
+	}
+	extra := len(g.Networks) / 2
+	for i := 0; i < extra; i++ {
+		ai := rng.Intn(len(g.Networks))
+		bi := rng.Intn(len(g.Networks))
+		if ai != bi {
+			link(ai, bi)
+		}
+	}
+}
+
+// borderRouter picks one of a network's border routers (all networks
+// generate at least one).
+func borderRouter(n *Network, rng *rand.Rand) *Router {
+	var borders []*Router
+	for _, r := range n.Routers {
+		if r.Role == "border" {
+			borders = append(borders, r)
+		}
+	}
+	if len(borders) == 0 {
+		return nil
+	}
+	return borders[rng.Intn(len(borders))]
+}
+
+// attachInterAS adds the point-to-point interface carrying one end of an
+// inter-AS link, in the router's dialect style (mirrors
+// generator.ifaceName, which is unavailable once Generate returns).
+func attachInterAS(c *config.Config, rng *rand.Rand, addr uint32, peerName string, peerASN uint32) {
+	n := 0
+	for _, ifc := range c.Interfaces {
+		if ifc.Name != "Loopback0" {
+			n++
+		}
+	}
+	var name string
+	switch c.Dialect.InterfaceStyle {
+	case 0:
+		name = fmt.Sprintf("Serial%d", n)
+	case 1:
+		name = fmt.Sprintf("Serial0/%d", n)
+	default:
+		name = fmt.Sprintf("POS0/%d/0.%d", n, 1+rng.Intn(9))
+	}
+	c.Interfaces = append(c.Interfaces, &config.Interface{
+		Name:        name,
+		Description: fmt.Sprintf("interconnect %s AS%d", peerName, peerASN),
+		Encap:       "hdlc",
+		Address:     config.AddrMask{Addr: addr, Mask: config.LenToMask(30)},
+		HasAddress:  true,
+	})
+}
+
+// IdentityTokens returns the identity-bearing strings of network i's
+// configurations, including the names of the corpus networks it
+// interconnects with (their names appear in i's link descriptions).
+func (c *Corpus) IdentityTokens(i int) []string {
+	tokens := c.Networks[i].IdentityTokens()
+	seen := make(map[string]bool)
+	for _, l := range c.Links {
+		other := -1
+		if l.A == i {
+			other = l.B
+		} else if l.B == i {
+			other = l.A
+		}
+		if other >= 0 && !seen[c.Networks[other].Params.Name] {
+			seen[c.Networks[other].Params.Name] = true
+			tokens = append(tokens, c.Networks[other].Params.Name)
+		}
+	}
+	return tokens
+}
+
+// IdentityTokens returns the identity-bearing strings generation planted
+// in this network's configurations — the values anonymization must
+// remove. Benchmarks grep anonymized output for them to score identity
+// leakage.
+func (n *Network) IdentityTokens() []string {
+	tokens := []string{n.Params.Name, n.Params.Name + ".net", "noc@" + n.Params.Name}
+	seen := make(map[uint32]bool)
+	for _, p := range n.Peers {
+		if seen[p.PeerASN] {
+			continue
+		}
+		seen[p.PeerASN] = true
+		for _, isp := range isp2004 {
+			if isp.ASN == p.PeerASN {
+				tokens = append(tokens, isp.Name)
+			}
+		}
+	}
+	return tokens
+}

@@ -1,0 +1,168 @@
+package netgen
+
+import (
+	"strings"
+	"testing"
+
+	"confanon/internal/config"
+)
+
+func TestCorpusDeterministic(t *testing.T) {
+	c1 := GenerateCorpus(CorpusParams{Seed: 5, Routers: 80, Networks: 4})
+	c2 := GenerateCorpus(CorpusParams{Seed: 5, Routers: 80, Networks: 4})
+	if len(c1.Networks) != len(c2.Networks) {
+		t.Fatalf("network counts differ: %d vs %d", len(c1.Networks), len(c2.Networks))
+	}
+	for i := range c1.Networks {
+		r1, r2 := c1.Networks[i].RenderAll(), c2.Networks[i].RenderAll()
+		if len(r1) != len(r2) {
+			t.Fatalf("network %d: file counts differ", i)
+		}
+		for name, text := range r1 {
+			if r2[name] != text {
+				t.Fatalf("network %d file %s differs between same-seed runs", i, name)
+			}
+		}
+	}
+	if len(c1.Links) != len(c2.Links) {
+		t.Fatalf("link counts differ: %d vs %d", len(c1.Links), len(c2.Links))
+	}
+}
+
+func TestCorpusBudgetAndIdentity(t *testing.T) {
+	c := GenerateCorpus(CorpusParams{Seed: 9, Routers: 120, Networks: 6})
+	if len(c.Networks) != 6 {
+		t.Fatalf("networks = %d, want 6", len(c.Networks))
+	}
+	total := c.TotalRouters()
+	if total < 100 || total > 150 {
+		t.Errorf("total routers %d far from the 120 budget", total)
+	}
+	names := map[string]bool{}
+	asns := map[uint32]int{}
+	for _, n := range c.Networks {
+		if names[n.Params.Name] {
+			t.Errorf("duplicate network name %s", n.Params.Name)
+		}
+		names[n.Params.Name] = true
+		asns[n.ASN]++
+		if n.Salt == "" {
+			t.Error("network missing its anonymization salt")
+		}
+	}
+	// File names must be corpus-unique (hostnames embed the company name).
+	files := map[string]bool{}
+	for _, n := range c.Networks {
+		for name := range n.RenderAll() {
+			if files[name] {
+				t.Errorf("duplicate file name %s across networks", name)
+			}
+			files[name] = true
+		}
+	}
+}
+
+func TestCorpusInterASConnected(t *testing.T) {
+	c := GenerateCorpus(CorpusParams{Seed: 3, Routers: 100, Networks: 5})
+	if len(c.Links) < len(c.Networks)-1 {
+		t.Fatalf("links = %d, fewer than a spanning tree over %d networks",
+			len(c.Links), len(c.Networks))
+	}
+	// Union-find connectivity over the link graph.
+	parent := make([]int, len(c.Networks))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, l := range c.Links {
+		parent[find(l.A)] = find(l.B)
+	}
+	root := find(0)
+	for i := range c.Networks {
+		if find(i) != root {
+			t.Errorf("network %d disconnected from the inter-AS graph", i)
+		}
+	}
+	// Each link's addresses live in the corpus pool, not any network's
+	// blocks, and both sides carry matching eBGP sessions.
+	for _, l := range c.Links {
+		for _, addr := range []uint32{l.AddrA, l.AddrB} {
+			if addr&config.LenToMask(interASBlock.Len) != interASBlock.Addr {
+				t.Errorf("link address %x outside the inter-AS pool", addr)
+			}
+		}
+		a, b := c.Networks[l.A], c.Networks[l.B]
+		if !hasNeighbor(a.Routers[l.RouterA].Config, l.AddrB, b.ASN) {
+			t.Errorf("network %d router %d missing eBGP session to %x", l.A, l.RouterA, l.AddrB)
+		}
+		if !hasNeighbor(b.Routers[l.RouterB].Config, l.AddrA, a.ASN) {
+			t.Errorf("network %d router %d missing eBGP session to %x", l.B, l.RouterB, l.AddrA)
+		}
+	}
+}
+
+func hasNeighbor(c *config.Config, addr uint32, asn uint32) bool {
+	if c.BGP == nil {
+		return false
+	}
+	for _, nb := range c.BGP.Neighbors {
+		if nb.Addr == addr && nb.RemoteAS == asn {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCorpusRendersAndParses(t *testing.T) {
+	c := GenerateCorpus(CorpusParams{Seed: 7, Routers: 60, Networks: 3})
+	for i, n := range c.Networks {
+		for name, text := range n.RenderAll() {
+			cfg := config.Parse(text)
+			if cfg.Hostname == "" {
+				t.Errorf("network %d file %s lost its hostname on re-parse", i, name)
+			}
+		}
+	}
+	// Identity tokens include the network's own name and at least one
+	// interconnect peer for a linked network.
+	linked := c.Links[0].A
+	tokens := c.IdentityTokens(linked)
+	own := c.Networks[linked].Params.Name
+	foundOwn, foundPeer := false, false
+	for _, tok := range tokens {
+		if tok == own {
+			foundOwn = true
+		}
+		if tok == c.Networks[c.Links[0].B].Params.Name {
+			foundPeer = true
+		}
+	}
+	if !foundOwn || !foundPeer {
+		t.Errorf("identity tokens incomplete: own=%v peer=%v (%v)", foundOwn, foundPeer, tokens)
+	}
+	// And the planted peer name really is in the rendered text.
+	all := strings.Builder{}
+	for _, text := range c.Networks[linked].RenderAll() {
+		all.WriteString(text)
+	}
+	if !strings.Contains(all.String(), c.Networks[c.Links[0].B].Params.Name) {
+		t.Error("interconnect description does not carry the peer network's name")
+	}
+}
+
+func TestCorpusDefaults(t *testing.T) {
+	c := GenerateCorpus(CorpusParams{Seed: 1})
+	if len(c.Networks) < 2 {
+		t.Fatalf("default corpus has %d networks", len(c.Networks))
+	}
+	if c.TotalRouters() < 100 {
+		t.Errorf("default corpus suspiciously small: %d routers", c.TotalRouters())
+	}
+}

@@ -434,20 +434,23 @@ func TestCompactionRacesAppendCommit(t *testing.T) {
 	stop := make(chan struct{})
 	compacted := make(chan int, 1)
 	go func() {
+		// Compact before checking stop: under heavy scheduler load the
+		// writers can all finish before this goroutine first runs, and
+		// the test must still observe at least one compaction.
 		n := 0
 		for {
-			select {
-			case <-stop:
-				compacted <- n
-				return
-			default:
-			}
 			if err := l.Compact(); err != nil {
 				t.Errorf("Compact: %v", err)
 				compacted <- n
 				return
 			}
 			n++
+			select {
+			case <-stop:
+				compacted <- n
+				return
+			default:
+			}
 		}
 	}()
 	wg.Wait()
