@@ -253,7 +253,7 @@ func (a *Anonymizer) CorpusContext(ctx context.Context, files map[string]string)
 		}
 		a.endCorpus(sp, err)
 		res.Stats = a.Stats()
-		res.finishReport(a.reg)
+		res.finishReport(a.reg, a.prog.Packs())
 		return res, err
 	}
 
@@ -394,7 +394,7 @@ func (a *Anonymizer) ParallelCorpusContext(ctx context.Context, files map[string
 		}
 		a.endCorpus(sp, err)
 		res.Stats = a.Stats()
-		res.finishReport(a.reg)
+		res.finishReport(a.reg, a.prog.Packs())
 		return res, err
 	}
 

@@ -18,9 +18,9 @@ go build ./...
 echo "== go vet ./..."
 go vet ./...
 
-echo "== go vet ./internal/metrics ./internal/trace ./internal/store && go test -race ./internal/metrics ./internal/trace ./internal/store"
-go vet ./internal/metrics ./internal/trace ./internal/store
-go test -race ./internal/metrics ./internal/trace ./internal/store
+echo "== go vet ./internal/metrics ./internal/trace ./internal/store ./internal/rulepack && go test -race ./internal/metrics ./internal/trace ./internal/store ./internal/rulepack"
+go vet ./internal/metrics ./internal/trace ./internal/store ./internal/rulepack
+go test -race ./internal/metrics ./internal/trace ./internal/store ./internal/rulepack
 
 # Concurrency gauntlet: the packages whose correctness depends on the
 # Program/Session split's locking — the shaped tree's two-phase design,
@@ -82,6 +82,20 @@ benchdir=$(mktemp -d)
 go run ./cmd/confbench -seed 1 -routers 60 -networks 4 -q -out "$benchdir/bench.json"
 go run ./cmd/conftrace -fail-on-drift testdata/baseline_bench.json "$benchdir/bench.json"
 rm -rf "$benchdir"
+
+# Rule-pack gate: every shipped example pack must parse, pass the
+# document checks, and merge against this build's built-in inventory.
+# The examples pin their fingerprints, so any edit to a pack without
+# re-pinning — or any canonical-encoding change that silently moves
+# every fingerprint (and with it the bench policy fingerprints) — fails
+# here as a declared-fingerprint mismatch.
+echo "== confvalidate -check-pack examples/rulepacks/*"
+packargs=""
+for p in examples/rulepacks/*.json examples/rulepacks/*.toml; do
+	packargs="$packargs -check-pack $p"
+done
+# shellcheck disable=SC2086
+go run ./cmd/confvalidate $packargs
 
 # Short coverage-guided fuzz pass over the parsers that sit in front of
 # the anonymizer. Crashers are persisted under testdata/fuzz/ and then

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	confanon -salt SECRET -in DIR -out DIR [-workers N] [-strict] [-quarantine DIR] [-minimal] [-keep-comments] [-leak-report]
+//	confanon -salt SECRET -in DIR -out DIR [-workers N] [-strict] [-quarantine DIR] [-minimal] [-keep-comments] [-leak-report] [-rule-pack FILE]...
 //	confanon -salt SECRET -in DIR -out DIR -state-dir DIR [-incremental]
 //	cat r1-confg | confanon -salt SECRET - > r1-anon
 //
@@ -14,7 +14,10 @@
 // single-worker run under either IP scheme. With -leak-report the tool prints the
 // §6.1 leak-highlighting report to stderr after anonymizing; dangerous
 // tokens can then be added with repeated -sensitive flags and the tool
-// rerun, closing leaks iteratively.
+// rerun, closing leaks iteratively. Repeated -rule-pack flags load
+// declarative rule packs (JSON or TOML, schema confanon.rulepack/v1)
+// on top of the built-in inventory; packs extend the rule set and can
+// never weaken the built-in gating.
 //
 // The tool fails closed. A file whose processing fails is reported and
 // withheld — never half-written — and the rest of the batch completes.
@@ -139,6 +142,8 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	)
 	var sensitive multiFlag
 	fs.Var(&sensitive, "sensitive", "extra sensitive token to anonymize everywhere (repeatable)")
+	var rulePacks multiFlag
+	fs.Var(&rulePacks, "rule-pack", "declarative rule-pack file (JSON or TOML, schema "+confanon.RulePackSchema+"; repeatable, merged in order)")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
 	}
@@ -170,6 +175,17 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	if *minimal {
 		opts.Style = confanon.Minimal
 	}
+	for _, path := range rulePacks {
+		var b []byte
+		if err := retryIO(func() (err error) { b, err = os.ReadFile(path); return }); err != nil {
+			return fatal(stderr, fmt.Errorf("-rule-pack %s: %w", path, err))
+		}
+		p, err := confanon.LoadRulePack(b)
+		if err != nil {
+			return fatal(stderr, fmt.Errorf("-rule-pack %s: %w", path, err))
+		}
+		opts.RulePacks = append(opts.RulePacks, p)
+	}
 	if *metricsOut != "" || *pprofAddr != "" {
 		opts.Metrics = confanon.NewMetricsRegistry()
 	}
@@ -185,7 +201,14 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		}
 		defer stopProf()
 	}
-	a := confanon.New(opts)
+	// Compile through the error-returning path: a rule pack that parses
+	// but cannot merge (rule-ID collision, builtin-stage reference) is a
+	// clean fatal here, not a panic.
+	prog, err := confanon.CompileChecked(opts)
+	if err != nil {
+		return fatal(stderr, fmt.Errorf("compiling rules: %w", err))
+	}
+	a := prog.NewSession()
 	var mstore *confanon.MappingStore
 	if *stateDir != "" {
 		var err error

@@ -448,3 +448,35 @@ func TestRunMappingFileWrittenAtomically(t *testing.T) {
 		}
 	}
 }
+
+// TestRunRulePackFlag: -rule-pack loads a declarative pack on top of
+// the built-in inventory (here: the shipped MAC token class), and a
+// pack file that does not parse is a clean fatal, not a panic.
+func TestRunRulePackFlag(t *testing.T) {
+	packPath := filepath.Join("..", "..", "examples", "rulepacks", "mac-addresses.json")
+	in := writeInput(t, map[string]string{
+		"r1.conf": cleanConf + "interface Ethernet1\n mac-address 00:1c:73:aa:bb:01\n",
+	})
+	out := t.TempDir()
+	code, _, stderr := runCLI(t, "-salt", "s", "-in", in, "-out", out,
+		"-rename=false", "-rule-pack", packPath)
+	if code != exitClean {
+		t.Fatalf("exit %d, want %d; stderr:\n%s", code, exitClean, stderr)
+	}
+	b, err := os.ReadFile(filepath.Join(out, "r1.conf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "00:1c:73:aa:bb:01") {
+		t.Errorf("original MAC survives with the MAC pack loaded:\n%s", b)
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"nope"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr = runCLI(t, "-salt", "s", "-in", in, "-out", t.TempDir(), "-rule-pack", bad)
+	if code != exitFatal || !strings.Contains(stderr, "rule-pack") {
+		t.Errorf("bad pack: exit %d, stderr %q", code, stderr)
+	}
+}

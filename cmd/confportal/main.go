@@ -4,12 +4,14 @@
 //
 // Usage:
 //
-//	confportal -addr :8080 -researcher key1=alice -researcher key2=bob
+//	confportal -addr :8080 -researcher key1=alice -researcher key2=bob \
+//	           -rule-pack vendor-extras.toml
 //
 // The API:
 //
 //	POST /datasets                       {"label": "...", "files": {...}}  (anyone; screened)
-//	POST /datasets/raw                   {"salt": "...", "files": {...}}   (synchronous server-side anonymization)
+//	POST /datasets/raw                   {"salt": "...", "files": {...}}   (synchronous server-side anonymization;
+//	                                     optional "rule_packs": ["name", ...] naming operator-registered packs)
 //	POST /jobs                           same body as /datasets/raw → 202 {"job_id", "job_token"} (async)
 //	GET  /jobs/{id}                      job status + progress (X-Job-Token header)
 //	DELETE /jobs/{id}                    cancel a queued or running job (X-Job-Token header)
@@ -34,6 +36,11 @@
 // resumes them). The job queue is bounded (-job-workers, -job-queue,
 // -job-timeout) with per-owner fairness (-owner-jobs, -owner-rate);
 // refusals answer 429/503 with a Retry-After computed from queue depth.
+//
+// Rule packs are an operator allowlist: each -rule-pack FILE is
+// validated and registered at startup (a bad pack is a startup error),
+// and clients select packs per upload or job by registered name only —
+// never by content. Unknown names are refused with 422 at submit time.
 package main
 
 import (
@@ -46,6 +53,7 @@ import (
 	"syscall"
 	"time"
 
+	"confanon"
 	"confanon/internal/jobs"
 	"confanon/internal/metrics"
 	"confanon/internal/portal"
@@ -73,6 +81,8 @@ func main() {
 	logJSON := flag.Bool("log-json", false, "emit the structured request log as JSON lines instead of key=value text")
 	var researchers kvFlag
 	flag.Var(&researchers, "researcher", "researcher account as key=handle (repeatable)")
+	var rulePacks kvFlag
+	flag.Var(&rulePacks, "rule-pack", "declarative rule-pack file to register on the allowlist; uploads and jobs may reference registered packs by name (repeatable)")
 	flag.Parse()
 
 	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
@@ -98,6 +108,23 @@ func main() {
 			os.Exit(1)
 		}
 		store.AddResearcher(parts[0], parts[1])
+	}
+	for _, path := range rulePacks {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			logger.Error("reading rule pack", "path", path, "err", err)
+			os.Exit(1)
+		}
+		p, err := confanon.LoadRulePack(b)
+		if err != nil {
+			logger.Error("parsing rule pack", "path", path, "err", err)
+			os.Exit(1)
+		}
+		if err := store.RegisterRulePack(p); err != nil {
+			logger.Error("registering rule pack", "path", path, "err", err)
+			os.Exit(1)
+		}
+		logger.Info("rule pack registered", "name", p.Name, "version", p.Version, "fingerprint", p.Fingerprint)
 	}
 
 	// Start the job queue (resuming any jobs a previous process left

@@ -128,6 +128,11 @@ type summary struct {
 	stageSumS  map[string]float64 // total seconds per stage
 	leaks      map[string]float64 // "kind/severity" → findings
 
+	// packs maps "name@version" to the pack's content fingerprint, from
+	// the run report's rule_packs field; empty for span traces and for
+	// reports written before packs were recorded.
+	packs map[string]string
+
 	filesOK, filesFailed, filesQuarantined float64
 }
 
@@ -139,6 +144,7 @@ func newSummary(path, source string) *summary {
 		stageCount: map[string]float64{},
 		stageSumS:  map[string]float64{},
 		leaks:      map[string]float64{},
+		packs:      map[string]string{},
 	}
 }
 
@@ -208,6 +214,9 @@ func fromReport(path string, rep *confanon.RunReport) *summary {
 	s.filesOK = float64(rep.FilesOK)
 	s.filesFailed = float64(rep.FilesFailed)
 	s.filesQuarantined = float64(rep.FilesQuarantined)
+	for _, pm := range rep.Packs {
+		s.packs[pm.Name+"@"+pm.Version] = pm.Fingerprint
+	}
 	for id, v := range rep.Counters {
 		name, labels := parseSeries(id)
 		switch name {
@@ -285,12 +294,26 @@ func diff(stdout, stderr io.Writer, base, cur *summary, warnPct float64) bool {
 		warn("quarantined files rose %v -> %v", base.filesQuarantined, cur.filesQuarantined)
 	}
 
+	// When both artifacts record their rule-pack identities and the set
+	// differs, the rule inventory itself changed: report that as one
+	// drift line — the pack delta, with fingerprints — and print the
+	// per-rule hit changes informationally rather than as drift, since
+	// every one of them is downstream of the pack swap.
+	packsChanged := packDrift(base.packs, cur.packs)
+	if len(packsChanged) > 0 {
+		warn("rule pack changed: %s", strings.Join(packsChanged, "; "))
+	}
+
 	fmt.Fprintf(stdout, "\nrule hits:\n")
 	for _, rule := range unionKeys(base.ruleHits, cur.ruleHits) {
 		b, c := base.ruleHits[rule], cur.ruleHits[rule]
 		pct := relPct(b, c)
 		fmt.Fprintf(stdout, "  %-34s %10.0f -> %-10.0f %s\n", rule, b, c, pctLabel(pct))
 		if math.Abs(pct) > warnPct {
+			if len(packsChanged) > 0 {
+				fmt.Fprintf(stdout, "  ^ hit change attributed to the rule-pack change above, not drift\n")
+				continue
+			}
 			warn("rule %s hits changed %.0f -> %.0f (%+.1f%%)", rule, b, c, pct)
 		}
 	}
@@ -324,6 +347,49 @@ func diff(stdout, stderr io.Writer, base, cur *summary, warnPct float64) bool {
 		fmt.Fprintf(stdout, "\nno drift beyond %.0f%%\n", warnPct)
 	}
 	return drift
+}
+
+// packDrift compares two recorded pack-identity sets and renders the
+// delta, one entry per added, removed, or re-fingerprinted pack. Empty
+// when either side recorded no packs (old artifact, span trace) or the
+// sets agree.
+func packDrift(base, cur map[string]string) []string {
+	if len(base) == 0 || len(cur) == 0 {
+		return nil
+	}
+	var out []string
+	seen := map[string]bool{}
+	for k := range base {
+		seen[k] = true
+	}
+	for k := range cur {
+		seen[k] = true
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	short := func(fp string) string {
+		fp = strings.TrimPrefix(fp, "sha256:")
+		if len(fp) > 12 {
+			fp = fp[:12]
+		}
+		return fp
+	}
+	for _, k := range keys {
+		b, inBase := base[k]
+		c, inCur := cur[k]
+		switch {
+		case !inBase:
+			out = append(out, fmt.Sprintf("%s added (%s)", k, short(c)))
+		case !inCur:
+			out = append(out, fmt.Sprintf("%s removed (%s)", k, short(b)))
+		case b != c:
+			out = append(out, fmt.Sprintf("%s fingerprint %s -> %s", k, short(b), short(c)))
+		}
+	}
+	return out
 }
 
 // scoreDelta is one gated score in a bench diff.

@@ -344,3 +344,80 @@ func TestParseSeries(t *testing.T) {
 		}
 	}
 }
+
+// TestPackSwapAttributesRuleDrift: when the two reports disagree on
+// their recorded rule-pack identities, the diff reports the pack delta
+// as the single drift line and demotes per-rule hit changes to an
+// informational attribution note — every hit delta is downstream of the
+// pack swap. With equal packs the same hit deltas warn per rule.
+func TestPackSwapAttributesRuleDrift(t *testing.T) {
+	_, reportPath := writeRunArtifacts(t)
+	b, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep confanon.RunReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Packs) == 0 {
+		t.Fatal("run report records no rule packs; pack provenance lost")
+	}
+	// Double every rule's hits — far beyond the default warn threshold.
+	for id := range rep.Counters {
+		if strings.HasPrefix(id, "confanon_rule_hits_total") {
+			rep.Counters[id] *= 2
+		}
+	}
+
+	write := func(name string, rep *confanon.RunReport) string {
+		t.Helper()
+		p := filepath.Join(t.TempDir(), name)
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	// Same packs: the doubled hits warn rule by rule, no pack line.
+	samePacks := write("same-packs.json", &rep)
+	code, _, stderr := runTool(t, reportPath, samePacks)
+	if code != exitOK {
+		t.Fatalf("exit %d; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "DRIFT: rule") || strings.Contains(stderr, "rule pack changed") {
+		t.Errorf("equal packs: want per-rule drift and no pack line:\n%s", stderr)
+	}
+
+	// Swap a pack in: one "rule pack changed" drift line, and the same
+	// hit deltas must no longer warn — they print the attribution note.
+	rep.Packs = append(rep.Packs, confanon.PackMeta{
+		Name: "vendor-extras", Version: "1.2.0",
+		Fingerprint: "sha256:deadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeef",
+	})
+	swapped := write("swapped-pack.json", &rep)
+	code, stdout, stderr := runTool(t, reportPath, swapped)
+	if code != exitOK {
+		t.Fatalf("exit %d; stderr:\n%s", code, stderr)
+	}
+	if n := strings.Count(stderr, "rule pack changed"); n != 1 {
+		t.Errorf("want exactly one pack-drift line, got %d:\n%s", n, stderr)
+	}
+	if !strings.Contains(stderr, "vendor-extras@1.2.0 added (deadbeefdead)") {
+		t.Errorf("pack delta missing name/fingerprint:\n%s", stderr)
+	}
+	if strings.Contains(stderr, "hits changed") {
+		t.Errorf("per-rule drift warned despite pack swap:\n%s", stderr)
+	}
+	if !strings.Contains(stdout, "attributed to the rule-pack change") {
+		t.Errorf("no attribution note on suppressed rule drift:\n%s", stdout)
+	}
+	// The pack swap alone still counts as drift for the hard gate.
+	if code, _, _ := runTool(t, "-fail-on-drift", reportPath, swapped); code != exitDrift {
+		t.Errorf("-fail-on-drift exit %d, want %d", code, exitDrift)
+	}
+}

@@ -4,11 +4,18 @@
 // Usage:
 //
 //	confvalidate -pre DIR -post DIR
+//	confvalidate -check-pack FILE [-check-pack FILE]...
 //
 // Suite 1 compares independent characteristics (BGP speaker count,
 // interface count, subnet-size structure, policy object counts); suite 2
 // extracts the routing design from both corpora and compares canonical
 // signatures. Exit status 0 means both suites pass.
+//
+// With -check-pack the tool instead validates declarative rule-pack
+// files (JSON or TOML, schema confanon.rulepack/v1) without running any
+// anonymization: each pack must parse, pass every document-level check,
+// and be mergeable against this build's built-in inventory. Exit 0 when
+// every pack checks out, 1 when any fails.
 package main
 
 import (
@@ -16,9 +23,15 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"confanon"
 )
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 func main() {
 	var (
@@ -26,7 +39,18 @@ func main() {
 		postDir = flag.String("post", "", "directory of anonymized configs (required)")
 		verbose = flag.Bool("v", false, "print design summaries")
 	)
+	var checkPacks multiFlag
+	flag.Var(&checkPacks, "check-pack", "rule-pack file to validate instead of running the suites (repeatable)")
 	flag.Parse()
+
+	if len(checkPacks) > 0 {
+		if *preDir != "" || *postDir != "" {
+			fmt.Fprintln(os.Stderr, "confvalidate: -check-pack does not combine with -pre/-post")
+			os.Exit(2)
+		}
+		os.Exit(runCheckPacks(checkPacks))
+	}
+
 	if *preDir == "" || *postDir == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -60,6 +84,37 @@ func main() {
 	if !rep.OK() {
 		os.Exit(1)
 	}
+}
+
+// runCheckPacks validates each pack file in isolation — parse, document
+// checks, engine mergeability — and reports per file. It does not check
+// the packs against each other: cross-pack conflicts are a load-order
+// property of a particular run, not of either document.
+func runCheckPacks(paths []string) int {
+	code := 0
+	for _, path := range paths {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "confvalidate: %v\n", err)
+			code = 1
+			continue
+		}
+		p, err := confanon.LoadRulePack(b)
+		if err != nil {
+			fmt.Printf("%s: FAIL (parse: %v)\n", path, err)
+			code = 1
+			continue
+		}
+		if err := confanon.CheckRulePack(p); err != nil {
+			fmt.Printf("%s: FAIL (merge: %v)\n", path, err)
+			code = 1
+			continue
+		}
+		m := p.Meta()
+		fmt.Printf("%s: OK %s, %d rules\n", path, m, len(p.Rules))
+		fmt.Printf("  fingerprint %s\n", m.Fingerprint)
+	}
+	return code
 }
 
 func readDir(dir string) (map[string]string, error) {

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// captureStdout runs f with os.Stdout redirected to a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	f()
+	w.Close()
+	b, _ := io.ReadAll(r)
+	return string(b)
+}
+
+func TestRunCheckPacks(t *testing.T) {
+	examples := filepath.Join("..", "..", "examples", "rulepacks")
+	good := []string{
+		filepath.Join(examples, "mac-addresses.json"),
+		filepath.Join(examples, "arista-eos.toml"),
+	}
+	var code int
+	out := captureStdout(t, func() { code = runCheckPacks(good) })
+	if code != 0 {
+		t.Fatalf("shipped example packs fail -check-pack (exit %d):\n%s", code, out)
+	}
+	for _, want := range []string{"mac-addresses.json: OK", "arista-eos.toml: OK"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.toml")
+	if err := os.WriteFile(bad, []byte("schema = \"confanon.rulepack/v1\"\nname = \"bad\"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = captureStdout(t, func() { code = runCheckPacks([]string{bad}) })
+	if code != 1 {
+		t.Errorf("malformed pack: exit %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, "FAIL") {
+		t.Errorf("malformed pack output lacks FAIL:\n%s", out)
+	}
+
+	// One bad file fails the whole invocation even when others pass.
+	out = captureStdout(t, func() { code = runCheckPacks(append(good, bad)) })
+	if code != 1 {
+		t.Errorf("mixed good+bad: exit %d, want 1:\n%s", code, out)
+	}
+}

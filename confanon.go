@@ -44,9 +44,42 @@ import (
 	"confanon/internal/anonymizer"
 	"confanon/internal/config"
 	"confanon/internal/cregex"
+	"confanon/internal/rulepack"
 	"confanon/internal/trace"
 	"confanon/internal/validate"
 )
+
+// RulePack is a parsed, validated declarative rule pack (see
+// internal/rulepack for the document format). Load one with
+// LoadRulePack and wire it through Options.RulePacks.
+type RulePack = rulepack.Pack
+
+// PackMeta is a rule pack's identity triple — name, version, content
+// fingerprint — as threaded through RunReport and bench policy
+// fingerprints.
+type PackMeta = rulepack.Meta
+
+// LoadRulePack parses and validates a rule-pack document (JSON or the
+// TOML subset; the format is sniffed). The returned pack has passed
+// every document-level check — schema, rule shapes, pattern
+// compilation, declared fingerprint — but engine-level mergeability is
+// only decided at CompileChecked (or CheckRulePack, for tooling).
+func LoadRulePack(data []byte) (*RulePack, error) { return rulepack.Parse(data) }
+
+// CheckRulePack verifies a parsed pack would compile against this
+// engine build — builtin references resolve, rule IDs do not collide
+// with the built-in inventory, taxonomy entries do not conflict —
+// without loading anything. This is confvalidate -check-pack and the
+// portal's pack-registration check.
+func CheckRulePack(p *RulePack) error { return anonymizer.CheckPack(p) }
+
+// BuiltinRulePack returns the canonical built-in inventory as a pack
+// document (read-only): the same rule taxonomy the engine compiles at
+// startup, exposed so tooling can diff user packs against it.
+func BuiltinRulePack() *RulePack { return anonymizer.BuiltinPack() }
+
+// RulePackSchema identifies the rule-pack document layout.
+const RulePackSchema = rulepack.Schema
 
 // Style selects the output form for rewritten regexps.
 type Style = cregex.Style
@@ -124,6 +157,14 @@ type Options struct {
 	// KeepComments retains comment lines (measurement only — production
 	// anonymization always strips them).
 	KeepComments bool
+	// RulePacks are additional declarative rule packs merged into the
+	// compiled Program ahead of the built-ins. Pack line rules rewrite
+	// and decline (the built-in pipeline still runs afterwards), so a
+	// loaded pack can only strengthen the output, never weaken the
+	// built-in coverage or strict gating. Merge failures — duplicate
+	// rule IDs across packs, registry conflicts — panic in Compile;
+	// callers loading operator-supplied packs should use CompileChecked.
+	RulePacks []*RulePack
 	// StatelessIP selects the Crypto-PAn IP scheme: the mapping depends
 	// only on the salt (no shared table), which sacrifices class and
 	// subnet-address preservation — the §4.3 trade-off. Parallel runs no
@@ -174,19 +215,38 @@ type Program struct {
 // Compile builds the immutable Program for the given options. The
 // expensive, shareable work — pass-list indexing, rule-table wiring,
 // permutation key derivation — happens here, exactly once; NewSession is
-// then cheap.
+// then cheap. Compile panics when Options.RulePacks do not merge; use
+// CompileChecked for operator-supplied packs.
 func Compile(opts Options) *Program {
-	return &Program{
-		inner: anonymizer.Compile(anonymizer.Options{
-			Salt:         opts.Salt,
-			Style:        opts.Style,
-			KeepComments: opts.KeepComments,
-			StatelessIP:  opts.StatelessIP,
-			Tracer:       opts.Tracer,
-		}),
-		opts: opts,
+	p, err := CompileChecked(opts)
+	if err != nil {
+		panic(err)
 	}
+	return p
 }
+
+// CompileChecked is Compile with pack-merge errors reported instead of
+// panicking: a pack that passed LoadRulePack can still fail to merge
+// (duplicate rule IDs across packs, registry conflicts).
+func CompileChecked(opts Options) (*Program, error) {
+	inner, err := anonymizer.CompileChecked(anonymizer.Options{
+		Salt:         opts.Salt,
+		Style:        opts.Style,
+		KeepComments: opts.KeepComments,
+		StatelessIP:  opts.StatelessIP,
+		RulePacks:    opts.RulePacks,
+		Tracer:       opts.Tracer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Program{inner: inner, opts: opts}, nil
+}
+
+// Packs returns the identity of every rule pack compiled into the
+// Program: the canonical built-in pack first, then Options.RulePacks in
+// load order.
+func (p *Program) Packs() []PackMeta { return p.inner.Packs() }
 
 // NewSession derives a fresh Session from the Program: an Anonymizer with
 // its own IP mapping, leak recorder, and statistics, sharing the compiled
@@ -230,7 +290,9 @@ func New(opts Options) *Anonymizer { return Compile(opts).NewSession() }
 // per-status file counts — to their CorpusResult; this accessor covers
 // the single-file paths (File, Stream, Corpus).
 func (a *Anonymizer) Report() *RunReport {
-	return NewRunReport(a.Stats(), a.reg)
+	rep := NewRunReport(a.Stats(), a.reg)
+	rep.Packs = a.prog.Packs()
+	return rep
 }
 
 // ParallelCorpus anonymizes a corpus across several workers sharing one

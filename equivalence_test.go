@@ -50,3 +50,27 @@ func TestEquivalenceAcrossWorkers(t *testing.T) {
 		}
 	}
 }
+
+// TestEquivalenceSeed7001ClassfulCorner is the regression for the
+// shaped-tree classful-coverage corner the bench harness found (ROADMAP
+// open item 4): in this generated network a classful `network 10.0.0.0`
+// statement's raw tree image is exactly 0.0.0.0 (special), and the
+// original cycle-walk collision chase remapped it out of the /8 its
+// member addresses stay in, breaking EIGRP classful coverage — Suite 2
+// failed for exactly this (seed, kind) under the default shaped policy.
+// The nearest-free chase must keep the image inside the already-fixed
+// parent prefix, so design equivalence holds.
+func TestEquivalenceSeed7001ClassfulCorner(t *testing.T) {
+	n := netgen.Generate(netgen.Params{Seed: 7001, Kind: netgen.Enterprise, Compartmentalized: true})
+	files := n.RenderAll()
+	pre := validate.ParseAll(files)
+	a := New(Options{Salt: []byte(n.Salt)})
+	post := validate.ParseAll(a.Corpus(files))
+	if r2 := validate.Suite2(pre, post); !r2.OK() {
+		t.Errorf("seed-7001 design signature changed under anonymization:\npre:\n%s\npost:\n%s",
+			r2.PreSignature, r2.PostSignature)
+	}
+	if diffs := validate.Suite1(pre, post); len(diffs) != 0 {
+		t.Errorf("seed-7001 characteristic mismatches: %v", diffs)
+	}
+}

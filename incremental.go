@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"confanon/internal/anonymizer"
+	"confanon/internal/rulepack"
 	"confanon/internal/store"
 )
 
@@ -110,14 +111,17 @@ func (a *Anonymizer) cacheSaltFP() string { return store.SaltFingerprint(a.prog.
 
 // cacheOptsFP fingerprints every non-salt input that can change a
 // line's output: the regexp style, comment retention, the IP scheme,
-// and the session's operator-added sensitive tokens (a token added
-// since the cache was recorded invalidates every cached line — the
-// token could appear anywhere). Strict mode is deliberately absent: it
-// gates emission, never alters a line, and gating always re-runs.
+// the compiled rule packs (swapping or editing a pack can rewrite any
+// line, so it invalidates every cached line), and the session's
+// operator-added sensitive tokens (a token added since the cache was
+// recorded invalidates every cached line — the token could appear
+// anywhere). Strict mode is deliberately absent: it gates emission,
+// never alters a line, and gating always re-runs.
 func (a *Anonymizer) cacheOptsFP() string {
 	h := sha256.New()
 	fmt.Fprintf(h, "confanon.optsfp/style=%v/keep=%t/stateless=%t",
 		a.prog.opts.Style, a.prog.opts.KeepComments, a.prog.opts.StatelessIP)
+	fmt.Fprintf(h, "/packs=%s", rulepack.FingerprintsOf(a.prog.Packs()))
 	for _, tok := range a.sess.SensitiveTokens() {
 		fmt.Fprintf(h, "/tok=%q", tok)
 	}
@@ -268,7 +272,7 @@ func (a *Anonymizer) IncrementalCorpusContext(ctx context.Context, files map[str
 		}
 		a.endCorpus(sp, err)
 		res.Stats = a.Stats()
-		res.finishReport(a.reg)
+		res.finishReport(a.reg, a.prog.Packs())
 		return res, next, err
 	}
 

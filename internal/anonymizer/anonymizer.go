@@ -7,6 +7,7 @@ import (
 	"confanon/internal/cregex"
 	"confanon/internal/ipanon"
 	"confanon/internal/passlist"
+	"confanon/internal/rulepack"
 	"confanon/internal/trace"
 )
 
@@ -24,6 +25,12 @@ type Options struct {
 	Style cregex.Style
 	// PassList overrides the built-in pass-list.
 	PassList *passlist.List
+	// RulePacks are additional declarative rule packs (parsed and
+	// validated by internal/rulepack) merged into the Program's dispatch
+	// inventory ahead of the built-ins. Merge failures — duplicate rule
+	// IDs across packs, unresolvable builtin references — panic in
+	// Compile and are reported by CompileChecked.
+	RulePacks []*rulepack.Pack
 	// StatelessIP selects the cryptographic (Crypto-PAn) IP scheme
 	// instead of the shaped tree. It gives up class and subnet-address
 	// preservation in exchange for a mapping that depends only on the
@@ -51,12 +58,18 @@ type Anonymizer struct {
 	prog *Program
 	sess *Session
 
-	// Immutable snapshots from the Program (opts/pass/perms) and the
-	// Session (ip, sensitiveTokens; refreshed on Acquire).
+	// Immutable snapshots from the Program (opts/pass/perms/rules) and
+	// the Session (ip, sensitiveTokens; refreshed on Acquire).
 	opts  Options
 	pass  *passlist.List
 	ip    ipanon.Mapper
 	perms asn.Salted
+	rules *ruleSet
+
+	// lineShield holds values a pack line rule produced on the current
+	// line; the generic pass leaves them alone (see pack.go). Nil until
+	// a pack rule first fires — the no-pack hot path never touches it.
+	lineShield map[string]bool
 
 	// stats is the worker-local cumulative record; synced is its state at
 	// the last flush, so flush applies only the signed delta to the
@@ -92,8 +105,8 @@ type Anonymizer struct {
 	tracer     *trace.Tracer
 	corpusSpan trace.SpanID
 	fileSpan   *trace.Span
-	fileHits   [numRules]int64
-	fileTime   [numRules]int64
+	fileHits   [maxRules]int64
+	fileTime   [maxRules]int64
 	pending    []trace.Decision
 	curRule    RuleID
 
@@ -171,12 +184,16 @@ func (a *Anonymizer) AddSensitiveToken(tok string) {
 
 // hit records one firing of a rule: the hit counter and the per-line
 // scratch the engine uses for wall-time attribution. Registry lookup
-// then two array/slice writes — no map mutation on the per-token path.
+// (one atomic load, one map read) then two array/slice writes — no map
+// mutation on the per-token path.
 func (a *Anonymizer) hit(r RuleID) {
-	i := ruleIndex[r]
+	a.curRule = r
+	i, ok := lookupRule(r)
+	if !ok {
+		return
+	}
 	a.stats.ruleHits[i]++
 	a.lineHits = append(a.lineHits, i)
-	a.curRule = r
 }
 
 // AnonymizeText anonymizes one configuration file. The input is prescanned

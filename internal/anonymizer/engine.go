@@ -124,6 +124,9 @@ func (a *Anonymizer) processLine(line string, st *fileState) (string, bool) {
 
 	c := &a.ctx
 	c.raw, c.words, c.gaps, c.st = line, words, gaps, st
+	if a.lineShield != nil {
+		clear(a.lineShield) // pack-rule outputs shield one line only
+	}
 	if out, keep, consumed := a.dispatchLine(c); consumed {
 		return out, keep
 	}

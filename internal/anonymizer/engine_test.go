@@ -25,31 +25,55 @@ func TestRegistryCoversInventory(t *testing.T) {
 			t.Errorf("paper rule %s missing from registry inventory", id)
 		}
 	}
-	for _, r := range lineRules {
+	for _, r := range builtinRuleSet.unkeyed {
 		if _, ok := described[r.id]; !ok {
 			t.Errorf("dispatch entry %s carries undescribed rule %s", r.name, r.id)
 		}
 	}
+	for _, candidates := range builtinRuleSet.keyed {
+		for _, r := range candidates {
+			if _, ok := described[r.id]; !ok {
+				t.Errorf("dispatch entry %s carries undescribed rule %s", r.name, r.id)
+			}
+		}
+	}
 }
 
-// TestDispatchOrderPreserved: the dispatch table preserves the engine's
-// contract — comment entries before misc, misc before name, name before
-// JunOS, JunOS before ASN — and key-indexed candidate lists are ordered
-// by global sequence.
+// TestDispatchOrderPreserved: compiling the canonical pack preserves the
+// engine's dispatch contract — the pack's line entries appear in exactly
+// the order of the Go class groups (comment before misc, misc before
+// name, name before JunOS, JunOS before ASN), and key-indexed candidate
+// lists stay ordered by global sequence.
 func TestDispatchOrderPreserved(t *testing.T) {
+	byName := map[string]*lineRule{}
+	for _, r := range builtinRuleSet.unkeyed {
+		byName[r.name] = r
+	}
+	for _, candidates := range builtinRuleSet.keyed {
+		for _, r := range candidates {
+			byName[r.name] = r
+		}
+	}
 	want := 0
 	for _, group := range [][]*lineRule{commentLineRules, miscLineRules, nameLineRules, junosLineRules, asnLineRules} {
-		for _, r := range group {
-			if r.seq != want || lineRules[r.seq] != r {
+		for _, gr := range group {
+			r, ok := byName[gr.name]
+			if !ok {
+				t.Fatalf("builtin entry %s missing from compiled rule set", gr.name)
+			}
+			if r.seq != want {
 				t.Fatalf("entry %s has seq %d, want %d", r.name, r.seq, want)
+			}
+			if r.id != gr.id {
+				t.Fatalf("entry %s compiled with rule %s, group declares %s", r.name, r.id, gr.id)
 			}
 			want++
 		}
 	}
-	if want != len(lineRules) {
-		t.Fatalf("lineRules has %d entries, class groups have %d", len(lineRules), want)
+	if want != len(byName) {
+		t.Fatalf("compiled set has %d line entries, class groups have %d", len(byName), want)
 	}
-	for key, candidates := range keyedRules {
+	for key, candidates := range builtinRuleSet.keyed {
 		for i := 1; i < len(candidates); i++ {
 			if candidates[i-1].seq >= candidates[i].seq {
 				t.Errorf("key %q candidates out of order: %s then %s",

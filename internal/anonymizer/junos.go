@@ -38,7 +38,6 @@ func jwSetCore(words []string, i int, v string) {
 var junosLineRules = []*lineRule{
 	// system { host-name cr1.lax.foo.net; }
 	{id: RuleHostname, name: "junos-host-name",
-		keys: []string{"host-name", "domain-name", "domain-search"},
 		apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
 			if len(c.words) < 2 {
 				return "", false, false
@@ -54,7 +53,7 @@ var junosLineRules = []*lineRule{
 	// comment-stripping mode this entry records the banner hit and the
 	// comment counters but then DECLINES the line, so it falls through to
 	// the generic pass and is hashed word-by-word instead of stripped.
-	{id: RuleBanner, name: "junos-message", keys: []string{"message"},
+	{id: RuleBanner, name: "junos-message",
 		apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
 			a.hit(RuleBanner)
 			a.stats.CommentLinesRemoved++
@@ -67,7 +66,6 @@ var junosLineRules = []*lineRule{
 
 	// Credential statements; quoted values are hashed inside the quotes.
 	{id: RuleCredentials, name: "junos-credentials",
-		keys: []string{"encrypted-password", "plain-text-password", "authentication-key", "pre-shared-key"},
 		apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
 			if len(c.words) < 2 {
 				return "", false, false
@@ -84,7 +82,7 @@ var junosLineRules = []*lineRule{
 		}},
 
 	// peer-as / local-as ASN statements.
-	{id: RuleNeighborRemoteAS, name: "junos-peer-as", keys: []string{"peer-as", "local-as"},
+	{id: RuleNeighborRemoteAS, name: "junos-peer-as",
 		apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
 			if len(c.words) < 2 {
 				return "", false, false
@@ -99,7 +97,7 @@ var junosLineRules = []*lineRule{
 		}},
 
 	// routing-options { autonomous-system 1111; }
-	{id: RuleBGPProcess, name: "junos-autonomous-system", keys: []string{"autonomous-system"},
+	{id: RuleBGPProcess, name: "junos-autonomous-system",
 		apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
 			if len(c.words) < 2 {
 				return "", false, false
@@ -112,7 +110,7 @@ var junosLineRules = []*lineRule{
 	// policy-options { as-path NAME "1239 .*"; }
 	// (distinct from IOS "ip as-path access-list", which has its own
 	// entry; a bare as-path reference "as-path NAME;" hashes the name.)
-	{id: RuleASPathRegexp, name: "junos-as-path", keys: []string{"as-path"},
+	{id: RuleASPathRegexp, name: "junos-as-path",
 		apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
 			if len(c.words) >= 3 {
 				a.hit(RuleASPathRegexp)
@@ -138,7 +136,6 @@ var junosLineRules = []*lineRule{
 
 	// User-chosen identifiers introducing blocks.
 	{id: RuleNamePosition, name: "junos-block-name",
-		keys: []string{"policy-statement", "term", "group", "filter", "prefix-list"},
 		apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
 			if len(c.words) < 2 {
 				return "", false, false
@@ -150,7 +147,7 @@ var junosLineRules = []*lineRule{
 
 	// policy-options { community NAME members [ 701:100 ]; }
 	// or, inside a then block, "community add NAME;".
-	{id: RuleCommListLiteral, name: "junos-community", keys: []string{"community"},
+	{id: RuleCommListLiteral, name: "junos-community",
 		apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
 			if len(c.words) >= 3 && (c.words[1] == "add" || c.words[1] == "delete" || c.words[1] == "set") {
 				a.hit(RuleSetCommunity)
@@ -175,7 +172,7 @@ var junosLineRules = []*lineRule{
 
 	// Policy references: import [ A B ]; / export NAME; (the word
 	// "map" is kept for the IOS vrf form "import map NAME").
-	{id: RuleNamePosition, name: "junos-policy-ref", keys: []string{"import", "export"},
+	{id: RuleNamePosition, name: "junos-policy-ref",
 		apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
 			for i := 1; i < len(c.words); i++ {
 				if cv := jwCore(c.words, i); cv != "" && cv != "map" {

@@ -89,6 +89,17 @@ func (a *Anonymizer) LeakReport(post string) []Leak {
 					fp := s.ipOutputs(len(s.seenIPs))[v]
 					leaks = append(leaks, Leak{Line: i + 1, Text: line, Tok: w, Kind: "ip",
 						LikelyFalsePositive: fp})
+					continue
+				}
+				// Pack report rules: extra leak patterns a loaded pack
+				// flags. They can only add findings, never suppress the
+				// recorder-driven checks above.
+				for _, rr := range a.rules.report {
+					if rr.m.MatchToken(w) {
+						a.hit(rr.id)
+						leaks = append(leaks, Leak{Line: i + 1, Text: line, Tok: w, Kind: "pack"})
+						break
+					}
 				}
 			}
 		}

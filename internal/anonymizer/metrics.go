@@ -72,9 +72,16 @@ const (
 type engineMetrics struct {
 	reg *metrics.Registry
 
-	scalars  []*metrics.Counter // parallel to statScalars
-	ruleHits [numRules]*metrics.Counter
-	ruleTime [numRules]*metrics.Counter
+	scalars []*metrics.Counter // parallel to statScalars
+
+	// Per-rule counters resolve lazily through the vecs: the global rule
+	// registry can grow after this worker was wired (another Program
+	// compiled with packs), so a slot is filled the first time its rule
+	// flushes a nonzero delta, not eagerly at registration.
+	hitVec   *metrics.CounterVec
+	timeVec  *metrics.CounterVec
+	ruleHits [maxRules]*metrics.Counter
+	ruleTime [maxRules]*metrics.Counter
 
 	stageSeconds *metrics.HistogramVec
 	bytesIn      *metrics.Counter
@@ -91,11 +98,11 @@ func newEngineMetrics(reg *metrics.Registry) *engineMetrics {
 	for i, sc := range statScalars {
 		m.scalars[i] = reg.Counter(sc.name, sc.help)
 	}
-	hitVec := reg.CounterVec("confanon_rule_hits_total", "context-rule firings by registry rule", "rule")
-	timeVec := reg.CounterVec("confanon_rule_time_ns_total", "wall time attributed to each rule, nanoseconds", "rule")
+	m.hitVec = reg.CounterVec("confanon_rule_hits_total", "context-rule firings by registry rule", "rule")
+	m.timeVec = reg.CounterVec("confanon_rule_time_ns_total", "wall time attributed to each rule, nanoseconds", "rule")
 	for i, info := range ruleInfos {
-		m.ruleHits[i] = hitVec.With(string(info.ID))
-		m.ruleTime[i] = timeVec.With(string(info.ID))
+		m.ruleHits[i] = m.hitVec.With(string(info.ID))
+		m.ruleTime[i] = m.timeVec.With(string(info.ID))
 	}
 	m.stageSeconds = reg.HistogramVec("confanon_stage_seconds", "per-file pipeline stage latency", nil, "stage")
 	m.bytesIn = reg.Counter("confanon_stream_bytes_in_total", "bytes read by the streaming path")
@@ -141,11 +148,18 @@ func (a *Anonymizer) flush() {
 				m.scalars[i].Add(d)
 			}
 		}
-		for i := range delta.ruleHits {
+		reg := ruleReg.Load()
+		for i := range reg.infos {
 			if d := delta.ruleHits[i]; d != 0 {
+				if m.ruleHits[i] == nil {
+					m.ruleHits[i] = m.hitVec.With(string(reg.infos[i].ID))
+				}
 				m.ruleHits[i].Add(d)
 			}
 			if d := delta.ruleTimeNs[i]; d != 0 {
+				if m.ruleTime[i] == nil {
+					m.ruleTime[i] = m.timeVec.With(string(reg.infos[i].ID))
+				}
 				m.ruleTime[i].Add(d)
 			}
 		}

@@ -27,8 +27,9 @@ func (a *Anonymizer) forceHashName(w string) string {
 
 // nameEntry builds a name-position entry: match decides, rewrite edits
 // the words in place; the entry then hits RuleNamePosition and rejoins.
-func nameEntry(name string, keys []string, match func(words []string) bool, rewrite func(a *Anonymizer, words []string)) *lineRule {
-	return &lineRule{id: RuleNamePosition, name: name, keys: keys,
+// Trigger keys live in the canonical pack document, not here.
+func nameEntry(name string, match func(words []string) bool, rewrite func(a *Anonymizer, words []string)) *lineRule {
+	return &lineRule{id: RuleNamePosition, name: name,
 		apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
 			if !match(c.words) {
 				return "", false, false
@@ -41,12 +42,12 @@ func nameEntry(name string, keys []string, match func(words []string) bool, rewr
 
 var nameLineRules = []*lineRule{
 	// route-map NAME [permit|deny [seq]]
-	nameEntry("route-map-def", []string{"route-map"},
+	nameEntry("route-map-def",
 		func(w []string) bool { return len(w) >= 2 },
 		func(a *Anonymizer, w []string) { w[1] = a.forceHashName(w[1]) }),
 
 	// neighbor A route-map NAME in|out
-	nameEntry("neighbor-route-map", []string{"neighbor"},
+	nameEntry("neighbor-route-map",
 		func(w []string) bool { return len(w) >= 4 && w[2] == "route-map" },
 		func(a *Anonymizer, w []string) {
 			w[1] = a.mapNeighborToken(w[1])
@@ -54,7 +55,7 @@ var nameLineRules = []*lineRule{
 		}),
 
 	// neighbor A peer-group NAME
-	nameEntry("neighbor-peer-group-ref", []string{"neighbor"},
+	nameEntry("neighbor-peer-group-ref",
 		func(w []string) bool { return len(w) >= 4 && w[2] == "peer-group" },
 		func(a *Anonymizer, w []string) {
 			w[1] = a.mapNeighborToken(w[1])
@@ -62,13 +63,13 @@ var nameLineRules = []*lineRule{
 		}),
 
 	// neighbor NAME peer-group (definition form)
-	nameEntry("neighbor-peer-group-def", []string{"neighbor"},
+	nameEntry("neighbor-peer-group-def",
 		func(w []string) bool { return len(w) == 3 && w[2] == "peer-group" },
 		func(a *Anonymizer, w []string) { w[1] = a.forceHashName(w[1]) }),
 
 	// neighbor A prefix-list NAME in|out (filter/distribute lists are
 	// usually numbered; names hash, numbers stay)
-	nameEntry("neighbor-filter-ref", []string{"neighbor"},
+	nameEntry("neighbor-filter-ref",
 		func(w []string) bool {
 			return len(w) >= 4 && (w[2] == "prefix-list" || w[2] == "filter-list" || w[2] == "distribute-list")
 		},
@@ -78,17 +79,17 @@ var nameLineRules = []*lineRule{
 		}),
 
 	// ip vrf NAME (definition)
-	nameEntry("vrf-def", []string{"ip"},
+	nameEntry("vrf-def",
 		func(w []string) bool { return len(w) == 3 && w[1] == "vrf" },
 		func(a *Anonymizer, w []string) { w[2] = a.forceHashName(w[2]) }),
 
 	// ip vrf forwarding NAME (interface reference)
-	nameEntry("vrf-forwarding", []string{"ip"},
+	nameEntry("vrf-forwarding",
 		func(w []string) bool { return len(w) >= 4 && w[1] == "vrf" && w[2] == "forwarding" },
 		func(a *Anonymizer, w []string) { w[3] = a.forceHashName(w[3]) }),
 
 	// ip nat pool NAME lo hi netmask M
-	nameEntry("nat-pool", []string{"ip"},
+	nameEntry("nat-pool",
 		func(w []string) bool { return len(w) >= 5 && w[1] == "nat" && w[2] == "pool" },
 		func(a *Anonymizer, w []string) {
 			w[3] = a.forceHashName(w[3])
@@ -96,12 +97,12 @@ var nameLineRules = []*lineRule{
 		}),
 
 	// aaa group server tacacs+|radius NAME
-	nameEntry("aaa-group-server", []string{"aaa"},
+	nameEntry("aaa-group-server",
 		func(w []string) bool { return len(w) >= 5 && w[1] == "group" && w[2] == "server" },
 		func(a *Anonymizer, w []string) { w[4] = a.forceHashName(w[4]) }),
 
 	// ip prefix-list NAME seq N permit A/L [ge|le N]
-	nameEntry("prefix-list-def", []string{"ip"},
+	nameEntry("prefix-list-def",
 		func(w []string) bool { return len(w) >= 3 && w[1] == "prefix-list" },
 		func(a *Anonymizer, w []string) {
 			w[2] = a.forceHashName(w[2])
@@ -109,7 +110,7 @@ var nameLineRules = []*lineRule{
 		}),
 
 	// match ip address prefix-list NAME...
-	nameEntry("match-prefix-list", []string{"match"},
+	nameEntry("match-prefix-list",
 		func(w []string) bool {
 			return len(w) >= 4 && w[1] == "ip" && w[2] == "address" && w[3] == "prefix-list"
 		},
@@ -120,17 +121,17 @@ var nameLineRules = []*lineRule{
 		}),
 
 	// class-map [match-any|match-all] NAME / policy-map NAME
-	nameEntry("class-policy-map", []string{"class-map", "policy-map"},
+	nameEntry("class-policy-map",
 		func(w []string) bool { return len(w) >= 2 },
 		func(a *Anonymizer, w []string) { w[len(w)-1] = a.forceHashName(w[len(w)-1]) }),
 
 	// class NAME (inside policy-map)
-	nameEntry("class-ref", []string{"class"},
+	nameEntry("class-ref",
 		func(w []string) bool { return len(w) == 2 },
 		func(a *Anonymizer, w []string) { w[1] = a.forceHashName(w[1]) }),
 
 	// service-policy [input|output] NAME
-	nameEntry("service-policy", []string{"service-policy"},
+	nameEntry("service-policy",
 		func(w []string) bool { return len(w) >= 2 },
 		func(a *Anonymizer, w []string) { w[len(w)-1] = a.forceHashName(w[len(w)-1]) }),
 }

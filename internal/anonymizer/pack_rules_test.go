@@ -1,0 +1,157 @@
+package anonymizer
+
+// Engine-level tests for user-pack compilation and the declarative
+// actions: line rules (every action), the token pass, the MAC token
+// class, and CheckPack's rejection set. The facade-level behavior
+// (parallel identity, strict gating, the shipped examples) is covered
+// in the root package; these pin the mechanisms underneath.
+
+import (
+	"strings"
+	"testing"
+
+	"confanon/internal/rulepack"
+)
+
+func mustPack(t *testing.T, src string) *rulepack.Pack {
+	t.Helper()
+	p, err := rulepack.Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func packAnon(t *testing.T, src string) *Anonymizer {
+	t.Helper()
+	if err := CheckPack(mustPack(t, src)); err != nil {
+		t.Fatal(err)
+	}
+	return New(Options{Salt: []byte("pack-test"), RulePacks: []*rulepack.Pack{mustPack(t, src)}})
+}
+
+func TestPackLineActions(t *testing.T) {
+	const pack = `{
+		"schema": "confanon.rulepack/v1",
+		"name": "line-actions",
+		"version": "0.1.0",
+		"rules": [
+			{"id": "la-hash", "class": "name", "scope": "line", "keys": ["widget"], "action": "hash", "doc": "x"},
+			{"id": "la-segments", "class": "name", "scope": "line", "keys": ["gadget"], "action": "hash-segments", "doc": "x"},
+			{"id": "la-digits", "class": "misc", "scope": "line", "keys": ["dial-plan"], "action": "digits", "doc": "x"},
+			{"id": "la-drop", "class": "comment", "scope": "line", "keys": ["annotation"], "action": "drop-line", "doc": "x"},
+			{"id": "la-word", "class": "name", "scope": "line", "keys": ["thing"], "action": "hash",
+			 "match": {"word": "named"}, "doc": "only after the guard word"}
+		]
+	}`
+	a := packAnon(t, pack)
+	in := strings.Join([]string{
+		"widget ACME-CORE",
+		"gadget pop1.acme.example",
+		"dial-plan 14085550100",
+		"annotation bought from acme in 2001",
+		"thing named SECRET",
+		"thing unnamed PUBLIC-12",
+		"",
+	}, "\n")
+	out := a.AnonymizeText(in)
+	lines := strings.Split(out, "\n")
+
+	if strings.Contains(out, "ACME-CORE") || strings.Contains(out, "SECRET") {
+		t.Errorf("hash action left the original:\n%s", out)
+	}
+	// hash-segments keeps the dotted structure.
+	gf := strings.Fields(lines[1])
+	if len(gf) != 2 || strings.Count(gf[1], ".") != 2 || strings.Contains(gf[1], "acme") {
+		t.Errorf("hash-segments reshaped %q", lines[1])
+	}
+	// digits maps to another all-digit token of the same length.
+	df := strings.Fields(lines[2])
+	if len(df) != 2 || len(df[1]) != len("14085550100") || df[1] == "14085550100" ||
+		strings.Trim(df[1], "0123456789") != "" {
+		t.Errorf("digits action output %q", lines[2])
+	}
+	if strings.Contains(out, "annotation") || strings.Contains(out, "bought") {
+		t.Errorf("drop-line left the line:\n%s", out)
+	}
+	if len(lines) != len(strings.Split(in, "\n"))-1 {
+		t.Errorf("drop-line should remove exactly one line:\n%s", out)
+	}
+	// The word guard: "thing unnamed ..." has no "named" word, so the
+	// rule declines and the generic pass does the hashing instead — but
+	// the rule must not hit.
+	hits := a.Stats().RuleHits()
+	if hits["la-word"] != 1 {
+		t.Errorf("guarded rule hits = %d, want 1", hits["la-word"])
+	}
+	if hits["la-hash"] != 1 || hits["la-drop"] != 1 {
+		t.Errorf("rule hits = %v", hits)
+	}
+}
+
+func TestPackTokenAndMACActions(t *testing.T) {
+	const pack = `{
+		"schema": "confanon.rulepack/v1",
+		"name": "token-actions",
+		"version": "0.1.0",
+		"rules": [
+			{"id": "ta-mac", "class": "misc", "scope": "token", "action": "mac", "doc": "x",
+			 "match": {"pattern": "[0-9a-fA-F][0-9a-fA-F]:[0-9a-fA-F][0-9a-fA-F]:[0-9a-fA-F][0-9a-fA-F]:[0-9a-fA-F][0-9a-fA-F]:[0-9a-fA-F][0-9a-fA-F]:[0-9a-fA-F][0-9a-fA-F]"}}
+		]
+	}`
+	a := packAnon(t, pack)
+	out := a.AnonymizeText("interface Ethernet0\n mac-address 01:00:5e:aa:bb:cc\n")
+	var mapped string
+	for _, tok := range strings.Fields(out) {
+		if strings.Count(tok, ":") == 5 {
+			mapped = tok
+		}
+	}
+	if mapped == "" || mapped == "01:00:5e:aa:bb:cc" {
+		t.Fatalf("MAC not mapped shape-preservingly:\n%s", out)
+	}
+	if hexVal(mapped[1])&0x01 == 0 {
+		t.Errorf("multicast bit lost in %q", mapped)
+	}
+
+	// The direct mapping paths, including the fallbacks.
+	if got := a.mapMACToken("00:11:22:33:44"); got == "00:11:22:33:44" {
+		t.Errorf("short hex token mapped to itself")
+	}
+	if got := a.mapMACToken("zz:11:22:33:44:55"); strings.Contains(got, "zz") {
+		t.Errorf("non-hex MAC fallback leaked input: %q", got)
+	}
+	same := a.mapMACToken("aa-bb-cc-dd-ee-0f")
+	if !strings.Contains(same, "-") || strings.Count(same, "-") != 5 {
+		t.Errorf("dash separators not preserved: %q", same)
+	}
+}
+
+func TestCheckPackRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unknown builtin", `{"schema": "confanon.rulepack/v1", "name": "p", "version": "1", "rules": [
+			{"id": "x", "rule_id": "C3-strip-comment-lines", "class": "comment", "scope": "line", "builtin": "no-such-entry", "doc": "x"}]}`},
+		{"builtin stage", `{"schema": "confanon.rulepack/v1", "name": "p", "version": "1", "rules": [
+			{"id": "x", "rule_id": "C1-strip-banner-blocks", "class": "comment", "scope": "line", "builtin": "banner-body", "doc": "x"}]}`},
+		{"unknown rule_id", `{"schema": "confanon.rulepack/v1", "name": "p", "version": "1", "rules": [
+			{"id": "x", "rule_id": "Z9-not-registered", "class": "misc", "scope": "line", "keys": ["k"], "action": "hash", "doc": "x"}]}`},
+		{"builtin id collision", `{"schema": "confanon.rulepack/v1", "name": "p", "version": "1", "rules": [
+			{"id": "hostname", "class": "name", "scope": "line", "keys": ["hostname"], "action": "hash", "doc": "x"}]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := CheckPack(mustPack(t, tc.src)); err == nil {
+				t.Errorf("CheckPack accepted a pack with %s", tc.name)
+			}
+		})
+	}
+	// And the positive case: a well-formed user pack checks out.
+	ok := `{"schema": "confanon.rulepack/v1", "name": "p", "version": "1", "rules": [
+		{"id": "fine-rule", "class": "misc", "scope": "line", "keys": ["frob"], "action": "hash", "doc": "x"}]}`
+	if err := CheckPack(mustPack(t, ok)); err != nil {
+		t.Errorf("CheckPack rejected a valid pack: %v", err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"confanon/internal/asn"
 	"confanon/internal/cregex"
 	"confanon/internal/passlist"
+	"confanon/internal/rulepack"
 )
 
 // Program is the immutable compiled half of the anonymizer: everything
@@ -20,6 +21,11 @@ type Program struct {
 	opts  Options
 	pass  *passlist.List
 	perms asn.Salted
+
+	// rules is the compiled dispatch inventory: the canonical built-in
+	// pack merged with Options.RulePacks (pack.go). Programs without
+	// user packs share the init-compiled builtin set.
+	rules *ruleSet
 
 	// rewrites memoizes cregex pattern rewrites keyed by (kind, pattern).
 	// The rewrite is a pure function of the pattern and the salt-derived
@@ -48,16 +54,53 @@ type rewriteEntry struct {
 
 // Compile builds the immutable Program for one owner salt. The result is
 // safe for concurrent use and is meant to be built once and shared.
+// Compile panics when Options.RulePacks do not merge (duplicate rule
+// IDs, unresolvable builtin references, registry conflicts); callers
+// loading operator-supplied packs should use CompileChecked.
 func Compile(opts Options) *Program {
+	p, err := CompileChecked(opts)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// CompileChecked is Compile with pack-merge errors reported instead of
+// panicking. Packs already validated by rulepack.Parse can still fail
+// here: validity is a property of one document, mergeability of the
+// set (cross-pack duplicate IDs, registry conflicts, stage references).
+func CompileChecked(opts Options) (*Program, error) {
 	pl := opts.PassList
 	if pl == nil {
 		pl = passlist.Builtin()
 	}
-	return &Program{opts: opts, pass: pl, perms: asn.NewSalted(opts.Salt)}
+	rules := builtinRuleSet
+	if len(opts.RulePacks) > 0 {
+		var err error
+		rules, err = compileRuleSet(opts.RulePacks, true)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Program{opts: opts, pass: pl, perms: asn.NewSalted(opts.Salt), rules: rules}, nil
 }
 
 // Options returns the options the Program was compiled with.
 func (p *Program) Options() Options { return p.opts }
+
+// Packs returns the identity of every pack compiled into this Program,
+// the canonical built-in pack first, then Options.RulePacks in load
+// order. These are the identities the run report, the bench policy
+// fingerprint, and conftrace drift detection thread through.
+func (p *Program) Packs() []rulepack.Meta {
+	out := make([]rulepack.Meta, len(p.rules.packs))
+	// compileRuleSet appends the builtin pack last (user rules dispatch
+	// first); report it first — it is the baseline everything extends.
+	n := len(out)
+	out[0] = p.rules.packs[n-1]
+	copy(out[1:], p.rules.packs[:n-1])
+	return out
+}
 
 // CacheHits reports how many regexp rewrites were answered from the memo.
 func (p *Program) CacheHits() int64 { return p.cacheHits.Load() }

@@ -7,6 +7,12 @@ package anonymizer
 // ordered dispatch table built here; token-scoped rules fire inside the
 // engine's generic word pass, and report-scoped rules fire in LeakReport.
 
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
 // Class groups rules by the paper's §4.2 taxonomy.
 type Class string
 
@@ -80,20 +86,92 @@ var ruleInfos = []RuleInfo{
 	{RuleNamePosition, ClassName, ScopeLine, "user-chosen identifiers at known grammar positions (extension)"},
 }
 
-// numRules sizes the dense per-rule counter arrays in Stats. It must be
-// a constant (array length); init panics if it drifts from the registry.
-const numRules = 29
+// numBuiltinRules counts the built-in taxonomy entries (ruleInfos); an
+// init check pins it against the slice.
+const numBuiltinRules = 29
 
-// ruleIndex maps each RuleID to its registry position — the index of
-// its slots in the Stats counter arrays. Built once at init, read-only
-// afterwards.
-var ruleIndex = make(map[RuleID]int, numRules)
+// maxRules sizes the dense per-rule counter arrays in Stats: the
+// built-in taxonomy plus headroom for rule-pack registrations. A
+// constant (array length), so loading packs never reallocates a
+// counter array or invalidates a Stats value already in flight.
+const maxRules = 96
+
+// ruleRegistry is the global RuleID → index mapping backing the dense
+// Stats arrays. Copy-on-write behind an atomic pointer: the engine hot
+// path (hit) does one atomic load and one map lookup, identical in cost
+// to the fixed map it replaces, while pack compilation appends new
+// taxonomy entries under regMu. Indices are append-only and never
+// reused, so a Stats value merged across registry generations stays
+// coherent.
+type ruleRegistry struct {
+	infos []RuleInfo
+	index map[RuleID]int
+}
+
+var (
+	ruleReg atomic.Pointer[ruleRegistry]
+	regMu   sync.Mutex
+)
+
+// lookupRule returns the registry index of a rule.
+func lookupRule(id RuleID) (int, bool) {
+	i, ok := ruleReg.Load().index[id]
+	return i, ok
+}
+
+// registerRule installs a pack-supplied taxonomy entry. Re-registering
+// an identical entry (the same pack compiled twice) is a no-op; a
+// conflicting entry — same ID, different class/scope/doc — is an error,
+// as is exhausting the counter-array headroom.
+func registerRule(info RuleInfo) error {
+	regMu.Lock()
+	defer regMu.Unlock()
+	reg := ruleReg.Load()
+	if i, ok := reg.index[info.ID]; ok {
+		if reg.infos[i] != info {
+			return fmt.Errorf("rule %q already registered with a different description", info.ID)
+		}
+		return nil
+	}
+	if len(reg.infos) >= maxRules {
+		return fmt.Errorf("rule registry full (%d entries): cannot register %q", maxRules, info.ID)
+	}
+	next := &ruleRegistry{
+		infos: append(append([]RuleInfo(nil), reg.infos...), info),
+		index: make(map[RuleID]int, len(reg.infos)+1),
+	}
+	for i, ri := range next.infos {
+		next.index[ri.ID] = i
+	}
+	ruleReg.Store(next)
+	return nil
+}
+
+// checkRule is registerRule's dry run: the same conflict and headroom
+// checks, installing nothing (pack validation tooling).
+func checkRule(info RuleInfo) error {
+	regMu.Lock()
+	defer regMu.Unlock()
+	reg := ruleReg.Load()
+	if i, ok := reg.index[info.ID]; ok {
+		if reg.infos[i] != info {
+			return fmt.Errorf("rule %q already registered with a different description", info.ID)
+		}
+		return nil
+	}
+	if len(reg.infos) >= maxRules {
+		return fmt.Errorf("rule registry full (%d entries): cannot register %q", maxRules, info.ID)
+	}
+	return nil
+}
 
 // Rules returns the registry inventory in canonical order: the paper's 28
-// rules first (AllRules order), then the extension rules.
+// rules first (AllRules order), then the extension rules, then any
+// pack-registered rules in registration order.
 func Rules() []RuleInfo {
-	out := make([]RuleInfo, len(ruleInfos))
-	copy(out, ruleInfos)
+	reg := ruleReg.Load()
+	out := make([]RuleInfo, len(reg.infos))
+	copy(out, reg.infos)
 	return out
 }
 
@@ -122,64 +200,50 @@ type lineRule struct {
 	seq   int // position in registry order, assigned at assembly
 }
 
-// The dispatch table, assembled in registry order. Order is the contract:
-// comment rules run before misc, misc before name, name before JunOS,
-// JunOS before ASN — the same precedence the monolithic dispatcher had —
-// and within a group, entries run in declaration order.
-var (
-	lineRules    []*lineRule
-	keyedRules   map[string][]*lineRule
-	unkeyedRules []*lineRule
-)
-
 func init() {
-	if len(ruleInfos) != numRules {
-		panic("anonymizer: numRules out of sync with the rule registry")
+	if len(ruleInfos) != numBuiltinRules {
+		panic("anonymizer: numBuiltinRules out of sync with the rule registry")
+	}
+	reg := &ruleRegistry{
+		infos: append([]RuleInfo(nil), ruleInfos...),
+		index: make(map[RuleID]int, len(ruleInfos)),
 	}
 	for i, info := range ruleInfos {
-		if _, dup := ruleIndex[info.ID]; dup {
+		if _, dup := reg.index[info.ID]; dup {
 			panic("anonymizer: duplicate rule id " + string(info.ID))
 		}
-		ruleIndex[info.ID] = i
+		reg.index[info.ID] = i
 	}
-	lineRules = lineRules[:0]
-	for _, group := range [][]*lineRule{
-		commentLineRules, miscLineRules, nameLineRules, junosLineRules, asnLineRules,
-	} {
-		lineRules = append(lineRules, group...)
+	ruleReg.Store(reg)
+
+	// Compile the canonical pack once at init: a builtin inventory that
+	// does not round-trip through the pack path is a build defect, and
+	// every Program compiled with no user packs shares this rule set.
+	rs, err := compileRuleSet(nil, true)
+	if err != nil {
+		panic("anonymizer: builtin pack does not compile: " + err.Error())
 	}
-	keyedRules = make(map[string][]*lineRule)
-	unkeyedRules = nil
-	names := make(map[string]bool, len(lineRules))
-	for i, r := range lineRules {
-		r.seq = i
-		if r.apply == nil || r.name == "" || names[r.name] {
-			panic("anonymizer: malformed rule entry " + r.name)
-		}
-		names[r.name] = true
-		if len(r.keys) == 0 {
-			unkeyedRules = append(unkeyedRules, r)
-			continue
-		}
-		for _, k := range r.keys {
-			keyedRules[k] = append(keyedRules[k], r)
-		}
-	}
+	builtinRuleSet = rs
 }
 
-// dispatchLine runs the line through the rule pipeline in registry order:
-// the entries keyed on words[0] merged with the key-less entries by
+// builtinRuleSet is the dispatch inventory compiled from the canonical
+// pack alone — shared by every Program with no user packs loaded.
+var builtinRuleSet *ruleSet
+
+// dispatchLine runs the line through the Program's rule pipeline: the
+// entries keyed on words[0] merged with the key-less entries by
 // sequence number. The first rule that consumes the line wins.
 func (a *Anonymizer) dispatchLine(c *lineCtx) (string, bool, bool) {
-	keyed := keyedRules[c.words[0]]
+	rs := a.rules
+	keyed := rs.keyed[c.words[0]]
 	ki, ui := 0, 0
-	for ki < len(keyed) || ui < len(unkeyedRules) {
+	for ki < len(keyed) || ui < len(rs.unkeyed) {
 		var r *lineRule
-		if ui >= len(unkeyedRules) || (ki < len(keyed) && keyed[ki].seq < unkeyedRules[ui].seq) {
+		if ui >= len(rs.unkeyed) || (ki < len(keyed) && keyed[ki].seq < rs.unkeyed[ui].seq) {
 			r = keyed[ki]
 			ki++
 		} else {
-			r = unkeyedRules[ui]
+			r = rs.unkeyed[ui]
 			ui++
 		}
 		if out, keep, consumed := r.apply(a, c); consumed {

@@ -111,3 +111,19 @@ func hashDigits(salt []byte, w string) string {
 	}
 	return string(out)
 }
+
+// hashDigitsHex maps a lowercase hex string to another of the same
+// length (the MAC token action, pack.go). Domain-separated from the
+// word and digit hashes.
+func hashDigitsHex(salt []byte, w string) []byte {
+	h := sha1.New()
+	h.Write(salt)
+	h.Write([]byte{2})
+	h.Write([]byte(w))
+	sum := h.Sum(nil)
+	out := make([]byte, len(w))
+	for i := range out {
+		out[i] = hexDigit(sum[i%len(sum)] & 0x0F)
+	}
+	return out
+}

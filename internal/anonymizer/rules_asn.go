@@ -14,7 +14,7 @@ import (
 
 var asnLineRules = []*lineRule{
 	// A1: router bgp ASN.
-	{id: RuleBGPProcess, name: "router-bgp", keys: []string{"router"}, apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
+	{id: RuleBGPProcess, name: "router-bgp", apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
 		if len(c.words) < 3 || c.words[1] != "bgp" {
 			return "", false, false
 		}
@@ -24,7 +24,7 @@ var asnLineRules = []*lineRule{
 	}},
 
 	// A2: redistribute bgp ASN [route-map NAME ...].
-	{id: RuleRedistributeBGP, name: "redistribute-bgp", keys: []string{"redistribute"}, apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
+	{id: RuleRedistributeBGP, name: "redistribute-bgp", apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
 		if len(c.words) < 3 || c.words[1] != "bgp" {
 			return "", false, false
 		}
@@ -35,7 +35,7 @@ var asnLineRules = []*lineRule{
 	}},
 
 	// A3: neighbor A remote-as ASN.
-	{id: RuleNeighborRemoteAS, name: "neighbor-remote-as", keys: []string{"neighbor"}, apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
+	{id: RuleNeighborRemoteAS, name: "neighbor-remote-as", apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
 		if len(c.words) < 4 || c.words[2] != "remote-as" {
 			return "", false, false
 		}
@@ -46,7 +46,7 @@ var asnLineRules = []*lineRule{
 	}},
 
 	// A4: neighbor A local-as ASN.
-	{id: RuleNeighborLocalAS, name: "neighbor-local-as", keys: []string{"neighbor"}, apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
+	{id: RuleNeighborLocalAS, name: "neighbor-local-as", apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
 		if len(c.words) < 4 || c.words[2] != "local-as" {
 			return "", false, false
 		}
@@ -57,7 +57,7 @@ var asnLineRules = []*lineRule{
 	}},
 
 	// A5: bgp confederation identifier ASN.
-	{id: RuleConfedID, name: "confed-identifier", keys: []string{"bgp"}, apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
+	{id: RuleConfedID, name: "confed-identifier", apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
 		if len(c.words) < 4 || c.words[1] != "confederation" || c.words[2] != "identifier" {
 			return "", false, false
 		}
@@ -67,7 +67,7 @@ var asnLineRules = []*lineRule{
 	}},
 
 	// A6: bgp confederation peers ASN...
-	{id: RuleConfedPeers, name: "confed-peers", keys: []string{"bgp"}, apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
+	{id: RuleConfedPeers, name: "confed-peers", apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
 		if len(c.words) < 4 || c.words[1] != "confederation" || c.words[2] != "peers" {
 			return "", false, false
 		}
@@ -79,7 +79,7 @@ var asnLineRules = []*lineRule{
 	}},
 
 	// A7: set community V...
-	{id: RuleSetCommunity, name: "set-community", keys: []string{"set"}, apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
+	{id: RuleSetCommunity, name: "set-community", apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
 		if len(c.words) < 3 || c.words[1] != "community" {
 			return "", false, false
 		}
@@ -91,7 +91,7 @@ var asnLineRules = []*lineRule{
 	}},
 
 	// A8: set extcommunity rt|soo V...
-	{id: RuleSetExtCommunity, name: "set-extcommunity", keys: []string{"set"}, apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
+	{id: RuleSetExtCommunity, name: "set-extcommunity", apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
 		if len(c.words) < 4 || c.words[1] != "extcommunity" {
 			return "", false, false
 		}
@@ -104,7 +104,7 @@ var asnLineRules = []*lineRule{
 
 	// A9/A10: ip community-list entries, numeric or named form; each
 	// entry token is a literal community (A9) or a regexp (A10).
-	{id: RuleCommListLiteral, name: "community-list", keys: []string{"ip"}, apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
+	{id: RuleCommListLiteral, name: "community-list", apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
 		if len(c.words) < 5 || c.words[1] != "community-list" {
 			return "", false, false
 		}
@@ -123,7 +123,7 @@ var asnLineRules = []*lineRule{
 	}},
 
 	// A11: set as-path prepend ASN...
-	{id: RuleASPathPrepend, name: "as-path-prepend", keys: []string{"set"}, apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
+	{id: RuleASPathPrepend, name: "as-path-prepend", apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
 		if len(c.words) < 4 || c.words[1] != "as-path" || c.words[2] != "prepend" {
 			return "", false, false
 		}
@@ -135,7 +135,7 @@ var asnLineRules = []*lineRule{
 	}},
 
 	// A12: ip as-path access-list N permit|deny REGEXP.
-	{id: RuleASPathRegexp, name: "as-path-access-list", keys: []string{"ip"}, apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
+	{id: RuleASPathRegexp, name: "as-path-access-list", apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
 		if len(c.words) < 6 || c.words[1] != "as-path" || c.words[2] != "access-list" {
 			return "", false, false
 		}

@@ -32,7 +32,7 @@ var commentLineRules = []*lineRule{
 
 	// C1: banner header. Keep the skeleton, strip the body that follows
 	// (the body lines are handled structurally by the engine).
-	{id: RuleBanner, name: "banner-header", keys: []string{"banner"}, apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
+	{id: RuleBanner, name: "banner-header", apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
 		a.hit(RuleBanner)
 		c.st.inBanner = true
 		c.st.bannerDelim = '^'
@@ -44,7 +44,6 @@ var commentLineRules = []*lineRule{
 
 	// C2: description / remark free text.
 	{id: RuleDescription, name: "description-line",
-		keys: []string{"description", "remark", "neighbor", "access-list"},
 		apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
 			if !isDescriptionLine(c.words) {
 				return "", false, false
@@ -88,7 +87,7 @@ func isDescriptionLine(words []string) bool {
 
 var miscLineRules = []*lineRule{
 	// M1: everything after "dialer string" is a phone number.
-	{id: RuleDialerString, name: "dialer-string", keys: []string{"dialer"}, apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
+	{id: RuleDialerString, name: "dialer-string", apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
 		if len(c.words) < 3 || c.words[1] != "string" {
 			return "", false, false
 		}
@@ -105,7 +104,7 @@ var miscLineRules = []*lineRule{
 
 	// M2: the community string is a credential; the trailing words
 	// (RO/RW, ACL number) are keywords.
-	{id: RuleSNMPCommunity, name: "snmp-community", keys: []string{"snmp-server"}, apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
+	{id: RuleSNMPCommunity, name: "snmp-community", apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
 		if len(c.words) < 3 || c.words[1] != "community" {
 			return "", false, false
 		}
@@ -116,7 +115,7 @@ var miscLineRules = []*lineRule{
 
 	// M3: the hostname names the owner; hash each alphabetic segment even
 	// if pass-listed, preserving the dotted shape.
-	{id: RuleHostname, name: "hostname", keys: []string{"hostname"}, apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
+	{id: RuleHostname, name: "hostname", apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
 		if len(c.words) < 2 {
 			return "", false, false
 		}
@@ -126,7 +125,7 @@ var miscLineRules = []*lineRule{
 	}},
 
 	// M3 (domain form): "ip domain-name D" / "ip domain name D".
-	{id: RuleHostname, name: "domain-name", keys: []string{"ip"}, apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
+	{id: RuleHostname, name: "domain-name", apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
 		if !(len(c.words) >= 3 && c.words[1] == "domain-name") &&
 			!(len(c.words) >= 4 && c.words[1] == "domain" && c.words[2] == "name") {
 			return "", false, false
@@ -138,7 +137,7 @@ var miscLineRules = []*lineRule{
 	}},
 
 	// M4: the username and any password/secret/key material.
-	{id: RuleCredentials, name: "username", keys: []string{"username"}, apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
+	{id: RuleCredentials, name: "username", apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
 		if len(c.words) < 2 {
 			return "", false, false
 		}
@@ -156,7 +155,6 @@ var miscLineRules = []*lineRule{
 
 	// M4 (server form): enable / tacacs-server / radius-server secrets.
 	{id: RuleCredentials, name: "server-credentials",
-		keys: []string{"enable", "tacacs-server", "radius-server"},
 		apply: func(a *Anonymizer, c *lineCtx) (string, bool, bool) {
 			if !containsAny(c.words, "password", "secret", "key") {
 				return "", false, false

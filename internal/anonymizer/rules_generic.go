@@ -40,6 +40,11 @@ func (a *Anonymizer) genericCores(words []string, st *fileState) {
 		if w == "" {
 			continue
 		}
+		if a.lineShield != nil && a.lineShield[w] {
+			// A pack line rule already produced this value on this line;
+			// re-hashing it would break the pack action's output shape.
+			continue
+		}
 		if a.sensitiveTokens[w] {
 			// Operator-added rule: treat a numeric token as an ASN,
 			// anything else as a hashable word.
@@ -111,6 +116,14 @@ func (a *Anonymizer) genericCores(words []string, st *fileState) {
 			a.hit(RuleBareCommunity)
 			words[i] = a.mapCommunityToken(w)
 			continue
+		}
+		// Pack token rules (MAC addresses and the like) fire between the
+		// structural token classes above and the basic method below.
+		if len(a.rules.token) > 0 {
+			if repl, ok := a.applyTokenRules(w); ok {
+				words[i] = repl
+				continue
+			}
 		}
 		if token.IsInteger(w) {
 			// "Simple integers are generally not anonymized."

@@ -180,6 +180,7 @@ func (s *Session) newWorker() *Anonymizer {
 		opts:            s.prog.opts,
 		pass:            s.prog.pass,
 		perms:           s.prog.perms,
+		rules:           s.prog.rules,
 		ip:              s.mapper(),
 		stats:           newStats(),
 		seenASNs:        make(map[string]bool),

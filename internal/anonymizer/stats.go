@@ -9,8 +9,8 @@ import (
 // engine's per-rule instrumentation.
 //
 // The scalar counters are exported int64 fields; the per-rule counters
-// live in dense arrays indexed by registry position (ruleIndex,
-// rule.go), read through Hits/Time/RuleHits/RuleTime. The dense layout
+// live in dense arrays indexed by registry position (ruleReg, rule.go),
+// read through Hits/Time/RuleHits/RuleTime. The dense layout
 // replaces the old map-backed, reflection-merged representation: Clone
 // is a plain value copy (the fault layer snapshots statistics before
 // every file, so this is on the batch hot path) and Add is an explicit
@@ -37,13 +37,16 @@ type Stats struct {
 	RegexpFallbacks     int64
 
 	// ruleHits counts how many times each registry rule fired, indexed
-	// by registry position.
-	ruleHits [numRules]int64
+	// by registry position. Sized maxRules (not the current registry
+	// length) so pack registrations never reallocate counter storage or
+	// invalidate a Stats value already in flight; slots past the live
+	// registry stay zero.
+	ruleHits [maxRules]int64
 	// ruleTimeNs is each rule's cumulative wall time in nanoseconds:
 	// every line's processing time is attributed to the rules that fired
 	// on it, proportionally to their hits on that line, so the values
 	// sum to the total line-rewriting time (prescan excluded).
-	ruleTimeNs [numRules]int64
+	ruleTimeNs [maxRules]int64
 }
 
 // newStats returns a zero Stats (kept for construction symmetry; the
@@ -57,7 +60,7 @@ func (s Stats) Clone() Stats { return s }
 
 // Hits returns how many times the rule fired.
 func (s Stats) Hits(id RuleID) int64 {
-	if i, ok := ruleIndex[id]; ok {
+	if i, ok := lookupRule(id); ok {
 		return s.ruleHits[i]
 	}
 	return 0
@@ -65,7 +68,7 @@ func (s Stats) Hits(id RuleID) int64 {
 
 // Time returns the rule's attributed cumulative wall time.
 func (s Stats) Time(id RuleID) time.Duration {
-	if i, ok := ruleIndex[id]; ok {
+	if i, ok := lookupRule(id); ok {
 		return time.Duration(s.ruleTimeNs[i])
 	}
 	return 0
@@ -74,10 +77,11 @@ func (s Stats) Time(id RuleID) time.Duration {
 // RuleHits materializes the per-rule hit counts as a map (rules that
 // never fired are omitted, matching the old map-backed behavior).
 func (s Stats) RuleHits() map[RuleID]int64 {
+	reg := ruleReg.Load()
 	m := make(map[RuleID]int64)
-	for i, n := range s.ruleHits {
-		if n != 0 {
-			m[ruleInfos[i].ID] = n
+	for i := range reg.infos {
+		if n := s.ruleHits[i]; n != 0 {
+			m[reg.infos[i].ID] = n
 		}
 	}
 	return m
@@ -85,10 +89,11 @@ func (s Stats) RuleHits() map[RuleID]int64 {
 
 // RuleTime materializes the per-rule attributed times as a map.
 func (s Stats) RuleTime() map[RuleID]time.Duration {
+	reg := ruleReg.Load()
 	m := make(map[RuleID]time.Duration)
-	for i, ns := range s.ruleTimeNs {
-		if ns != 0 {
-			m[ruleInfos[i].ID] = time.Duration(ns)
+	for i := range reg.infos {
+		if ns := s.ruleTimeNs[i]; ns != 0 {
+			m[reg.infos[i].ID] = time.Duration(ns)
 		}
 	}
 	return m
@@ -97,14 +102,14 @@ func (s Stats) RuleTime() map[RuleID]time.Duration {
 // AddRuleHit adds n firings of the rule (test fixtures and the engine's
 // own bookkeeping; unknown rules are ignored).
 func (s *Stats) AddRuleHit(id RuleID, n int64) {
-	if i, ok := ruleIndex[id]; ok {
+	if i, ok := lookupRule(id); ok {
 		s.ruleHits[i] += n
 	}
 }
 
 // AddRuleTime attributes d to the rule.
 func (s *Stats) AddRuleTime(id RuleID, d time.Duration) {
-	if i, ok := ruleIndex[id]; ok {
+	if i, ok := lookupRule(id); ok {
 		s.ruleTimeNs[i] += int64(d)
 	}
 }

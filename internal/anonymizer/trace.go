@@ -138,13 +138,14 @@ func (a *Anonymizer) traceStage(stage string, d time.Duration) {
 // engine attributed to the rule within this file, its "hits" attribute
 // the per-file firing count.
 func (a *Anonymizer) traceRuleSpans(parent trace.SpanID, startNs int64) {
-	for i := range a.stats.ruleHits {
+	reg := ruleReg.Load()
+	for i := range reg.infos {
 		hits := a.stats.ruleHits[i] - a.fileHits[i]
 		if hits == 0 {
 			continue
 		}
 		dur := a.stats.ruleTimeNs[i] - a.fileTime[i]
-		a.tracer.RecordSpan(trace.KindRule, string(ruleInfos[i].ID), parent, startNs, dur, trace.StatusOK,
+		a.tracer.RecordSpan(trace.KindRule, string(reg.infos[i].ID), parent, startNs, dur, trace.StatusOK,
 			trace.Attr{Key: "hits", Value: strconv.FormatInt(hits, 10)})
 	}
 }

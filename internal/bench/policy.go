@@ -13,6 +13,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"confanon"
+	"confanon/internal/rulepack"
 )
 
 // Policy is one anonymization configuration under measurement.
@@ -33,12 +36,17 @@ type Policy struct {
 	Workers int `json:"workers"`
 }
 
-// Fingerprint canonically serializes the policy's knobs. A baseline
-// comparison treats a changed fingerprint under an unchanged name as
-// drift: the policy was silently redefined.
+// Fingerprint canonically serializes the policy's knobs plus the
+// identity of every rule pack the engine compiles under it (today: the
+// canonical built-in pack — bench policies load no user packs). A
+// baseline comparison treats a changed fingerprint under an unchanged
+// name as drift: either the policy was silently redefined or the rule
+// inventory itself changed, and both must force a deliberate baseline
+// refresh.
 func (p Policy) Fingerprint() string {
-	return fmt.Sprintf("stateless_ip=%v strict=%v keep_comments=%v workers=%d",
-		p.StatelessIP, p.Strict, p.KeepComments, p.Workers)
+	packs := rulepack.FingerprintsOf([]rulepack.Meta{confanon.BuiltinRulePack().Meta()})
+	return fmt.Sprintf("stateless_ip=%v strict=%v keep_comments=%v workers=%d packs=%s",
+		p.StatelessIP, p.Strict, p.KeepComments, p.Workers, packs)
 }
 
 // defaultPolicies is the registry the CLI selects from. The set pins

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"confanon"
+	"confanon/internal/rulepack"
+)
+
+// TestPolicyFingerprintTracksPackContent: the policy fingerprint embeds
+// the rule-pack inventory, and editing a pack's content — not just its
+// name or version — moves it. This is what lets conftrace's bench gate
+// catch a silently edited inventory as fingerprint drift.
+func TestPolicyFingerprintTracksPackContent(t *testing.T) {
+	p := Policy{Name: "shaped", Workers: 1}
+	fp := p.Fingerprint()
+	builtin := confanon.BuiltinRulePack().Meta()
+	wantPacks := "packs=" + rulepack.FingerprintsOf([]rulepack.Meta{builtin})
+	if !strings.Contains(fp, wantPacks) {
+		t.Fatalf("fingerprint %q does not embed the builtin pack identity %q", fp, wantPacks)
+	}
+	if !strings.Contains(fp, strings.TrimPrefix(builtin.Fingerprint, "sha256:")[:12]) {
+		t.Errorf("fingerprint %q does not carry the pack content digest", fp)
+	}
+
+	// Edit one rule's content (a doc change is enough), re-parse, and
+	// the computed content fingerprint — and with it the packs=
+	// component of every policy fingerprint — must move, while name and
+	// version stay put. Work on a JSON round-tripped clone so the shared
+	// builtin pack is never mutated.
+	src := confanon.BuiltinRulePack()
+	enc, err := json.Marshal(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clone rulepack.Pack
+	if err := json.Unmarshal(enc, &clone); err != nil {
+		t.Fatal(err)
+	}
+	if len(clone.Rules) == 0 {
+		t.Fatal("builtin pack has no rules")
+	}
+	clone.Rules[0].Doc = "changed for the drift test"
+	clone.Fingerprint = "" // recompute rather than mismatch
+	reenc, err := json.Marshal(&clone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited, err := rulepack.Parse(reenc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edited.Fingerprint == builtin.Fingerprint {
+		t.Error("editing a rule doc did not change the pack content fingerprint")
+	}
+	if edited.Name != builtin.Name || edited.Version != builtin.Version {
+		t.Error("edit changed identity fields it should not have")
+	}
+	if rulepack.FingerprintsOf([]rulepack.Meta{edited.Meta()}) ==
+		rulepack.FingerprintsOf([]rulepack.Meta{builtin}) {
+		t.Error("policy packs= component does not track pack content")
+	}
+}

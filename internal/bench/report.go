@@ -55,12 +55,12 @@ type PrivacyScores struct {
 	PeeringMatchPct float64 `json:"peering_match_pct"`
 	// Re-identification accuracy of a distance-matching attacker, per
 	// fingerprint and for both combined (realistic attacker).
-	SubnetTop1Pct    float64 `json:"subnet_top1_pct"`
-	SubnetTopKPct    float64 `json:"subnet_topk_pct"`
-	PeeringTop1Pct   float64 `json:"peering_top1_pct"`
-	PeeringTopKPct   float64 `json:"peering_topk_pct"`
-	CombinedTop1Pct  float64 `json:"combined_top1_pct"`
-	CombinedTopKPct  float64 `json:"combined_topk_pct"`
+	SubnetTop1Pct   float64 `json:"subnet_top1_pct"`
+	SubnetTopKPct   float64 `json:"subnet_topk_pct"`
+	PeeringTop1Pct  float64 `json:"peering_top1_pct"`
+	PeeringTopKPct  float64 `json:"peering_topk_pct"`
+	CombinedTop1Pct float64 `json:"combined_top1_pct"`
+	CombinedTopKPct float64 `json:"combined_topk_pct"`
 	// Population uniqueness of the anonymized fingerprints.
 	SubnetEntropyBits  float64 `json:"subnet_entropy_bits"`
 	SubnetUniquePct    float64 `json:"subnet_unique_pct"`

@@ -30,6 +30,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -154,8 +155,15 @@ type Tree struct {
 	// resolution, avoiding an allocation per created node. Only touched
 	// under mu.
 	prfBuf []byte
-	// remaps counts collision-chase steps: how many times a raw image
-	// landed in the special range and had to be remapped (§4.3).
+	// outs records every output emitted so far. The collision chase
+	// rejects candidates in this set (and a raw image that lands on a
+	// previously chase-emitted output is itself chased), which makes the
+	// resolved mapping injective by construction at every point in time.
+	// Only touched under mu.
+	outs map[uint32]struct{}
+	// remaps counts collision-chase steps: how many candidates were
+	// rejected because a raw image landed in the special range or on an
+	// already-emitted output (§4.3).
 	remaps atomic.Int64
 }
 
@@ -164,7 +172,7 @@ func NewTree(opts Options) *Tree {
 	buf := make([]byte, len(opts.Salt)+9)
 	copy(buf, opts.Salt)
 	copy(buf[len(opts.Salt)+5:], "flip")
-	return &Tree{opts: opts, root: &node{}, prfBuf: buf}
+	return &Tree{opts: opts, root: &node{}, prfBuf: buf, outs: make(map[uint32]struct{})}
 }
 
 // prfBit derives a deterministic pseudo-random flip bit for the tree node
@@ -196,6 +204,26 @@ func (t *Tree) rawMap(ip uint32) uint32 {
 				// all-ones spine (and the root) maps every class
 				// onto itself while freezing only the bits that
 				// encode the class.
+				n.flip = false
+			case t.opts.PassSpecial && depth <= 7 &&
+				path == prefixBits(0x7F000000, depth):
+				// Doom pin: an image prefix of 127/8 (or, below,
+				// the class D/E prefix 111) is a block whose every
+				// completion is special, which would condemn the
+				// whole input subtree that draws it to the
+				// collision chase and destroy its structure. The
+				// raw map is a prefix-preserving bijection, so the
+				// only way to keep every *non-special* input out of
+				// the block is to make the block map to itself:
+				// identity-pin the flips along the 127/8 input path
+				// (127.x inputs themselves are special and pass
+				// through as fixed points, so nothing is lost).
+				n.flip = false
+			case t.opts.PassSpecial && depth < 3 && allOnes(path, depth):
+				// Same doom pin for class D/E (224.0.0.0 and up —
+				// all special): pin 111 → 111. Redundant under
+				// ClassPreserving's spine pin above, load-bearing
+				// without it.
 				n.flip = false
 			case t.opts.SubnetPreserving && trailingZeros(ip, depth):
 				// Node first resolved while the remaining input
@@ -251,12 +279,18 @@ func trailingZeros(ip uint32, depth int) bool {
 
 // MapV4 maps ip under the configured scheme. Special addresses are fixed
 // points when PassSpecial is set. When the raw tree image of a non-special
-// address lands in the special range, the image is recursively remapped
-// ("we recursively map s until there is no collision"). The chase walks
-// the raw bijection's cycle, so two distinct non-special inputs can never
-// chase to the same output: if they did, one would have to appear between
-// the other and the shared output on the cycle, and every element strictly
-// between an input and its chased output is special by construction.
+// address lands in the special range — or on an output an earlier chase
+// already emitted — the image is remapped ("we recursively map s until
+// there is no collision") by chase: a nearest-free scan upward from the
+// raw image. Scanning (rather than re-walking the raw bijection, which
+// can leave the image's prefix entirely) keeps a chased subnet address
+// inside its already-fixed parent prefix: `network 10.0.0.0` whose raw
+// image is 0.0.0.0 resolves to the nearest free non-special address in
+// the image /8, so classful coverage survives. Injectivity holds by
+// construction: every emitted output is recorded in t.outs and no
+// candidate colliding with that set is ever accepted (raw images of
+// distinct inputs are distinct, so only chase-emitted outputs can
+// collide, and those are in the set).
 func (t *Tree) MapV4(ip uint32) uint32 {
 	if out, ok := t.seen.Load(ip); ok {
 		return out.(uint32)
@@ -274,16 +308,87 @@ func (t *Tree) MapV4(ip uint32) uint32 {
 	} else {
 		out = t.rawMap(ip)
 		if t.opts.PassSpecial {
-			for IsSpecial(out) {
-				out = t.rawMap(out)
-				t.remaps.Add(1)
-			}
+			out = t.chase(ip, out)
 		}
 	}
 	t.seen.Store(ip, out)
 	t.count.Add(1)
+	t.outs[out] = struct{}{}
 	t.order = append(t.order, Pair{In: ip, Out: out})
 	return out
+}
+
+// chase resolves a collision of the raw image with the special range or
+// a previously emitted output: scan upward from the raw image, skipping
+// specials (jumping the contiguous loopback and class-D/E blocks in one
+// step) and taken outputs, wrapping within the input's class when class
+// preservation is on. The scan stride preserves the raw image's trailing
+// zeros (up to /24 granularity), so a chased subnet address resolves to
+// the nearest free *subnet* address — inside the already-fixed parent
+// prefix when one exists, which is what keeps classful coverage intact.
+// Called under t.mu.
+func (t *Tree) chase(ip, raw uint32) uint32 {
+	_, taken := t.outs[raw]
+	if !IsSpecial(raw) && !taken {
+		return raw
+	}
+	// Wrap bounds: the whole space, or the input's class when the
+	// mapping is class-preserving (class D/E inputs are special and
+	// never reach the chase, so lo is always below the class-D base).
+	lo, hi := uint32(0), ^uint32(0)
+	if t.opts.ClassPreserving {
+		switch Class(ip) {
+		case 'A':
+			lo, hi = 0, 0x7FFFFFFF
+		case 'B':
+			lo, hi = 0x80000000, 0xBFFFFFFF
+		default: // 'C'
+			lo, hi = 0xC0000000, 0xDFFFFFFF
+		}
+	}
+	// Stride: keep up to 8 trailing zero bits of the raw image, so a
+	// subnet-shaped image stays subnet-shaped. All block boundaries
+	// below (class bases, 127/8, 128/8, class D base) are multiples of
+	// every possible stride, so alignment survives jumps and wraps.
+	stride := uint32(1)
+	if t.opts.SubnetPreserving {
+		tz := bits.TrailingZeros32(raw) // 32 for raw == 0
+		if tz > 8 {
+			tz = 8
+		}
+		stride = 1 << uint(tz)
+	}
+	step := func(c uint32) uint32 {
+		switch {
+		case c>>24 == 127: // jump the loopback /8
+			c = 128 << 24
+		case c >= 0xE0000000: // class D/E: nothing above is usable
+			c = lo
+		default:
+			c += stride
+		}
+		if c < lo || c > hi {
+			c = lo
+		}
+		return c
+	}
+	c := raw
+	for {
+		t.remaps.Add(1)
+		c = step(c)
+		if c == raw {
+			// Scanned the whole range without a free slot; cannot
+			// happen before 2^31-ish resolutions exhaust a class.
+			panic("ipanon: address space exhausted during collision chase")
+		}
+		if IsSpecial(c) {
+			continue
+		}
+		if _, ok := t.outs[c]; ok {
+			continue
+		}
+		return c
+	}
 }
 
 // MapPrefix maps the network address of a prefix: the address is masked to

@@ -88,6 +88,11 @@ type Spec struct {
 	Label string
 	Salt  []byte
 	Files map[string]string
+	// RulePacks names the admin-registered rule packs the job's
+	// anonymization must load, in merge order. The queue persists the
+	// names (not the packs): a resumed job re-resolves them against the
+	// allowlist of the process that resumes it.
+	RulePacks []string
 }
 
 // Progress is a job's live file accounting.
@@ -790,6 +795,7 @@ type record struct {
 	OwnerToken  string            `json:"owner_token,omitempty"`
 	Salt        []byte            `json:"salt,omitempty"`
 	Files       map[string]string `json:"files,omitempty"`
+	RulePacks   []string          `json:"rule_packs,omitempty"`
 }
 
 func (q *Queue) recordPath(id string) string {
@@ -823,6 +829,7 @@ func (q *Queue) persistLocked(j *job) error {
 		OwnerToken:  j.OwnerToken,
 		Salt:        j.spec.Salt,
 		Files:       j.spec.Files,
+		RulePacks:   j.spec.RulePacks,
 	}
 	blob, err := json.Marshal(rec)
 	if err != nil {
@@ -870,7 +877,7 @@ func (q *Queue) load() ([]*job, error) {
 				FileRetries: rec.FileRetries, Err: rec.Err, Problems: rec.Problems,
 				DatasetID: rec.DatasetID, OwnerToken: rec.OwnerToken,
 			},
-			spec: Spec{Owner: rec.Owner, Label: rec.Label, Salt: rec.Salt, Files: rec.Files},
+			spec: Spec{Owner: rec.Owner, Label: rec.Label, Salt: rec.Salt, Files: rec.Files, RulePacks: rec.RulePacks},
 		}
 		switch rec.State {
 		case StateDone, StateFailed, StateCancelled:

@@ -202,11 +202,19 @@ func (s *Store) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusUnprocessableEntity, uploadResponse{Problems: problems})
 		return
 	}
+	// Pack references resolve against the allowlist before the job is
+	// accepted — a 202 must never be followed by a deterministic
+	// unknown-pack failure the client could have been told about now.
+	if _, _, err := s.resolveRulePacks(req.RulePacks); err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, uploadResponse{Problems: []string{err.Error()}})
+		return
+	}
 	snap, err := s.jobs.Submit(jobs.Spec{
-		Owner: ownerKey([]byte(req.Salt)),
-		Label: req.Label,
-		Salt:  []byte(req.Salt),
-		Files: req.Files,
+		Owner:     ownerKey([]byte(req.Salt)),
+		Label:     req.Label,
+		Salt:      []byte(req.Salt),
+		Files:     req.Files,
+		RulePacks: req.RulePacks,
 	})
 	if err != nil {
 		if ov, ok := err.(*jobs.OverloadError); ok {
@@ -280,7 +288,14 @@ func (s *Store) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 // problem. Fail-closed like the synchronous path: any surviving failure
 // or quarantine withholds the whole dataset.
 func (s *Store) runJob(ctx context.Context, cb jobs.Callbacks, spec jobs.Spec) (*jobs.Result, error) {
-	sess, err := s.anon.forSalt(spec.Salt)
+	// Re-resolve the job's pack references at execution time: a job
+	// resumed after a restart runs only if the packs it named are still
+	// registered (the queue persists names, never pack content).
+	packs, packKey, err := s.resolveRulePacks(spec.RulePacks)
+	if err != nil {
+		return nil, fmt.Errorf("rule packs unavailable: %w", err)
+	}
+	sess, err := s.anon.forSalt(spec.Salt, packs, packKey)
 	if err != nil {
 		return nil, fmt.Errorf("anonymization session unavailable: %w", err)
 	}

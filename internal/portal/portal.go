@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"confanon"
 	"confanon/internal/jobs"
 	"confanon/internal/metrics"
 	"confanon/internal/trace"
@@ -182,7 +183,11 @@ type Store struct {
 	// apiKeys maps researcher API keys to display handles (handles are
 	// internal; the blind thread never shows them to owners).
 	apiKeys map[string]string
-	limits  Limits
+	// rulePacks is the admin-registered allowlist of declarative rule
+	// packs, by pack name; uploads and jobs may reference only these
+	// (see rulepacks.go).
+	rulePacks map[string]*confanon.RulePack
+	limits    Limits
 	// slogger receives the structured request log and recovered-panic
 	// reports; logger is the legacy handle SetLogger keeps for callers
 	// built against the *log.Logger API (it feeds slogger through the
@@ -214,11 +219,12 @@ type Store struct {
 // NewStore creates an empty portal store with DefaultLimits.
 func NewStore() *Store {
 	return &Store{
-		datasets: make(map[string]*Dataset),
-		comments: make(map[string][]Comment),
-		apiKeys:  make(map[string]string),
-		limits:   DefaultLimits(),
-		anon:     newAnonSessions(),
+		datasets:  make(map[string]*Dataset),
+		comments:  make(map[string][]Comment),
+		apiKeys:   make(map[string]string),
+		rulePacks: make(map[string]*confanon.RulePack),
+		limits:    DefaultLimits(),
+		anon:      newAnonSessions(),
 	}
 }
 

@@ -1,0 +1,106 @@
+package portal
+
+// This file is the portal's rule-pack surface. The operator registers
+// an allowlist of validated declarative rule packs before serving;
+// owners name packs per upload or per job (the request's "rule_packs"
+// field) and the portal loads exactly those, in the requested order, on
+// top of the built-in inventory. Naming an unregistered pack is a 422 —
+// the portal never loads pack content sent by a client, only content
+// the operator registered. Packs extend the built-in rule set and can
+// never weaken its gating (see internal/anonymizer), so a pack-loaded
+// session is at least as strict as a bare one.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"confanon"
+)
+
+// errPackSelection marks a client-side pack problem — an unknown name
+// or a conflicting combination — distinguishing 422 answers from the
+// operational failures that answer 503.
+type errPackSelection struct{ msg string }
+
+func (e *errPackSelection) Error() string { return e.msg }
+
+// RegisterRulePack validates p against this build's engine and adds it
+// to the allowlist under its pack name. Re-registering the same name is
+// an error unless the content fingerprint is identical: a silent swap
+// would change what an owner's pack reference means mid-flight.
+func (s *Store) RegisterRulePack(p *confanon.RulePack) error {
+	if err := confanon.CheckRulePack(p); err != nil {
+		return fmt.Errorf("portal: rule pack %q: %w", p.Name, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.rulePacks[p.Name]; ok && prev.Fingerprint != p.Fingerprint {
+		return fmt.Errorf("portal: rule pack %q already registered with different content (%s vs %s)",
+			p.Name, prev.Fingerprint, p.Fingerprint)
+	}
+	s.rulePacks[p.Name] = p
+	return nil
+}
+
+// RulePackNames returns the sorted names of the registered packs.
+func (s *Store) RulePackNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.rulePacks))
+	for n := range s.rulePacks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// resolveRulePacks maps requested pack names to registered packs,
+// preserving request order (merge order is load order). It also rejects
+// combinations two individually-valid packs cannot form — duplicate
+// names in the request, or the same rule ID declared by two packs —
+// so a compile further down cannot fail on client-chosen input. The
+// returned key canonically identifies the selection for session and
+// ledger keying; "" when no packs were requested.
+func (s *Store) resolveRulePacks(names []string) (packs []*confanon.RulePack, key string, err error) {
+	if len(names) == 0 {
+		return nil, "", nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seenPack := make(map[string]bool, len(names))
+	seenRule := make(map[string]string) // rule id → pack that declared it
+	var idents []string
+	for _, name := range names {
+		if seenPack[name] {
+			return nil, "", &errPackSelection{fmt.Sprintf("rule pack %q named twice", name)}
+		}
+		seenPack[name] = true
+		p, ok := s.rulePacks[name]
+		if !ok {
+			known := "none registered"
+			if len(s.rulePacks) > 0 {
+				var ns []string
+				for n := range s.rulePacks {
+					ns = append(ns, n)
+				}
+				sort.Strings(ns)
+				known = strings.Join(ns, ", ")
+			}
+			return nil, "", &errPackSelection{fmt.Sprintf("unknown rule pack %q (registered: %s)", name, known)}
+		}
+		for _, r := range p.Rules {
+			if other, dup := seenRule[r.ID]; dup {
+				return nil, "", &errPackSelection{fmt.Sprintf(
+					"rule packs %q and %q both declare rule %q; they cannot load together", other, name, r.ID)}
+			}
+			seenRule[r.ID] = name
+		}
+		packs = append(packs, p)
+		idents = append(idents, p.Name+"@"+p.Version+":"+p.Fingerprint)
+	}
+	sum := sha256.Sum256([]byte(strings.Join(idents, "\n")))
+	return packs, hex.EncodeToString(sum[:6]), nil
+}

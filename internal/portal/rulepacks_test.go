@@ -1,0 +1,139 @@
+package portal
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"confanon"
+	"confanon/internal/jobs"
+)
+
+const testPackTOML = `
+schema = "confanon.rulepack/v1"
+name = "test-emails"
+version = "1.0.0"
+[[rules]]
+id = "test-email-token"
+class = "name"
+scope = "token"
+action = "hash"
+doc = "hash email addresses"
+[rules.match]
+pattern = "[a-zA-Z0-9._\\-]+@[a-zA-Z0-9.\\-]+\\.[a-zA-Z]+"
+`
+
+func testPack(t *testing.T) *confanon.RulePack {
+	t.Helper()
+	p, err := confanon.LoadRulePack([]byte(testPackTOML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// rawUploadPacks posts a raw upload naming rule packs.
+func rawUploadPacks(t *testing.T, url, salt string, files map[string]string, packs []string) (int, uploadResponse) {
+	t.Helper()
+	body, _ := json.Marshal(rawUploadRequest{Label: "t", Salt: salt, Files: files, RulePacks: packs})
+	resp, err := http.Post(url+"/datasets/raw", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out uploadResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+// TestRulePackAllowlist: only operator-registered packs may be named;
+// an unknown reference is a 422 that names the registered set, and a
+// registered reference loads the pack into the owner's session.
+func TestRulePackAllowlist(t *testing.T) {
+	store := NewStore()
+	if err := store.RegisterRulePack(testPack(t)); err != nil {
+		t.Fatal(err)
+	}
+	if got := store.RulePackNames(); len(got) != 1 || got[0] != "test-emails" {
+		t.Fatalf("RulePackNames() = %v", got)
+	}
+	// Re-registering identical content is idempotent; different content
+	// under the same name is refused.
+	if err := store.RegisterRulePack(testPack(t)); err != nil {
+		t.Fatalf("idempotent re-register failed: %v", err)
+	}
+	altered, err := confanon.LoadRulePack([]byte(strings.Replace(testPackTOML, `version = "1.0.0"`, `version = "2.0.0"`, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.RegisterRulePack(altered); err == nil {
+		t.Error("silent pack content swap was accepted")
+	}
+
+	srv := httptest.NewServer(store.Handler())
+	defer srv.Close()
+	files := map[string]string{"r1": "hostname r1\nsnmp-server contact noc@example.net\ninterface Ethernet0\n ip address 12.1.2.3 255.255.255.0\n"}
+
+	code, out := rawUploadPacks(t, srv.URL, "s1", files, []string{"no-such-pack"})
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown pack: status %d, want 422 (%+v)", code, out)
+	}
+	if len(out.Problems) == 0 || !strings.Contains(out.Problems[0], "no-such-pack") {
+		t.Errorf("unknown-pack problem does not name the pack: %v", out.Problems)
+	}
+
+	code, out = rawUploadPacks(t, srv.URL, "s1", files, []string{"test-emails"})
+	if code != http.StatusCreated {
+		t.Fatalf("registered pack: status %d (%+v)", code, out)
+	}
+	store.AddResearcher("k", "r")
+	text := datasetText(t, srv.URL, "k", out.ID)
+	if strings.Contains(text, "noc@example.net") {
+		t.Errorf("pack token rule did not run; email survives:\n%s", text)
+	}
+}
+
+// TestJobRulePackValidatedAtSubmit: POST /jobs rejects unknown pack
+// references before enqueueing — the client hears 422 now, not a failed
+// job later — and a job naming a registered pack runs it.
+func TestJobRulePackValidatedAtSubmit(t *testing.T) {
+	store := NewStore()
+	if err := store.RegisterRulePack(testPack(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.StartJobs(jobs.Config{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	srv := httptest.NewServer(store.Handler())
+	defer srv.Close()
+
+	submit := func(packs []string) (int, map[string]any) {
+		t.Helper()
+		body, _ := json.Marshal(rawUploadRequest{
+			Label: "j", Salt: "s2",
+			Files:     map[string]string{"r1": "hostname r1\n ip address 12.1.2.3 255.255.255.0\n"},
+			RulePacks: packs,
+		})
+		resp, err := http.Post(srv.URL+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&out)
+		return resp.StatusCode, out
+	}
+
+	if code, _ := submit([]string{"nope"}); code != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown pack at submit: status %d, want 422", code)
+	}
+	if code, out := submit([]string{"test-emails"}); code != http.StatusAccepted {
+		t.Fatalf("registered pack at submit: status %d (%v)", code, out)
+	}
+}

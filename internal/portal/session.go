@@ -58,22 +58,35 @@ func newAnonSessions() *anonSessions {
 // forSalt returns the owner's Session, compiling its Program — and,
 // with a state directory configured, opening and replaying the owner's
 // mapping ledger — on first use. The map (and the ledger subdirectory)
-// is keyed by a digest of the salt, not the salt itself. Anonymization
-// is strict: a file whose leak report is not clean is quarantined,
-// never stored.
-func (p *anonSessions) forSalt(salt []byte) (*confanon.Anonymizer, error) {
+// is keyed by a digest of the salt, not the salt itself; when rule
+// packs are selected (resolved by the Store's allowlist; packKey
+// canonically names the selection) the session and its ledger are
+// keyed by salt digest plus selection, so runs under different pack
+// sets never interleave one ledger. Anonymization is strict: a file
+// whose leak report is not clean is quarantined, never stored.
+func (p *anonSessions) forSalt(salt []byte, packs []*confanon.RulePack, packKey string) (*confanon.Anonymizer, error) {
 	key := sha256.Sum256(salt)
 	id := hex.EncodeToString(key[:])
+	if packKey != "" {
+		id += "-" + packKey
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if a, ok := p.sessions[id]; ok {
 		return a, nil
 	}
-	a := confanon.Compile(confanon.Options{
-		Salt:    append([]byte(nil), salt...),
-		Strict:  true,
-		Metrics: p.reg,
-	}).NewSession()
+	prog, err := confanon.CompileChecked(confanon.Options{
+		Salt:      append([]byte(nil), salt...),
+		Strict:    true,
+		Metrics:   p.reg,
+		RulePacks: packs,
+	})
+	if err != nil {
+		// resolveRulePacks pre-checked the combination, so a failure here
+		// is an engine-level surprise, not client input: surface it.
+		return nil, fmt.Errorf("compiling rules: %w", err)
+	}
+	a := prog.NewSession()
 	if p.stateDir != "" {
 		ms, err := confanon.OpenMappingStore(filepath.Join(p.stateDir, id), salt)
 		if err != nil {
@@ -109,6 +122,10 @@ type rawUploadRequest struct {
 	Label string            `json:"label"`
 	Salt  string            `json:"salt"`
 	Files map[string]string `json:"files"`
+	// RulePacks names admin-registered rule packs to load, in merge
+	// order; an unregistered name is a 422. Clients never send pack
+	// content — only references into the operator's allowlist.
+	RulePacks []string `json:"rule_packs,omitempty"`
 }
 
 // handleUploadRaw accepts raw configurations plus the owner's salt,
@@ -138,7 +155,12 @@ func (s *Store) handleUploadRaw(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	sess, err := s.anon.forSalt([]byte(req.Salt))
+	packs, packKey, err := s.resolveRulePacks(req.RulePacks)
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, uploadResponse{Problems: []string{err.Error()}})
+		return
+	}
+	sess, err := s.anon.forSalt([]byte(req.Salt), packs, packKey)
 	if err != nil {
 		s.slog().Error("raw upload: session unavailable", "err", err)
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "anonymization session unavailable: " + err.Error()})

@@ -1,0 +1,186 @@
+package rulepack
+
+import (
+	"strings"
+	"testing"
+)
+
+// A small valid pack in both formats with identical content: the format
+// must not leak into the fingerprint.
+const jsonPack = `{
+  "schema": "confanon.rulepack/v1",
+  "name": "example",
+  "version": "1.2.0",
+  "rules": [
+    {
+      "id": "serial-number",
+      "class": "misc",
+      "scope": "line",
+      "keys": ["serial-number"],
+      "action": "hash",
+      "doc": "hash chassis serial numbers"
+    },
+    {
+      "id": "hex-token",
+      "class": "misc",
+      "scope": "token",
+      "match": {"pattern": "0x[0-9a-f]+"},
+      "action": "hash",
+      "doc": "hash bare hex constants"
+    }
+  ]
+}`
+
+const tomlPack = `# the same pack, TOML form
+schema = "confanon.rulepack/v1"
+name = "example"
+version = "1.2.0"
+
+[[rules]]
+id = "serial-number"
+class = "misc"
+scope = "line"
+keys = ["serial-number"]
+action = "hash"
+doc = "hash chassis serial numbers"
+
+[[rules]]
+id = "hex-token"
+class = "misc"
+scope = "token"
+action = "hash"
+doc = "hash bare hex constants"
+[rules.match]
+pattern = "0x[0-9a-f]+"
+`
+
+func TestJSONAndTOMLRoundTripIdentically(t *testing.T) {
+	pj, err := Parse([]byte(jsonPack))
+	if err != nil {
+		t.Fatalf("json pack: %v", err)
+	}
+	pt, err := Parse([]byte(tomlPack))
+	if err != nil {
+		t.Fatalf("toml pack: %v", err)
+	}
+	if pj.Fingerprint == "" || !strings.HasPrefix(pj.Fingerprint, "sha256:") {
+		t.Fatalf("computed fingerprint malformed: %q", pj.Fingerprint)
+	}
+	if pj.Fingerprint != pt.Fingerprint {
+		t.Errorf("same content, different fingerprints:\n json %s\n toml %s",
+			pj.Fingerprint, pt.Fingerprint)
+	}
+	if len(pj.Rules) != 2 || len(pt.Rules) != 2 {
+		t.Fatalf("rule counts: json %d toml %d", len(pj.Rules), len(pt.Rules))
+	}
+	if got := pt.Rules[0].Keys; len(got) != 1 || got[0] != "serial-number" {
+		t.Errorf("toml keys decoded wrong: %v", got)
+	}
+	if !pj.Rules[1].Match.MatchToken("0xdeadbeef") {
+		t.Errorf("compiled pattern rejects a member token")
+	}
+	if pj.Rules[1].Match.MatchToken("deadbeef") {
+		t.Errorf("compiled pattern is not anchored to the whole token")
+	}
+}
+
+func TestDeclaredFingerprintAccepted(t *testing.T) {
+	p, err := Parse([]byte(jsonPack))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned := strings.Replace(jsonPack, `"version": "1.2.0",`,
+		`"version": "1.2.0", "fingerprint": "`+p.Fingerprint+`",`, 1)
+	p2, err := Parse([]byte(pinned))
+	if err != nil {
+		t.Fatalf("pack with correct declared fingerprint rejected: %v", err)
+	}
+	if p2.Fingerprint != p.Fingerprint {
+		t.Errorf("fingerprint changed by declaring it: %s vs %s", p2.Fingerprint, p.Fingerprint)
+	}
+}
+
+func TestMetaRendering(t *testing.T) {
+	p, err := Parse([]byte(jsonPack))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.Meta()
+	if !strings.HasPrefix(m.String(), "example@1.2.0 (sha256:") {
+		t.Errorf("Meta.String: %q", m.String())
+	}
+	if got := FingerprintsOf(nil); got != "none" {
+		t.Errorf("FingerprintsOf(nil) = %q", got)
+	}
+	sum := FingerprintsOf([]Meta{{Name: "b", Version: "1", Fingerprint: "sha256:bbbbbbbbbbbbbbbb"},
+		{Name: "a", Version: "2", Fingerprint: "sha256:aaaaaaaaaaaaaaaa"}})
+	if sum != "a@2:aaaaaaaaaaaa,b@1:bbbbbbbbbbbb" {
+		t.Errorf("FingerprintsOf not sorted/truncated: %q", sum)
+	}
+}
+
+// The negative table: every class of malformed document must be rejected
+// with a diagnosable error, never loaded in a degraded form.
+func TestRejectsMalformedPacks(t *testing.T) {
+	mut := func(old, new string) string {
+		s := strings.Replace(jsonPack, old, new, 1)
+		if s == jsonPack {
+			t.Fatalf("mutation %q not applied", new)
+		}
+		return s
+	}
+	cases := []struct {
+		name string
+		doc  string
+		want string // substring of the error
+	}{
+		{"corrupt json", jsonPack[:len(jsonPack)-2], "rulepack:"},
+		{"unknown json field", mut(`"doc": "hash chassis serial numbers"`,
+			`"doc": "x", "extra": "y"`), "unknown field"},
+		{"wrong schema", mut("confanon.rulepack/v1", "confanon.rulepack/v9"), "schema"},
+		{"bad pack name", mut(`"name": "example"`, `"name": "Example Pack"`), "pack name"},
+		{"missing version", mut(`"version": "1.2.0",`, ""), "version"},
+		{"duplicate rule id", mut(`"id": "hex-token"`, `"id": "serial-number"`), "duplicate rule id"},
+		{"unknown class", mut(`"class": "misc",
+      "scope": "line"`, `"class": "secrets",
+      "scope": "line"`), "unknown class"},
+		{"unknown scope", mut(`"scope": "token"`, `"scope": "word"`), "unknown scope"},
+		{"unknown action", mut(`"action": "hash",
+      "doc": "hash chassis serial numbers"`, `"action": "keep",
+      "doc": "hash chassis serial numbers"`), "unknown line action"},
+		{"structural declarative", mut(`"scope": "line"`, `"scope": "structural"`), "builtin-only"},
+		{"token rule without pattern", mut(`"match": {"pattern": "0x[0-9a-f]+"},`, ""), "match pattern"},
+		{"invalid cregex", mut("0x[0-9a-f]+", "0x[0-9a-f"), "pattern"},
+		{"fingerprint mismatch", mut(`"version": "1.2.0",`,
+			`"version": "1.2.0", "fingerprint": "sha256:0000000000000000000000000000000000000000000000000000000000000000",`),
+			"fingerprint"},
+		{"empty document", "", "empty document"},
+		{"toml unknown key", strings.Replace(tomlPack, "doc = ", "docs = ", 1), "unknown rule field"},
+		{"toml bare value", strings.Replace(tomlPack, `version = "1.2.0"`, "version = 1.2", 1), "double-quoted"},
+		{"toml unterminated string", strings.Replace(tomlPack, `"example"`, `"example`, 1), "unterminated"},
+		{"toml unsupported table", strings.Replace(tomlPack, "[[rules]]", "[meta]", 1), "unsupported table"},
+		{"toml match before rules", "[rules.match]\npattern = \"a\"\n", "[rules.match] before any"},
+		{"toml trailing content", strings.Replace(tomlPack, `name = "example"`, `name = "example" extra`, 1), "trailing"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.doc))
+			if err == nil {
+				t.Fatalf("malformed pack accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// Actions that would weaken gating do not exist in any scope's action
+// vocabulary — a pack can transform or drop, never pass through.
+func TestNoPassthroughActionExists(t *testing.T) {
+	for _, verb := range []string{"keep", "pass", "allow", "ignore", "skip"} {
+		if lineActions[verb] || tokenActions[verb] || reportActions[verb] {
+			t.Errorf("weakening action %q admitted", verb)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package rulepack
+
+import (
+	"fmt"
+	"strings"
+)
+
+// A minimal, hand-written TOML subset parser — just enough to author a
+// rule pack by hand without a TOML dependency (the repository is
+// stdlib-only). Supported grammar, line oriented:
+//
+//	# comment (and blank lines)
+//	key = "string"              basic strings, \" \\ \n \t \r escapes
+//	key = ["a", "b"]            arrays of basic strings, one line
+//	[[rules]]                   starts the next rule
+//	[rules.match]               the current rule's match table
+//
+// Anything else — bare values, multi-line strings, nested tables beyond
+// rules.match, unknown keys — is a parse error, matching the JSON
+// loader's strictness: a typo must fail loudly, not silently disable a
+// rule.
+
+// ParseTOML decodes and validates a TOML-subset pack.
+func ParseTOML(data []byte) (*Pack, error) {
+	var p Pack
+	var cur *Rule
+	inMatch := false
+	for ln, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch line {
+		case "[[rules]]":
+			p.Rules = append(p.Rules, Rule{})
+			cur = &p.Rules[len(p.Rules)-1]
+			inMatch = false
+			continue
+		case "[rules.match]":
+			if cur == nil {
+				return nil, tomlErr(ln, "[rules.match] before any [[rules]]")
+			}
+			if cur.Match == nil {
+				cur.Match = &Match{}
+			}
+			inMatch = true
+			continue
+		}
+		if strings.HasPrefix(line, "[") {
+			return nil, tomlErr(ln, "unsupported table %s", line)
+		}
+		key, val, err := splitKeyValue(line, ln)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case inMatch:
+			err = setMatchField(cur.Match, key, val, ln)
+		case cur != nil:
+			err = setRuleField(cur, key, val, ln)
+		default:
+			err = setPackField(&p, key, val, ln)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+func tomlErr(line int, format string, args ...interface{}) error {
+	return fmt.Errorf("rulepack: toml line %d: %s", line+1, fmt.Sprintf(format, args...))
+}
+
+// value is a decoded right-hand side: a string or an array of strings.
+type value struct {
+	s      string
+	list   []string
+	isList bool
+}
+
+func splitKeyValue(line string, ln int) (string, value, error) {
+	eq := strings.IndexByte(line, '=')
+	if eq < 0 {
+		return "", value{}, tomlErr(ln, "expected key = value")
+	}
+	key := strings.TrimSpace(line[:eq])
+	rhs := strings.TrimSpace(line[eq+1:])
+	if key == "" {
+		return "", value{}, tomlErr(ln, "empty key")
+	}
+	if strings.HasPrefix(rhs, "[") {
+		list, err := parseArray(rhs, ln)
+		if err != nil {
+			return "", value{}, err
+		}
+		return key, value{list: list, isList: true}, nil
+	}
+	s, rest, err := parseString(rhs, ln)
+	if err != nil {
+		return "", value{}, err
+	}
+	if !restIsCommentOrEmpty(rest) {
+		return "", value{}, tomlErr(ln, "trailing content %q", rest)
+	}
+	return key, value{s: s}, nil
+}
+
+func restIsCommentOrEmpty(rest string) bool {
+	rest = strings.TrimSpace(rest)
+	return rest == "" || strings.HasPrefix(rest, "#")
+}
+
+// parseString decodes one leading basic string, returning the remainder.
+func parseString(s string, ln int) (string, string, error) {
+	if len(s) == 0 || s[0] != '"' {
+		return "", "", tomlErr(ln, "expected a double-quoted string, got %q", s)
+	}
+	var b strings.Builder
+	i := 1
+	for i < len(s) {
+		c := s[i]
+		switch c {
+		case '"':
+			return b.String(), s[i+1:], nil
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", "", tomlErr(ln, "dangling escape")
+			}
+			switch s[i] {
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			default:
+				return "", "", tomlErr(ln, "unsupported escape \\%c", s[i])
+			}
+		default:
+			b.WriteByte(c)
+		}
+		i++
+	}
+	return "", "", tomlErr(ln, "unterminated string")
+}
+
+func parseArray(s string, ln int) ([]string, error) {
+	if !strings.HasPrefix(s, "[") {
+		return nil, tomlErr(ln, "expected an array")
+	}
+	rest := strings.TrimSpace(s[1:])
+	var out []string
+	for {
+		if rest == "" {
+			return nil, tomlErr(ln, "unterminated array")
+		}
+		if strings.HasPrefix(rest, "]") {
+			if !restIsCommentOrEmpty(rest[1:]) {
+				return nil, tomlErr(ln, "trailing content after array")
+			}
+			return out, nil
+		}
+		elem, r, err := parseString(rest, ln)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, elem)
+		rest = strings.TrimSpace(r)
+		if strings.HasPrefix(rest, ",") {
+			rest = strings.TrimSpace(rest[1:])
+		} else if !strings.HasPrefix(rest, "]") {
+			return nil, tomlErr(ln, "expected , or ] in array")
+		}
+	}
+}
+
+func setPackField(p *Pack, key string, v value, ln int) error {
+	if v.isList {
+		return tomlErr(ln, "%s takes a string", key)
+	}
+	switch key {
+	case "schema":
+		p.SchemaID = v.s
+	case "name":
+		p.Name = v.s
+	case "version":
+		p.Version = v.s
+	case "fingerprint":
+		p.Fingerprint = v.s
+	default:
+		return tomlErr(ln, "unknown pack field %q", key)
+	}
+	return nil
+}
+
+func setRuleField(r *Rule, key string, v value, ln int) error {
+	if key == "keys" {
+		if !v.isList {
+			return tomlErr(ln, "keys takes an array")
+		}
+		r.Keys = v.list
+		return nil
+	}
+	if v.isList {
+		return tomlErr(ln, "%s takes a string", key)
+	}
+	switch key {
+	case "id":
+		r.ID = v.s
+	case "rule_id":
+		r.RuleID = v.s
+	case "class":
+		r.Class = v.s
+	case "scope":
+		r.Scope = v.s
+	case "builtin":
+		r.Builtin = v.s
+	case "action":
+		r.Action = v.s
+	case "doc":
+		r.Doc = v.s
+	default:
+		return tomlErr(ln, "unknown rule field %q", key)
+	}
+	return nil
+}
+
+func setMatchField(m *Match, key string, v value, ln int) error {
+	if v.isList {
+		return tomlErr(ln, "%s takes a string", key)
+	}
+	switch key {
+	case "pattern":
+		m.Pattern = v.s
+	case "word":
+		m.Word = v.s
+	default:
+		return tomlErr(ln, "unknown match field %q", key)
+	}
+	return nil
+}

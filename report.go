@@ -41,6 +41,12 @@ type RunReport struct {
 	IPsMapped    int64 `json:"ips_mapped"`
 	ASNsMapped   int64 `json:"asns_mapped"`
 
+	// Packs identifies every rule pack compiled into the run's Program
+	// — the canonical built-in pack first, then user packs in load
+	// order — so a report pins exactly which rule inventory produced
+	// the output.
+	Packs []PackMeta `json:"rule_packs,omitempty"`
+
 	// Counters is the flattened registry snapshot (histograms expanded
 	// into _bucket/_sum/_count series); nil when no registry was wired.
 	Counters map[string]float64 `json:"counters,omitempty"`
@@ -107,8 +113,9 @@ func (m *batchMetrics) countCancel() {
 
 // finishReport attaches the RunReport to a finished CorpusResult,
 // deriving the per-status counts from the per-file results.
-func (r *CorpusResult) finishReport(reg *MetricsRegistry) {
+func (r *CorpusResult) finishReport(reg *MetricsRegistry, packs []PackMeta) {
 	rep := NewRunReport(r.Stats, reg)
+	rep.Packs = packs
 	for _, f := range r.Files {
 		switch f.Status {
 		case FileOK:

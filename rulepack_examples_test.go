@@ -1,0 +1,152 @@
+package confanon
+
+// These tests pin the shipped example packs (examples/rulepacks/): they
+// must load, check against this engine build, and — applied to the
+// EOS-style fixture — produce output that is clean under strict leak
+// gating, with the MAC token class preserving shape and the EOS name
+// lines anonymized.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func loadExamplePack(t *testing.T, name string) *RulePack {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("examples", "rulepacks", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadRulePack(b)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if err := CheckRulePack(p); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return p
+}
+
+func TestExamplePacksAnonymizeFixtureCleanly(t *testing.T) {
+	mac := loadExamplePack(t, "mac-addresses.json")
+	eos := loadExamplePack(t, "arista-eos.toml")
+	fixture, err := os.ReadFile(filepath.Join("examples", "rulepacks", "eos-fixture.conf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prog, err := CompileChecked(Options{
+		Salt:      []byte("example-packs"),
+		Strict:    true,
+		RulePacks: []*RulePack{mac, eos},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(prog.Packs()); got != 3 { // builtin + the two examples
+		t.Fatalf("Packs() = %d entries, want 3: %v", got, prog.Packs())
+	}
+	a := prog.NewSession()
+	pre := map[string]string{"ar1.conf": string(fixture)}
+	res, err := a.CorpusContext(t.Context(), pre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok() {
+		t.Fatalf("strict run withheld files: failed=%v quarantined=%v",
+			res.Failed(), res.Quarantined())
+	}
+	post := res.Outputs()
+	out := post["ar1.conf"]
+
+	// Zero leak findings under strict — including the pack's own email
+	// report rule.
+	for _, l := range a.Leaks(post) {
+		if !l.LikelyFalsePositive {
+			t.Errorf("confirmed leak in example-pack output: %v", l)
+		}
+	}
+
+	// Every identity-bearing original must be gone.
+	for _, secret := range []string{
+		"corp", "CUST-ACME", "noc@acme-networks.example", "acme",
+		"00:1c:73:aa:bb:01", "00-1C-73-AB-CD-02", "001c.73ab.cd03",
+	} {
+		if strings.Contains(out, secret) {
+			t.Errorf("original token %q survives:\n%s", secret, out)
+		}
+	}
+
+	// The MAC mappings keep their separator shapes: the fixture's three
+	// MACs (colon, dash, Cisco dotted) must each come out in the same
+	// style. Scan tokens — line positions shift because the builtin
+	// drops the description line.
+	var colons, dashes, dotted int
+	for _, tok := range strings.Fields(out) {
+		switch {
+		case macShaped(tok, ':'):
+			colons++
+		case macShaped(tok, '-'):
+			dashes++
+		case dottedMACShaped(tok):
+			dotted++
+		}
+	}
+	if colons != 1 || dashes != 1 || dotted != 1 {
+		t.Errorf("mapped MAC shapes: %d colon, %d dash, %d dotted (want 1 each):\n%s",
+			colons, dashes, dotted, out)
+	}
+
+	// Determinism: a second session over the same program maps the
+	// corpus identically.
+	res2, err := prog.NewSession().CorpusContext(t.Context(), pre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Outputs()["ar1.conf"] != out {
+		t.Error("pack-loaded anonymization is not deterministic across sessions")
+	}
+}
+
+// dottedMACShaped reports whether s is three dot-joined hex quads
+// (Cisco aabb.ccdd.eeff form).
+func dottedMACShaped(s string) bool {
+	parts := strings.Split(s, ".")
+	if len(parts) != 3 {
+		return false
+	}
+	for _, p := range parts {
+		if len(p) != 4 {
+			return false
+		}
+		for i := 0; i < 4; i++ {
+			c := p[i]
+			if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F') {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// macShaped reports whether s is six hex pairs joined by sep.
+func macShaped(s string, sep byte) bool {
+	parts := strings.Split(s, string(sep))
+	if len(parts) != 6 {
+		return false
+	}
+	for _, p := range parts {
+		if len(p) != 2 {
+			return false
+		}
+		for i := 0; i < 2; i++ {
+			c := p[i]
+			if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F') {
+				return false
+			}
+		}
+	}
+	return true
+}
